@@ -1,0 +1,111 @@
+package selsync_test
+
+// The benchmark harness: one benchmark per table and figure of the paper's
+// evaluation. Each benchmark regenerates its artifact through the
+// experiment registry and prints the same rows/series the paper reports.
+//
+// Benchmarks default to the Tiny scale so the full suite finishes in
+// minutes; set SELSYNC_BENCH_SCALE=quick or =full for larger runs (the
+// same knob cmd/selsync-bench exposes as -scale). Reported metrics:
+// simulated-seconds are not wall-clock — see EXPERIMENTS.md.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"testing"
+
+	"selsync"
+)
+
+func benchScale() selsync.ExperimentScale {
+	switch os.Getenv("SELSYNC_BENCH_SCALE") {
+	case "quick":
+		return selsync.ScaleQuick
+	case "full":
+		return selsync.ScaleFull
+	default:
+		return selsync.ScaleTiny
+	}
+}
+
+func runExperimentBench(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		// Print the report once; further iterations (the benchmark
+		// framework may repeat fast experiments) only measure.
+		var out io.Writer = io.Discard
+		if i == 0 {
+			fmt.Printf("\n--- %s (scale=%s) ---\n", id, benchScale())
+			out = os.Stdout
+		}
+		if err := selsync.RunExperiment(id, benchScale(), out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1aThroughput regenerates Fig. 1a: relative PS throughput vs
+// cluster size for the four models.
+func BenchmarkFig1aThroughput(b *testing.B) { runExperimentBench(b, "fig1a") }
+
+// BenchmarkFig1bFedAvgNonIID regenerates Fig. 1b: FedAvg accuracy under IID
+// vs non-IID data.
+func BenchmarkFig1bFedAvgNonIID(b *testing.B) { runExperimentBench(b, "fig1b") }
+
+// BenchmarkFig2aComputeTime regenerates Fig. 2a: compute time vs batch size
+// on the K80 device model.
+func BenchmarkFig2aComputeTime(b *testing.B) { runExperimentBench(b, "fig2a") }
+
+// BenchmarkFig2bMemory regenerates Fig. 2b: memory vs batch size with OOM
+// marks at the K80's 12 GB.
+func BenchmarkFig2bMemory(b *testing.B) { runExperimentBench(b, "fig2b") }
+
+// BenchmarkFig3GradientKDE regenerates Fig. 3: gradient density early vs
+// late in training.
+func BenchmarkFig3GradientKDE(b *testing.B) { runExperimentBench(b, "fig3") }
+
+// BenchmarkFig4HessianVsVariance regenerates Fig. 4: Hessian top-eigenvalue
+// against first-order gradient variance.
+func BenchmarkFig4HessianVsVariance(b *testing.B) { runExperimentBench(b, "fig4") }
+
+// BenchmarkFig5DeltaCorrelation regenerates Fig. 5: Δ(g_i) alongside the
+// test-metric curve in BSP training.
+func BenchmarkFig5DeltaCorrelation(b *testing.B) { runExperimentBench(b, "fig5") }
+
+// BenchmarkFig8aTrackerOverhead regenerates Fig. 8a: Δ(g_i) computation
+// overhead vs smoothing window.
+func BenchmarkFig8aTrackerOverhead(b *testing.B) { runExperimentBench(b, "fig8a") }
+
+// BenchmarkFig8bPartitionOverhead regenerates Fig. 8b: DefDP vs SelDP
+// one-time partitioning cost.
+func BenchmarkFig8bPartitionOverhead(b *testing.B) { runExperimentBench(b, "fig8b") }
+
+// BenchmarkFig9SelDPvsDefDP regenerates Fig. 9: SelSync convergence under
+// the two partitioning schemes.
+func BenchmarkFig9SelDPvsDefDP(b *testing.B) { runExperimentBench(b, "fig9") }
+
+// BenchmarkFig10GAvsPA regenerates Fig. 10: gradient vs parameter
+// aggregation in SelSync.
+func BenchmarkFig10GAvsPA(b *testing.B) { runExperimentBench(b, "fig10") }
+
+// BenchmarkFig11WeightDensity regenerates Fig. 11: weight distributions
+// under BSP vs SelSync-PA vs SelSync-GA.
+func BenchmarkFig11WeightDensity(b *testing.B) { runExperimentBench(b, "fig11") }
+
+// BenchmarkFig12DataInjection regenerates Fig. 12: non-IID data-injection
+// configurations vs FedAvg.
+func BenchmarkFig12DataInjection(b *testing.B) { runExperimentBench(b, "fig12") }
+
+// BenchmarkAblationTopology regenerates the PS-vs-ring transport ablation
+// (the §III-E allreduce swap).
+func BenchmarkAblationTopology(b *testing.B) { runExperimentBench(b, "ablation-topology") }
+
+// BenchmarkAblationStraggler regenerates the systems-heterogeneity
+// ablation: BSP vs SSP vs SelSync under a 4× straggler.
+func BenchmarkAblationStraggler(b *testing.B) { runExperimentBench(b, "ablation-straggler") }
+
+// BenchmarkTable1 regenerates Table I: the full method × workload
+// comparison with iterations, LSSR, metric, convergence difference and
+// speedup over BSP.
+func BenchmarkTable1(b *testing.B) { runExperimentBench(b, "table1") }

@@ -1,0 +1,58 @@
+// Command selsync-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	selsync-bench -exp table1 -scale quick
+//	selsync-bench -exp all -scale tiny
+//	selsync-bench -list
+//
+// Scales: tiny (seconds), quick (tens of seconds per training experiment),
+// full (closest to the paper's 16-worker setup; minutes to hours).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"selsync"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig1a…table1) or 'all'")
+	scale := flag.String("scale", "tiny", "experiment scale: tiny | quick | full")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range selsync.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var s selsync.ExperimentScale
+	switch *scale {
+	case "tiny":
+		s = selsync.ScaleTiny
+	case "quick":
+		s = selsync.ScaleQuick
+	case "full":
+		s = selsync.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want tiny|quick|full)\n", *scale)
+		os.Exit(2)
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = selsync.ExperimentIDs()
+	}
+	for _, id := range ids {
+		fmt.Printf("\n### %s (%s scale)\n", id, *scale)
+		if err := selsync.RunExperiment(id, s, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

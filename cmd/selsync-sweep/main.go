@@ -1,0 +1,79 @@
+// Command selsync-sweep sweeps the SelSync significance threshold δ for one
+// workload and reports how LSSR, the final metric and the simulated
+// training time move — the paper's Fig. 6 intuition ("slide δ between 0 and
+// M to adjust the degree of training between synchronous and local
+// updates") as a table.
+//
+// Usage:
+//
+//	selsync-sweep -model resnet -deltas 0,0.05,0.1,0.2,0.4 -steps 300
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"selsync"
+	"selsync/internal/experiments"
+)
+
+func main() {
+	model := flag.String("model", "resnet", "workload: resnet | vgg | alexnet | transformer")
+	deltasArg := flag.String("deltas", "0,0.02,0.05,0.1,0.2,1000", "comma-separated δ values (1000 ≈ pure local SGD)")
+	workers := flag.Int("workers", 8, "number of simulated workers")
+	steps := flag.Int("steps", 240, "training steps per worker")
+	trainN := flag.Int("train", 6144, "training-set size")
+	testN := flag.Int("test", 1024, "test-set size")
+	seed := flag.Uint64("seed", 1, "run seed")
+	agg := flag.String("agg", "param", "aggregation during sync: param | grad")
+	flag.Parse()
+
+	var deltas []float64
+	for _, part := range strings.Split(*deltasArg, ",") {
+		d, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad delta %q: %v\n", part, err)
+			os.Exit(2)
+		}
+		deltas = append(deltas, d)
+	}
+	mode := selsync.ParamAgg
+	if *agg == "grad" {
+		mode = selsync.GradAgg
+	}
+
+	p := experiments.Params{
+		Workers: *workers, TrainN: *trainN, TestN: *testN,
+		MaxSteps: *steps, EvalEvery: maxInt(1, *steps/10),
+	}
+	wl := experiments.SetupWorkload(*model, p, *seed)
+	cfg := experiments.BaseConfig(wl, p, *seed)
+
+	unit := "acc%"
+	if wl.Factory.Spec.Perplexity {
+		unit = "ppl"
+	}
+	fmt.Printf("δ sweep: %s, %d workers, %d steps, %s aggregation\n",
+		wl.Factory.Spec.Name, *workers, *steps, mode)
+	fmt.Printf("%-10s %-8s %-10s %-10s %-12s %s\n", "delta", "LSSR", "sync", "local", "simtime(s)", unit)
+	baseline := -1.0
+	for _, d := range deltas {
+		res := selsync.RunSelSync(cfg, selsync.SelSyncOptions{Delta: d, Mode: mode})
+		if baseline < 0 {
+			baseline = res.SimTime
+		}
+		fmt.Printf("%-10.3g %-8.3f %-10d %-10d %-12.1f %.2f   (%.2fx vs δ=%.3g)\n",
+			d, res.LSSR, res.SyncSteps, res.LocalSteps, res.SimTime,
+			res.BestMetric, baseline/res.SimTime, deltas[0])
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

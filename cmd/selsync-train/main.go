@@ -1,0 +1,110 @@
+// Command selsync-train runs one distributed-training configuration on the
+// simulated cluster and prints the metric history and summary.
+//
+// Usage:
+//
+//	selsync-train -model resnet -method selsync -delta 0.18 -workers 8 -steps 400
+//	selsync-train -model vgg -method fedavg -c 0.5 -e 0.125
+//	selsync-train -model alexnet -method ssp -staleness 100
+//	selsync-train -model transformer -method bsp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"selsync"
+	"selsync/internal/experiments"
+)
+
+func main() {
+	model := flag.String("model", "resnet", "workload: resnet | vgg | alexnet | transformer")
+	method := flag.String("method", "selsync", "algorithm: bsp | selsync | fedavg | ssp | local")
+	workers := flag.Int("workers", 8, "number of simulated workers")
+	steps := flag.Int("steps", 300, "training steps per worker")
+	trainN := flag.Int("train", 6144, "training-set size")
+	testN := flag.Int("test", 1024, "test-set size")
+	seed := flag.Uint64("seed", 1, "run seed")
+	scheme := flag.String("scheme", "seldp", "IID partitioning: seldp | defdp")
+	delta := flag.Float64("delta", 0, "SelSync δ (0 = the workload's calibrated low threshold)")
+	mode := flag.String("agg", "param", "SelSync aggregation: param | grad")
+	c := flag.Float64("c", 1, "FedAvg participation fraction C")
+	e := flag.Float64("e", 0.25, "FedAvg sync factor E")
+	staleness := flag.Int("staleness", 100, "SSP staleness bound")
+	labelsPerWorker := flag.Int("noniid", 0, "labels per worker (0 = IID)")
+	alpha := flag.Float64("alpha", 0, "data-injection α (0 = off)")
+	beta := flag.Float64("beta", 0, "data-injection β")
+	flag.Parse()
+
+	p := experiments.Params{
+		Workers: *workers, TrainN: *trainN, TestN: *testN,
+		MaxSteps: *steps, EvalEvery: maxInt(1, *steps/10),
+	}
+	wl := experiments.SetupWorkload(*model, p, *seed)
+	cfg := experiments.BaseConfig(wl, p, *seed)
+	switch *scheme {
+	case "seldp":
+		cfg.Scheme = selsync.SelDP
+	case "defdp":
+		cfg.Scheme = selsync.DefDP
+	default:
+		fail("unknown scheme %q", *scheme)
+	}
+	if *labelsPerWorker > 0 {
+		non := &selsync.NonIID{LabelsPerWorker: *labelsPerWorker}
+		if *alpha > 0 {
+			non.Injection = &selsync.Injection{Alpha: *alpha, Beta: *beta}
+		}
+		cfg.NonIID = non
+	}
+
+	var res *selsync.Result
+	switch *method {
+	case "bsp":
+		res = selsync.RunBSP(cfg)
+	case "local":
+		res = selsync.RunLocalSGD(cfg)
+	case "selsync":
+		d := *delta
+		if d == 0 {
+			d = wl.DeltaLow
+		}
+		m := selsync.ParamAgg
+		if *mode == "grad" {
+			m = selsync.GradAgg
+		}
+		res = selsync.RunSelSync(cfg, selsync.SelSyncOptions{Delta: d, Mode: m})
+	case "fedavg":
+		res = selsync.RunFedAvg(cfg, selsync.FedAvgOptions{C: *c, E: *e})
+	case "ssp":
+		res = selsync.RunSSP(cfg, selsync.SSPOptions{Staleness: *staleness, PSOpt: wl.SSPOpt})
+	default:
+		fail("unknown method %q", *method)
+	}
+
+	unit := "acc%"
+	if res.Perplexity {
+		unit = "ppl"
+	}
+	fmt.Printf("step      epoch    simtime(s)  loss      %s\n", unit)
+	for _, pt := range res.History {
+		fmt.Printf("%-9d %-8.2f %-11.1f %-9.4f %.2f\n", pt.Step, pt.Epoch, pt.SimTime, pt.Loss, pt.Metric)
+	}
+	fmt.Println()
+	fmt.Println(res)
+	fmt.Printf("sync steps: %d, local steps: %d, comm reduction vs BSP: %.1fx\n",
+		res.SyncSteps, res.LocalSteps, res.CommReduction())
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,334 @@
+// Package cluster builds the simulated data-parallel training cluster: N
+// worker replicas around a central parameter server, in the image of the
+// paper's 16-container V100 testbed. Workers hold real model replicas and
+// compute real gradients (in parallel, on goroutines); their clocks are
+// virtual and advance by the cost-model times from internal/simnet. The
+// parameter server owns the flat global state and the two aggregation modes
+// the paper compares (parameter vs gradient aggregation, §III-C).
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"selsync/internal/gradstat"
+	"selsync/internal/nn"
+	"selsync/internal/opt"
+	"selsync/internal/simnet"
+	"selsync/internal/tensor"
+)
+
+// AggMode selects what the parameter server aggregates during a
+// synchronization phase.
+type AggMode int
+
+const (
+	// ParamAgg averages model parameters and broadcasts them, forcing all
+	// replicas onto one consistent state (SelSync's recommended mode).
+	ParamAgg AggMode = iota
+	// GradAgg averages gradients and lets every worker apply the averaged
+	// gradient through its own optimizer; replicas that have diverged stay
+	// diverged.
+	GradAgg
+)
+
+// String implements fmt.Stringer.
+func (m AggMode) String() string {
+	switch m {
+	case ParamAgg:
+		return "ParamAgg"
+	case GradAgg:
+		return "GradAgg"
+	default:
+		return fmt.Sprintf("AggMode(%d)", int(m))
+	}
+}
+
+// OptBuilder constructs a fresh optimizer over a replica's parameters.
+// Each worker owns private optimizer state, as on the real testbed.
+type OptBuilder func(ps []*nn.Param) opt.Optimizer
+
+// Topology selects how synchronization rounds are priced on the simulated
+// fabric. The paper builds on a central PS but notes (§III-E) that the
+// push/pull pair "can be easily swapped for an AllReduce collective";
+// Ring prices rounds with the bandwidth-optimal ring collective instead.
+type Topology int
+
+const (
+	// PS routes synchronization through the central parameter server.
+	PS Topology = iota
+	// Ring prices synchronization as a ring allreduce among workers.
+	Ring
+)
+
+// String implements fmt.Stringer.
+func (t Topology) String() string {
+	switch t {
+	case PS:
+		return "PS"
+	case Ring:
+		return "Ring"
+	default:
+		return fmt.Sprintf("Topology(%d)", int(t))
+	}
+}
+
+// Config describes a cluster to build.
+type Config struct {
+	Workers int
+	Model   nn.Factory
+	Opt     OptBuilder
+	Network *simnet.Network
+	// Device builds the accelerator for worker id; nil means identical
+	// V100s (seeded per worker).
+	Device func(id int) *simnet.Device
+	// Seed drives model initialization and all stochastic machinery.
+	Seed uint64
+	// TrackerWindow / TrackerAlpha configure the Δ(g_i) trackers; zero
+	// values select the paper defaults (window 25, alpha N/100).
+	TrackerWindow int
+	TrackerAlpha  float64
+	// Topology prices synchronization rounds (PS by default).
+	Topology Topology
+}
+
+// Worker is one simulated training replica.
+type Worker struct {
+	ID        int
+	Model     nn.Network
+	Optimizer opt.Optimizer
+	Device    *simnet.Device
+	Tracker   *gradstat.Tracker
+	RNG       *tensor.RNG
+
+	// Clock is the worker's virtual time in seconds.
+	Clock float64
+	// Steps counts completed training iterations; LocalSteps and
+	// SyncSteps split them by update type for the LSSR metric.
+	Steps      int
+	LocalSteps int
+	SyncSteps  int
+
+	flat tensor.Vector // scratch for parameter/gradient flattening
+}
+
+// FlatParams copies the worker's parameters into its scratch vector and
+// returns it (valid until the next Flat* call).
+func (w *Worker) FlatParams() tensor.Vector {
+	nn.FlattenParams(w.Model.Params(), w.flat)
+	return w.flat
+}
+
+// FlatGrads copies the worker's gradients into its scratch vector and
+// returns it (valid until the next Flat* call).
+func (w *Worker) FlatGrads() tensor.Vector {
+	nn.FlattenGrads(w.Model.Params(), w.flat)
+	return w.flat
+}
+
+// SetParams overwrites the replica's parameters.
+func (w *Worker) SetParams(v tensor.Vector) { nn.SetParams(w.Model.Params(), v) }
+
+// SetGrads overwrites the replica's gradient accumulators.
+func (w *Worker) SetGrads(v tensor.Vector) { nn.SetGrads(w.Model.Params(), v) }
+
+// LSSR returns the worker's local-to-synchronous step ratio (paper Eqn. 4).
+func (w *Worker) LSSR() float64 {
+	total := w.LocalSteps + w.SyncSteps
+	if total == 0 {
+		return 0
+	}
+	return float64(w.LocalSteps) / float64(total)
+}
+
+// ParameterServer holds the flat global model state.
+type ParameterServer struct {
+	Global tensor.Vector
+	// PushCount / PullCount record traffic for the experiment reports.
+	PushCount, PullCount int
+}
+
+// Cluster is the assembled system.
+type Cluster struct {
+	Workers  []*Worker
+	PS       *ParameterServer
+	Network  *simnet.Network
+	Spec     nn.ModelSpec
+	Topology Topology
+
+	dim     int
+	scratch tensor.Vector
+}
+
+// New builds the cluster: every worker constructs the model with the same
+// seed (replicas start bit-identical, the pullFromPS of Alg. 1 line 3) and
+// the PS snapshots that state as the initial global model.
+func New(cfg Config) *Cluster {
+	if cfg.Workers <= 0 {
+		panic("cluster: need at least one worker")
+	}
+	if cfg.Opt == nil {
+		panic("cluster: Config.Opt is required")
+	}
+	if cfg.Network == nil {
+		cfg.Network = simnet.DefaultNetwork()
+	}
+	if cfg.TrackerWindow == 0 {
+		cfg.TrackerWindow = 25
+	}
+	if cfg.TrackerAlpha == 0 {
+		cfg.TrackerAlpha = float64(cfg.Workers) / 100
+	}
+	deviceFor := cfg.Device
+	if deviceFor == nil {
+		deviceFor = func(id int) *simnet.Device {
+			return simnet.NewV100(cfg.Seed ^ (0xD0 + uint64(id)))
+		}
+	}
+
+	c := &Cluster{
+		Network:  cfg.Network,
+		Spec:     cfg.Model.Spec,
+		Topology: cfg.Topology,
+	}
+	seedRNG := tensor.NewRNG(cfg.Seed)
+	for id := 0; id < cfg.Workers; id++ {
+		model := cfg.Model.New(cfg.Seed) // same seed: identical init
+		w := &Worker{
+			ID:        id,
+			Model:     model,
+			Optimizer: cfg.Opt(model.Params()),
+			Device:    deviceFor(id),
+			Tracker:   gradstat.NewTracker(cfg.TrackerAlpha, cfg.TrackerWindow),
+			RNG:       seedRNG.Split(),
+			flat:      tensor.NewVector(nn.ParamCount(model.Params())),
+		}
+		c.Workers = append(c.Workers, w)
+	}
+	c.dim = nn.ParamCount(c.Workers[0].Model.Params())
+	c.scratch = tensor.NewVector(c.dim)
+	c.PS = &ParameterServer{Global: c.Workers[0].FlatParams().Clone()}
+	return c
+}
+
+// N returns the worker count.
+func (c *Cluster) N() int { return len(c.Workers) }
+
+// Dim returns the flat parameter dimension.
+func (c *Cluster) Dim() int { return c.dim }
+
+// Each runs fn for every worker concurrently and waits for all to finish.
+// Workers touch disjoint state, so fn needs no locking as long as it only
+// accesses its own worker.
+func (c *Cluster) Each(fn func(w *Worker)) {
+	var wg sync.WaitGroup
+	for _, w := range c.Workers {
+		wg.Add(1)
+		go func(w *Worker) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Broadcast overwrites every replica's parameters with the PS global state
+// and counts one pull per worker.
+func (c *Cluster) Broadcast() {
+	c.Each(func(w *Worker) { w.SetParams(c.PS.Global) })
+	c.PS.PullCount += c.N()
+}
+
+// AggregateParams averages the replicas' parameters into the PS global
+// state and broadcasts the result — one full parameter-aggregation round.
+func (c *Cluster) AggregateParams() {
+	c.averageInto(c.PS.Global, func(w *Worker) tensor.Vector { return w.FlatParams() })
+	c.PS.PushCount += c.N()
+	c.Broadcast()
+}
+
+// AggregateGrads averages the replicas' gradients into dst (one
+// gradient-aggregation round: push gradients, pull the mean). Callers apply
+// dst through each worker's optimizer.
+func (c *Cluster) AggregateGrads(dst tensor.Vector) {
+	c.averageInto(dst, func(w *Worker) tensor.Vector { return w.FlatGrads() })
+	c.PS.PushCount += c.N()
+	c.PS.PullCount += c.N()
+}
+
+// averageInto collects one vector per worker (in parallel) and reduces in
+// worker-id order for determinism.
+func (c *Cluster) averageInto(dst tensor.Vector, get func(w *Worker) tensor.Vector) {
+	vecs := make([]tensor.Vector, c.N())
+	c.Each(func(w *Worker) { vecs[w.ID] = get(w) })
+	tensor.Average(dst, vecs)
+}
+
+// MaxClock returns the latest worker clock — the cluster's wall time, since
+// a run ends when its slowest worker does.
+func (c *Cluster) MaxClock() float64 {
+	var m float64
+	for _, w := range c.Workers {
+		if w.Clock > m {
+			m = w.Clock
+		}
+	}
+	return m
+}
+
+// Barrier advances every worker's clock to the cluster maximum (the
+// blocking wait of BSP-style synchronization) and then adds extra seconds
+// of shared synchronization cost.
+func (c *Cluster) Barrier(extra float64) {
+	m := c.MaxClock() + extra
+	for _, w := range c.Workers {
+		w.Clock = m
+	}
+}
+
+// SyncCost returns the virtual cost of one full synchronization round for
+// this cluster's model under its topology: PS push+pull, or a ring
+// allreduce (the decentralized swap of paper §III-E).
+func (c *Cluster) SyncCost() float64 {
+	if c.Topology == Ring {
+		return c.Network.RingAllReduce(c.Spec.WireBytes, c.N())
+	}
+	return c.Network.PSSync(c.Spec.WireBytes, c.N())
+}
+
+// FlagsCost returns the virtual cost of SelSync's one-bit-per-worker
+// status allgather.
+func (c *Cluster) FlagsCost() float64 {
+	return c.Network.AllGatherBits(c.N())
+}
+
+// ConsistentReplicas reports whether all replicas hold bit-identical
+// parameters — the invariant parameter aggregation restores after every
+// synchronization and gradient aggregation violates once replicas diverge.
+func (c *Cluster) ConsistentReplicas() bool {
+	ref := c.Workers[0].FlatParams().Clone()
+	for _, w := range c.Workers[1:] {
+		flat := w.FlatParams()
+		for i := range ref {
+			if flat[i] != ref[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaxParamDivergence returns the largest L2 distance between any replica
+// and the PS global state, the divergence quantity behind Fig. 11.
+func (c *Cluster) MaxParamDivergence() float64 {
+	var worst float64
+	for _, w := range c.Workers {
+		flat := w.FlatParams()
+		c.scratch.CopyFrom(flat)
+		c.scratch.Sub(c.PS.Global)
+		if d := c.scratch.Norm(); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"selsync/internal/nn"
+	"selsync/internal/opt"
+	"selsync/internal/simnet"
+	"selsync/internal/tensor"
+)
+
+func testConfig(workers int) Config {
+	return Config{
+		Workers: workers,
+		Model:   nn.VGGLite(4),
+		Opt: func(ps []*nn.Param) opt.Optimizer {
+			return opt.NewSGD(ps, 0.9, 0)
+		},
+		Seed: 42,
+	}
+}
+
+func randBatch(seed uint64, n, classes int) (*tensor.Matrix, []int) {
+	rng := tensor.NewRNG(seed)
+	x := tensor.NewMatrix(n, nn.ImgFeatures)
+	rng.NormVector(x.Data, 0, 1)
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = rng.Intn(classes)
+	}
+	return x, labels
+}
+
+func TestNewClusterReplicasIdentical(t *testing.T) {
+	c := New(testConfig(4))
+	if c.N() != 4 {
+		t.Fatalf("N: %d", c.N())
+	}
+	if !c.ConsistentReplicas() {
+		t.Fatal("fresh replicas must be identical")
+	}
+	// PS global must equal replica state.
+	flat := c.Workers[0].FlatParams()
+	for i := range flat {
+		if c.PS.Global[i] != flat[i] {
+			t.Fatal("PS global must snapshot replica init")
+		}
+	}
+}
+
+func TestAggregateParamsRestoresConsistency(t *testing.T) {
+	c := New(testConfig(3))
+	// Diverge the replicas with different local steps.
+	c.Each(func(w *Worker) {
+		x, labels := randBatch(uint64(w.ID)+100, 8, 4)
+		w.Model.ComputeGradients(x, labels)
+		w.Optimizer.Step(0.1)
+	})
+	if c.ConsistentReplicas() {
+		t.Fatal("distinct batches should diverge replicas")
+	}
+	c.AggregateParams()
+	if !c.ConsistentReplicas() {
+		t.Fatal("parameter aggregation must restore consistency")
+	}
+	if c.MaxParamDivergence() > 1e-12 {
+		t.Fatalf("replicas must match PS after PA: %v", c.MaxParamDivergence())
+	}
+}
+
+func TestAggregateGradsLeavesDivergence(t *testing.T) {
+	c := New(testConfig(3))
+	// Diverge replicas first.
+	c.Each(func(w *Worker) {
+		x, labels := randBatch(uint64(w.ID)+200, 8, 4)
+		w.Model.ComputeGradients(x, labels)
+		w.Optimizer.Step(0.1)
+	})
+	// One GA round: average gradients, apply locally.
+	c.Each(func(w *Worker) {
+		x, labels := randBatch(uint64(w.ID)+300, 8, 4)
+		w.Model.ComputeGradients(x, labels)
+	})
+	avg := tensor.NewVector(c.Dim())
+	c.AggregateGrads(avg)
+	c.Each(func(w *Worker) {
+		w.SetGrads(avg)
+		w.Optimizer.Step(0.1)
+	})
+	if c.ConsistentReplicas() {
+		t.Fatal("gradient aggregation must not reconcile diverged replicas")
+	}
+}
+
+func TestAggregateGradsIsMean(t *testing.T) {
+	c := New(testConfig(2))
+	g0 := tensor.NewVector(c.Dim())
+	g1 := tensor.NewVector(c.Dim())
+	for i := range g0 {
+		g0[i] = 1
+		g1[i] = 3
+	}
+	c.Workers[0].SetGrads(g0)
+	c.Workers[1].SetGrads(g1)
+	avg := tensor.NewVector(c.Dim())
+	c.AggregateGrads(avg)
+	for i := range avg {
+		if avg[i] != 2 {
+			t.Fatalf("mean gradient wrong at %d: %v", i, avg[i])
+		}
+	}
+	if c.PS.PushCount != 2 || c.PS.PullCount != 2 {
+		t.Fatalf("traffic counts: push=%d pull=%d", c.PS.PushCount, c.PS.PullCount)
+	}
+}
+
+func TestBroadcastSetsAllReplicas(t *testing.T) {
+	c := New(testConfig(3))
+	for i := range c.PS.Global {
+		c.PS.Global[i] = float64(i % 7)
+	}
+	c.Broadcast()
+	for _, w := range c.Workers {
+		flat := w.FlatParams()
+		for i := range flat {
+			if flat[i] != c.PS.Global[i] {
+				t.Fatal("broadcast mismatch")
+			}
+		}
+	}
+}
+
+func TestBarrierAndClocks(t *testing.T) {
+	c := New(testConfig(3))
+	c.Workers[0].Clock = 1
+	c.Workers[1].Clock = 5
+	c.Workers[2].Clock = 3
+	if c.MaxClock() != 5 {
+		t.Fatalf("MaxClock: %v", c.MaxClock())
+	}
+	c.Barrier(0.5)
+	for _, w := range c.Workers {
+		if w.Clock != 5.5 {
+			t.Fatalf("worker %d clock %v want 5.5", w.ID, w.Clock)
+		}
+	}
+}
+
+func TestSyncAndFlagsCosts(t *testing.T) {
+	c := New(testConfig(16))
+	if got, want := c.SyncCost(), c.Network.PSSync(c.Spec.WireBytes, 16); got != want {
+		t.Fatalf("SyncCost: %v want %v", got, want)
+	}
+	if got := c.FlagsCost(); got < 2e-3 || got > 4.5e-3 {
+		t.Fatalf("FlagsCost outside the paper's 2–4 ms: %v", got)
+	}
+	if c.SyncCost() < 100*c.FlagsCost() {
+		t.Fatal("flags exchange must be orders of magnitude cheaper than a full sync")
+	}
+}
+
+func TestWorkerLSSR(t *testing.T) {
+	w := &Worker{}
+	if w.LSSR() != 0 {
+		t.Fatal("LSSR with no steps must be 0")
+	}
+	w.LocalSteps, w.SyncSteps = 9, 1
+	if math.Abs(w.LSSR()-0.9) > 1e-12 {
+		t.Fatalf("LSSR: %v", w.LSSR())
+	}
+	w.LocalSteps, w.SyncSteps = 0, 5
+	if w.LSSR() != 0 {
+		t.Fatal("all-sync LSSR must be 0 (BSP)")
+	}
+}
+
+func TestEachRunsAllWorkersConcurrently(t *testing.T) {
+	c := New(testConfig(8))
+	hits := make([]bool, 8)
+	c.Each(func(w *Worker) { hits[w.ID] = true })
+	for id, ok := range hits {
+		if !ok {
+			t.Fatalf("worker %d not visited", id)
+		}
+	}
+}
+
+func TestCustomDeviceBuilder(t *testing.T) {
+	cfg := testConfig(2)
+	cfg.Device = func(id int) *simnet.Device {
+		d := simnet.NewV100(uint64(id))
+		if id == 1 {
+			d.Straggle = 4
+		}
+		return d
+	}
+	c := New(cfg)
+	if c.Workers[1].Device.Straggle != 4 {
+		t.Fatal("device builder not honored")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, cfg := range []Config{
+		{Workers: 0, Model: nn.VGGLite(4), Opt: testConfig(1).Opt},
+		{Workers: 2, Model: nn.VGGLite(4)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() tensor.Vector {
+		c := New(testConfig(4))
+		for step := 0; step < 3; step++ {
+			c.Each(func(w *Worker) {
+				x, labels := randBatch(uint64(w.ID*10+step), 8, 4)
+				w.Model.ComputeGradients(x, labels)
+			})
+			avg := tensor.NewVector(c.Dim())
+			c.AggregateGrads(avg)
+			c.Each(func(w *Worker) {
+				w.SetGrads(avg)
+				w.Optimizer.Step(0.05)
+			})
+		}
+		return c.Workers[0].FlatParams().Clone()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("training must be bit-deterministic across runs")
+		}
+	}
+}

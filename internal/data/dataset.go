@@ -1,0 +1,128 @@
+// Package data provides the synthetic workloads and the data-distribution
+// machinery of the SelSync reproduction: class-conditional Gaussian image
+// stand-ins for CIFAR-10/100 and ImageNet-1K, a Markov-chain token stream
+// standing in for WikiText-103, the two IID partitioning schemes the paper
+// compares (DefDP and SelDP, §III-D), label-skewed non-IID splits (§IV-A)
+// and randomized data-injection (§III-E, Eqn. 3).
+package data
+
+import (
+	"fmt"
+
+	"selsync/internal/tensor"
+)
+
+// Dataset is an in-memory supervised dataset. Each example is one row of X;
+// classification examples carry one label, language-model examples carry
+// SeqLen next-token labels (one per position).
+type Dataset struct {
+	Name    string
+	X       *tensor.Matrix
+	Y       [][]int
+	Classes int
+	SeqLen  int // 0 for classification
+
+	// BytesPerExample is the simulated on-the-wire size of one training
+	// example, used to price data-injection traffic (the paper quotes
+	// ≈3 KB for CIFAR images and 10–150 KB for ImageNet).
+	BytesPerExample float64
+}
+
+// N returns the number of examples.
+func (d *Dataset) N() int { return d.X.Rows }
+
+// LabelsPerExample returns how many loss rows one example contributes.
+func (d *Dataset) LabelsPerExample() int {
+	if d.SeqLen > 0 {
+		return d.SeqLen
+	}
+	return 1
+}
+
+// Batch materializes the examples at the given indices as a feature matrix
+// plus a flattened label slice (row-major: example 0's labels first).
+func (d *Dataset) Batch(indices []int) (*tensor.Matrix, []int) {
+	x := tensor.NewMatrix(len(indices), d.X.Cols)
+	labels := make([]int, 0, len(indices)*d.LabelsPerExample())
+	for i, idx := range indices {
+		if idx < 0 || idx >= d.N() {
+			panic(fmt.Sprintf("data: batch index %d out of range [0,%d)", idx, d.N()))
+		}
+		copy(x.Row(i), d.X.Row(idx))
+		labels = append(labels, d.Y[idx]...)
+	}
+	return x, labels
+}
+
+// Label returns the primary label of example idx (the single class for
+// classification; the first next-token for LM data). Non-IID splitting
+// shards on this value.
+func (d *Dataset) Label(idx int) int { return d.Y[idx][0] }
+
+// Subset returns a view-free copy containing only the given examples.
+func (d *Dataset) Subset(name string, indices []int) *Dataset {
+	x, _ := d.Batch(indices)
+	y := make([][]int, len(indices))
+	for i, idx := range indices {
+		labels := make([]int, len(d.Y[idx]))
+		copy(labels, d.Y[idx])
+		y[i] = labels
+	}
+	return &Dataset{
+		Name: name, X: x, Y: y,
+		Classes: d.Classes, SeqLen: d.SeqLen,
+		BytesPerExample: d.BytesPerExample,
+	}
+}
+
+// Sampler walks an ordered index list in fixed-size mini-batches, wrapping
+// at the end. Workers own one Sampler each; the index list encodes the
+// partitioning scheme (DefDP chunk, SelDP rotation, or a non-IID shard).
+type Sampler struct {
+	indices []int
+	batch   int
+	pos     int
+	epochs  int
+}
+
+// NewSampler builds a sampler over indices with the given mini-batch size.
+// It panics on an empty index list or non-positive batch size.
+func NewSampler(indices []int, batchSize int) *Sampler {
+	if len(indices) == 0 {
+		panic("data: Sampler over empty index list")
+	}
+	if batchSize <= 0 {
+		panic("data: Sampler batch size must be positive")
+	}
+	return &Sampler{indices: indices, batch: batchSize}
+}
+
+// Next returns the next mini-batch of dataset indices, wrapping around the
+// index list as needed (so batches at the boundary span the wrap).
+func (s *Sampler) Next() []int {
+	out := make([]int, s.batch)
+	for i := 0; i < s.batch; i++ {
+		out[i] = s.indices[s.pos]
+		s.pos++
+		if s.pos == len(s.indices) {
+			s.pos = 0
+			s.epochs++
+		}
+	}
+	return out
+}
+
+// Epochs returns how many full passes over the index list have completed.
+func (s *Sampler) Epochs() int { return s.epochs }
+
+// StepsPerEpoch returns how many Next calls make up one pass.
+func (s *Sampler) StepsPerEpoch() int {
+	steps := len(s.indices) / s.batch
+	if steps == 0 {
+		steps = 1
+	}
+	return steps
+}
+
+// Len returns the number of indices in the sampler's list.
+func (s *Sampler) Len() int { return len(s.indices) }

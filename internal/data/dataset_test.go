@@ -1,0 +1,224 @@
+package data
+
+import (
+	"testing"
+
+	"selsync/internal/nn"
+)
+
+func TestImageGenBalancedAndSeparable(t *testing.T) {
+	g := NewImageGen(4, 1.0, 0.5, 3e3, 1)
+	d := g.Dataset("train", 400)
+	if d.N() != 400 || d.Classes != 4 {
+		t.Fatalf("bad dataset: n=%d classes=%d", d.N(), d.Classes)
+	}
+	counts := make([]int, 4)
+	for i := 0; i < d.N(); i++ {
+		counts[d.Label(i)]++
+	}
+	for c, n := range counts {
+		if n != 100 {
+			t.Fatalf("class %d has %d examples, want 100", c, n)
+		}
+	}
+	// With sep/noise = 2, a nearest-mean classifier should be far above
+	// chance. Estimate class means from half the data, test on the rest.
+	means := make([][]float64, 4)
+	for c := range means {
+		means[c] = make([]float64, nn.ImgFeatures)
+	}
+	per := make([]int, 4)
+	for i := 0; i < 200; i++ {
+		c := d.Label(i)
+		per[c]++
+		for j, v := range d.X.Row(i) {
+			means[c][j] += v
+		}
+	}
+	for c := range means {
+		for j := range means[c] {
+			means[c][j] /= float64(per[c])
+		}
+	}
+	correct := 0
+	for i := 200; i < 400; i++ {
+		best, bestD := -1, 0.0
+		for c := range means {
+			var dist float64
+			for j, v := range d.X.Row(i) {
+				dd := v - means[c][j]
+				dist += dd * dd
+			}
+			if best == -1 || dist < bestD {
+				best, bestD = c, dist
+			}
+		}
+		if best == d.Label(i) {
+			correct++
+		}
+	}
+	if correct < 150 { // 75% vs 25% chance
+		t.Fatalf("nearest-mean classifier only got %d/200", correct)
+	}
+}
+
+func TestImageGenDeterministic(t *testing.T) {
+	d1 := NewImageGen(3, 1, 1, 3e3, 9).Dataset("a", 30)
+	d2 := NewImageGen(3, 1, 1, 3e3, 9).Dataset("a", 30)
+	if !d1.X.Equal(d2.X) {
+		t.Fatal("same seed must generate identical data")
+	}
+}
+
+func TestTextGenLearnableChain(t *testing.T) {
+	g := NewTextGen(16, 3, 1e2, 5)
+	d := g.Dataset("lm", 200, 8)
+	if d.SeqLen != 8 || d.Classes != 16 {
+		t.Fatalf("bad LM dataset: %+v", d)
+	}
+	// The dominant successor fires ~70% of the time; measure empirically.
+	hits, total := 0, 0
+	// Recover dominant successor per state from generated transitions.
+	counts := make(map[[2]int]int)
+	for i := 0; i < d.N(); i++ {
+		row := d.X.Row(i)
+		for tt := 0; tt < d.SeqLen; tt++ {
+			counts[[2]int{int(row[tt]), d.Y[i][tt]}]++
+		}
+	}
+	dominant := make(map[int]int)
+	domCount := make(map[int]int)
+	for k, c := range counts {
+		if c > domCount[k[0]] {
+			domCount[k[0]] = c
+			dominant[k[0]] = k[1]
+		}
+	}
+	for i := 0; i < d.N(); i++ {
+		row := d.X.Row(i)
+		for tt := 0; tt < d.SeqLen; tt++ {
+			total++
+			if dominant[int(row[tt])] == d.Y[i][tt] {
+				hits++
+			}
+		}
+	}
+	frac := float64(hits) / float64(total)
+	if frac < 0.55 || frac > 0.9 {
+		t.Fatalf("dominant-successor rate %.2f outside plausible band", frac)
+	}
+}
+
+func TestBatchShapesAndLabels(t *testing.T) {
+	g := NewImageGen(5, 1, 1, 3e3, 2)
+	d := g.Dataset("x", 50)
+	x, labels := d.Batch([]int{0, 7, 3})
+	if x.Rows != 3 || x.Cols != nn.ImgFeatures || len(labels) != 3 {
+		t.Fatalf("batch shape wrong: %dx%d labels=%d", x.Rows, x.Cols, len(labels))
+	}
+	if labels[1] != d.Label(7) {
+		t.Fatal("label order mismatch")
+	}
+	// LM batches flatten SeqLen labels per row.
+	lm := NewTextGen(8, 2, 1e2, 3).Dataset("lm", 20, 4)
+	_, lmLabels := lm.Batch([]int{1, 2})
+	if len(lmLabels) != 8 {
+		t.Fatalf("LM batch labels: got %d want 8", len(lmLabels))
+	}
+}
+
+func TestBatchOutOfRangePanics(t *testing.T) {
+	d := NewImageGen(2, 1, 1, 3e3, 4).Dataset("x", 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Batch([]int{10})
+}
+
+func TestSubset(t *testing.T) {
+	d := NewImageGen(3, 1, 1, 3e3, 6).Dataset("x", 30)
+	s := d.Subset("sub", []int{1, 4, 9})
+	if s.N() != 3 || s.Classes != 3 {
+		t.Fatalf("subset wrong: %+v", s)
+	}
+	if s.Label(2) != d.Label(9) {
+		t.Fatal("subset labels must follow indices")
+	}
+	// Deep copy: mutating the subset must not touch the parent.
+	s.X.Set(0, 0, 12345)
+	if d.X.At(1, 0) == 12345 {
+		t.Fatal("Subset must deep-copy")
+	}
+}
+
+func TestSamplerWrapsAndCountsEpochs(t *testing.T) {
+	s := NewSampler([]int{10, 11, 12, 13, 14}, 2)
+	if s.StepsPerEpoch() != 2 {
+		t.Fatalf("steps/epoch: %d", s.StepsPerEpoch())
+	}
+	got := [][]int{s.Next(), s.Next(), s.Next()}
+	want := [][]int{{10, 11}, {12, 13}, {14, 10}}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("batch %d: got %v want %v", i, got[i], want[i])
+			}
+		}
+	}
+	if s.Epochs() != 1 {
+		t.Fatalf("epochs: got %d want 1", s.Epochs())
+	}
+}
+
+func TestSamplerPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewSampler(nil, 2) },
+		func() { NewSampler([]int{1}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWorkloadRegistry(t *testing.T) {
+	for _, kind := range []string{"cifar10like", "cifar100like", "imagenetlike", "wikitextlike"} {
+		w := NewWorkload(WorkloadSpec{Kind: kind, TrainN: 64, TestN: 32, Seed: 1})
+		if w.Train.N() != 64 || w.Test.N() != 32 {
+			t.Fatalf("%s: sizes wrong", kind)
+		}
+		if w.Train.Classes != w.Test.Classes {
+			t.Fatalf("%s: class mismatch", kind)
+		}
+	}
+}
+
+func TestWorkloadDefaultSizes(t *testing.T) {
+	w := NewWorkload(WorkloadSpec{Kind: "cifar10like", Seed: 1})
+	if w.Train.N() == 0 || w.Test.N() == 0 {
+		t.Fatal("defaults must be non-zero")
+	}
+}
+
+func TestWorkloadForModelMapping(t *testing.T) {
+	cases := map[string]int{"resnet": 10, "vgg": 100, "alexnet": 20, "transformer": nn.LMVocab}
+	for model, classes := range cases {
+		w := WorkloadForModel(model, 64, 32, 1)
+		if w.Train.Classes != classes {
+			t.Fatalf("%s: classes %d want %d", model, w.Train.Classes, classes)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown model must panic")
+		}
+	}()
+	WorkloadForModel("nope", 1, 1, 1)
+}

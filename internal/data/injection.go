@@ -1,0 +1,93 @@
+package data
+
+import (
+	"fmt"
+	"math"
+
+	"selsync/internal/tensor"
+)
+
+// Injection implements the randomized data-injection of paper §III-E: at
+// every iteration a random fraction Alpha of workers each contribute a
+// fraction Beta of their (shrunken) local mini-batch to a shared pool that
+// all workers append to their own batch. Sharing is per-iteration and
+// random, which is where the paper's K-anonymity privacy argument comes
+// from.
+type Injection struct {
+	Alpha float64 // fraction of workers sharing each iteration
+	Beta  float64 // fraction of the local batch each sharer contributes
+}
+
+// Validate checks both fractions are inside (0, 1].
+func (inj Injection) Validate() error {
+	if inj.Alpha <= 0 || inj.Alpha > 1 || inj.Beta <= 0 || inj.Beta > 1 {
+		return fmt.Errorf("data: injection (α=%v, β=%v) must lie in (0,1]", inj.Alpha, inj.Beta)
+	}
+	return nil
+}
+
+// AdjustedBatch returns b′ from Eqn. 3 — the shrunken per-worker batch size
+// chosen so that after pooling the effective batch returns to b:
+//
+//	b′ = b / (1 + α·β·N)
+//
+// rounded to the nearest integer, minimum 1. (The paper's example: b=32,
+// N=16, α=β=0.5 → b′ = 32/5 ≈ 11, which this function reproduces.)
+func (inj Injection) AdjustedBatch(b, workers int) int {
+	bPrime := int(math.Round(float64(b) / (1 + inj.Alpha*inj.Beta*float64(workers))))
+	if bPrime < 1 {
+		bPrime = 1
+	}
+	return bPrime
+}
+
+// SharersPerStep returns ⌈α·N⌉, the number of workers selected each
+// iteration.
+func (inj Injection) SharersPerStep(workers int) int {
+	k := int(math.Ceil(inj.Alpha * float64(workers)))
+	if k > workers {
+		k = workers
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// SamplesPerSharer returns ⌈β·b′⌉, how many examples each selected worker
+// contributes.
+func (inj Injection) SamplesPerSharer(bPrime int) int {
+	k := int(math.Ceil(inj.Beta * float64(bPrime)))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// PoolBytes returns the simulated per-iteration traffic of the injection
+// pool: (sharers × samplesPerSharer) examples at the dataset's example
+// size. The paper notes this is negligible next to model updates; the
+// simulator still charges it.
+func (inj Injection) PoolBytes(d *Dataset, bPrime, workers int) float64 {
+	return float64(inj.SharersPerStep(workers)*inj.SamplesPerSharer(bPrime)) * d.BytesPerExample
+}
+
+// BuildPool draws one iteration's shared pool: it picks the sharing workers
+// uniformly at random and takes each sharer's next contribution from its
+// own partition via the provided cursors. The returned indices reference
+// the underlying dataset. Cursors advance so repeated pools cycle through
+// each worker's shard.
+func (inj Injection) BuildPool(parts [][]int, cursors []int, bPrime int, rng *tensor.RNG) []int {
+	workers := len(parts)
+	sharers := rng.Sample(workers, inj.SharersPerStep(workers))
+	per := inj.SamplesPerSharer(bPrime)
+	pool := make([]int, 0, len(sharers)*per)
+	for _, w := range sharers {
+		part := parts[w]
+		for k := 0; k < per; k++ {
+			pool = append(pool, part[cursors[w]%len(part)])
+			cursors[w]++
+		}
+	}
+	return pool
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"io"
+
+	"selsync/internal/cluster"
+	"selsync/internal/simnet"
+	"selsync/internal/train"
+)
+
+// AblationTopology measures the design choice §III-E leaves open: pricing
+// synchronization rounds through the central PS vs a bandwidth-optimal
+// ring allreduce. Convergence is identical (the aggregation math does not
+// change); simulated time shifts with the collective, and SelSync's
+// advantage compounds on top of whichever transport is used.
+func AblationTopology(scale Scale, w io.Writer) *Table {
+	p := ParamsFor(scale)
+	t := &Table{
+		Title:   "Ablation: PS vs ring-allreduce synchronization transport",
+		Columns: []string{"model", "method", "topology", "best metric", "simtime(s)", "vs PS"},
+	}
+	for _, model := range []string{"resnet", "vgg"} {
+		wl := SetupWorkload(model, p, 131)
+		for _, run := range []struct {
+			name string
+			do   func(cfg train.Config) *train.Result
+		}{
+			{"BSP", train.RunBSP},
+			{"SelSync", func(cfg train.Config) *train.Result {
+				return train.RunSelSync(cfg, train.SelSyncOptions{Delta: wl.DeltaLow, Mode: cluster.ParamAgg})
+			}},
+		} {
+			var psTime float64
+			for _, topo := range []cluster.Topology{cluster.PS, cluster.Ring} {
+				cfg := BaseConfig(wl, p, 131)
+				cfg.Topology = topo
+				res := run.do(cfg)
+				rel := "1.00x"
+				if topo == cluster.PS {
+					psTime = res.SimTime
+				} else if res.SimTime > 0 {
+					rel = fmtF(psTime/res.SimTime, 2) + "x"
+				}
+				t.AddRow(wl.Factory.Spec.Name, run.name, topo.String(),
+					fmtF(res.BestMetric, 2), fmtF(res.SimTime, 1), rel)
+			}
+		}
+	}
+	t.Fprint(w)
+	return t
+}
+
+// AblationStraggler measures systems heterogeneity (paper §II-A): one
+// worker runs 4× slower than the rest. BSP's barrier inherits the
+// straggler's pace in full; SSP sails past it (its founding motivation);
+// SelSync pays the barrier only on its synchronous fraction of steps, so
+// its slowdown is LSSR-scaled.
+func AblationStraggler(scale Scale, w io.Writer) *Table {
+	p := ParamsFor(scale)
+	t := &Table{
+		Title:   "Ablation: 4x straggler (systems heterogeneity)",
+		Columns: []string{"method", "homogeneous(s)", "straggler(s)", "slowdown"},
+	}
+	wl := SetupWorkload("resnet", p, 137)
+	straggler := func(id int) *simnet.Device {
+		d := simnet.NewV100(137 ^ uint64(id))
+		if id == 0 {
+			d.Straggle = 4
+		}
+		return d
+	}
+	for _, run := range []struct {
+		name string
+		do   func(cfg train.Config) *train.Result
+	}{
+		{"BSP", train.RunBSP},
+		{"SSP(s=8)", func(cfg train.Config) *train.Result {
+			return train.RunSSP(cfg, train.SSPOptions{Staleness: 8})
+		}},
+		{"SelSync", func(cfg train.Config) *train.Result {
+			return train.RunSelSync(cfg, train.SelSyncOptions{Delta: wl.DeltaLow, Mode: cluster.ParamAgg})
+		}},
+	} {
+		base := BaseConfig(wl, p, 137)
+		homog := run.do(base)
+		slow := base
+		slow.Device = straggler
+		hetero := run.do(slow)
+		slowdown := hetero.SimTime / homog.SimTime
+		t.AddRow(run.name, fmtF(homog.SimTime, 1), fmtF(hetero.SimTime, 1), fmtF(slowdown, 2)+"x")
+	}
+	t.Fprint(w)
+	return t
+}

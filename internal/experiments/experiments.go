@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Runner executes one experiment at a scale, writing its report.
+type Runner func(scale Scale, w io.Writer) error
+
+// Registry maps experiment ids (the table/figure numbers of the paper) to
+// their runners. cmd/selsync-bench and the benchmark harness both dispatch
+// through this map.
+func Registry() map[string]Runner {
+	wrapF := func(f func(Scale, io.Writer) *Figure) Runner {
+		return func(s Scale, w io.Writer) error { f(s, w); return nil }
+	}
+	wrapT := func(f func(Scale, io.Writer) *Table) Runner {
+		return func(s Scale, w io.Writer) error { f(s, w); return nil }
+	}
+	wrapFT := func(f func(Scale, io.Writer) (*Figure, *Table)) Runner {
+		return func(s Scale, w io.Writer) error { f(s, w); return nil }
+	}
+	return map[string]Runner{
+		"fig1a":  wrapF(Fig1a),
+		"fig1b":  wrapF(Fig1b),
+		"fig2a":  wrapF(Fig2a),
+		"fig2b":  wrapT(Fig2b),
+		"fig3":   wrapF(Fig3),
+		"fig4":   wrapF(Fig4),
+		"fig5":   wrapF(Fig5),
+		"fig8a":  wrapT(Fig8a),
+		"fig8b":  wrapT(Fig8b),
+		"fig9":   wrapFT(Fig9),
+		"fig10":  wrapFT(Fig10),
+		"fig11":  wrapFT(Fig11),
+		"fig12":  wrapFT(Fig12),
+		"table1": wrapT(Table1),
+		// Ablations for the design choices DESIGN.md calls out.
+		"ablation-topology":  wrapT(AblationTopology),
+		"ablation-straggler": wrapT(AblationStraggler),
+	}
+}
+
+// IDs returns the registry keys sorted.
+func IDs() []string {
+	reg := Registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run dispatches one experiment by id.
+func Run(id string, scale Scale, w io.Writer) error {
+	r, ok := Registry()[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(scale, w)
+}
+
+// RunAll executes every experiment in id order.
+func RunAll(scale Scale, w io.Writer) error {
+	for _, id := range IDs() {
+		fmt.Fprintf(w, "\n### %s (%s scale)\n", id, scale)
+		if err := Run(id, scale, w); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"io"
+
+	"selsync/internal/data"
+	"selsync/internal/nn"
+	"selsync/internal/simnet"
+	"selsync/internal/train"
+)
+
+// Fig1a regenerates Fig. 1a: relative PS-training throughput (samples/s
+// normalized to one worker) as the cluster grows 1→16, per zoo model. It is
+// a pure cost-model experiment: throughput(N) = N·b/(t_c + t_s(N)).
+func Fig1a(scale Scale, w io.Writer) *Figure {
+	net := simnet.DefaultNetwork()
+	dev := &simnet.Device{Name: "V100", FlopsEff: 8e11, Straggle: 1} // jitter-free
+	sizes := []int{1, 2, 4, 8, 16}
+	batches := map[string]int{"resnet": 32, "vgg": 32, "alexnet": 128, "transformer": 20}
+
+	fig := &Figure{
+		Title:  "Fig 1a: relative throughput vs cluster size (PS, 5 Gbps NICs)",
+		XLabel: "workers", YLabel: "throughput relative to 1 worker",
+	}
+	for _, name := range AllWorkloads() {
+		spec := nn.Zoo()[name].Spec
+		b := batches[name]
+		tc := dev.ComputeTime(simnet.StepFlops(spec.FlopsPerSample, b))
+		single := float64(b) / tc
+		xs := make([]float64, 0, len(sizes))
+		ys := make([]float64, 0, len(sizes))
+		for _, n := range sizes {
+			var t float64
+			if n == 1 {
+				t = tc
+			} else {
+				t = tc + net.PSSync(spec.WireBytes, n)
+			}
+			xs = append(xs, float64(n))
+			ys = append(ys, float64(n*b)/t/single)
+		}
+		fig.Add(spec.Name, xs, ys)
+	}
+	fig.Fprint(w)
+	return fig
+}
+
+// Fig1b regenerates Fig. 1b: FedAvg test accuracy on IID vs non-IID data
+// (1 label/worker for the 10-class task, 10 labels/worker for the
+// 100-class task), C=1 and E=0.1 on 10 workers as in the paper.
+func Fig1b(scale Scale, w io.Writer) *Figure {
+	p := ParamsFor(scale)
+	p.Workers = 10 // the paper's Fig. 1b cluster
+	fig := &Figure{
+		Title:  "Fig 1b: FedAvg under IID vs non-IID data (C=1, E=0.1, 10 workers)",
+		XLabel: "training step", YLabel: "test accuracy (%)",
+	}
+	cases := []struct {
+		model  string
+		labels int // labels per worker in the non-IID split
+	}{
+		{"resnet", 1},
+		{"vgg", 10},
+	}
+	for _, c := range cases {
+		wl := SetupWorkload(c.model, p, 11)
+		opts := train.FedAvgOptions{C: 1, E: NonIIDSyncFactor(p, p.Workers, wl.Batch)}
+		base := BaseConfig(wl, p, 11)
+		iidCfg := base
+		iidCfg.Scheme = data.DefDP
+		iid := train.RunFedAvg(iidCfg, opts)
+
+		nonCfg := base
+		nonCfg.NonIID = &train.NonIID{LabelsPerWorker: c.labels}
+		non := train.RunFedAvg(nonCfg, opts)
+
+		ix, iy := historyXY(iid)
+		fig.Add(wl.Factory.Spec.Name+" IID", ix, iy)
+		nx, ny := historyXY(non)
+		fig.Add(wl.Factory.Spec.Name+" NonIID", nx, ny)
+	}
+	fig.Fprint(w)
+	return fig
+}
+
+// historyXY converts a result's evaluation history to x/y slices.
+func historyXY(r *train.Result) ([]float64, []float64) {
+	xs := make([]float64, len(r.History))
+	ys := make([]float64, len(r.History))
+	for i, pt := range r.History {
+		xs[i] = float64(pt.Step)
+		ys[i] = pt.Metric
+	}
+	return xs, ys
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"io"
+	"math"
+
+	"selsync/internal/cluster"
+	"selsync/internal/stats"
+	"selsync/internal/train"
+)
+
+// Fig11 regenerates Fig. 11: the distribution (KDE) of model weights at a
+// mid-training and a late-training checkpoint under three regimes — BSP,
+// SelSync with parameter aggregation and SelSync with gradient aggregation.
+// PA's distribution tracks BSP's closely while GA's drifts, quantified here
+// by the L2 distance between mean weight vectors.
+func Fig11(scale Scale, w io.Writer) (*Figure, *Table) {
+	p := ParamsFor(scale)
+	mid := p.MaxSteps/2 - 1
+	late := p.MaxSteps - 1
+
+	wl := SetupWorkload("resnet", p, 111)
+	base := BaseConfig(wl, p, 111)
+	base.SnapshotAtSteps = []int{mid, late}
+	bsp := train.RunBSP(base)
+	pa := train.RunSelSync(base, train.SelSyncOptions{Delta: wl.DeltaMid, Mode: cluster.ParamAgg})
+	ga := train.RunSelSync(base, train.SelSyncOptions{Delta: wl.DeltaMid, Mode: cluster.GradAgg})
+
+	fig := &Figure{
+		Title:  "Fig 11: weight-distribution density, BSP vs SelSync-PA vs SelSync-GA",
+		XLabel: "weight value", YLabel: "density",
+	}
+	dist := &Table{
+		Title:   "Fig 11 summary: L2 distance of mean weights from BSP",
+		Columns: []string{"checkpoint", "ParamAgg", "GradAgg", "PA closer to BSP?"},
+	}
+	for _, cp := range []struct {
+		tag  string
+		step int
+	}{{"mid", mid}, {"late", late}} {
+		var bspParams []float64
+		for _, entry := range []struct {
+			tag string
+			res *train.Result
+		}{{"BSP", bsp}, {"PA", pa}, {"GA", ga}} {
+			tag, res := entry.tag, entry.res
+			snap, ok := res.Snapshots[cp.step]
+			if !ok {
+				continue
+			}
+			kde := stats.NewKDE(subsampleFloats(snap.Params, 4096))
+			xs, ys := kde.AutoGrid(64)
+			fig.Add(tag+" "+cp.tag, xs, ys)
+			if tag == "BSP" {
+				bspParams = snap.Params
+			}
+		}
+		paDist := l2Distance(pa.Snapshots[cp.step].Params, bspParams)
+		gaDist := l2Distance(ga.Snapshots[cp.step].Params, bspParams)
+		dist.AddRow(cp.tag, fmtF(paDist, 4), fmtF(gaDist, 4), boolCell(paDist <= gaDist))
+	}
+	fig.Fprint(w)
+	dist.Fprint(w)
+	return fig, dist
+}
+
+func l2Distance(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

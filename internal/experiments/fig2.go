@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"io"
+
+	"selsync/internal/nn"
+	"selsync/internal/simnet"
+)
+
+var fig2Batches = []int{32, 64, 128, 256, 512, 1024}
+
+// Fig2a regenerates Fig. 2a: modeled compute time (ms) per training step as
+// the batch size sweeps 32…1024 on a K80-class device — the cost that makes
+// "just raise the SSP batch to N·b" impractical (§II-C).
+func Fig2a(scale Scale, w io.Writer) *Figure {
+	dev := &simnet.Device{Name: "K80", FlopsEff: simnet.NewK80(0).FlopsEff, Straggle: 1}
+	fig := &Figure{
+		Title:  "Fig 2a: compute time vs batch size (K80)",
+		XLabel: "batch size", YLabel: "compute time (ms)",
+	}
+	for _, name := range AllWorkloads() {
+		spec := nn.Zoo()[name].Spec
+		xs := make([]float64, 0, len(fig2Batches))
+		ys := make([]float64, 0, len(fig2Batches))
+		for _, b := range fig2Batches {
+			xs = append(xs, float64(b))
+			ys = append(ys, dev.ComputeTime(simnet.StepFlops(spec.FlopsPerSample, b))*1e3)
+		}
+		fig.Add(spec.Name, xs, ys)
+	}
+	fig.Fprint(w)
+	return fig
+}
+
+// Fig2b regenerates Fig. 2b: modeled training memory (GB) vs batch size,
+// with the K80's 12 GB capacity as the OOM line. The Transformer exceeds it
+// beyond b=32 — the paper's OOM-at-64 observation.
+func Fig2b(scale Scale, w io.Writer) *Table {
+	k80 := simnet.NewK80(0)
+	t := &Table{
+		Title:   "Fig 2b: memory utilization vs batch size (GB; OOM above 12 GB)",
+		Columns: append([]string{"model"}, batchHeaders()...),
+	}
+	for _, name := range AllWorkloads() {
+		spec := nn.Zoo()[name].Spec
+		row := []string{spec.Name}
+		for _, b := range fig2Batches {
+			gb := simnet.MemoryBytes(spec, b) / 1e9
+			cell := fmtF(gb, 1)
+			if simnet.CheckFits(spec, b, k80) != nil {
+				cell += " (OOM)"
+			}
+			row = append(row, cell)
+		}
+		t.AddRow(row...)
+	}
+	t.Fprint(w)
+	return t
+}
+
+func batchHeaders() []string {
+	out := make([]string, len(fig2Batches))
+	for i, b := range fig2Batches {
+		out[i] = fmtF(float64(b), 0)
+	}
+	return out
+}

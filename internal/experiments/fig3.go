@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"io"
+
+	"selsync/internal/stats"
+	"selsync/internal/train"
+)
+
+// Fig3 regenerates Fig. 3: kernel density estimates of gradients early in
+// training vs late in training, for the residual model and the Transformer.
+// Early gradients are wide and volatile; late gradients concentrate near
+// zero — the saturation SelSync's Δ(g_i) rule exploits.
+func Fig3(scale Scale, w io.Writer) *Figure {
+	p := ParamsFor(scale)
+	fig := &Figure{
+		Title:  "Fig 3: gradient KDE, early vs late training",
+		XLabel: "gradient value", YLabel: "density",
+	}
+	for _, model := range []string{"resnet", "transformer"} {
+		wl := SetupWorkload(model, p, 31)
+		early := maxInt(1, p.MaxSteps/20) - 1
+		late := p.MaxSteps - 1
+		cfg := BaseConfig(wl, p, 31)
+		cfg.SnapshotAtSteps = []int{early, late}
+		res := train.RunBSP(cfg)
+		for _, sn := range []struct {
+			tag  string
+			step int
+		}{{"early", early}, {"late", late}} {
+			snap, ok := res.Snapshots[sn.step]
+			if !ok {
+				continue
+			}
+			kde := stats.NewKDE(subsampleFloats(snap.Grads, 4096))
+			xs, ys := kde.AutoGrid(64)
+			fig.Add(wl.Factory.Spec.Name+" "+sn.tag, xs, ys)
+		}
+	}
+	fig.Fprint(w)
+	return fig
+}
+
+// subsampleFloats picks up to k evenly spaced values.
+func subsampleFloats(v []float64, k int) []float64 {
+	idx := subsample(len(v), k)
+	out := make([]float64, len(idx))
+	for i, j := range idx {
+		out[i] = v[j]
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"io"
+
+	"selsync/internal/data"
+	"selsync/internal/gradstat"
+	"selsync/internal/nn"
+	"selsync/internal/tensor"
+)
+
+// Fig4 regenerates Fig. 4: the largest Hessian eigenvalue and the
+// first-order gradient variance tracked across training steps for the
+// residual and plain-convolutional models. The two series move together,
+// which is the paper's justification for using the cheap first-order proxy
+// inside SelSync.
+func Fig4(scale Scale, w io.Writer) *Figure {
+	p := ParamsFor(scale)
+	fig := &Figure{
+		Title:  "Fig 4: Hessian top eigenvalue vs gradient variance over training",
+		XLabel: "training step", YLabel: "eigenvalue / variance (scaled)",
+	}
+	probeEvery := maxInt(1, p.MaxSteps/12)
+	for _, model := range []string{"resnet", "vgg"} {
+		wl := SetupWorkload(model, p, 41)
+		net := wl.Factory.New(41)
+		optimizer := wl.Opt(net.Params())
+		sampler := data.NewSampler(seqIndices(wl.Data.Train.N()), wl.Batch)
+
+		// Fixed probe batch for curvature measurements.
+		probeX, probeLabels := wl.Data.Train.Batch(seqIndices(minInt(64, wl.Data.Train.N())))
+
+		var xs, eigs, vars []float64
+		grad := tensor.NewVector(nn.ParamCount(net.Params()))
+		for step := 0; step < p.MaxSteps; step++ {
+			x, labels := wl.Data.Train.Batch(sampler.Next())
+			net.ComputeGradients(x, labels)
+			if step%probeEvery == 0 {
+				nn.FlattenGrads(net.Params(), grad)
+				variance := gradstat.GradVariance(grad)
+				eig := gradstat.TopHessianEigenvalue(net, probeX, probeLabels, gradstat.HessianEigOptions{
+					Iters: 5, Seed: uint64(step) + 7,
+				})
+				// The Hessian probe overwrote the gradients; recompute
+				// the step's own gradient before updating.
+				net.ComputeGradients(x, labels)
+				xs = append(xs, float64(step))
+				eigs = append(eigs, eig)
+				vars = append(vars, variance)
+			}
+			optimizer.Step(wl.Schedule.LR(step))
+		}
+		name := wl.Factory.Spec.Name
+		fig.Add(name+" hessian-eig", xs, eigs)
+		fig.Add(name+" grad-variance", xs, vars)
+	}
+	fig.Fprint(w)
+	return fig
+}
+
+func seqIndices(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

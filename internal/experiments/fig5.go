@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"io"
+
+	"selsync/internal/train"
+)
+
+// Fig5 regenerates Fig. 5: the relative gradient change Δ(g_i) tracked
+// through a BSP run alongside the test-metric curve, for all four
+// workloads. Sharp metric movement co-occurs with elevated Δ(g_i) (learning
+// rate decays show as spikes), and both flatten as convergence plateaus.
+func Fig5(scale Scale, w io.Writer) *Figure {
+	p := ParamsFor(scale)
+	fig := &Figure{
+		Title:  "Fig 5: Δ(g_i) vs test metric across BSP training",
+		XLabel: "training step", YLabel: "Δ(g_i) / test metric",
+	}
+	for _, model := range AllWorkloads() {
+		wl := SetupWorkload(model, p, 51)
+		cfg := BaseConfig(wl, p, 51)
+		cfg.TrackDeltas = true
+		res := train.RunBSP(cfg)
+		name := wl.Factory.Spec.Name
+		dx := make([]float64, len(res.Deltas))
+		for i := range dx {
+			dx[i] = float64(i + 1)
+		}
+		fig.Add(name+" delta", dx, res.Deltas)
+		mx, my := historyXY(res)
+		fig.Add(name+" metric", mx, my)
+	}
+	fig.Fprint(w)
+	return fig
+}

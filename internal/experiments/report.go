@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a generic experiment result table (paper tables and per-row
+// figure summaries).
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+			} else {
+				parts[i] = cell
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	printRow(t.Columns)
+	total := len(widths) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	fmt.Fprintln(w, strings.Repeat("-", maxInt(total, 8)))
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+}
+
+// Series is one named line of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a set of series over shared axes.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Add appends a series.
+func (f *Figure) Add(name string, x, y []float64) {
+	f.Series = append(f.Series, Series{Name: name, X: x, Y: y})
+}
+
+// Fprint renders the figure as per-series value tables, subsampled to at
+// most 16 points per series so reports stay readable.
+func (f *Figure) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", f.Title)
+	fmt.Fprintf(w, "   x: %s, y: %s\n", f.XLabel, f.YLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(w, " %s:\n", s.Name)
+		idx := subsample(len(s.X), 16)
+		var b strings.Builder
+		for _, i := range idx {
+			fmt.Fprintf(&b, " (%.4g, %.4g)", s.X[i], s.Y[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimSpace(b.String()))
+	}
+}
+
+// subsample returns up to k evenly spaced indices over [0, n).
+func subsample(n, k int) []int {
+	if n <= 0 {
+		return nil
+	}
+	if n <= k {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	idx := make([]int, k)
+	for i := 0; i < k; i++ {
+		idx[i] = i * (n - 1) / (k - 1)
+	}
+	return idx
+}
+
+// fmtF renders a float with sensible precision for report cells.
+func fmtF(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }

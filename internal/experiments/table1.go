@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"selsync/internal/cluster"
+	"selsync/internal/data"
+	"selsync/internal/train"
+)
+
+// Table1 regenerates the paper's Table I: for each of the four workloads,
+// BSP, four FedAvg configurations, two SSP staleness settings and two
+// SelSync thresholds, reporting iterations to best metric, LSSR, the metric
+// itself, the convergence difference vs BSP, whether the method matched or
+// beat BSP, and the end-to-end speedup over BSP for methods that did.
+//
+// Speedup is the ratio of simulated wall-clock times to each method's best
+// checkpoint, exactly the "Overall speedup" semantics of the paper (omitted
+// for configurations that failed to reach BSP's level).
+func Table1(scale Scale, w io.Writer) *Table {
+	p := ParamsFor(scale)
+	t := &Table{
+		Title: "Table I: DNN performance across SelSync, BSP, FedAvg and SSP",
+		Columns: []string{
+			"model", "method", "iterations", "LSSR", "acc/ppl",
+			"conv. diff", "beats BSP?", "speedup",
+		},
+	}
+	for _, model := range AllWorkloads() {
+		RunTable1Model(t, model, p)
+	}
+	t.Fprint(w)
+	return t
+}
+
+// RunTable1Model appends the nine method rows for one workload. Following
+// the paper, every method trains until its test metric stops improving:
+// semi-synchronous methods get a 4× larger step budget than BSP (the
+// paper's SelSync-on-VGG11 runs 7× more iterations than BSP yet finishes
+// 13.75× sooner in wall-clock) with patience-based early stopping, and the
+// reported iteration count is the step of the best checkpoint.
+func RunTable1Model(t *Table, model string, p Params) {
+	wl := SetupWorkload(model, p, 7)
+	base := BaseConfig(wl, p, 7)
+	if base.Patience == 0 {
+		base.Patience = 4
+	}
+	// Every method — including BSP — runs under the same extended step
+	// budget (4× the scale's base) and stops when its test metric
+	// plateaus, mirroring the paper's "run until the metric does not
+	// improve" protocol. Learning-rate milestones stay anchored to the
+	// base budget so decay points are comparable across methods.
+	base.MaxSteps = 4 * p.MaxSteps
+
+	// BSP is the reference; it uses the default partitioning of DDP
+	// training (DefDP), as in the paper. SelSync uses SelDP (its own
+	// scheme); FedAvg and SSP run on the default scheme like BSP.
+	bspCfg := base
+	bspCfg.Scheme = data.DefDP
+	bsp := train.RunBSP(bspCfg)
+	addTable1Row(t, wl, bsp, bsp)
+
+	semiCfg := bspCfg
+	selCfg := base
+
+	runs := []func() *train.Result{
+		func() *train.Result { return train.RunFedAvg(semiCfg, train.FedAvgOptions{C: 1, E: 0.25}) },
+		func() *train.Result { return train.RunFedAvg(semiCfg, train.FedAvgOptions{C: 1, E: 0.125}) },
+		func() *train.Result { return train.RunFedAvg(semiCfg, train.FedAvgOptions{C: 0.5, E: 0.25}) },
+		func() *train.Result { return train.RunFedAvg(semiCfg, train.FedAvgOptions{C: 0.5, E: 0.125}) },
+		func() *train.Result { return train.RunSSP(semiCfg, train.SSPOptions{Staleness: 100, PSOpt: wl.SSPOpt}) },
+		func() *train.Result { return train.RunSSP(semiCfg, train.SSPOptions{Staleness: 200, PSOpt: wl.SSPOpt}) },
+		func() *train.Result {
+			return train.RunSelSync(selCfg, train.SelSyncOptions{Delta: wl.DeltaLow, Mode: cluster.ParamAgg})
+		},
+		func() *train.Result {
+			return train.RunSelSync(selCfg, train.SelSyncOptions{Delta: wl.DeltaHigh, Mode: cluster.ParamAgg})
+		},
+	}
+	for _, run := range runs {
+		addTable1Row(t, wl, run(), bsp)
+	}
+}
+
+func addTable1Row(t *Table, wl Workload, res, bsp *train.Result) {
+	lssr := "-"
+	if res.LSSR >= 0 {
+		lssr = fmtF(res.LSSR, 3)
+	}
+	// Positive convergence difference always means "better than BSP":
+	// higher accuracy, or lower perplexity.
+	convDiff := res.BestMetric - bsp.BestMetric
+	if res.Perplexity {
+		convDiff = bsp.BestMetric - res.BestMetric
+	}
+	sign := "+"
+	if convDiff < 0 {
+		sign = ""
+	}
+	isBSP := res == bsp
+	beats := res.BetterMetric(res.BestMetric, bsp.BestMetric) || res.BestMetric == bsp.BestMetric
+	beatsCell, speedup := "False", "-"
+	switch {
+	case isBSP:
+		beatsCell, speedup = "N/A", "1.00x"
+	case beats:
+		beatsCell = "True"
+		if res.SimTimeAtBest > 0 {
+			speedup = fmt.Sprintf("%.2fx", bsp.SimTimeAtBest/res.SimTimeAtBest)
+		}
+	}
+	t.AddRow(
+		wl.Factory.Spec.Name,
+		res.Method,
+		fmt.Sprintf("%d", res.BestStep),
+		lssr,
+		fmtF(res.BestMetric, 2),
+		sign+fmtF(convDiff, 2),
+		beatsCell,
+		speedup,
+	)
+}

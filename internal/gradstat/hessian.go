@@ -1,0 +1,95 @@
+package gradstat
+
+import (
+	"math"
+
+	"selsync/internal/nn"
+	"selsync/internal/tensor"
+)
+
+// HessianEigOptions configures the power-iteration estimator.
+type HessianEigOptions struct {
+	Iters  int     // power iterations (default 8)
+	FDEps  float64 // finite-difference step (default 1e-4, scaled by ‖v‖)
+	Seed   uint64  // seed of the random start vector
+	RelTol float64 // early-exit tolerance on eigenvalue change (default 1e-3)
+}
+
+func (o HessianEigOptions) withDefaults() HessianEigOptions {
+	if o.Iters <= 0 {
+		o.Iters = 8
+	}
+	if o.FDEps <= 0 {
+		o.FDEps = 1e-4
+	}
+	if o.RelTol <= 0 {
+		o.RelTol = 1e-3
+	}
+	return o
+}
+
+// TopHessianEigenvalue estimates the largest-magnitude eigenvalue of the
+// loss Hessian at the network's current parameters on a fixed batch, using
+// power iteration over finite-difference Hessian-vector products:
+//
+//	H·v ≈ (∇F(w + ε·v) − ∇F(w)) / ε.
+//
+// This is the quantity the paper tracks in Fig. 4 to show that first-order
+// gradient variance is a cheap proxy for second-order curvature. The
+// network's parameters are restored before returning.
+func TopHessianEigenvalue(net nn.Network, x *tensor.Matrix, labels []int, opts HessianEigOptions) float64 {
+	opts = opts.withDefaults()
+	ps := net.Params()
+	n := nn.ParamCount(ps)
+
+	w0 := tensor.NewVector(n)
+	nn.FlattenParams(ps, w0)
+	defer nn.SetParams(ps, w0)
+
+	// Base gradient at w0.
+	net.ComputeGradients(x, labels)
+	g0 := tensor.NewVector(n)
+	nn.FlattenGrads(ps, g0)
+
+	rng := tensor.NewRNG(opts.Seed ^ 0xa5a5a5a5)
+	v := tensor.NewVector(n)
+	rng.NormVector(v, 0, 1)
+	normalize(v)
+
+	hv := tensor.NewVector(n)
+	wPerturbed := tensor.NewVector(n)
+	var eig, prevEig float64
+	for it := 0; it < opts.Iters; it++ {
+		// H·v by forward difference.
+		wPerturbed.CopyFrom(w0)
+		wPerturbed.Axpy(opts.FDEps, v)
+		nn.SetParams(ps, wPerturbed)
+		net.ComputeGradients(x, labels)
+		nn.FlattenGrads(ps, hv)
+		hv.Sub(g0)
+		hv.Scale(1 / opts.FDEps)
+
+		eig = v.Dot(hv) // Rayleigh quotient (v is unit length)
+		norm := hv.Norm()
+		if norm == 0 {
+			return 0
+		}
+		v.CopyFrom(hv)
+		v.Scale(1 / norm)
+
+		if it > 0 && math.Abs(eig-prevEig) <= opts.RelTol*math.Max(1, math.Abs(prevEig)) {
+			break
+		}
+		prevEig = eig
+	}
+	return eig
+}
+
+func normalize(v tensor.Vector) {
+	n := v.Norm()
+	if n == 0 {
+		v[0] = 1
+		return
+	}
+	v.Scale(1 / n)
+}

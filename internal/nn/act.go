@@ -1,0 +1,124 @@
+package nn
+
+import (
+	"math"
+
+	"selsync/internal/tensor"
+)
+
+// ReLU is the rectified linear activation, applied element-wise.
+type ReLU struct {
+	mask []bool // true where the input was positive
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward zeroes negative entries.
+func (r *ReLU) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	y := x.Clone()
+	if cap(r.mask) < len(y.Data) {
+		r.mask = make([]bool, len(y.Data))
+	}
+	r.mask = r.mask[:len(y.Data)]
+	for i, v := range y.Data {
+		pos := v > 0
+		r.mask[i] = pos
+		if !pos {
+			y.Data[i] = 0
+		}
+	}
+	return y
+}
+
+// Backward passes gradient only through positive inputs.
+func (r *ReLU) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	dx := grad.Clone()
+	for i := range dx.Data {
+		if !r.mask[i] {
+			dx.Data[i] = 0
+		}
+	}
+	return dx
+}
+
+// Params returns nil; ReLU has no parameters.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Tanh is the hyperbolic-tangent activation, applied element-wise.
+type Tanh struct {
+	y *tensor.Matrix
+}
+
+// NewTanh returns a Tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward applies tanh element-wise.
+func (t *Tanh) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	y := x.Clone()
+	for i, v := range y.Data {
+		y.Data[i] = math.Tanh(v)
+	}
+	t.y = y
+	return y
+}
+
+// Backward multiplies by 1 − tanh².
+func (t *Tanh) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	dx := grad.Clone()
+	for i, g := range dx.Data {
+		yv := t.y.Data[i]
+		dx.Data[i] = g * (1 - yv*yv)
+	}
+	return dx
+}
+
+// Params returns nil; Tanh has no parameters.
+func (t *Tanh) Params() []*Param { return nil }
+
+// GELU is the Gaussian error linear unit (tanh approximation), the
+// activation used inside TransformerLite feed-forward blocks.
+type GELU struct {
+	x *tensor.Matrix
+}
+
+// NewGELU returns a GELU activation layer.
+func NewGELU() *GELU { return &GELU{} }
+
+const (
+	geluC = 0.7978845608028654 // sqrt(2/π)
+	geluA = 0.044715
+)
+
+func geluForward(x float64) float64 {
+	return 0.5 * x * (1 + math.Tanh(geluC*(x+geluA*x*x*x)))
+}
+
+func geluDeriv(x float64) float64 {
+	inner := geluC * (x + geluA*x*x*x)
+	t := math.Tanh(inner)
+	dInner := geluC * (1 + 3*geluA*x*x)
+	return 0.5*(1+t) + 0.5*x*(1-t*t)*dInner
+}
+
+// Forward applies GELU element-wise.
+func (g *GELU) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	g.x = x
+	y := x.Clone()
+	for i, v := range y.Data {
+		y.Data[i] = geluForward(v)
+	}
+	return y
+}
+
+// Backward multiplies by the GELU derivative at the cached input.
+func (g *GELU) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	dx := grad.Clone()
+	for i, gv := range dx.Data {
+		dx.Data[i] = gv * geluDeriv(g.x.Data[i])
+	}
+	return dx
+}
+
+// Params returns nil; GELU has no parameters.
+func (g *GELU) Params() []*Param { return nil }

@@ -1,0 +1,218 @@
+package nn
+
+import (
+	"math"
+
+	"selsync/internal/tensor"
+)
+
+// MultiHeadAttention is scaled dot-product self-attention over rows storing
+// T positions of width D (row width T·D), with H heads of width D/H and a
+// learned output projection. Causal enables the autoregressive mask used by
+// the TransformerLite language model.
+//
+// The backward pass is written out by hand and validated against finite
+// differences in the test suite; see TestAttentionGradCheck.
+type MultiHeadAttention struct {
+	T, D, H int
+	Causal  bool
+
+	Wq, Wk, Wv, Wo *Param
+
+	// Per-forward caches (one entry per batch row).
+	x       *tensor.Matrix
+	q, k, v []*tensor.Matrix // T×D per sample
+	attn    []*tensor.Matrix // H stacked T×T blocks per sample (H·T × T)
+	concat  []*tensor.Matrix // T×D per sample, pre-output-projection
+}
+
+// NewMultiHeadAttention builds the layer with Xavier-initialized
+// projections. dim must be divisible by heads.
+func NewMultiHeadAttention(name string, seqLen, dim, heads int, causal bool, rng *tensor.RNG) *MultiHeadAttention {
+	if dim%heads != 0 {
+		panic("nn: attention dim must divide evenly into heads")
+	}
+	a := &MultiHeadAttention{
+		T: seqLen, D: dim, H: heads, Causal: causal,
+		Wq: NewParam(name+".Wq", dim*dim),
+		Wk: NewParam(name+".Wk", dim*dim),
+		Wv: NewParam(name+".Wv", dim*dim),
+		Wo: NewParam(name+".Wo", dim*dim),
+	}
+	std := math.Sqrt(1 / float64(dim))
+	for _, p := range []*Param{a.Wq, a.Wk, a.Wv, a.Wo} {
+		rng.NormVector(p.Data, 0, std)
+	}
+	return a
+}
+
+// Forward computes self-attention independently for every batch row.
+func (a *MultiHeadAttention) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if x.Cols != a.T*a.D {
+		panic("nn: attention width mismatch")
+	}
+	n := x.Rows
+	dk := a.D / a.H
+	scale := 1 / math.Sqrt(float64(dk))
+	wq := matView(a.Wq.Data, a.D, a.D)
+	wk := matView(a.Wk.Data, a.D, a.D)
+	wv := matView(a.Wv.Data, a.D, a.D)
+	wo := matView(a.Wo.Data, a.D, a.D)
+
+	a.x = x
+	a.q = make([]*tensor.Matrix, n)
+	a.k = make([]*tensor.Matrix, n)
+	a.v = make([]*tensor.Matrix, n)
+	a.attn = make([]*tensor.Matrix, n)
+	a.concat = make([]*tensor.Matrix, n)
+
+	y := tensor.NewMatrix(n, a.T*a.D)
+	for s := 0; s < n; s++ {
+		xs := x.Row(s).Clone()
+		xm := (&tensor.Matrix{Rows: a.T, Cols: a.D, Data: xs})
+
+		q := tensor.NewMatrix(a.T, a.D)
+		k := tensor.NewMatrix(a.T, a.D)
+		v := tensor.NewMatrix(a.T, a.D)
+		tensor.MatMul(q, xm, wq)
+		tensor.MatMul(k, xm, wk)
+		tensor.MatMul(v, xm, wv)
+		a.q[s], a.k[s], a.v[s] = q, k, v
+
+		attn := tensor.NewMatrix(a.H*a.T, a.T)
+		concat := tensor.NewMatrix(a.T, a.D)
+		for h := 0; h < a.H; h++ {
+			off := h * dk
+			for i := 0; i < a.T; i++ {
+				arow := attn.Row(h*a.T + i)
+				qi := q.Row(i)[off : off+dk]
+				// scores
+				maxScore := math.Inf(-1)
+				for j := 0; j < a.T; j++ {
+					if a.Causal && j > i {
+						arow[j] = math.Inf(-1)
+						continue
+					}
+					s := tensor.Vector(qi).Dot(k.Row(j)[off:off+dk]) * scale
+					arow[j] = s
+					if s > maxScore {
+						maxScore = s
+					}
+				}
+				// softmax with max-shift for stability
+				var sum float64
+				for j := 0; j < a.T; j++ {
+					if math.IsInf(arow[j], -1) {
+						arow[j] = 0
+						continue
+					}
+					arow[j] = math.Exp(arow[j] - maxScore)
+					sum += arow[j]
+				}
+				for j := 0; j < a.T; j++ {
+					arow[j] /= sum
+				}
+				// weighted sum of V
+				out := concat.Row(i)[off : off+dk]
+				for j := 0; j < a.T; j++ {
+					w := arow[j]
+					if w == 0 {
+						continue
+					}
+					tensor.Vector(out).Axpy(w, v.Row(j)[off:off+dk])
+				}
+			}
+		}
+		a.attn[s], a.concat[s] = attn, concat
+
+		ys := tensor.NewMatrix(a.T, a.D)
+		tensor.MatMul(ys, concat, wo)
+		copy(y.Row(s), ys.Data)
+	}
+	return y
+}
+
+// Backward propagates through the output projection, the attention softmax
+// and the Q/K/V projections, accumulating all four weight gradients.
+func (a *MultiHeadAttention) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	n := grad.Rows
+	dk := a.D / a.H
+	scale := 1 / math.Sqrt(float64(dk))
+	wq := matView(a.Wq.Data, a.D, a.D)
+	wk := matView(a.Wk.Data, a.D, a.D)
+	wv := matView(a.Wv.Data, a.D, a.D)
+	wo := matView(a.Wo.Data, a.D, a.D)
+	dwq := matView(a.Wq.Grad, a.D, a.D)
+	dwk := matView(a.Wk.Grad, a.D, a.D)
+	dwv := matView(a.Wv.Grad, a.D, a.D)
+	dwo := matView(a.Wo.Grad, a.D, a.D)
+
+	dx := tensor.NewMatrix(n, a.T*a.D)
+	tmp := tensor.NewMatrix(a.D, a.D)
+	for s := 0; s < n; s++ {
+		dy := (&tensor.Matrix{Rows: a.T, Cols: a.D, Data: grad.Row(s).Clone()})
+		xm := (&tensor.Matrix{Rows: a.T, Cols: a.D, Data: a.x.Row(s).Clone()})
+		q, k, v := a.q[s], a.k[s], a.v[s]
+		attn, concat := a.attn[s], a.concat[s]
+
+		// Output projection: y = concat·Wo.
+		tensor.MatMulATB(tmp, concat, dy)
+		dwo.Data.Add(tmp.Data)
+		dconcat := tensor.NewMatrix(a.T, a.D)
+		tensor.MatMulABT(dconcat, dy, wo)
+
+		dq := tensor.NewMatrix(a.T, a.D)
+		dkm := tensor.NewMatrix(a.T, a.D)
+		dv := tensor.NewMatrix(a.T, a.D)
+		for h := 0; h < a.H; h++ {
+			off := h * dk
+			for i := 0; i < a.T; i++ {
+				arow := attn.Row(h*a.T + i)
+				doutI := dconcat.Row(i)[off : off+dk]
+
+				// dA_ij = <dout_i, v_j>; dV_j += A_ij · dout_i
+				dA := make(tensor.Vector, a.T)
+				for j := 0; j < a.T; j++ {
+					if arow[j] != 0 {
+						dA[j] = tensor.Vector(doutI).Dot(v.Row(j)[off : off+dk])
+						tensor.Vector(dv.Row(j)[off:off+dk]).Axpy(arow[j], doutI)
+					}
+				}
+				// Softmax backward: dS_j = A_j (dA_j − Σ_k dA_k A_k).
+				var dot float64
+				for j := 0; j < a.T; j++ {
+					dot += dA[j] * arow[j]
+				}
+				for j := 0; j < a.T; j++ {
+					if arow[j] == 0 {
+						continue
+					}
+					dS := arow[j] * (dA[j] - dot) * scale
+					// S_ij = scale·<q_i, k_j>
+					tensor.Vector(dq.Row(i)[off:off+dk]).Axpy(dS, k.Row(j)[off:off+dk])
+					tensor.Vector(dkm.Row(j)[off:off+dk]).Axpy(dS, q.Row(i)[off:off+dk])
+				}
+			}
+		}
+
+		// Projections: q = x·Wq etc.
+		dxm := (&tensor.Matrix{Rows: a.T, Cols: a.D, Data: dx.Row(s)})
+		for _, t := range []struct {
+			dproj *tensor.Matrix
+			w     *tensor.Matrix
+			dw    *tensor.Matrix
+		}{{dq, wq, dwq}, {dkm, wk, dwk}, {dv, wv, dwv}} {
+			tensor.MatMulATB(tmp, xm, t.dproj)
+			t.dw.Data.Add(tmp.Data)
+			dxPart := tensor.NewMatrix(a.T, a.D)
+			tensor.MatMulABT(dxPart, t.dproj, t.w)
+			dxm.Data.Add(dxPart.Data)
+		}
+	}
+	return dx
+}
+
+// Params returns the four projection matrices.
+func (a *MultiHeadAttention) Params() []*Param {
+	return []*Param{a.Wq, a.Wk, a.Wv, a.Wo}
+}

@@ -1,0 +1,216 @@
+package nn
+
+import (
+	"math"
+
+	"selsync/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over batches stored as flattened CHW rows:
+// row layout is channel-major, x[c*H*W + y*W + x]. Stride is 1; Pad adds
+// zero padding on all sides. Filter weights have shape F×C×K×K and are kept
+// flat in a single Param for aggregation.
+type Conv2D struct {
+	C, H, W int // input channels / height / width
+	F, K    int // filters, kernel size
+	Pad     int
+
+	Wt, B *Param
+
+	x *tensor.Matrix // cached input
+}
+
+// OutH returns the output height.
+func (c *Conv2D) OutH() int { return c.H + 2*c.Pad - c.K + 1 }
+
+// OutW returns the output width.
+func (c *Conv2D) OutW() int { return c.W + 2*c.Pad - c.K + 1 }
+
+// NewConv2D builds a Conv2D with He initialization.
+func NewConv2D(name string, channels, height, width, filters, kernel, pad int, rng *tensor.RNG) *Conv2D {
+	c := &Conv2D{
+		C: channels, H: height, W: width,
+		F: filters, K: kernel, Pad: pad,
+		Wt: NewParam(name+".W", filters*channels*kernel*kernel),
+		B:  NewParam(name+".b", filters),
+	}
+	if c.OutH() <= 0 || c.OutW() <= 0 {
+		panic("nn: Conv2D output would be empty")
+	}
+	fanIn := float64(channels * kernel * kernel)
+	rng.NormVector(c.Wt.Data, 0, math.Sqrt(2/fanIn))
+	return c
+}
+
+// at reads the padded input pixel (zero outside bounds).
+func (c *Conv2D) at(row tensor.Vector, ch, y, x int) float64 {
+	if y < 0 || y >= c.H || x < 0 || x >= c.W {
+		return 0
+	}
+	return row[ch*c.H*c.W+y*c.W+x]
+}
+
+// Forward computes the direct convolution.
+func (c *Conv2D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if x.Cols != c.C*c.H*c.W {
+		panic("nn: Conv2D input width mismatch")
+	}
+	c.x = x
+	oh, ow := c.OutH(), c.OutW()
+	y := tensor.NewMatrix(x.Rows, c.F*oh*ow)
+	for n := 0; n < x.Rows; n++ {
+		in := x.Row(n)
+		out := y.Row(n)
+		for f := 0; f < c.F; f++ {
+			bias := c.B.Data[f]
+			wBase := f * c.C * c.K * c.K
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					s := bias
+					for ch := 0; ch < c.C; ch++ {
+						for ky := 0; ky < c.K; ky++ {
+							iy := oy - c.Pad + ky
+							if iy < 0 || iy >= c.H {
+								continue
+							}
+							for kx := 0; kx < c.K; kx++ {
+								ix := ox - c.Pad + kx
+								if ix < 0 || ix >= c.W {
+									continue
+								}
+								s += c.Wt.Data[wBase+ch*c.K*c.K+ky*c.K+kx] * in[ch*c.H*c.W+iy*c.W+ix]
+							}
+						}
+					}
+					out[f*oh*ow+oy*ow+ox] = s
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward accumulates filter/bias gradients and returns the input
+// gradient.
+func (c *Conv2D) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	oh, ow := c.OutH(), c.OutW()
+	dx := tensor.NewMatrix(c.x.Rows, c.x.Cols)
+	for n := 0; n < c.x.Rows; n++ {
+		in := c.x.Row(n)
+		dout := grad.Row(n)
+		din := dx.Row(n)
+		for f := 0; f < c.F; f++ {
+			wBase := f * c.C * c.K * c.K
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					g := dout[f*oh*ow+oy*ow+ox]
+					if g == 0 {
+						continue
+					}
+					c.B.Grad[f] += g
+					for ch := 0; ch < c.C; ch++ {
+						for ky := 0; ky < c.K; ky++ {
+							iy := oy - c.Pad + ky
+							if iy < 0 || iy >= c.H {
+								continue
+							}
+							for kx := 0; kx < c.K; kx++ {
+								ix := ox - c.Pad + kx
+								if ix < 0 || ix >= c.W {
+									continue
+								}
+								wi := wBase + ch*c.K*c.K + ky*c.K + kx
+								pi := ch*c.H*c.W + iy*c.W + ix
+								c.Wt.Grad[wi] += g * in[pi]
+								din[pi] += g * c.Wt.Data[wi]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns the filter and bias parameters.
+func (c *Conv2D) Params() []*Param { return []*Param{c.Wt, c.B} }
+
+// MaxPool2D is a 2×2, stride-2 max pool over flattened CHW rows. Odd
+// spatial dimensions drop the trailing row/column (floor semantics).
+type MaxPool2D struct {
+	C, H, W int
+
+	argmax []int // flat input index chosen per output element
+	inCols int
+}
+
+// NewMaxPool2D builds a pool layer for the given input geometry.
+func NewMaxPool2D(channels, height, width int) *MaxPool2D {
+	if height < 2 || width < 2 {
+		panic("nn: MaxPool2D input too small")
+	}
+	return &MaxPool2D{C: channels, H: height, W: width}
+}
+
+// OutH returns the output height.
+func (m *MaxPool2D) OutH() int { return m.H / 2 }
+
+// OutW returns the output width.
+func (m *MaxPool2D) OutW() int { return m.W / 2 }
+
+// Forward picks the max of each 2×2 window, remembering winners for the
+// backward routing.
+func (m *MaxPool2D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if x.Cols != m.C*m.H*m.W {
+		panic("nn: MaxPool2D input width mismatch")
+	}
+	oh, ow := m.OutH(), m.OutW()
+	m.inCols = x.Cols
+	y := tensor.NewMatrix(x.Rows, m.C*oh*ow)
+	if cap(m.argmax) < x.Rows*y.Cols {
+		m.argmax = make([]int, x.Rows*y.Cols)
+	}
+	m.argmax = m.argmax[:x.Rows*y.Cols]
+	for n := 0; n < x.Rows; n++ {
+		in := x.Row(n)
+		out := y.Row(n)
+		for ch := 0; ch < m.C; ch++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := math.Inf(-1)
+					bestIdx := -1
+					for dy := 0; dy < 2; dy++ {
+						for dx := 0; dx < 2; dx++ {
+							idx := ch*m.H*m.W + (2*oy+dy)*m.W + (2*ox + dx)
+							if in[idx] > best {
+								best = in[idx]
+								bestIdx = idx
+							}
+						}
+					}
+					oi := ch*oh*ow + oy*ow + ox
+					out[oi] = best
+					m.argmax[n*y.Cols+oi] = bestIdx
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward routes each output gradient to the winning input position.
+func (m *MaxPool2D) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	dx := tensor.NewMatrix(grad.Rows, m.inCols)
+	for n := 0; n < grad.Rows; n++ {
+		dout := grad.Row(n)
+		din := dx.Row(n)
+		for oi, g := range dout {
+			din[m.argmax[n*grad.Cols+oi]] += g
+		}
+	}
+	return dx
+}
+
+// Params returns nil; pooling has no parameters.
+func (m *MaxPool2D) Params() []*Param { return nil }

@@ -1,0 +1,60 @@
+package nn
+
+import (
+	"math"
+
+	"selsync/internal/tensor"
+)
+
+// Dense is a fully connected layer: y = x·W + b with W of shape in×out.
+type Dense struct {
+	In, Out int
+	W, B    *Param
+
+	x *tensor.Matrix // cached input for backward
+}
+
+// NewDense builds a Dense layer with He-initialized weights (suited to the
+// ReLU family used throughout the zoo) and zero bias.
+func NewDense(name string, in, out int, rng *tensor.RNG) *Dense {
+	d := &Dense{
+		In:  in,
+		Out: out,
+		W:   NewParam(name+".W", in*out),
+		B:   NewParam(name+".b", out),
+	}
+	std := math.Sqrt(2.0 / float64(in))
+	rng.NormVector(d.W.Data, 0, std)
+	return d
+}
+
+// Forward computes x·W + b.
+func (d *Dense) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	d.x = x
+	w := matView(d.W.Data, d.In, d.Out)
+	y := tensor.NewMatrix(x.Rows, d.Out)
+	tensor.MatMul(y, x, w)
+	y.AddRowVector(d.B.Data)
+	return y
+}
+
+// Backward accumulates dW = xᵀ·dy and db = column sums of dy, and returns
+// dx = dy·Wᵀ.
+func (d *Dense) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	dw := matView(d.W.Grad, d.In, d.Out)
+	dwLocal := tensor.NewMatrix(d.In, d.Out)
+	tensor.MatMulATB(dwLocal, d.x, grad)
+	dw.Data.Add(dwLocal.Data)
+
+	db := tensor.NewVector(d.Out)
+	grad.SumColumns(db)
+	d.B.Grad.Add(db)
+
+	w := matView(d.W.Data, d.In, d.Out)
+	dx := tensor.NewMatrix(grad.Rows, d.In)
+	tensor.MatMulABT(dx, grad, w)
+	return dx
+}
+
+// Params returns the weight and bias parameters.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }

@@ -1,0 +1,101 @@
+package nn
+
+import (
+	"math"
+
+	"selsync/internal/tensor"
+)
+
+// SoftmaxCrossEntropy couples a row-wise softmax with the negative
+// log-likelihood loss. Rows of the logits matrix are independent
+// predictions (a classification sample, or one sequence position of the
+// language model); labels carries one class index per row.
+type SoftmaxCrossEntropy struct{}
+
+// Loss returns the mean cross-entropy over rows, the number of rows whose
+// argmax equals the label, and the gradient of the mean loss with respect
+// to the logits: (softmax − onehot)/rows.
+func (SoftmaxCrossEntropy) Loss(logits *tensor.Matrix, labels []int) (loss float64, correct int, grad *tensor.Matrix) {
+	if len(labels) != logits.Rows {
+		panic("nn: label count must equal logit rows")
+	}
+	n := logits.Rows
+	grad = tensor.NewMatrix(n, logits.Cols)
+	invN := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		row := logits.Row(i)
+		label := labels[i]
+		if label < 0 || label >= logits.Cols {
+			panic("nn: label out of range")
+		}
+		// max-shifted softmax
+		maxLogit := row.Max()
+		var sum float64
+		g := grad.Row(i)
+		for j, v := range row {
+			e := math.Exp(v - maxLogit)
+			g[j] = e
+			sum += e
+		}
+		logSum := math.Log(sum)
+		loss += -(row[label] - maxLogit - logSum)
+		for j := range g {
+			g[j] = g[j] / sum * invN
+		}
+		g[label] -= invN
+		if row.ArgMax() == label {
+			correct++
+		}
+	}
+	return loss * invN, correct, grad
+}
+
+// EvalLoss computes loss and correct count without building the gradient,
+// for evaluation passes.
+func (SoftmaxCrossEntropy) EvalLoss(logits *tensor.Matrix, labels []int) (loss float64, correct int) {
+	if len(labels) != logits.Rows {
+		panic("nn: label count must equal logit rows")
+	}
+	n := logits.Rows
+	for i := 0; i < n; i++ {
+		row := logits.Row(i)
+		label := labels[i]
+		maxLogit := row.Max()
+		var sum float64
+		for _, v := range row {
+			sum += math.Exp(v - maxLogit)
+		}
+		loss += -(row[label] - maxLogit - math.Log(sum))
+		if row.ArgMax() == label {
+			correct++
+		}
+	}
+	return loss / float64(n), correct
+}
+
+// TopKCorrect counts rows whose label appears among the k largest logits —
+// the paper reports top-5 accuracy for its ImageNet workload (AlexNet).
+func TopKCorrect(logits *tensor.Matrix, labels []int, k int) int {
+	if k < 1 {
+		panic("nn: TopKCorrect needs k >= 1")
+	}
+	var correct int
+	for i := 0; i < logits.Rows; i++ {
+		row := logits.Row(i)
+		label := labels[i]
+		target := row[label]
+		// Count strictly greater entries; label is in the top-k if fewer
+		// than k logits beat it (ties resolve in the label's favour,
+		// matching a stable sort by descending logit).
+		greater := 0
+		for j, v := range row {
+			if v > target || (v == target && j < label) {
+				greater++
+			}
+		}
+		if greater < k {
+			correct++
+		}
+	}
+	return correct
+}

@@ -1,0 +1,116 @@
+package nn
+
+import "selsync/internal/tensor"
+
+// ModelSpec describes a zoo model for the rest of the system: the metric it
+// reports, and the paper-scale cost constants the cluster simulator uses to
+// price its compute and communication. WireBytes and FlopsPerSample are
+// deliberately decoupled from the actual (small) parameter count — they are
+// set to the published sizes of the paper's models so that the simulated
+// compute/communication ratios match the paper's testbed (see DESIGN.md,
+// "Reproduction constraints and substitutions").
+type ModelSpec struct {
+	Name           string
+	Classes        int     // output classes (vocabulary size for the LM)
+	SeqLen         int     // sequence length; 0 for classifiers
+	TopK           int     // accuracy metric: 1 = top-1, 5 = top-5
+	Perplexity     bool    // report exp(loss) instead of accuracy
+	WireBytes      float64 // simulated size of one full model update on the network
+	FlopsPerSample float64 // simulated forward+backward cost per training sample
+	MemBytesBase   float64 // simulated resident footprint independent of batch size
+	MemBytesPerEx  float64 // simulated activation footprint per batched sample
+}
+
+// RowsPerExample returns how many loss rows one dataset example produces:
+// 1 for classifiers, SeqLen for the language model (one prediction per
+// position).
+func (s ModelSpec) RowsPerExample() int {
+	if s.SeqLen > 0 {
+		return s.SeqLen
+	}
+	return 1
+}
+
+// Network is the contract the distributed-training algorithms program
+// against: compute gradients on a batch, read/write flat parameters, and
+// evaluate. Implementations must leave gradients in Params() after
+// ComputeGradients so callers can flatten them for aggregation.
+type Network interface {
+	// Params returns the model parameters in a stable order.
+	Params() []*Param
+	// ComputeGradients zeroes the gradient accumulators, runs
+	// forward+backward on the batch and returns the mean loss and the
+	// number of correctly predicted rows (top-1).
+	ComputeGradients(x *tensor.Matrix, labels []int) (loss float64, correct int)
+	// Evaluate runs a forward pass only and returns mean loss and correct
+	// predictions under the model's configured metric (TopK).
+	Evaluate(x *tensor.Matrix, labels []int) (loss float64, correct int)
+	// Spec returns the model's descriptor.
+	Spec() ModelSpec
+}
+
+// FeedForwardNet is the concrete Network used by every zoo model: a
+// Sequential producing one logits row per prediction, trained with softmax
+// cross-entropy. For the language model the Sequential itself reshapes so
+// that its final output has batch·SeqLen rows.
+type FeedForwardNet struct {
+	Seq  *Sequential
+	spec ModelSpec
+
+	loss   SoftmaxCrossEntropy
+	params []*Param
+}
+
+// NewFeedForwardNet wraps a Sequential with its spec, caching the parameter
+// list.
+func NewFeedForwardNet(seq *Sequential, spec ModelSpec) *FeedForwardNet {
+	return &FeedForwardNet{Seq: seq, spec: spec, params: seq.Params()}
+}
+
+// Params returns the cached parameter list.
+func (f *FeedForwardNet) Params() []*Param { return f.params }
+
+// Spec returns the model descriptor.
+func (f *FeedForwardNet) Spec() ModelSpec { return f.spec }
+
+// ComputeGradients runs forward and backward in training mode.
+func (f *FeedForwardNet) ComputeGradients(x *tensor.Matrix, labels []int) (float64, int) {
+	ZeroGrads(f.params)
+	logits := f.Seq.Forward(x, true)
+	loss, correct, grad := f.loss.Loss(logits, labels)
+	f.Seq.Backward(grad)
+	return loss, correct
+}
+
+// Evaluate runs a forward pass in eval mode; correctness uses the spec's
+// TopK metric.
+func (f *FeedForwardNet) Evaluate(x *tensor.Matrix, labels []int) (float64, int) {
+	logits := f.Seq.Forward(x, false)
+	loss, correct := f.loss.EvalLoss(logits, labels)
+	if f.spec.TopK > 1 {
+		correct = TopKCorrect(logits, labels, f.spec.TopK)
+	}
+	return loss, correct
+}
+
+// FlattenPositions reshapes (n × T·V) activations into (n·T × V) rows so a
+// per-position head feeds the row-wise loss directly. Pure view; no copies.
+type FlattenPositions struct {
+	T int
+}
+
+// NewFlattenPositions returns the reshaping layer.
+func NewFlattenPositions(seqLen int) *FlattenPositions { return &FlattenPositions{T: seqLen} }
+
+// Forward reshapes to one row per position.
+func (f *FlattenPositions) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	return x.Reshape(x.Rows*f.T, x.Cols/f.T)
+}
+
+// Backward restores the batch-major shape.
+func (f *FlattenPositions) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	return grad.Reshape(grad.Rows/f.T, grad.Cols*f.T)
+}
+
+// Params returns nil; reshaping has no parameters.
+func (f *FlattenPositions) Params() []*Param { return nil }

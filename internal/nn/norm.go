@@ -1,0 +1,149 @@
+package nn
+
+import (
+	"math"
+
+	"selsync/internal/tensor"
+)
+
+// LayerNorm normalizes each row to zero mean and unit variance, then applies
+// a learned per-feature gain and bias. The zoo uses LayerNorm where the
+// paper's models use BatchNorm: it has the same stabilizing role but carries
+// no cross-worker running statistics, which would otherwise need their own
+// synchronization rule and muddy the aggregation comparison (DESIGN.md
+// records this substitution).
+type LayerNorm struct {
+	Dim  int
+	G, B *Param
+	Eps  float64
+
+	xhat   *tensor.Matrix
+	invStd tensor.Vector
+}
+
+// NewLayerNorm builds a LayerNorm over rows of width dim, gain initialized
+// to 1 and bias to 0.
+func NewLayerNorm(name string, dim int) *LayerNorm {
+	l := &LayerNorm{
+		Dim: dim,
+		G:   NewParam(name+".g", dim),
+		B:   NewParam(name+".b", dim),
+		Eps: 1e-5,
+	}
+	l.G.Data.Fill(1)
+	return l
+}
+
+// Forward normalizes each row and applies gain/bias.
+func (l *LayerNorm) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if x.Cols != l.Dim {
+		panic("nn: LayerNorm width mismatch")
+	}
+	y := tensor.NewMatrix(x.Rows, x.Cols)
+	l.xhat = tensor.NewMatrix(x.Rows, x.Cols)
+	l.invStd = tensor.NewVector(x.Rows)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		mu := row.Mean()
+		variance := row.Variance()
+		inv := 1 / math.Sqrt(variance+l.Eps)
+		l.invStd[i] = inv
+		xh := l.xhat.Row(i)
+		out := y.Row(i)
+		for j, v := range row {
+			h := (v - mu) * inv
+			xh[j] = h
+			out[j] = h*l.G.Data[j] + l.B.Data[j]
+		}
+	}
+	return y
+}
+
+// Backward implements the standard LayerNorm gradient:
+// dx = invStd/N · (N·dxhat − Σdxhat − xhat·Σ(dxhat⊙xhat)) with
+// dxhat = dy⊙g, plus gain/bias gradient accumulation.
+func (l *LayerNorm) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	n := float64(l.Dim)
+	dx := tensor.NewMatrix(grad.Rows, grad.Cols)
+	for i := 0; i < grad.Rows; i++ {
+		dy := grad.Row(i)
+		xh := l.xhat.Row(i)
+		inv := l.invStd[i]
+
+		var sumDxhat, sumDxhatXhat float64
+		for j, g := range dy {
+			dxh := g * l.G.Data[j]
+			sumDxhat += dxh
+			sumDxhatXhat += dxh * xh[j]
+			l.G.Grad[j] += g * xh[j]
+			l.B.Grad[j] += g
+		}
+		out := dx.Row(i)
+		for j, g := range dy {
+			dxh := g * l.G.Data[j]
+			out[j] = inv / n * (n*dxh - sumDxhat - xh[j]*sumDxhatXhat)
+		}
+	}
+	return dx
+}
+
+// Params returns the gain and bias parameters.
+func (l *LayerNorm) Params() []*Param { return []*Param{l.G, l.B} }
+
+// Dropout zeroes a random fraction P of activations during training and
+// scales the survivors by 1/(1−P) (inverted dropout), so evaluation needs
+// no rescaling. Each Dropout owns a deterministic RNG: replicas seeded
+// identically drop identically, preserving run reproducibility.
+type Dropout struct {
+	P   float64
+	rng *tensor.RNG
+
+	mask []float64
+}
+
+// NewDropout builds a Dropout layer with drop probability p in [0, 1).
+func NewDropout(p float64, rng *tensor.RNG) *Dropout {
+	if p < 0 || p >= 1 {
+		panic("nn: Dropout probability must be in [0, 1)")
+	}
+	return &Dropout{P: p, rng: rng}
+}
+
+// Forward applies the random mask in training mode; identity in eval mode.
+func (d *Dropout) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	if !train || d.P == 0 {
+		d.mask = nil
+		return x
+	}
+	y := x.Clone()
+	if cap(d.mask) < len(y.Data) {
+		d.mask = make([]float64, len(y.Data))
+	}
+	d.mask = d.mask[:len(y.Data)]
+	keep := 1 - d.P
+	scale := 1 / keep
+	for i := range y.Data {
+		if d.rng.Float64() < keep {
+			d.mask[i] = scale
+		} else {
+			d.mask[i] = 0
+		}
+		y.Data[i] *= d.mask[i]
+	}
+	return y
+}
+
+// Backward applies the cached mask (identity if Forward ran in eval mode).
+func (d *Dropout) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if d.mask == nil {
+		return grad
+	}
+	dx := grad.Clone()
+	for i := range dx.Data {
+		dx.Data[i] *= d.mask[i]
+	}
+	return dx
+}
+
+// Params returns nil; Dropout has no parameters.
+func (d *Dropout) Params() []*Param { return nil }

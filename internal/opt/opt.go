@@ -1,0 +1,160 @@
+// Package opt implements the optimizers and learning-rate schedules the
+// paper's workloads use: SGD with momentum and weight decay (ResNet101,
+// VGG11, Transformer) and Adam (AlexNet), plus step-decay and
+// exponential-decay schedules.
+//
+// Optimizers operate on nn.Param lists in place. Each worker replica owns a
+// private optimizer instance; optimizer state (momentum buffers, Adam
+// moments) is deliberately *not* synchronized between workers — matching
+// the paper's setup, where only gradients or parameters cross the network.
+package opt
+
+import (
+	"math"
+
+	"selsync/internal/nn"
+	"selsync/internal/tensor"
+)
+
+// Optimizer applies one update step from the gradients currently stored in
+// the parameter list it was built over.
+type Optimizer interface {
+	// Step applies the update using the given learning rate.
+	Step(lr float64)
+	// Reset clears internal state (momentum/moment buffers).
+	Reset()
+}
+
+// SGD is stochastic gradient descent with classical momentum and decoupled
+// L2 weight decay:
+//
+//	v ← μ·v + g + λ·w
+//	w ← w − lr·v
+type SGD struct {
+	Params      []*nn.Param
+	Momentum    float64
+	WeightDecay float64
+
+	velocity []tensor.Vector
+}
+
+// NewSGD builds an SGD optimizer over params.
+func NewSGD(params []*nn.Param, momentum, weightDecay float64) *SGD {
+	s := &SGD{Params: params, Momentum: momentum, WeightDecay: weightDecay}
+	s.Reset()
+	return s
+}
+
+// Step applies one SGD update.
+func (s *SGD) Step(lr float64) {
+	for i, p := range s.Params {
+		v := s.velocity[i]
+		for j, g := range p.Grad {
+			g += s.WeightDecay * p.Data[j]
+			v[j] = s.Momentum*v[j] + g
+			p.Data[j] -= lr * v[j]
+		}
+	}
+}
+
+// Reset zeroes the momentum buffers.
+func (s *SGD) Reset() {
+	s.velocity = make([]tensor.Vector, len(s.Params))
+	for i, p := range s.Params {
+		s.velocity[i] = tensor.NewVector(len(p.Data))
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba, 2014) with bias correction.
+type Adam struct {
+	Params []*nn.Param
+	Beta1  float64
+	Beta2  float64
+	Eps    float64
+
+	m, v []tensor.Vector
+	t    int
+}
+
+// NewAdam builds an Adam optimizer with the canonical defaults
+// β1=0.9, β2=0.999, ε=1e-8.
+func NewAdam(params []*nn.Param) *Adam {
+	a := &Adam{Params: params, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+	a.Reset()
+	return a
+}
+
+// Step applies one Adam update.
+func (a *Adam) Step(lr float64) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range a.Params {
+		m, v := a.m[i], a.v[i]
+		for j, g := range p.Grad {
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
+			mhat := m[j] / c1
+			vhat := v[j] / c2
+			p.Data[j] -= lr * mhat / (math.Sqrt(vhat) + a.Eps)
+		}
+	}
+}
+
+// Reset zeroes the moment buffers and the step counter.
+func (a *Adam) Reset() {
+	a.m = make([]tensor.Vector, len(a.Params))
+	a.v = make([]tensor.Vector, len(a.Params))
+	for i, p := range a.Params {
+		a.m[i] = tensor.NewVector(len(p.Data))
+		a.v[i] = tensor.NewVector(len(p.Data))
+	}
+	a.t = 0
+}
+
+// Schedule maps a step index to a learning rate.
+type Schedule interface {
+	LR(step int) float64
+}
+
+// Constant is a fixed learning rate (AlexNet's fixed 1e-4 in the paper).
+type Constant struct{ Rate float64 }
+
+// LR returns the fixed rate.
+func (c Constant) LR(int) float64 { return c.Rate }
+
+// StepDecay multiplies the base rate by Factor each time the step crosses
+// one of the sorted Milestones — the "decay lr by 10× after epochs 110 and
+// 150" schedule used for ResNet101/VGG11.
+type StepDecay struct {
+	Base       float64
+	Factor     float64
+	Milestones []int // step indices, ascending
+}
+
+// LR returns the decayed rate at the given step.
+func (s StepDecay) LR(step int) float64 {
+	lr := s.Base
+	for _, m := range s.Milestones {
+		if step >= m {
+			lr *= s.Factor
+		}
+	}
+	return lr
+}
+
+// ExpDecay multiplies the base rate by Factor every Interval steps — the
+// Transformer schedule ("lr 2.0 decayed by 0.8 every 2000 iterations").
+type ExpDecay struct {
+	Base     float64
+	Factor   float64
+	Interval int
+}
+
+// LR returns the decayed rate at the given step.
+func (e ExpDecay) LR(step int) float64 {
+	if e.Interval <= 0 {
+		return e.Base
+	}
+	return e.Base * math.Pow(e.Factor, float64(step/e.Interval))
+}

@@ -1,0 +1,140 @@
+// Package simnet prices the simulated cluster: how long computation takes
+// on a modeled accelerator, how long synchronization takes on the modeled
+// network, and how much device memory a training configuration needs.
+//
+// Everything here returns *virtual seconds*. Training math elsewhere is
+// real; these models only advance the virtual clocks that Table I's
+// speedups and Fig. 1a's throughput curves are computed from. The default
+// constants are calibrated so that the *shape* of the paper's systems plots
+// (who scales, where the crossovers sit) is reproduced — DESIGN.md's
+// substitution table explains why absolute numbers are out of scope.
+package simnet
+
+import (
+	"math"
+
+	"selsync/internal/tensor"
+)
+
+// Device models one accelerator: an effective sustained FLOP rate (peak ×
+// framework efficiency), a memory capacity, log-normal per-step jitter, and
+// a deterministic straggle factor for heterogeneity experiments.
+type Device struct {
+	Name     string
+	FlopsEff float64 // sustained FLOP/s under the training framework
+	MemBytes float64 // accelerator memory capacity
+	Jitter   float64 // sigma of log-normal noise on compute time (0 = none)
+	Straggle float64 // multiplier ≥ 1; 1 = nominal speed
+
+	rng *tensor.RNG
+}
+
+// NewV100 models the NVIDIA V100 the paper trains on, at the effective
+// throughput a PyTorch PS worker sustains (well under peak).
+func NewV100(seed uint64) *Device {
+	return &Device{
+		Name: "V100", FlopsEff: 8e11, MemBytes: 16e9,
+		Jitter: 0.03, Straggle: 1, rng: tensor.NewRNG(seed),
+	}
+}
+
+// NewK80 models the NVIDIA K80 used for the paper's batch-size study
+// (Fig. 2).
+func NewK80(seed uint64) *Device {
+	return &Device{
+		Name: "K80", FlopsEff: 1e12 / 4, MemBytes: 12e9,
+		Jitter: 0.03, Straggle: 1, rng: tensor.NewRNG(seed),
+	}
+}
+
+// ComputeTime returns the virtual seconds to execute the given FLOPs,
+// including jitter and the straggle factor.
+func (d *Device) ComputeTime(flops float64) float64 {
+	if flops < 0 {
+		panic("simnet: negative flops")
+	}
+	t := flops / d.FlopsEff * math.Max(1, d.Straggle)
+	if d.Jitter > 0 && d.rng != nil {
+		t *= d.rng.LogNorm(0, d.Jitter)
+	}
+	return t
+}
+
+// StepFlops returns the forward+backward cost of one mini-batch of the
+// given per-sample cost.
+func StepFlops(flopsPerSample float64, batch int) float64 {
+	return flopsPerSample * float64(batch)
+}
+
+// Network models the cluster fabric: per-worker NIC bandwidth, the
+// effective aggregate bandwidth of the parameter-server tier (sharding and
+// pipelining let the PS absorb more than one NIC's worth of incast), and a
+// per-message latency floor.
+type Network struct {
+	WorkerBw float64 // bit/s on one worker's link (paper: 5 Gbps)
+	PSBw     float64 // bit/s effective at the PS tier
+	Latency  float64 // seconds per message
+}
+
+// DefaultNetwork returns the calibrated testbed model: 5 Gbps worker NICs,
+// 100 Gbps effective PS tier, 1 ms latency. With the zoo's wire sizes these
+// constants reproduce Fig. 1a's ordering (ResNet scales best, VGG11 dips
+// below 1× at two workers).
+func DefaultNetwork() *Network {
+	return &Network{WorkerBw: 5e9, PSBw: 100e9, Latency: 1e-3}
+}
+
+// PSPush returns the virtual time for all `workers` replicas to push
+// `bytes` each to the parameter server: the slower of one worker's
+// serialization and the PS tier absorbing the full incast.
+func (n *Network) PSPush(bytes float64, workers int) float64 {
+	if workers <= 0 {
+		panic("simnet: PSPush needs at least one worker")
+	}
+	worker := bytes * 8 / n.WorkerBw
+	ps := float64(workers) * bytes * 8 / n.PSBw
+	return math.Max(worker, ps) + n.Latency
+}
+
+// PSPull is the mirror of PSPush: the PS fans the aggregated state back out.
+func (n *Network) PSPull(bytes float64, workers int) float64 {
+	return n.PSPush(bytes, workers)
+}
+
+// PSSync returns the full blocking synchronization cost: push then pull.
+// This is the ts term of the paper's t_it = t_c + t_s decomposition.
+func (n *Network) PSSync(bytes float64, workers int) float64 {
+	return n.PSPush(bytes, workers) + n.PSPull(bytes, workers)
+}
+
+// RingAllReduce returns the bandwidth-optimal ring collective cost,
+// 2·(N−1)/N · bytes over the worker link plus 2·(N−1) latency hops —
+// the alternative aggregation the paper notes SelSync can swap in (§III-E).
+func (n *Network) RingAllReduce(bytes float64, workers int) float64 {
+	if workers <= 0 {
+		panic("simnet: RingAllReduce needs at least one worker")
+	}
+	if workers == 1 {
+		return 0
+	}
+	N := float64(workers)
+	return 2*(N-1)/N*(bytes*8/n.WorkerBw) + 2*(N-1)*n.Latency
+}
+
+// AllGatherBits returns the cost of SelSync's synchronization-status
+// exchange: one bit per worker, latency-dominated (log₂N rounds). The
+// paper measures ≈2–4 ms on its 16-node cluster; with the default 1 ms
+// latency this model yields 4 ms at N=16.
+func (n *Network) AllGatherBits(workers int) float64 {
+	if workers <= 1 {
+		return 0
+	}
+	rounds := math.Ceil(math.Log2(float64(workers)))
+	return rounds * n.Latency
+}
+
+// P2P returns the cost of a point-to-point transfer of `bytes` (used by
+// randomized data-injection).
+func (n *Network) P2P(bytes float64) float64 {
+	return bytes*8/n.WorkerBw + n.Latency
+}

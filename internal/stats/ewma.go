@@ -1,0 +1,183 @@
+// Package stats provides the streaming statistics used by the SelSync
+// reproduction: exponentially weighted moving averages (the smoothing the
+// paper applies to gradient norms before computing Δ(g_i)), Welford running
+// moments, Gaussian kernel density estimation (Figs. 3 and 11), and simple
+// histogram / percentile summaries for the experiment reports.
+package stats
+
+import "math"
+
+// EWMA is an exponentially weighted moving average with an optional warm-up
+// window. The paper smooths per-iteration gradient norms with "EWMA with a
+// window-size of 25 iterations and a smoothing factor of N/100"; this type
+// implements exactly that combination: until Window observations have been
+// seen the estimate is the plain arithmetic mean of the observations so far
+// (a warm-up that avoids the cold-start bias of exponential smoothing), and
+// afterwards it is the standard recurrence
+//
+//	s_i = (1-α)·s_{i-1} + α·x_i.
+type EWMA struct {
+	Alpha  float64 // smoothing factor in (0, 1]
+	Window int     // warm-up length; 0 means no warm-up
+
+	count int
+	sum   float64 // running sum during warm-up
+	value float64
+}
+
+// NewEWMA returns an EWMA with the given smoothing factor and warm-up
+// window. Alpha is clamped into (0, 1].
+func NewEWMA(alpha float64, window int) *EWMA {
+	if alpha <= 0 {
+		alpha = 1e-3
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	if window < 0 {
+		window = 0
+	}
+	return &EWMA{Alpha: alpha, Window: window}
+}
+
+// Observe feeds one sample and returns the updated smoothed value.
+func (e *EWMA) Observe(x float64) float64 {
+	e.count++
+	if e.count <= e.Window {
+		e.sum += x
+		e.value = e.sum / float64(e.count)
+		return e.value
+	}
+	if e.count == 1 {
+		e.value = x
+		return e.value
+	}
+	e.value = (1-e.Alpha)*e.value + e.Alpha*x
+	return e.value
+}
+
+// Value returns the current smoothed value (0 before any observation).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Count returns how many samples have been observed.
+func (e *EWMA) Count() int { return e.count }
+
+// Warm reports whether the warm-up window has been filled.
+func (e *EWMA) Warm() bool { return e.count >= e.Window }
+
+// Reset clears all state, keeping the configuration.
+func (e *EWMA) Reset() {
+	e.count = 0
+	e.sum = 0
+	e.value = 0
+}
+
+// Running tracks mean and variance incrementally using Welford's algorithm,
+// which is numerically stable for the long streams produced by training
+// loops (tens of thousands of gradient-norm observations).
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Observe feeds one sample.
+func (r *Running) Observe(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// Count returns the number of samples observed.
+func (r *Running) Count() int { return r.n }
+
+// Mean returns the running mean (0 with no samples).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance returns the population variance (0 with fewer than 2 samples).
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n)
+}
+
+// SampleVariance returns the Bessel-corrected variance (0 with fewer than 2
+// samples).
+func (r *Running) SampleVariance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// Std returns the population standard deviation.
+func (r *Running) Std() float64 { return math.Sqrt(r.Variance()) }
+
+// Reset clears all state.
+func (r *Running) Reset() { *r = Running{} }
+
+// WindowedVariance maintains the variance of the most recent Window samples
+// using a ring buffer. The gradient-significance tracker uses it to expose
+// the "gradient variance over a window" signal from paper §II-E / Fig. 4.
+type WindowedVariance struct {
+	buf  []float64
+	next int
+	full bool
+}
+
+// NewWindowedVariance returns a tracker over the given window size
+// (minimum 2).
+func NewWindowedVariance(window int) *WindowedVariance {
+	if window < 2 {
+		window = 2
+	}
+	return &WindowedVariance{buf: make([]float64, window)}
+}
+
+// Observe inserts a sample, evicting the oldest when full.
+func (w *WindowedVariance) Observe(x float64) {
+	w.buf[w.next] = x
+	w.next++
+	if w.next == len(w.buf) {
+		w.next = 0
+		w.full = true
+	}
+}
+
+// Count returns the number of live samples in the window.
+func (w *WindowedVariance) Count() int {
+	if w.full {
+		return len(w.buf)
+	}
+	return w.next
+}
+
+// Mean returns the mean over the live window.
+func (w *WindowedVariance) Mean() float64 {
+	n := w.Count()
+	if n == 0 {
+		return 0
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		s += w.buf[i]
+	}
+	return s / float64(n)
+}
+
+// Variance returns the population variance over the live window.
+func (w *WindowedVariance) Variance() float64 {
+	n := w.Count()
+	if n < 2 {
+		return 0
+	}
+	m := w.Mean()
+	var s float64
+	for i := 0; i < n; i++ {
+		d := w.buf[i] - m
+		s += d * d
+	}
+	return s / float64(n)
+}

@@ -1,0 +1,211 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEWMAWarmupIsMean(t *testing.T) {
+	e := NewEWMA(0.16, 4)
+	xs := []float64{1, 2, 3, 4}
+	var sum float64
+	for i, x := range xs {
+		got := e.Observe(x)
+		sum += x
+		want := sum / float64(i+1)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("warmup step %d: got %v want %v", i, got, want)
+		}
+	}
+	if !e.Warm() {
+		t.Fatal("should be warm after window samples")
+	}
+}
+
+func TestEWMARecurrenceAfterWarmup(t *testing.T) {
+	e := NewEWMA(0.5, 2)
+	e.Observe(2) // warmup mean = 2
+	e.Observe(4) // warmup mean = 3
+	got := e.Observe(7)
+	want := 0.5*3 + 0.5*7
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestEWMANoWindowFirstSample(t *testing.T) {
+	// With no warm-up window the first sample initializes the average so
+	// the estimate never drags through zero.
+	e := NewEWMA(0.3, 0)
+	if got := e.Observe(10); got != 10 {
+		t.Fatalf("got %v want 10", got)
+	}
+	if got := e.Observe(0); math.Abs(got-7) > 1e-12 {
+		t.Fatalf("second sample: got %v want 7", got)
+	}
+}
+
+func TestEWMAAlphaClamping(t *testing.T) {
+	if e := NewEWMA(-1, 0); e.Alpha <= 0 || e.Alpha > 1 {
+		t.Fatalf("alpha not clamped: %v", e.Alpha)
+	}
+	if e := NewEWMA(5, -3); e.Alpha != 1 || e.Window != 0 {
+		t.Fatalf("clamping failed: %+v", e)
+	}
+}
+
+func TestEWMAReset(t *testing.T) {
+	e := NewEWMA(0.5, 2)
+	e.Observe(5)
+	e.Reset()
+	if e.Count() != 0 || e.Value() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+// Property: EWMA of a constant stream equals the constant.
+func TestQuickEWMAConstantStream(t *testing.T) {
+	f := func(c float64, w uint8) bool {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return true
+		}
+		c = math.Mod(c, 1e6)
+		e := NewEWMA(0.25, int(w%10))
+		for i := 0; i < 50; i++ {
+			e.Observe(c)
+		}
+		return math.Abs(e.Value()-c) <= 1e-9*math.Max(1, math.Abs(c))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: EWMA output stays within the observed min/max envelope.
+func TestQuickEWMABounded(t *testing.T) {
+	f := func(xs []float64) bool {
+		e := NewEWMA(0.3, 5)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			x = math.Mod(x, 1e6)
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+			v := e.Observe(x)
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunningWelford(t *testing.T) {
+	var r Running
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		r.Observe(x)
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Fatalf("mean: got %v", r.Mean())
+	}
+	if math.Abs(r.Variance()-4) > 1e-12 {
+		t.Fatalf("variance: got %v", r.Variance())
+	}
+	if math.Abs(r.Std()-2) > 1e-12 {
+		t.Fatalf("std: got %v", r.Std())
+	}
+	if r.Count() != len(xs) {
+		t.Fatalf("count: got %d", r.Count())
+	}
+}
+
+func TestRunningEmptyAndReset(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Variance() != 0 || r.SampleVariance() != 0 {
+		t.Fatal("empty Running should report zeros")
+	}
+	r.Observe(3)
+	if r.Variance() != 0 {
+		t.Fatal("single sample variance must be 0")
+	}
+	r.Reset()
+	if r.Count() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+// Property: Welford matches the two-pass formula.
+func TestQuickRunningMatchesTwoPass(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			xs = append(xs, math.Mod(x, 1e4))
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var r Running
+		var sum float64
+		for _, x := range xs {
+			r.Observe(x)
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		var m2 float64
+		for _, x := range xs {
+			d := x - mean
+			m2 += d * d
+		}
+		wantVar := m2 / float64(len(xs))
+		scale := math.Max(1, wantVar)
+		return math.Abs(r.Mean()-mean) < 1e-8*math.Max(1, math.Abs(mean)) &&
+			math.Abs(r.Variance()-wantVar) < 1e-6*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowedVariance(t *testing.T) {
+	w := NewWindowedVariance(3)
+	if w.Variance() != 0 {
+		t.Fatal("empty window variance must be 0")
+	}
+	w.Observe(1)
+	w.Observe(2)
+	w.Observe(3)
+	// mean 2, variance 2/3
+	if math.Abs(w.Variance()-2.0/3.0) > 1e-12 {
+		t.Fatalf("variance: got %v", w.Variance())
+	}
+	w.Observe(10) // evicts 1; mean of buffer {10,2,3} is 5
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("mean after eviction: got %v", w.Mean())
+	}
+	if w.Count() != 3 {
+		t.Fatalf("count: got %d", w.Count())
+	}
+}
+
+func TestWindowedVarianceMinSize(t *testing.T) {
+	w := NewWindowedVariance(0)
+	w.Observe(1)
+	w.Observe(5)
+	if w.Count() != 2 {
+		t.Fatalf("window should clamp to 2, count=%d", w.Count())
+	}
+}

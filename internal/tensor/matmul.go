@@ -1,0 +1,150 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the minimum number of result elements below which
+// MatMul runs single-threaded; goroutine fan-out costs more than it saves
+// for the small matrices that dominate unit tests.
+const parallelThreshold = 16 * 1024
+
+// MatMul computes dst = a × b. Shapes must satisfy a.Cols == b.Rows,
+// dst.Rows == a.Rows and dst.Cols == b.Cols; it panics otherwise. Large
+// products are partitioned row-wise across GOMAXPROCS goroutines; each
+// output row is owned by exactly one goroutine so no synchronization is
+// needed beyond the final WaitGroup, and the result is deterministic.
+func MatMul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("tensor: MatMul shape mismatch")
+	}
+	work := func(lo, hi int) {
+		// i-k-j loop order streams through b row-wise, which is
+		// cache-friendly for row-major storage.
+		for i := lo; i < hi; i++ {
+			out := dst.Row(i)
+			out.Zero()
+			arow := a.Row(i)
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				out.Axpy(av, b.Row(k))
+			}
+		}
+	}
+	parallelRows(dst.Rows, dst.Cols, work)
+}
+
+// MatMulATB computes dst = aᵀ × b without materializing the transpose.
+// Shapes: a is (n × p), b is (n × q), dst is (p × q).
+func MatMulATB(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic("tensor: MatMulATB shape mismatch")
+	}
+	dst.Zero()
+	// Accumulate outer products row by row of the shared n dimension.
+	// Parallelizing over dst rows requires a transposed access pattern;
+	// instead we chunk the n dimension per goroutine into private
+	// accumulators and reduce them in fixed order for determinism.
+	procs := maxProcsFor(dst.Rows * dst.Cols)
+	if procs == 1 || a.Rows < 2*procs {
+		accumulateATB(dst, a, b, 0, a.Rows)
+		return
+	}
+	parts := make([]*Matrix, procs)
+	var wg sync.WaitGroup
+	chunk := (a.Rows + procs - 1) / procs
+	for p := 0; p < procs; p++ {
+		lo := p * chunk
+		hi := lo + chunk
+		if hi > a.Rows {
+			hi = a.Rows
+		}
+		if lo >= hi {
+			break
+		}
+		parts[p] = NewMatrix(dst.Rows, dst.Cols)
+		wg.Add(1)
+		go func(part *Matrix, lo, hi int) {
+			defer wg.Done()
+			accumulateATB(part, a, b, lo, hi)
+		}(parts[p], lo, hi)
+	}
+	wg.Wait()
+	for _, part := range parts {
+		if part != nil {
+			dst.Data.Add(part.Data)
+		}
+	}
+}
+
+func accumulateATB(dst, a, b *Matrix, lo, hi int) {
+	for n := lo; n < hi; n++ {
+		arow := a.Row(n)
+		brow := b.Row(n)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			dst.Row(i).Axpy(av, brow)
+		}
+	}
+}
+
+// MatMulABT computes dst = a × bᵀ without materializing the transpose.
+// Shapes: a is (n × p), b is (q × p), dst is (n × q).
+func MatMulABT(dst, a, b *Matrix) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic("tensor: MatMulABT shape mismatch")
+	}
+	work := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			out := dst.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				out[j] = arow.Dot(b.Row(j))
+			}
+		}
+	}
+	parallelRows(dst.Rows, dst.Cols, work)
+}
+
+// parallelRows splits [0, rows) across goroutines when the output is large
+// enough to amortize the fan-out, otherwise runs inline.
+func parallelRows(rows, cols int, work func(lo, hi int)) {
+	procs := maxProcsFor(rows * cols)
+	if procs == 1 || rows < 2 {
+		work(0, rows)
+		return
+	}
+	if procs > rows {
+		procs = rows
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + procs - 1) / procs
+	for p := 0; p < procs; p++ {
+		lo := p * chunk
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			work(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func maxProcsFor(elems int) int {
+	if elems < parallelThreshold {
+		return 1
+	}
+	return runtime.GOMAXPROCS(0)
+}

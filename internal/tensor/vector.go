@@ -1,0 +1,246 @@
+// Package tensor provides the dense numeric substrate used throughout the
+// SelSync reproduction: flat float64 vectors, row-major matrices, a
+// deterministic SplitMix64-based random number generator and a small set of
+// parallel kernels (matrix multiply, element-wise maps) tuned for the
+// many-small-model workloads this repository trains.
+//
+// All operations are allocation-conscious: the hot-path kernels write into
+// caller-provided destinations so training loops can reuse buffers across
+// iterations.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a flat slice of float64 values. It is the exchange currency of
+// the whole system: model parameters, gradients and optimizer state are all
+// flattened into Vectors before they cross package boundaries (and, in the
+// cluster simulator, before they cross the simulated network).
+type Vector []float64
+
+// NewVector returns a zeroed vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	c := make(Vector, len(v))
+	copy(c, v)
+	return c
+}
+
+// Zero sets every element of v to 0.
+func (v Vector) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Fill sets every element of v to x.
+func (v Vector) Fill(x float64) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// Add computes v += u. It panics if the lengths differ.
+func (v Vector) Add(u Vector) {
+	assertSameLen(len(v), len(u), "Add")
+	for i, x := range u {
+		v[i] += x
+	}
+}
+
+// Sub computes v -= u. It panics if the lengths differ.
+func (v Vector) Sub(u Vector) {
+	assertSameLen(len(v), len(u), "Sub")
+	for i, x := range u {
+		v[i] -= x
+	}
+}
+
+// Scale computes v *= a.
+func (v Vector) Scale(a float64) {
+	for i := range v {
+		v[i] *= a
+	}
+}
+
+// Axpy computes v += a*u (the BLAS axpy kernel). It panics if the lengths
+// differ.
+func (v Vector) Axpy(a float64, u Vector) {
+	assertSameLen(len(v), len(u), "Axpy")
+	for i, x := range u {
+		v[i] += a * x
+	}
+}
+
+// Dot returns the inner product <v, u>. It panics if the lengths differ.
+func (v Vector) Dot(u Vector) float64 {
+	assertSameLen(len(v), len(u), "Dot")
+	var s float64
+	for i, x := range v {
+		s += x * u[i]
+	}
+	return s
+}
+
+// Norm2 returns the squared L2 norm of v.
+func (v Vector) Norm2() float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return s
+}
+
+// Norm returns the L2 norm of v.
+func (v Vector) Norm() float64 { return math.Sqrt(v.Norm2()) }
+
+// Mean returns the arithmetic mean of v, or 0 for an empty vector.
+func (v Vector) Mean() float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// Variance returns the population variance of v, or 0 for vectors with
+// fewer than one element.
+func (v Vector) Variance() float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	m := v.Mean()
+	var s float64
+	for _, x := range v {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(v))
+}
+
+// Max returns the maximum element of v. It panics on an empty vector.
+func (v Vector) Max() float64 {
+	if len(v) == 0 {
+		panic("tensor: Max of empty vector")
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum element of v. It panics on an empty vector.
+func (v Vector) Min() float64 {
+	if len(v) == 0 {
+		panic("tensor: Min of empty vector")
+	}
+	m := v[0]
+	for _, x := range v[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ArgMax returns the index of the largest element of v, breaking ties in
+// favour of the lowest index. It panics on an empty vector.
+func (v Vector) ArgMax() int {
+	if len(v) == 0 {
+		panic("tensor: ArgMax of empty vector")
+	}
+	best, arg := v[0], 0
+	for i, x := range v[1:] {
+		if x > best {
+			best, arg = x, i+1
+		}
+	}
+	return arg
+}
+
+// Clip bounds every element of v into [lo, hi].
+func (v Vector) Clip(lo, hi float64) {
+	for i, x := range v {
+		if x < lo {
+			v[i] = lo
+		} else if x > hi {
+			v[i] = hi
+		}
+	}
+}
+
+// CopyFrom copies u into v. It panics if the lengths differ.
+func (v Vector) CopyFrom(u Vector) {
+	assertSameLen(len(v), len(u), "CopyFrom")
+	copy(v, u)
+}
+
+// Lerp sets v = (1-t)*v + t*u, the convex combination used by averaging
+// aggregators. It panics if the lengths differ.
+func (v Vector) Lerp(t float64, u Vector) {
+	assertSameLen(len(v), len(u), "Lerp")
+	for i, x := range u {
+		v[i] = (1-t)*v[i] + t*x
+	}
+}
+
+// AllFinite reports whether every element of v is a finite number.
+func (v Vector) AllFinite() bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Average overwrites dst with the element-wise mean of the given vectors.
+// It panics if vs is empty or the lengths are inconsistent. This is the
+// reduction kernel used by the parameter server for both gradient and
+// parameter aggregation; the iteration order over vs is fixed, so the
+// floating-point result is deterministic.
+func Average(dst Vector, vs []Vector) {
+	if len(vs) == 0 {
+		panic("tensor: Average of no vectors")
+	}
+	dst.Zero()
+	for _, v := range vs {
+		dst.Add(v)
+	}
+	dst.Scale(1 / float64(len(vs)))
+}
+
+// WeightedAverage overwrites dst with sum_i w[i]*vs[i] / sum_i w[i].
+// It panics if vs is empty, lengths mismatch, or the weights sum to zero.
+func WeightedAverage(dst Vector, vs []Vector, w []float64) {
+	if len(vs) == 0 || len(vs) != len(w) {
+		panic("tensor: WeightedAverage arity mismatch")
+	}
+	var total float64
+	for _, x := range w {
+		total += x
+	}
+	if total == 0 {
+		panic("tensor: WeightedAverage weights sum to zero")
+	}
+	dst.Zero()
+	for i, v := range vs {
+		dst.Axpy(w[i]/total, v)
+	}
+}
+
+func assertSameLen(a, b int, op string) {
+	if a != b {
+		panic(fmt.Sprintf("tensor: %s length mismatch %d vs %d", op, a, b))
+	}
+}

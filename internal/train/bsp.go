@@ -1,0 +1,63 @@
+package train
+
+import (
+	"math"
+
+	"selsync/internal/cluster"
+	"selsync/internal/tensor"
+)
+
+// RunBSP trains with bulk-synchronous parallelism: every step, all workers
+// compute gradients on unique mini-batches, the PS averages the gradients,
+// and every worker applies the same averaged update. Replicas stay
+// bit-identical throughout; each step pays the full synchronization cost
+// and the blocking barrier (paper §II-A).
+func RunBSP(cfg Config) *Result {
+	r := newRunner(cfg, "BSP")
+	avg := tensor.NewVector(r.cl.Dim())
+	for step := 0; ; step++ {
+		lr := r.lr(step)
+		batches, injCost := r.nextBatches()
+		r.computeGrads(batches)
+		r.cl.AggregateGrads(avg)
+		r.trackDelta(avg.Norm())
+		r.cl.Each(func(w *cluster.Worker) {
+			w.SetGrads(avg)
+			w.Optimizer.Step(lr)
+			w.Steps++
+			w.SyncSteps++
+		})
+		r.cl.Barrier(r.cl.SyncCost() + injCost)
+		if r.maybeEval(step) {
+			break
+		}
+	}
+	return r.finish()
+}
+
+// RunLocalSGD trains with purely local updates: workers never communicate
+// after the initial broadcast (the δ ≥ M degeneration of SelSync, paper
+// Fig. 6). The reported metric evaluates the across-replica mean.
+func RunLocalSGD(cfg Config) *Result {
+	r := newRunner(cfg, "LocalSGD")
+	for step := 0; ; step++ {
+		lr := r.lr(step)
+		batches, injCost := r.nextBatches()
+		r.computeGrads(batches)
+		r.trackDelta(math.Sqrt(gradNorm2OfWorker(r, 0)))
+		r.applyLocal(lr)
+		r.cl.Each(func(w *cluster.Worker) {
+			w.Steps++
+			w.LocalSteps++
+			w.Clock += injCost
+		})
+		if r.maybeEval(step) {
+			break
+		}
+	}
+	return r.finish()
+}
+
+func gradNorm2OfWorker(r *runner, id int) float64 {
+	return r.cl.Workers[id].FlatGrads().Norm2()
+}

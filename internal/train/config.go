@@ -1,0 +1,200 @@
+// Package train implements the distributed training algorithms the paper
+// evaluates — BSP, FedAvg(C, E), SSP(s), pure local SGD and SelSync(δ) —
+// over the simulated cluster of internal/cluster. Convergence numbers are
+// produced by real SGD on real (synthetic) data; times are virtual seconds
+// from the simnet cost models. Every run returns a Result carrying the
+// paper's Table I columns (iterations, LSSR, final metric, simulated time).
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"selsync/internal/cluster"
+	"selsync/internal/data"
+	"selsync/internal/nn"
+	"selsync/internal/opt"
+	"selsync/internal/simnet"
+)
+
+// NonIID configures label-skewed data placement plus optional randomized
+// data-injection (paper §III-E).
+type NonIID struct {
+	LabelsPerWorker int
+	Injection       *data.Injection // nil = no injection
+}
+
+// Config is the shared description of one training run.
+type Config struct {
+	Model   nn.Factory
+	Workers int
+	Batch   int // per-worker mini-batch size b
+	Seed    uint64
+
+	Train *data.Dataset
+	Test  *data.Dataset
+
+	// Scheme picks the IID partitioning (DefDP or SelDP); ignored when
+	// NonIID is set.
+	Scheme data.Scheme
+	NonIID *NonIID
+
+	// Opt builds each worker's optimizer; nil selects SGD with momentum
+	// 0.9 and no weight decay. Schedule maps steps to learning rates; nil
+	// selects a constant 0.05.
+	Opt      cluster.OptBuilder
+	Schedule opt.Schedule
+
+	Network *simnet.Network
+	Device  func(id int) *simnet.Device
+	// Topology prices synchronization rounds: cluster.PS (default) or
+	// cluster.Ring, the paper's §III-E allreduce swap.
+	Topology cluster.Topology
+
+	MaxSteps  int // hard bound on training steps (per worker); default 2000
+	EvalEvery int // steps between test evaluations; default 50
+	EvalChunk int // examples per evaluation forward pass; default 256
+	// Patience stops the run after this many consecutive evaluations
+	// without improvement of the test metric; 0 disables early stopping.
+	Patience int
+
+	// TrackDeltas records worker 0's Δ(g_i) for every step (Fig. 5).
+	TrackDeltas bool
+	// SnapshotAtSteps records the global (mean) parameter vector and the
+	// mean gradient vector at the given steps (Figs. 3 and 11).
+	SnapshotAtSteps []int
+
+	// TrackerWindow and TrackerAlpha override the Δ(g_i) smoothing
+	// (defaults: window 25, alpha Workers/100 — the paper's §III-A).
+	TrackerWindow int
+	TrackerAlpha  float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Opt == nil {
+		c.Opt = func(ps []*nn.Param) opt.Optimizer { return opt.NewSGD(ps, 0.9, 0) }
+	}
+	if c.Schedule == nil {
+		c.Schedule = opt.Constant{Rate: 0.05}
+	}
+	if c.MaxSteps == 0 {
+		c.MaxSteps = 2000
+	}
+	if c.EvalEvery == 0 {
+		c.EvalEvery = 50
+	}
+	if c.EvalChunk == 0 {
+		c.EvalChunk = 256
+	}
+	if c.Batch == 0 {
+		c.Batch = 32
+	}
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	return c
+}
+
+// SelSyncOptions parameterizes RunSelSync.
+type SelSyncOptions struct {
+	// Delta is the significance threshold δ on relative gradient change:
+	// 0 degenerates to BSP, values above the maximum observed Δ(g_i)
+	// degenerate to pure local SGD.
+	Delta float64
+	// Mode selects parameter vs gradient aggregation during
+	// synchronization phases (paper §III-C; PA is the recommended mode).
+	Mode cluster.AggMode
+}
+
+// FedAvgOptions parameterizes RunFedAvg.
+type FedAvgOptions struct {
+	// C is the fraction of workers whose updates are collected per round.
+	C float64
+	// E is the synchronization factor 1/x: parameters synchronize x times
+	// per epoch (E=0.25 → 4 rounds per epoch).
+	E float64
+}
+
+// SSPOptions parameterizes RunSSP.
+type SSPOptions struct {
+	// Staleness is the maximum number of iterations fast workers may run
+	// ahead of the slowest one.
+	Staleness int
+	// PSOpt overrides the update rule the parameter server applies to
+	// pushed gradients. Nil selects plain SGD: momentum-style optimizers
+	// are unstable under asynchronous interleaving (the velocity keeps
+	// integrating stale directions), which is itself one face of the
+	// staleness problems §IV-E reports for SSP.
+	PSOpt cluster.OptBuilder
+}
+
+// EvalPoint is one test-set evaluation during training.
+type EvalPoint struct {
+	Step    int
+	Epoch   float64
+	SimTime float64 // virtual seconds at the evaluation
+	Loss    float64
+	Metric  float64 // accuracy % (higher better) or perplexity (lower better)
+}
+
+// Result summarizes one training run.
+type Result struct {
+	Method string
+	Model  string
+
+	Steps      int     // steps executed (per worker)
+	SyncSteps  int     // steps whose updates were synchronized
+	LocalSteps int     // steps applied locally only
+	LSSR       float64 // Eqn. 4; -1 when not applicable (SSP)
+
+	FinalMetric   float64
+	BestMetric    float64
+	BestStep      int
+	SimTime       float64 // virtual seconds for the whole run
+	SimTimeAtBest float64 // virtual seconds when the best metric was hit
+
+	History   []EvalPoint
+	Deltas    []float64 // per-step Δ(g_i) when Config.TrackDeltas
+	Snapshots map[int]Snapshot
+
+	Perplexity bool // interpretation of Metric fields
+}
+
+// Snapshot captures global model state mid-run.
+type Snapshot struct {
+	Step   int
+	Params []float64
+	Grads  []float64
+}
+
+// CommReduction returns the paper's communication-reduction reading of the
+// LSSR: 1/(1−LSSR), i.e. how many times fewer synchronizations than BSP.
+func (r *Result) CommReduction() float64 {
+	if r.LSSR < 0 || r.LSSR >= 1 {
+		return math.Inf(1)
+	}
+	return 1 / (1 - r.LSSR)
+}
+
+// BetterMetric reports whether a beats b under this result's metric
+// direction (higher accuracy, lower perplexity).
+func (r *Result) BetterMetric(a, b float64) bool {
+	if r.Perplexity {
+		return a < b
+	}
+	return a > b
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	lssr := "-"
+	if r.LSSR >= 0 {
+		lssr = fmt.Sprintf("%.3f", r.LSSR)
+	}
+	unit := "acc%"
+	if r.Perplexity {
+		unit = "ppl"
+	}
+	return fmt.Sprintf("%s[%s]: steps=%d lssr=%s best %s=%.2f@%d simtime=%.1fs",
+		r.Method, r.Model, r.Steps, lssr, unit, r.BestMetric, r.BestStep, r.SimTime)
+}

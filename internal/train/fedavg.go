@@ -1,0 +1,72 @@
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"selsync/internal/cluster"
+	"selsync/internal/tensor"
+)
+
+// RunFedAvg trains with Federated Averaging (paper §II-B): workers run
+// local SGD and, x = 1/E times per epoch, a random fraction C of them push
+// their parameters to the PS, which averages them into the global model
+// that all workers then pull. With C < 1 the non-participants' local
+// progress is discarded by the pull — the accuracy hazard Table I shows for
+// the (0.5, ·) configurations.
+func RunFedAvg(cfg Config, opts FedAvgOptions) *Result {
+	if opts.C <= 0 || opts.C > 1 {
+		panic("train: FedAvg C must be in (0, 1]")
+	}
+	if opts.E <= 0 || opts.E > 1 {
+		panic("train: FedAvg E must be in (0, 1]")
+	}
+	r := newRunner(cfg, fmt.Sprintf("FedAvg(C=%g,E=%g)", opts.C, opts.E))
+	syncEvery := int(math.Round(opts.E * float64(r.stepsPerEpoch)))
+	if syncEvery < 1 {
+		syncEvery = 1
+	}
+	participants := int(math.Round(opts.C * float64(r.cl.N())))
+	if participants < 1 {
+		participants = 1
+	}
+	pickRNG := tensor.NewRNG(cfg.Seed ^ 0xFEDA)
+	global := r.cl.PS.Global
+
+	for step := 0; ; step++ {
+		lr := r.lr(step)
+		batches, injCost := r.nextBatches()
+		r.computeGrads(batches)
+		r.applyLocal(lr)
+
+		if (step+1)%syncEvery == 0 {
+			// Collect parameters from C·N randomly chosen workers.
+			chosen := pickRNG.Sample(r.cl.N(), participants)
+			vecs := make([]tensor.Vector, 0, len(chosen))
+			for _, id := range chosen {
+				vecs = append(vecs, r.cl.Workers[id].FlatParams().Clone())
+			}
+			tensor.Average(global, vecs)
+			r.cl.PS.PushCount += len(chosen)
+			r.cl.Broadcast()
+			r.cl.Each(func(w *cluster.Worker) {
+				w.Steps++
+				w.SyncSteps++
+			})
+			// Push from the participants, pull to everyone.
+			syncCost := r.cl.Network.PSPush(r.spec.WireBytes, participants) +
+				r.cl.Network.PSPull(r.spec.WireBytes, r.cl.N())
+			r.cl.Barrier(syncCost + injCost)
+		} else {
+			r.cl.Each(func(w *cluster.Worker) {
+				w.Steps++
+				w.LocalSteps++
+				w.Clock += injCost
+			})
+		}
+		if r.maybeEval(step) {
+			break
+		}
+	}
+	return r.finish()
+}

@@ -1,0 +1,283 @@
+package train
+
+import (
+	"math"
+
+	"selsync/internal/cluster"
+	"selsync/internal/data"
+	"selsync/internal/nn"
+	"selsync/internal/simnet"
+	"selsync/internal/tensor"
+)
+
+// runner holds the shared mechanics of every training algorithm: the
+// cluster, per-worker samplers over the configured partitions, optional
+// data-injection state, the evaluation replica, and result bookkeeping.
+type runner struct {
+	cfg  Config
+	cl   *cluster.Cluster
+	spec nn.ModelSpec
+	res  *Result
+
+	samplers []*data.Sampler
+	parts    [][]int
+	perBatch int // per-worker examples per step (b, or b′ under injection)
+
+	inj        *data.Injection
+	injCursors []int
+	injRNG     *tensor.RNG
+
+	evalNet   nn.Network
+	evalFlat  tensor.Vector
+	gradFlat  tensor.Vector
+	snapSteps map[int]bool
+
+	bestMetric float64
+	haveBest   bool
+	bestStep   int
+	sinceBest  int
+	stop       bool
+
+	stepsPerEpoch int
+	losses        []float64
+}
+
+func newRunner(cfg Config, method string) *runner {
+	cfg = cfg.withDefaults()
+	if cfg.Train == nil || cfg.Test == nil {
+		panic("train: Config.Train and Config.Test are required")
+	}
+	cl := cluster.New(cluster.Config{
+		Workers:       cfg.Workers,
+		Model:         cfg.Model,
+		Opt:           cfg.Opt,
+		Network:       cfg.Network,
+		Device:        cfg.Device,
+		Seed:          cfg.Seed,
+		TrackerWindow: cfg.TrackerWindow,
+		TrackerAlpha:  cfg.TrackerAlpha,
+		Topology:      cfg.Topology,
+	})
+	r := &runner{
+		cfg:  cfg,
+		cl:   cl,
+		spec: cfg.Model.Spec,
+		res: &Result{
+			Method:     method,
+			Model:      cfg.Model.Spec.Name,
+			Perplexity: cfg.Model.Spec.Perplexity,
+			LSSR:       0,
+			Snapshots:  map[int]Snapshot{},
+		},
+		evalNet:  cfg.Model.New(cfg.Seed),
+		evalFlat: tensor.NewVector(cl.Dim()),
+		gradFlat: tensor.NewVector(cl.Dim()),
+		losses:   make([]float64, cfg.Workers),
+	}
+
+	r.perBatch = cfg.Batch
+	if cfg.NonIID != nil {
+		r.parts = data.NonIIDPartitions(cfg.Train, cfg.Workers, cfg.NonIID.LabelsPerWorker, cfg.Seed^0xBEEF)
+		if cfg.NonIID.Injection != nil {
+			inj := *cfg.NonIID.Injection
+			if err := inj.Validate(); err != nil {
+				panic(err)
+			}
+			r.inj = &inj
+			r.perBatch = inj.AdjustedBatch(cfg.Batch, cfg.Workers)
+			r.injCursors = make([]int, cfg.Workers)
+			r.injRNG = tensor.NewRNG(cfg.Seed ^ 0xF00D)
+		}
+	} else {
+		r.parts = data.Partitions(cfg.Scheme, cfg.Train.N(), cfg.Workers, cfg.Seed^0xBEEF)
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		r.samplers = append(r.samplers, data.NewSampler(r.parts[w], r.perBatch))
+	}
+
+	r.stepsPerEpoch = cfg.Train.N() / (cfg.Workers * cfg.Batch)
+	if r.stepsPerEpoch < 1 {
+		r.stepsPerEpoch = 1
+	}
+	r.snapSteps = make(map[int]bool, len(cfg.SnapshotAtSteps))
+	for _, s := range cfg.SnapshotAtSteps {
+		r.snapSteps[s] = true
+	}
+	return r
+}
+
+func (r *runner) lr(step int) float64 { return r.cfg.Schedule.LR(step) }
+
+// nextBatches returns one step's per-worker dataset indices plus the
+// virtual per-worker cost of the injection traffic (0 without injection).
+// Under injection, every worker's batch is its own b′ examples plus the
+// shared pool, restoring the effective batch to ≈b (Eqn. 3).
+func (r *runner) nextBatches() (batches [][]int, injCost float64) {
+	batches = make([][]int, r.cl.N())
+	for w := range batches {
+		batches[w] = r.samplers[w].Next()
+	}
+	if r.inj != nil {
+		pool := r.inj.BuildPool(r.parts, r.injCursors, r.perBatch, r.injRNG)
+		for w := range batches {
+			batches[w] = append(batches[w], pool...)
+		}
+		injCost = r.cl.Network.P2P(r.inj.PoolBytes(r.cfg.Train, r.perBatch, r.cl.N()))
+	}
+	return batches, injCost
+}
+
+// computeGrads runs one forward+backward per worker concurrently, advancing
+// each worker's clock by its modeled compute time. Per-worker mean losses
+// land in r.losses.
+func (r *runner) computeGrads(batches [][]int) {
+	r.cl.Each(func(w *cluster.Worker) {
+		x, labels := r.cfg.Train.Batch(batches[w.ID])
+		loss, _ := w.Model.ComputeGradients(x, labels)
+		r.losses[w.ID] = loss
+		w.Clock += w.Device.ComputeTime(simnet.StepFlops(r.spec.FlopsPerSample, len(batches[w.ID])))
+	})
+}
+
+// applyLocal applies each worker's own gradient through its own optimizer.
+func (r *runner) applyLocal(lr float64) {
+	r.cl.Each(func(w *cluster.Worker) { w.Optimizer.Step(lr) })
+}
+
+// meanParams writes the across-replica mean parameter vector into
+// r.evalFlat and returns it.
+func (r *runner) meanParams() tensor.Vector {
+	vecs := make([]tensor.Vector, r.cl.N())
+	r.cl.Each(func(w *cluster.Worker) { vecs[w.ID] = w.FlatParams() })
+	tensor.Average(r.evalFlat, vecs)
+	return r.evalFlat
+}
+
+// meanGrads writes the across-replica mean gradient vector into r.gradFlat
+// and returns it.
+func (r *runner) meanGrads() tensor.Vector {
+	vecs := make([]tensor.Vector, r.cl.N())
+	r.cl.Each(func(w *cluster.Worker) { vecs[w.ID] = w.FlatGrads() })
+	tensor.Average(r.gradFlat, vecs)
+	return r.gradFlat
+}
+
+// maybeSnapshot records global params and mean gradient at configured
+// steps.
+func (r *runner) maybeSnapshot(step int) {
+	if !r.snapSteps[step] {
+		return
+	}
+	params := append([]float64(nil), r.meanParams()...)
+	grads := append([]float64(nil), r.meanGrads()...)
+	r.res.Snapshots[step] = Snapshot{Step: step, Params: params, Grads: grads}
+}
+
+// evalParams evaluates an arbitrary flat parameter vector on the test set,
+// returning mean loss and the model's metric (accuracy % or perplexity).
+func (r *runner) evalParams(v tensor.Vector) (loss, metric float64) {
+	nn.SetParams(r.evalNet.Params(), v)
+	return EvaluateDataset(r.evalNet, r.cfg.Test, r.cfg.EvalChunk)
+}
+
+// maybeEval runs a test evaluation on the eval cadence; it returns true
+// when the run should stop (patience exhausted or MaxSteps reached).
+// The evaluated model is the across-replica mean — the state the PS would
+// serve after a parameter aggregation.
+func (r *runner) maybeEval(step int) bool {
+	r.maybeSnapshot(step)
+	final := step+1 >= r.cfg.MaxSteps
+	if (step+1)%r.cfg.EvalEvery == 0 || final {
+		loss, metric := r.evalParams(r.meanParams())
+		r.record(step, loss, metric)
+	}
+	return final || r.stop
+}
+
+func (r *runner) record(step int, loss, metric float64) {
+	pt := EvalPoint{
+		Step:    step + 1,
+		Epoch:   float64(step+1) / float64(r.stepsPerEpoch),
+		SimTime: r.cl.MaxClock(),
+		Loss:    loss,
+		Metric:  metric,
+	}
+	r.res.History = append(r.res.History, pt)
+	if !r.haveBest || r.res.BetterMetric(metric, r.bestMetric) {
+		r.haveBest = true
+		r.bestMetric = metric
+		r.bestStep = step + 1
+		r.res.SimTimeAtBest = pt.SimTime
+		r.sinceBest = 0
+	} else {
+		r.sinceBest++
+		if r.cfg.Patience > 0 && r.sinceBest >= r.cfg.Patience {
+			r.stop = true
+		}
+	}
+}
+
+// observeDelta feeds a gradient norm into worker 0's tracker and records it
+// when delta tracking is on (the Fig. 5 series for BSP runs).
+func (r *runner) trackDelta(norm float64) {
+	if !r.cfg.TrackDeltas {
+		return
+	}
+	d := r.cl.Workers[0].Tracker.ObserveGradNorm(norm)
+	r.res.Deltas = append(r.res.Deltas, d)
+}
+
+// finish computes the aggregate counters and returns the result.
+func (r *runner) finish() *Result {
+	var steps, sync, local int
+	for _, w := range r.cl.Workers {
+		steps += w.Steps
+		sync += w.SyncSteps
+		local += w.LocalSteps
+	}
+	n := r.cl.N()
+	r.res.Steps = steps / n
+	r.res.SyncSteps = sync / n
+	r.res.LocalSteps = local / n
+	if r.res.SyncSteps+r.res.LocalSteps > 0 {
+		r.res.LSSR = float64(r.res.LocalSteps) / float64(r.res.LocalSteps+r.res.SyncSteps)
+	}
+	r.res.SimTime = r.cl.MaxClock()
+	r.res.BestMetric = r.bestMetric
+	r.res.BestStep = r.bestStep
+	if len(r.res.History) > 0 {
+		r.res.FinalMetric = r.res.History[len(r.res.History)-1].Metric
+	}
+	return r.res
+}
+
+// EvaluateDataset evaluates a network over a full dataset in chunks,
+// returning mean loss and the spec's metric: top-K accuracy in percent for
+// classifiers, perplexity (= exp loss) for language models.
+func EvaluateDataset(net nn.Network, d *data.Dataset, chunk int) (loss, metric float64) {
+	if chunk <= 0 {
+		chunk = 256
+	}
+	var totalLoss float64
+	var totalCorrect, totalRows int
+	for start := 0; start < d.N(); start += chunk {
+		end := start + chunk
+		if end > d.N() {
+			end = d.N()
+		}
+		idx := make([]int, end-start)
+		for i := range idx {
+			idx[i] = start + i
+		}
+		x, labels := d.Batch(idx)
+		l, correct := net.Evaluate(x, labels)
+		totalLoss += l * float64(len(labels))
+		totalCorrect += correct
+		totalRows += len(labels)
+	}
+	loss = totalLoss / float64(totalRows)
+	if net.Spec().Perplexity {
+		return loss, math.Exp(loss)
+	}
+	return loss, 100 * float64(totalCorrect) / float64(totalRows)
+}

@@ -1,0 +1,85 @@
+package train
+
+import (
+	"fmt"
+
+	"selsync/internal/cluster"
+	"selsync/internal/tensor"
+)
+
+// RunSelSync trains with the paper's selective synchronization (Alg. 1).
+// Every step, each worker computes its local gradient, updates its Δ(g_i)
+// tracker and votes to synchronize when Δ(g_i) ≥ δ. The one-bit votes are
+// exchanged with a cheap allgather; if any worker voted, the step becomes a
+// synchronous step (parameter or gradient aggregation per opts.Mode),
+// otherwise every worker applies its own update locally.
+func RunSelSync(cfg Config, opts SelSyncOptions) *Result {
+	r := newRunner(cfg, fmt.Sprintf("SelSync(δ=%g,%s)", opts.Delta, opts.Mode))
+	runSelSyncLoop(r, opts)
+	return r.finish()
+}
+
+// runSelSyncLoop is the body of RunSelSync, factored out so tests can
+// inspect the cluster state (replica consistency, divergence) afterwards.
+func runSelSyncLoop(r *runner, opts SelSyncOptions) {
+	avg := tensor.NewVector(r.cl.Dim())
+	flags := make([]bool, r.cl.N())
+	for step := 0; ; step++ {
+		lr := r.lr(step)
+		batches, injCost := r.nextBatches()
+		r.computeGrads(batches)
+
+		// Per-worker significance vote (Alg. 1 lines 8-11). Tracker
+		// updates are cheap; running them sequentially keeps the
+		// reduction deterministic.
+		anySync := false
+		for _, w := range r.cl.Workers {
+			w.Tracker.ObserveParams(w.Model.Params())
+			flags[w.ID] = w.Tracker.Exceeds(opts.Delta)
+			if flags[w.ID] {
+				anySync = true
+			}
+		}
+		if r.cfg.TrackDeltas {
+			r.res.Deltas = append(r.res.Deltas, r.cl.Workers[0].Tracker.Delta())
+		}
+		flagsCost := r.cl.FlagsCost()
+
+		if anySync {
+			switch opts.Mode {
+			case cluster.GradAgg:
+				// Push gradients, pull the mean, apply locally. Replicas
+				// that diverged during local phases stay diverged —
+				// the inconsistency §III-C warns about.
+				r.cl.AggregateGrads(avg)
+				r.cl.Each(func(w *cluster.Worker) {
+					w.SetGrads(avg)
+					w.Optimizer.Step(lr)
+				})
+			case cluster.ParamAgg:
+				// Apply the local update first (Alg. 1 line 9), then
+				// push parameters and pull their average: one consistent
+				// global state for every replica.
+				r.applyLocal(lr)
+				r.cl.AggregateParams()
+			default:
+				panic("train: unknown aggregation mode")
+			}
+			r.cl.Each(func(w *cluster.Worker) {
+				w.Steps++
+				w.SyncSteps++
+			})
+			r.cl.Barrier(flagsCost + r.cl.SyncCost() + injCost)
+		} else {
+			r.applyLocal(lr)
+			r.cl.Each(func(w *cluster.Worker) {
+				w.Steps++
+				w.LocalSteps++
+				w.Clock += flagsCost + injCost
+			})
+		}
+		if r.maybeEval(step) {
+			break
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Package selsync is a Go reproduction of "Accelerating Distributed ML
+// Training via Selective Synchronization" (Tyagi & Swany, IEEE CLUSTER
+// 2023). It bundles a from-scratch neural-network stack, a virtual-time
+// cluster simulator (parameter server, workers, network cost models), the
+// four distributed training algorithms the paper evaluates — BSP,
+// FedAvg(C, E), SSP(s) and SelSync(δ) — and an experiment harness that
+// regenerates every table and figure of the paper's evaluation.
+//
+// This file is the public facade: it re-exports the user-facing types and
+// entry points from the internal packages so applications (see examples/)
+// can program against one import.
+//
+// Quick start:
+//
+//	wload := selsync.WorkloadForModel("resnet", 4096, 1024, 1)
+//	cfg := selsync.Config{
+//		Model: selsync.ResNetLite(10, 6), Workers: 8, Batch: 16, Seed: 1,
+//		Train: wload.Train, Test: wload.Test, Scheme: selsync.SelDP,
+//	}
+//	res := selsync.RunSelSync(cfg, selsync.SelSyncOptions{
+//		Delta: 0.05, Mode: selsync.ParamAgg,
+//	})
+//	fmt.Println(res)
+package selsync
+
+import (
+	"io"
+
+	"selsync/internal/cluster"
+	"selsync/internal/data"
+	"selsync/internal/experiments"
+	"selsync/internal/nn"
+	"selsync/internal/train"
+)
+
+// Core configuration and result types.
+type (
+	// Config describes one training run (workload, cluster size,
+	// partitioning, schedule, budgets).
+	Config = train.Config
+	// Result carries the outcome: iterations, LSSR, metric history,
+	// simulated wall-clock.
+	Result = train.Result
+	// EvalPoint is one point of a Result's test-metric history.
+	EvalPoint = train.EvalPoint
+	// SelSyncOptions selects the significance threshold δ and the
+	// aggregation mode.
+	SelSyncOptions = train.SelSyncOptions
+	// FedAvgOptions selects the participation fraction C and sync factor E.
+	FedAvgOptions = train.FedAvgOptions
+	// SSPOptions selects the staleness bound.
+	SSPOptions = train.SSPOptions
+	// NonIID configures label-skewed placement and data-injection.
+	NonIID = train.NonIID
+	// Injection is the randomized data-injection configuration (α, β).
+	Injection = data.Injection
+	// Dataset is an in-memory supervised dataset.
+	Dataset = data.Dataset
+	// Workload couples a train and test dataset.
+	Workload = data.Workload
+	// Factory builds identically-initialized model replicas.
+	Factory = nn.Factory
+	// ModelSpec describes a zoo model and its simulated cost constants.
+	ModelSpec = nn.ModelSpec
+	// Scheme selects the IID partitioning strategy.
+	Scheme = data.Scheme
+	// AggMode selects parameter vs gradient aggregation.
+	AggMode = cluster.AggMode
+)
+
+// Partitioning schemes (paper §III-D).
+const (
+	// DefDP gives each worker one unique chunk (classic DDP).
+	DefDP = data.DefDP
+	// SelDP rotates all chunks through every worker (SelSync's scheme).
+	SelDP = data.SelDP
+)
+
+// Aggregation modes (paper §III-C).
+const (
+	// ParamAgg averages parameters — SelSync's recommended mode.
+	ParamAgg = cluster.ParamAgg
+	// GradAgg averages gradients, leaving diverged replicas diverged.
+	GradAgg = cluster.GradAgg
+)
+
+// Training algorithms.
+var (
+	// RunBSP trains with bulk-synchronous parallelism (the baseline).
+	RunBSP = train.RunBSP
+	// RunSelSync trains with δ-based selective synchronization (Alg. 1).
+	RunSelSync = train.RunSelSync
+	// RunFedAvg trains with Federated Averaging.
+	RunFedAvg = train.RunFedAvg
+	// RunSSP trains with stale-synchronous parallelism.
+	RunSSP = train.RunSSP
+	// RunLocalSGD trains with purely local updates (δ ≥ M degeneration).
+	RunLocalSGD = train.RunLocalSGD
+)
+
+// Model zoo (miniature analogues of the paper's four workloads).
+var (
+	// ResNetLite is the deep residual classifier (ResNet101 analogue).
+	ResNetLite = nn.ResNetLite
+	// VGGLite is the plain convolutional classifier (VGG11 analogue).
+	VGGLite = nn.VGGLite
+	// AlexNetLite is the wide shallow classifier (AlexNet analogue).
+	AlexNetLite = nn.AlexNetLite
+	// TransformerLite is the encoder language model (Transformer analogue).
+	TransformerLite = nn.TransformerLite
+	// Zoo returns all four models keyed by short name.
+	Zoo = nn.Zoo
+)
+
+// Dataset construction.
+var (
+	// NewWorkload builds one of the four synthetic dataset pairs.
+	NewWorkload = data.NewWorkload
+	// WorkloadForModel maps zoo model names to their paper datasets.
+	WorkloadForModel = data.WorkloadForModel
+	// NewImageGen builds a custom class-conditional Gaussian image source.
+	NewImageGen = data.NewImageGen
+	// NewTextGen builds a custom Markov-chain token source.
+	NewTextGen = data.NewTextGen
+)
+
+// WorkloadSpec selects a synthetic dataset kind and size.
+type WorkloadSpec = data.WorkloadSpec
+
+// ExperimentScale selects experiment sizing for RunExperiment.
+type ExperimentScale = experiments.Scale
+
+// Experiment scales.
+const (
+	// ScaleTiny runs in seconds (unit-test sizing).
+	ScaleTiny = experiments.Tiny
+	// ScaleQuick runs in tens of seconds per training experiment.
+	ScaleQuick = experiments.Quick
+	// ScaleFull is the closest to the paper's 16-worker setup.
+	ScaleFull = experiments.Full
+)
+
+// RunExperiment regenerates one paper table/figure by id ("fig1a" …
+// "table1"), writing the report to w.
+func RunExperiment(id string, scale ExperimentScale, w io.Writer) error {
+	return experiments.Run(id, scale, w)
+}
+
+// ExperimentIDs lists the available experiment ids.
+func ExperimentIDs() []string { return experiments.IDs() }

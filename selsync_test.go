@@ -1,0 +1,59 @@
+package selsync_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"selsync"
+)
+
+// TestFacadeEndToEnd exercises the public API the way the quickstart
+// example does: build a workload, train with SelSync, compare to BSP.
+func TestFacadeEndToEnd(t *testing.T) {
+	wload := selsync.WorkloadForModel("resnet", 512, 256, 3)
+	cfg := selsync.Config{
+		Model: selsync.ResNetLite(10, 2), Workers: 4, Batch: 16, Seed: 3,
+		Train: wload.Train, Test: wload.Test, Scheme: selsync.SelDP,
+		MaxSteps: 40, EvalEvery: 20,
+	}
+	sel := selsync.RunSelSync(cfg, selsync.SelSyncOptions{Delta: 0.1, Mode: selsync.ParamAgg})
+	bsp := selsync.RunBSP(cfg)
+	if sel.Steps != 40 || bsp.Steps != 40 {
+		t.Fatalf("steps: %d / %d", sel.Steps, bsp.Steps)
+	}
+	if sel.LSSR <= 0 {
+		t.Fatalf("SelSync should skip some synchronizations, LSSR=%v", sel.LSSR)
+	}
+	if !(sel.SimTime < bsp.SimTime) {
+		t.Fatalf("SelSync should beat BSP in simulated time: %v vs %v", sel.SimTime, bsp.SimTime)
+	}
+}
+
+func TestFacadeExperimentDispatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := selsync.RunExperiment("fig2b", selsync.ScaleTiny, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Fig 2b") {
+		t.Fatalf("unexpected report: %q", buf.String())
+	}
+	if err := selsync.RunExperiment("nope", selsync.ScaleTiny, &buf); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+	if len(selsync.ExperimentIDs()) != 16 {
+		t.Fatalf("expected 16 experiments, got %d", len(selsync.ExperimentIDs()))
+	}
+}
+
+func TestFacadeZooAndSchemes(t *testing.T) {
+	if len(selsync.Zoo()) != 4 {
+		t.Fatal("zoo must have 4 models")
+	}
+	if selsync.DefDP.String() != "DefDP" || selsync.SelDP.String() != "SelDP" {
+		t.Fatal("scheme names wrong")
+	}
+	if selsync.ParamAgg.String() != "ParamAgg" || selsync.GradAgg.String() != "GradAgg" {
+		t.Fatal("agg mode names wrong")
+	}
+}
