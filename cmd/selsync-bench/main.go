@@ -1,32 +1,51 @@
-// Command selsync-bench regenerates the paper's tables and figures.
+// Command selsync-bench regenerates the paper's tables and figures and
+// measures the raw compute engine.
 //
 // Usage:
 //
 //	selsync-bench -exp table1 -scale quick
 //	selsync-bench -exp all -scale tiny
+//	selsync-bench -steps            # write BENCH_step.json
 //	selsync-bench -list
 //
 // Scales: tiny (seconds), quick (tens of seconds per training experiment),
-// full (closest to the paper's 16-worker setup; minutes to hours).
+// full (closest to the paper's 16-worker setup; minutes to hours). See
+// EXPERIMENTS.md for what each scale means and how simulated seconds relate
+// to wall-clock.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"testing"
 
 	"selsync"
+	"selsync/internal/nn"
+	"selsync/internal/tensor"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (fig1a…table1) or 'all'")
 	scale := flag.String("scale", "tiny", "experiment scale: tiny | quick | full")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	steps := flag.Bool("steps", false, "run the four zoo step benchmarks and write machine-readable results")
+	stepsOut := flag.String("stepsout", "BENCH_step.json", "output path for -steps results")
 	flag.Parse()
 
 	if *list {
 		for _, id := range selsync.ExperimentIDs() {
 			fmt.Println(id)
+		}
+		return
+	}
+
+	if *steps {
+		if err := runStepBenchmarks(*stepsOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 		return
 	}
@@ -55,4 +74,75 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// stepBenchResult is one row of BENCH_step.json: the per-step cost of one
+// zoo model under the same workload as the BenchmarkXxxStep benchmarks in
+// internal/nn, so the perf trajectory is comparable across PRs.
+type stepBenchResult struct {
+	Name        string  `json:"name"`
+	Model       string  `json:"model"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+type stepBenchReport struct {
+	GoVersion  string            `json:"go_version"`
+	GOOS       string            `json:"goos"`
+	GOARCH     string            `json:"goarch"`
+	Benchmarks []stepBenchResult `json:"benchmarks"`
+}
+
+// runStepBenchmarks measures one training step (ComputeGradients) for each
+// zoo model via testing.Benchmark and writes the results as JSON.
+func runStepBenchmarks(outPath string) error {
+	benchName := map[string]string{
+		"resnet":      "BenchmarkResNetLiteStep",
+		"vgg":         "BenchmarkVGGLiteStep",
+		"alexnet":     "BenchmarkAlexNetLiteStep",
+		"transformer": "BenchmarkTransformerLiteStep",
+	}
+	report := stepBenchReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	zoo := nn.Zoo()
+	for _, short := range nn.ZooNames() {
+		if benchName[short] == "" {
+			return fmt.Errorf("selsync-bench: zoo model %q has no step-benchmark name; update runStepBenchmarks", short)
+		}
+		f := zoo[short]
+		net := f.New(1)
+		x, labels := nn.StepBenchBatch(f, tensor.NewRNG(2))
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				net.ComputeGradients(x, labels)
+			}
+		})
+		res := stepBenchResult{
+			Name:        benchName[short],
+			Model:       f.Spec.Name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Iterations:  r.N,
+		}
+		report.Benchmarks = append(report.Benchmarks, res)
+		fmt.Printf("%-30s %12.0f ns/op %8d B/op %6d allocs/op (%d iters)\n",
+			res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.Iterations)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
 }

@@ -1,0 +1,3 @@
+module selsync
+
+go 1.24

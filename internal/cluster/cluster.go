@@ -158,6 +158,7 @@ type Cluster struct {
 
 	dim     int
 	scratch tensor.Vector
+	avgVecs []tensor.Vector // reused per-worker slot list for averageInto
 }
 
 // New builds the cluster: every worker constructs the model with the same
@@ -257,11 +258,14 @@ func (c *Cluster) AggregateGrads(dst tensor.Vector) {
 }
 
 // averageInto collects one vector per worker (in parallel) and reduces in
-// worker-id order for determinism.
+// worker-id order for determinism. The slot list is owned by the cluster so
+// steady-state aggregation rounds allocate nothing.
 func (c *Cluster) averageInto(dst tensor.Vector, get func(w *Worker) tensor.Vector) {
-	vecs := make([]tensor.Vector, c.N())
-	c.Each(func(w *Worker) { vecs[w.ID] = get(w) })
-	tensor.Average(dst, vecs)
+	if c.avgVecs == nil {
+		c.avgVecs = make([]tensor.Vector, c.N())
+	}
+	c.Each(func(w *Worker) { c.avgVecs[w.ID] = get(w) })
+	tensor.Average(dst, c.avgVecs)
 }
 
 // MaxClock returns the latest worker clock — the cluster's wall time, since

@@ -42,8 +42,20 @@ func (d *Dataset) LabelsPerExample() int {
 // Batch materializes the examples at the given indices as a feature matrix
 // plus a flattened label slice (row-major: example 0's labels first).
 func (d *Dataset) Batch(indices []int) (*tensor.Matrix, []int) {
-	x := tensor.NewMatrix(len(indices), d.X.Cols)
-	labels := make([]int, 0, len(indices)*d.LabelsPerExample())
+	return d.BatchInto(nil, nil, indices)
+}
+
+// BatchInto is Batch reusing caller-owned buffers: x's backing storage and
+// labels' backing array are reused when large enough and reallocated
+// otherwise. It returns the (possibly replaced) buffers; evaluation loops
+// call it with the previous chunk's buffers so chunked passes over a
+// dataset allocate only once.
+func (d *Dataset) BatchInto(x *tensor.Matrix, labels []int, indices []int) (*tensor.Matrix, []int) {
+	x = tensor.EnsureMatrix(x, len(indices), d.X.Cols)
+	if cap(labels) < len(indices)*d.LabelsPerExample() {
+		labels = make([]int, 0, len(indices)*d.LabelsPerExample())
+	}
+	labels = labels[:0]
 	for i, idx := range indices {
 		if idx < 0 || idx >= d.N() {
 			panic(fmt.Sprintf("data: batch index %d out of range [0,%d)", idx, d.N()))

@@ -8,38 +8,27 @@ import (
 
 // ReLU is the rectified linear activation, applied element-wise.
 type ReLU struct {
-	mask []bool // true where the input was positive
+	mask  tensor.Vector // 1 where the input was positive, else 0
+	y, dx *tensor.Matrix
 }
 
 // NewReLU returns a ReLU activation layer.
 func NewReLU() *ReLU { return &ReLU{} }
 
-// Forward zeroes negative entries.
+// Forward zeroes negative entries, recording a multiplicative mask for the
+// backward pass.
 func (r *ReLU) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
-	y := x.Clone()
-	if cap(r.mask) < len(y.Data) {
-		r.mask = make([]bool, len(y.Data))
-	}
-	r.mask = r.mask[:len(y.Data)]
-	for i, v := range y.Data {
-		pos := v > 0
-		r.mask[i] = pos
-		if !pos {
-			y.Data[i] = 0
-		}
-	}
-	return y
+	r.y = tensor.EnsureMatrix(r.y, x.Rows, x.Cols)
+	r.mask = tensor.EnsureVector(r.mask, len(x.Data))
+	tensor.ReluMask(r.y.Data, r.mask, x.Data)
+	return r.y
 }
 
 // Backward passes gradient only through positive inputs.
 func (r *ReLU) Backward(grad *tensor.Matrix) *tensor.Matrix {
-	dx := grad.Clone()
-	for i := range dx.Data {
-		if !r.mask[i] {
-			dx.Data[i] = 0
-		}
-	}
-	return dx
+	r.dx = tensor.EnsureMatrix(r.dx, grad.Rows, grad.Cols)
+	tensor.Mul(r.dx.Data, grad.Data, r.mask)
+	return r.dx
 }
 
 // Params returns nil; ReLU has no parameters.
@@ -47,7 +36,7 @@ func (r *ReLU) Params() []*Param { return nil }
 
 // Tanh is the hyperbolic-tangent activation, applied element-wise.
 type Tanh struct {
-	y *tensor.Matrix
+	y, dx *tensor.Matrix
 }
 
 // NewTanh returns a Tanh activation layer.
@@ -55,22 +44,21 @@ func NewTanh() *Tanh { return &Tanh{} }
 
 // Forward applies tanh element-wise.
 func (t *Tanh) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
-	y := x.Clone()
-	for i, v := range y.Data {
-		y.Data[i] = math.Tanh(v)
+	t.y = tensor.EnsureMatrix(t.y, x.Rows, x.Cols)
+	for i, v := range x.Data {
+		t.y.Data[i] = math.Tanh(v)
 	}
-	t.y = y
-	return y
+	return t.y
 }
 
 // Backward multiplies by 1 − tanh².
 func (t *Tanh) Backward(grad *tensor.Matrix) *tensor.Matrix {
-	dx := grad.Clone()
-	for i, g := range dx.Data {
+	t.dx = tensor.EnsureMatrix(t.dx, grad.Rows, grad.Cols)
+	for i, g := range grad.Data {
 		yv := t.y.Data[i]
-		dx.Data[i] = g * (1 - yv*yv)
+		t.dx.Data[i] = g * (1 - yv*yv)
 	}
-	return dx
+	return t.dx
 }
 
 // Params returns nil; Tanh has no parameters.
@@ -79,7 +67,8 @@ func (t *Tanh) Params() []*Param { return nil }
 // GELU is the Gaussian error linear unit (tanh approximation), the
 // activation used inside TransformerLite feed-forward blocks.
 type GELU struct {
-	x *tensor.Matrix
+	x     *tensor.Matrix
+	y, dx *tensor.Matrix
 }
 
 // NewGELU returns a GELU activation layer.
@@ -104,20 +93,20 @@ func geluDeriv(x float64) float64 {
 // Forward applies GELU element-wise.
 func (g *GELU) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	g.x = x
-	y := x.Clone()
-	for i, v := range y.Data {
-		y.Data[i] = geluForward(v)
+	g.y = tensor.EnsureMatrix(g.y, x.Rows, x.Cols)
+	for i, v := range x.Data {
+		g.y.Data[i] = geluForward(v)
 	}
-	return y
+	return g.y
 }
 
 // Backward multiplies by the GELU derivative at the cached input.
 func (g *GELU) Backward(grad *tensor.Matrix) *tensor.Matrix {
-	dx := grad.Clone()
-	for i, gv := range dx.Data {
-		dx.Data[i] = gv * geluDeriv(g.x.Data[i])
+	g.dx = tensor.EnsureMatrix(g.dx, grad.Rows, grad.Cols)
+	for i, gv := range grad.Data {
+		g.dx.Data[i] = gv * geluDeriv(g.x.Data[i])
 	}
-	return dx
+	return g.dx
 }
 
 // Params returns nil; GELU has no parameters.

@@ -11,6 +11,12 @@ import (
 // learned output projection. Causal enables the autoregressive mask used by
 // the TransformerLite language model.
 //
+// The Q/K/V and output projections run as single batch-wide GEMMs over the
+// (n·T × D) position-major view of the batch; only the softmax attention
+// itself is computed per sample and head. All intermediates are buffers
+// owned by the layer and reused across steps, so the steady-state forward
+// and backward passes allocate nothing.
+//
 // The backward pass is written out by hand and validated against finite
 // differences in the test suite; see TestAttentionGradCheck.
 type MultiHeadAttention struct {
@@ -19,11 +25,21 @@ type MultiHeadAttention struct {
 
 	Wq, Wk, Wv, Wo *Param
 
-	// Per-forward caches (one entry per batch row).
-	x       *tensor.Matrix
-	q, k, v []*tensor.Matrix // T×D per sample
-	attn    []*tensor.Matrix // H stacked T×T blocks per sample (H·T × T)
-	concat  []*tensor.Matrix // T×D per sample, pre-output-projection
+	x *tensor.Matrix // cached input
+
+	// Forward caches/buffers: projections and attention-weighted values
+	// in position-major (n·T × D) layout; attn stacks H T×T softmax
+	// blocks per sample ((n·H·T) × T).
+	q, k, v, concat *tensor.Matrix
+	attn            *tensor.Matrix
+	y, dx           *tensor.Matrix // batch-major (n × T·D)
+
+	// Backward scratch.
+	dq, dk, dv, dconcat *tensor.Matrix
+	dA                  tensor.Vector // length-T softmax scratch
+
+	wqView, wkView, wvView, woView, dwView tensor.Matrix
+	xrView, yrView, grView, dxView         tensor.Matrix // n·T × D reshape headers
 }
 
 // NewMultiHeadAttention builds the layer with Xavier-initialized
@@ -46,7 +62,8 @@ func NewMultiHeadAttention(name string, seqLen, dim, heads int, causal bool, rng
 	return a
 }
 
-// Forward computes self-attention independently for every batch row.
+// Forward computes self-attention for the whole batch: three batch-wide
+// projection GEMMs, per-sample softmax attention, one output GEMM.
 func (a *MultiHeadAttention) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	if x.Cols != a.T*a.D {
 		panic("nn: attention width mismatch")
@@ -54,38 +71,29 @@ func (a *MultiHeadAttention) Forward(x *tensor.Matrix, train bool) *tensor.Matri
 	n := x.Rows
 	dk := a.D / a.H
 	scale := 1 / math.Sqrt(float64(dk))
-	wq := matView(a.Wq.Data, a.D, a.D)
-	wk := matView(a.Wk.Data, a.D, a.D)
-	wv := matView(a.Wv.Data, a.D, a.D)
-	wo := matView(a.Wo.Data, a.D, a.D)
+	wq := a.wqView.View(a.Wq.Data, a.D, a.D)
+	wk := a.wkView.View(a.Wk.Data, a.D, a.D)
+	wv := a.wvView.View(a.Wv.Data, a.D, a.D)
+	wo := a.woView.View(a.Wo.Data, a.D, a.D)
 
 	a.x = x
-	a.q = make([]*tensor.Matrix, n)
-	a.k = make([]*tensor.Matrix, n)
-	a.v = make([]*tensor.Matrix, n)
-	a.attn = make([]*tensor.Matrix, n)
-	a.concat = make([]*tensor.Matrix, n)
+	xr := a.xrView.View(x.Data, n*a.T, a.D)
+	a.q = tensor.EnsureMatrix(a.q, n*a.T, a.D)
+	a.k = tensor.EnsureMatrix(a.k, n*a.T, a.D)
+	a.v = tensor.EnsureMatrix(a.v, n*a.T, a.D)
+	tensor.MatMul(a.q, xr, wq)
+	tensor.MatMul(a.k, xr, wk)
+	tensor.MatMul(a.v, xr, wv)
 
-	y := tensor.NewMatrix(n, a.T*a.D)
+	a.attn = tensor.EnsureMatrix(a.attn, n*a.H*a.T, a.T)
+	a.concat = tensor.EnsureMatrix(a.concat, n*a.T, a.D)
+	a.concat.Zero()
 	for s := 0; s < n; s++ {
-		xs := x.Row(s).Clone()
-		xm := (&tensor.Matrix{Rows: a.T, Cols: a.D, Data: xs})
-
-		q := tensor.NewMatrix(a.T, a.D)
-		k := tensor.NewMatrix(a.T, a.D)
-		v := tensor.NewMatrix(a.T, a.D)
-		tensor.MatMul(q, xm, wq)
-		tensor.MatMul(k, xm, wk)
-		tensor.MatMul(v, xm, wv)
-		a.q[s], a.k[s], a.v[s] = q, k, v
-
-		attn := tensor.NewMatrix(a.H*a.T, a.T)
-		concat := tensor.NewMatrix(a.T, a.D)
 		for h := 0; h < a.H; h++ {
 			off := h * dk
 			for i := 0; i < a.T; i++ {
-				arow := attn.Row(h*a.T + i)
-				qi := q.Row(i)[off : off+dk]
+				arow := a.attn.Row((s*a.H+h)*a.T + i)
+				qi := a.q.Row(s*a.T + i)[off : off+dk]
 				// scores
 				maxScore := math.Inf(-1)
 				for j := 0; j < a.T; j++ {
@@ -93,10 +101,10 @@ func (a *MultiHeadAttention) Forward(x *tensor.Matrix, train bool) *tensor.Matri
 						arow[j] = math.Inf(-1)
 						continue
 					}
-					s := tensor.Vector(qi).Dot(k.Row(j)[off:off+dk]) * scale
-					arow[j] = s
-					if s > maxScore {
-						maxScore = s
+					sc := tensor.Vector(qi).Dot(a.k.Row(s*a.T + j)[off:off+dk]) * scale
+					arow[j] = sc
+					if sc > maxScore {
+						maxScore = sc
 					}
 				}
 				// softmax with max-shift for stability
@@ -113,23 +121,21 @@ func (a *MultiHeadAttention) Forward(x *tensor.Matrix, train bool) *tensor.Matri
 					arow[j] /= sum
 				}
 				// weighted sum of V
-				out := concat.Row(i)[off : off+dk]
+				out := a.concat.Row(s*a.T + i)[off : off+dk]
 				for j := 0; j < a.T; j++ {
 					w := arow[j]
 					if w == 0 {
 						continue
 					}
-					tensor.Vector(out).Axpy(w, v.Row(j)[off:off+dk])
+					tensor.Vector(out).Axpy(w, a.v.Row(s*a.T + j)[off:off+dk])
 				}
 			}
 		}
-		a.attn[s], a.concat[s] = attn, concat
-
-		ys := tensor.NewMatrix(a.T, a.D)
-		tensor.MatMul(ys, concat, wo)
-		copy(y.Row(s), ys.Data)
 	}
-	return y
+
+	a.y = tensor.EnsureMatrix(a.y, n, a.T*a.D)
+	tensor.MatMul(a.yrView.View(a.y.Data, n*a.T, a.D), a.concat, wo)
+	return a.y
 }
 
 // Backward propagates through the output projection, the attention softmax
@@ -138,78 +144,77 @@ func (a *MultiHeadAttention) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	n := grad.Rows
 	dk := a.D / a.H
 	scale := 1 / math.Sqrt(float64(dk))
-	wq := matView(a.Wq.Data, a.D, a.D)
-	wk := matView(a.Wk.Data, a.D, a.D)
-	wv := matView(a.Wv.Data, a.D, a.D)
-	wo := matView(a.Wo.Data, a.D, a.D)
-	dwq := matView(a.Wq.Grad, a.D, a.D)
-	dwk := matView(a.Wk.Grad, a.D, a.D)
-	dwv := matView(a.Wv.Grad, a.D, a.D)
-	dwo := matView(a.Wo.Grad, a.D, a.D)
+	wq := a.wqView.View(a.Wq.Data, a.D, a.D)
+	wk := a.wkView.View(a.Wk.Data, a.D, a.D)
+	wv := a.wvView.View(a.Wv.Data, a.D, a.D)
+	wo := a.woView.View(a.Wo.Data, a.D, a.D)
 
-	dx := tensor.NewMatrix(n, a.T*a.D)
-	tmp := tensor.NewMatrix(a.D, a.D)
+	gr := a.grView.View(grad.Data, n*a.T, a.D)
+
+	// Output projection: y = concat·Wo.
+	tensor.MatMulATBAcc(a.dwView.View(a.Wo.Grad, a.D, a.D), a.concat, gr)
+	a.dconcat = tensor.EnsureMatrix(a.dconcat, n*a.T, a.D)
+	tensor.MatMulABT(a.dconcat, gr, wo)
+
+	a.dq = tensor.EnsureMatrix(a.dq, n*a.T, a.D)
+	a.dk = tensor.EnsureMatrix(a.dk, n*a.T, a.D)
+	a.dv = tensor.EnsureMatrix(a.dv, n*a.T, a.D)
+	a.dq.Zero()
+	a.dk.Zero()
+	a.dv.Zero()
+	a.dA = tensor.EnsureVector(a.dA, a.T)
 	for s := 0; s < n; s++ {
-		dy := (&tensor.Matrix{Rows: a.T, Cols: a.D, Data: grad.Row(s).Clone()})
-		xm := (&tensor.Matrix{Rows: a.T, Cols: a.D, Data: a.x.Row(s).Clone()})
-		q, k, v := a.q[s], a.k[s], a.v[s]
-		attn, concat := a.attn[s], a.concat[s]
-
-		// Output projection: y = concat·Wo.
-		tensor.MatMulATB(tmp, concat, dy)
-		dwo.Data.Add(tmp.Data)
-		dconcat := tensor.NewMatrix(a.T, a.D)
-		tensor.MatMulABT(dconcat, dy, wo)
-
-		dq := tensor.NewMatrix(a.T, a.D)
-		dkm := tensor.NewMatrix(a.T, a.D)
-		dv := tensor.NewMatrix(a.T, a.D)
 		for h := 0; h < a.H; h++ {
 			off := h * dk
 			for i := 0; i < a.T; i++ {
-				arow := attn.Row(h*a.T + i)
-				doutI := dconcat.Row(i)[off : off+dk]
+				arow := a.attn.Row((s*a.H+h)*a.T + i)
+				doutI := a.dconcat.Row(s*a.T + i)[off : off+dk]
 
 				// dA_ij = <dout_i, v_j>; dV_j += A_ij · dout_i
-				dA := make(tensor.Vector, a.T)
 				for j := 0; j < a.T; j++ {
 					if arow[j] != 0 {
-						dA[j] = tensor.Vector(doutI).Dot(v.Row(j)[off : off+dk])
-						tensor.Vector(dv.Row(j)[off:off+dk]).Axpy(arow[j], doutI)
+						a.dA[j] = tensor.Vector(doutI).Dot(a.v.Row(s*a.T + j)[off : off+dk])
+						tensor.Vector(a.dv.Row(s*a.T + j)[off:off+dk]).Axpy(arow[j], doutI)
+					} else {
+						a.dA[j] = 0
 					}
 				}
 				// Softmax backward: dS_j = A_j (dA_j − Σ_k dA_k A_k).
 				var dot float64
 				for j := 0; j < a.T; j++ {
-					dot += dA[j] * arow[j]
+					dot += a.dA[j] * arow[j]
 				}
 				for j := 0; j < a.T; j++ {
 					if arow[j] == 0 {
 						continue
 					}
-					dS := arow[j] * (dA[j] - dot) * scale
+					dS := arow[j] * (a.dA[j] - dot) * scale
 					// S_ij = scale·<q_i, k_j>
-					tensor.Vector(dq.Row(i)[off:off+dk]).Axpy(dS, k.Row(j)[off:off+dk])
-					tensor.Vector(dkm.Row(j)[off:off+dk]).Axpy(dS, q.Row(i)[off:off+dk])
+					tensor.Vector(a.dq.Row(s*a.T + i)[off:off+dk]).Axpy(dS, a.k.Row(s*a.T + j)[off:off+dk])
+					tensor.Vector(a.dk.Row(s*a.T + j)[off:off+dk]).Axpy(dS, a.q.Row(s*a.T + i)[off:off+dk])
 				}
 			}
 		}
+	}
 
-		// Projections: q = x·Wq etc.
-		dxm := (&tensor.Matrix{Rows: a.T, Cols: a.D, Data: dx.Row(s)})
-		for _, t := range []struct {
-			dproj *tensor.Matrix
-			w     *tensor.Matrix
-			dw    *tensor.Matrix
-		}{{dq, wq, dwq}, {dkm, wk, dwk}, {dv, wv, dwv}} {
-			tensor.MatMulATB(tmp, xm, t.dproj)
-			t.dw.Data.Add(tmp.Data)
-			dxPart := tensor.NewMatrix(a.T, a.D)
-			tensor.MatMulABT(dxPart, t.dproj, t.w)
-			dxm.Data.Add(dxPart.Data)
+	// Projections: q = x·Wq etc., batch-wide. The first term overwrites
+	// the (contents-unspecified) dx buffer; the rest accumulate in place.
+	xr := a.xrView.View(a.x.Data, n*a.T, a.D)
+	a.dx = tensor.EnsureMatrix(a.dx, n, a.T*a.D)
+	dxr := a.dxView.View(a.dx.Data, n*a.T, a.D)
+	for idx, t := range []struct {
+		dproj *tensor.Matrix
+		w     *tensor.Matrix
+		p     *Param
+	}{{a.dq, wq, a.Wq}, {a.dk, wk, a.Wk}, {a.dv, wv, a.Wv}} {
+		tensor.MatMulATBAcc(a.dwView.View(t.p.Grad, a.D, a.D), xr, t.dproj)
+		if idx == 0 {
+			tensor.MatMulABT(dxr, t.dproj, t.w)
+		} else {
+			tensor.MatMulABTAcc(dxr, t.dproj, t.w)
 		}
 	}
-	return dx
+	return a.dx
 }
 
 // Params returns the four projection matrices.

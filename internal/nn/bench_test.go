@@ -9,23 +9,7 @@ import (
 func benchStep(b *testing.B, name string) {
 	f := Zoo()[name]
 	net := f.New(1)
-	rng := tensor.NewRNG(2)
-	var x *tensor.Matrix
-	var labels []int
-	if f.Spec.SeqLen > 0 {
-		x = tensor.NewMatrix(8, f.Spec.SeqLen)
-		for i := range x.Data {
-			x.Data[i] = float64(rng.Intn(f.Spec.Classes))
-		}
-		labels = make([]int, 8*f.Spec.SeqLen)
-	} else {
-		x = tensor.NewMatrix(16, ImgFeatures)
-		rng.NormVector(x.Data, 0, 1)
-		labels = make([]int, 16)
-	}
-	for i := range labels {
-		labels[i] = rng.Intn(f.Spec.Classes)
-	}
+	x, labels := StepBenchBatch(f, tensor.NewRNG(2))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,26 @@
+package nn
+
+import "selsync/internal/tensor"
+
+// StepBenchBatch returns the standard synthetic batch the zoo step
+// benchmarks run on: 16 image rows for classifiers, 8 token sequences for
+// the language model. It is shared by the in-package benchmarks
+// (bench_test.go) and cmd/selsync-bench -steps so both measure the same
+// workload and their numbers stay comparable across PRs.
+func StepBenchBatch(f Factory, rng *tensor.RNG) (x *tensor.Matrix, labels []int) {
+	if f.Spec.SeqLen > 0 {
+		x = tensor.NewMatrix(8, f.Spec.SeqLen)
+		for i := range x.Data {
+			x.Data[i] = float64(rng.Intn(f.Spec.Classes))
+		}
+		labels = make([]int, 8*f.Spec.SeqLen)
+	} else {
+		x = tensor.NewMatrix(16, ImgFeatures)
+		rng.NormVector(x.Data, 0, 1)
+		labels = make([]int, 16)
+	}
+	for i := range labels {
+		labels[i] = rng.Intn(f.Spec.Classes)
+	}
+	return x, labels
+}

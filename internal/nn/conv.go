@@ -10,6 +10,13 @@ import (
 // row layout is channel-major, x[c*H*W + y*W + x]. Stride is 1; Pad adds
 // zero padding on all sides. Filter weights have shape F×C×K×K and are kept
 // flat in a single Param for aggregation.
+//
+// The hot path lowers the convolution onto the parallel GEMM kernels via
+// im2col/col2im: per sample, Y (F × oh·ow) = W (F × C·K·K) × cols, and the
+// backward pass is the pair dW += dY·colsᵀ, dcols = Wᵀ·dY scattered back
+// through col2im. The original direct loops are retained as a reference
+// implementation (forwardDirect/backwardDirect) and the equivalence of the
+// two paths is property-tested across shapes in conv_equiv_test.go.
 type Conv2D struct {
 	C, H, W int // input channels / height / width
 	F, K    int // filters, kernel size
@@ -17,7 +24,19 @@ type Conv2D struct {
 
 	Wt, B *Param
 
+	// direct routes Forward/Backward through the reference direct-loop
+	// implementation instead of im2col+GEMM; tests toggle it to check
+	// numerical equivalence.
+	direct bool
+
 	x *tensor.Matrix // cached input
+
+	// Buffers owned across steps: the im2col scratch for forward and
+	// backward, and the output/input-gradient matrices.
+	cols, dcols *tensor.Matrix
+	y, dx       *tensor.Matrix
+
+	wView, dwView, yView, dyView tensor.Matrix // header-only GEMM views
 }
 
 // OutH returns the output height.
@@ -42,20 +61,74 @@ func NewConv2D(name string, channels, height, width, filters, kernel, pad int, r
 	return c
 }
 
-// at reads the padded input pixel (zero outside bounds).
-func (c *Conv2D) at(row tensor.Vector, ch, y, x int) float64 {
-	if y < 0 || y >= c.H || x < 0 || x >= c.W {
-		return 0
-	}
-	return row[ch*c.H*c.W+y*c.W+x]
-}
-
-// Forward computes the direct convolution.
+// Forward computes the convolution: im2col + GEMM per sample, plus the
+// bias broadcast. The returned matrix is owned by the layer and reused on
+// the next call.
 func (c *Conv2D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	if x.Cols != c.C*c.H*c.W {
 		panic("nn: Conv2D input width mismatch")
 	}
 	c.x = x
+	if c.direct {
+		return c.forwardDirect(x)
+	}
+	oh, ow := c.OutH(), c.OutW()
+	ohow := oh * ow
+	ckk := c.C * c.K * c.K
+	c.y = tensor.EnsureMatrix(c.y, x.Rows, c.F*ohow)
+	c.cols = tensor.EnsureMatrix(c.cols, ckk, ohow)
+	w := c.wView.View(c.Wt.Data, c.F, ckk)
+	for n := 0; n < x.Rows; n++ {
+		tensor.Im2Col(c.cols, x.Row(n), c.C, c.H, c.W, c.K, c.Pad)
+		tensor.MatMul(c.yView.View(c.y.Row(n), c.F, ohow), w, c.cols)
+		out := c.y.Row(n)
+		for f := 0; f < c.F; f++ {
+			bias := c.B.Data[f]
+			seg := out[f*ohow : (f+1)*ohow]
+			for i := range seg {
+				seg[i] += bias
+			}
+		}
+	}
+	return c.y
+}
+
+// Backward accumulates filter/bias gradients and returns the input
+// gradient (owned by the layer, reused on the next call).
+func (c *Conv2D) Backward(grad *tensor.Matrix) *tensor.Matrix {
+	if c.direct {
+		return c.backwardDirect(grad)
+	}
+	oh, ow := c.OutH(), c.OutW()
+	ohow := oh * ow
+	ckk := c.C * c.K * c.K
+	c.dx = tensor.EnsureMatrix(c.dx, c.x.Rows, c.x.Cols)
+	c.dx.Zero() // col2im accumulates into its target row
+	c.cols = tensor.EnsureMatrix(c.cols, ckk, ohow)
+	c.dcols = tensor.EnsureMatrix(c.dcols, ckk, ohow)
+	w := c.wView.View(c.Wt.Data, c.F, ckk)
+	dw := c.dwView.View(c.Wt.Grad, c.F, ckk)
+	for n := 0; n < c.x.Rows; n++ {
+		dout := grad.Row(n)
+		for f := 0; f < c.F; f++ {
+			var s float64
+			for _, g := range dout[f*ohow : (f+1)*ohow] {
+				s += g
+			}
+			c.B.Grad[f] += s
+		}
+		dy := c.dyView.View(dout, c.F, ohow)
+		tensor.Im2Col(c.cols, c.x.Row(n), c.C, c.H, c.W, c.K, c.Pad)
+		tensor.MatMulABTAcc(dw, dy, c.cols)
+		tensor.MatMulATB(c.dcols, w, dy)
+		tensor.Col2Im(c.dx.Row(n), c.dcols, c.C, c.H, c.W, c.K, c.Pad)
+	}
+	return c.dx
+}
+
+// forwardDirect is the reference direct convolution the GEMM path is
+// validated against.
+func (c *Conv2D) forwardDirect(x *tensor.Matrix) *tensor.Matrix {
 	oh, ow := c.OutH(), c.OutW()
 	y := tensor.NewMatrix(x.Rows, c.F*oh*ow)
 	for n := 0; n < x.Rows; n++ {
@@ -90,9 +163,8 @@ func (c *Conv2D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	return y
 }
 
-// Backward accumulates filter/bias gradients and returns the input
-// gradient.
-func (c *Conv2D) Backward(grad *tensor.Matrix) *tensor.Matrix {
+// backwardDirect is the reference direct backward pass.
+func (c *Conv2D) backwardDirect(grad *tensor.Matrix) *tensor.Matrix {
 	oh, ow := c.OutH(), c.OutW()
 	dx := tensor.NewMatrix(c.x.Rows, c.x.Cols)
 	for n := 0; n < c.x.Rows; n++ {
@@ -143,6 +215,7 @@ type MaxPool2D struct {
 
 	argmax []int // flat input index chosen per output element
 	inCols int
+	y, dx  *tensor.Matrix // owned buffers reused across steps
 }
 
 // NewMaxPool2D builds a pool layer for the given input geometry.
@@ -167,7 +240,8 @@ func (m *MaxPool2D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	}
 	oh, ow := m.OutH(), m.OutW()
 	m.inCols = x.Cols
-	y := tensor.NewMatrix(x.Rows, m.C*oh*ow)
+	m.y = tensor.EnsureMatrix(m.y, x.Rows, m.C*oh*ow)
+	y := m.y
 	if cap(m.argmax) < x.Rows*y.Cols {
 		m.argmax = make([]int, x.Rows*y.Cols)
 	}
@@ -201,15 +275,16 @@ func (m *MaxPool2D) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 
 // Backward routes each output gradient to the winning input position.
 func (m *MaxPool2D) Backward(grad *tensor.Matrix) *tensor.Matrix {
-	dx := tensor.NewMatrix(grad.Rows, m.inCols)
+	m.dx = tensor.EnsureMatrix(m.dx, grad.Rows, m.inCols)
+	m.dx.Zero()
 	for n := 0; n < grad.Rows; n++ {
 		dout := grad.Row(n)
-		din := dx.Row(n)
+		din := m.dx.Row(n)
 		for oi, g := range dout {
 			din[m.argmax[n*grad.Cols+oi]] += g
 		}
 	}
-	return dx
+	return m.dx
 }
 
 // Params returns nil; pooling has no parameters.

@@ -12,6 +12,12 @@ type Dense struct {
 	W, B    *Param
 
 	x *tensor.Matrix // cached input for backward
+
+	// Buffers owned across steps (the steady-state training step
+	// allocates nothing): output, input gradient, bias-grad scratch.
+	y, dx         *tensor.Matrix
+	db            tensor.Vector
+	wView, dwView tensor.Matrix
 }
 
 // NewDense builds a Dense layer with He-initialized weights (suited to the
@@ -31,29 +37,26 @@ func NewDense(name string, in, out int, rng *tensor.RNG) *Dense {
 // Forward computes x·W + b.
 func (d *Dense) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	d.x = x
-	w := matView(d.W.Data, d.In, d.Out)
-	y := tensor.NewMatrix(x.Rows, d.Out)
-	tensor.MatMul(y, x, w)
-	y.AddRowVector(d.B.Data)
-	return y
+	w := d.wView.View(d.W.Data, d.In, d.Out)
+	d.y = tensor.EnsureMatrix(d.y, x.Rows, d.Out)
+	tensor.MatMul(d.y, x, w)
+	d.y.AddRowVector(d.B.Data)
+	return d.y
 }
 
 // Backward accumulates dW = xᵀ·dy and db = column sums of dy, and returns
 // dx = dy·Wᵀ.
 func (d *Dense) Backward(grad *tensor.Matrix) *tensor.Matrix {
-	dw := matView(d.W.Grad, d.In, d.Out)
-	dwLocal := tensor.NewMatrix(d.In, d.Out)
-	tensor.MatMulATB(dwLocal, d.x, grad)
-	dw.Data.Add(dwLocal.Data)
+	tensor.MatMulATBAcc(d.dwView.View(d.W.Grad, d.In, d.Out), d.x, grad)
 
-	db := tensor.NewVector(d.Out)
-	grad.SumColumns(db)
-	d.B.Grad.Add(db)
+	d.db = tensor.EnsureVector(d.db, d.Out)
+	grad.SumColumns(d.db)
+	d.B.Grad.Add(d.db)
 
-	w := matView(d.W.Data, d.In, d.Out)
-	dx := tensor.NewMatrix(grad.Rows, d.In)
-	tensor.MatMulABT(dx, grad, w)
-	return dx
+	w := d.wView.View(d.W.Data, d.In, d.Out)
+	d.dx = tensor.EnsureMatrix(d.dx, grad.Rows, d.In)
+	tensor.MatMulABT(d.dx, grad, w)
+	return d.dx
 }
 
 // Params returns the weight and bias parameters.

@@ -15,7 +15,8 @@ type Embedding struct {
 	Vocab, T, D int
 	Table       *Param
 
-	ids []int // cached token ids of the last batch
+	ids   []int // cached token ids of the last batch
+	y, dx *tensor.Matrix
 }
 
 // NewEmbedding builds an embedding table with N(0, 1/√D) initialization.
@@ -33,7 +34,8 @@ func (e *Embedding) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	if x.Cols != e.T {
 		panic("nn: Embedding sequence length mismatch")
 	}
-	y := tensor.NewMatrix(x.Rows, e.T*e.D)
+	e.y = tensor.EnsureMatrix(e.y, x.Rows, e.T*e.D)
+	y := e.y
 	if cap(e.ids) < x.Rows*e.T {
 		e.ids = make([]int, x.Rows*e.T)
 	}
@@ -63,7 +65,9 @@ func (e *Embedding) Backward(grad *tensor.Matrix) *tensor.Matrix {
 			e.Table.Grad[id*e.D : (id+1)*e.D].Add(g[t*e.D : (t+1)*e.D])
 		}
 	}
-	return tensor.NewMatrix(grad.Rows, e.T)
+	e.dx = tensor.EnsureMatrix(e.dx, grad.Rows, e.T)
+	e.dx.Zero()
+	return e.dx
 }
 
 // Params returns the embedding table.
@@ -74,6 +78,7 @@ func (e *Embedding) Params() []*Param { return []*Param{e.Table} }
 type PositionalEncoding struct {
 	T, D int
 	pe   tensor.Vector // precomputed T·D signal
+	y    *tensor.Matrix
 }
 
 // NewPositionalEncoding precomputes the encoding for the given geometry.
@@ -97,11 +102,12 @@ func (p *PositionalEncoding) Forward(x *tensor.Matrix, train bool) *tensor.Matri
 	if x.Cols != p.T*p.D {
 		panic("nn: PositionalEncoding width mismatch")
 	}
-	y := x.Clone()
-	for n := 0; n < y.Rows; n++ {
-		y.Row(n).Add(p.pe)
+	p.y = tensor.EnsureMatrix(p.y, x.Rows, x.Cols)
+	p.y.Data.CopyFrom(x.Data)
+	for n := 0; n < p.y.Rows; n++ {
+		p.y.Row(n).Add(p.pe)
 	}
-	return y
+	return p.y
 }
 
 // Backward is the identity (the signal is constant).
@@ -117,6 +123,8 @@ func (p *PositionalEncoding) Params() []*Param { return nil }
 type Positionwise struct {
 	T     int
 	Inner Layer
+
+	xView, yView, gView, dxView tensor.Matrix // reusable reshape headers
 }
 
 // NewPositionwise wraps inner to run per position of a T-long sequence.
@@ -129,16 +137,16 @@ func NewPositionwise(seqLen int, inner Layer) *Positionwise {
 func (p *Positionwise) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	n := x.Rows
 	d := x.Cols / p.T
-	y := p.Inner.Forward(x.Reshape(n*p.T, d), train)
-	return y.Reshape(n, p.T*y.Cols)
+	y := p.Inner.Forward(p.xView.View(x.Data, n*p.T, d), train)
+	return p.yView.View(y.Data, n, p.T*y.Cols)
 }
 
 // Backward mirrors Forward's reshaping.
 func (p *Positionwise) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	n := grad.Rows
 	d := grad.Cols / p.T
-	dx := p.Inner.Backward(grad.Reshape(n*p.T, d))
-	return dx.Reshape(n, p.T*dx.Cols)
+	dx := p.Inner.Backward(p.gView.View(grad.Data, n*p.T, d))
+	return p.dxView.View(dx.Data, n, p.T*dx.Cols)
 }
 
 // Params returns the inner layer's parameters.
@@ -150,6 +158,8 @@ func (p *Positionwise) Params() []*Param { return p.Inner.Params() }
 // contrast the paper leans on (its §IV-C).
 type Residual struct {
 	Inner Layer
+
+	y, dx *tensor.Matrix // owned buffers reused across steps
 }
 
 // NewResidual wraps inner with an identity skip connection.
@@ -161,17 +171,19 @@ func (r *Residual) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	if y.Rows != x.Rows || y.Cols != x.Cols {
 		panic("nn: Residual inner layer must preserve shape")
 	}
-	out := y.Clone()
-	out.Data.Add(x.Data)
-	return out
+	r.y = tensor.EnsureMatrix(r.y, x.Rows, x.Cols)
+	r.y.Data.CopyFrom(y.Data)
+	r.y.Data.Add(x.Data)
+	return r.y
 }
 
 // Backward sums the skip and inner gradients.
 func (r *Residual) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	dx := r.Inner.Backward(grad)
-	out := dx.Clone()
-	out.Data.Add(grad.Data)
-	return out
+	r.dx = tensor.EnsureMatrix(r.dx, grad.Rows, grad.Cols)
+	r.dx.Data.CopyFrom(dx.Data)
+	r.dx.Data.Add(grad.Data)
+	return r.dx
 }
 
 // Params returns the inner layer's parameters.

@@ -15,12 +15,23 @@ type SoftmaxCrossEntropy struct{}
 // Loss returns the mean cross-entropy over rows, the number of rows whose
 // argmax equals the label, and the gradient of the mean loss with respect
 // to the logits: (softmax − onehot)/rows.
-func (SoftmaxCrossEntropy) Loss(logits *tensor.Matrix, labels []int) (loss float64, correct int, grad *tensor.Matrix) {
+func (l SoftmaxCrossEntropy) Loss(logits *tensor.Matrix, labels []int) (loss float64, correct int, grad *tensor.Matrix) {
+	grad = tensor.NewMatrix(logits.Rows, logits.Cols)
+	loss, correct = l.LossInto(grad, logits, labels)
+	return loss, correct, grad
+}
+
+// LossInto is Loss writing the logit gradient into a caller-owned matrix
+// (shape rows × cols of the logits), the allocation-free form the training
+// step uses.
+func (SoftmaxCrossEntropy) LossInto(grad, logits *tensor.Matrix, labels []int) (loss float64, correct int) {
 	if len(labels) != logits.Rows {
 		panic("nn: label count must equal logit rows")
 	}
+	if grad.Rows != logits.Rows || grad.Cols != logits.Cols {
+		panic("nn: loss gradient shape mismatch")
+	}
 	n := logits.Rows
-	grad = tensor.NewMatrix(n, logits.Cols)
 	invN := 1 / float64(n)
 	for i := 0; i < n; i++ {
 		row := logits.Row(i)
@@ -47,7 +58,7 @@ func (SoftmaxCrossEntropy) Loss(logits *tensor.Matrix, labels []int) (loss float
 			correct++
 		}
 	}
-	return loss * invN, correct, grad
+	return loss * invN, correct
 }
 
 // EvalLoss computes loss and correct count without building the gradient,

@@ -57,8 +57,9 @@ type FeedForwardNet struct {
 	Seq  *Sequential
 	spec ModelSpec
 
-	loss   SoftmaxCrossEntropy
-	params []*Param
+	loss    SoftmaxCrossEntropy
+	params  []*Param
+	gradBuf *tensor.Matrix // reused loss-gradient buffer
 }
 
 // NewFeedForwardNet wraps a Sequential with its spec, caching the parameter
@@ -77,8 +78,9 @@ func (f *FeedForwardNet) Spec() ModelSpec { return f.spec }
 func (f *FeedForwardNet) ComputeGradients(x *tensor.Matrix, labels []int) (float64, int) {
 	ZeroGrads(f.params)
 	logits := f.Seq.Forward(x, true)
-	loss, correct, grad := f.loss.Loss(logits, labels)
-	f.Seq.Backward(grad)
+	f.gradBuf = tensor.EnsureMatrix(f.gradBuf, logits.Rows, logits.Cols)
+	loss, correct := f.loss.LossInto(f.gradBuf, logits, labels)
+	f.Seq.Backward(f.gradBuf)
 	return loss, correct
 }
 
@@ -94,9 +96,12 @@ func (f *FeedForwardNet) Evaluate(x *tensor.Matrix, labels []int) (float64, int)
 }
 
 // FlattenPositions reshapes (n × T·V) activations into (n·T × V) rows so a
-// per-position head feeds the row-wise loss directly. Pure view; no copies.
+// per-position head feeds the row-wise loss directly. Pure view; no copies
+// (the reshape headers are owned by the layer and reused).
 type FlattenPositions struct {
 	T int
+
+	yView, dxView tensor.Matrix
 }
 
 // NewFlattenPositions returns the reshaping layer.
@@ -104,12 +109,12 @@ func NewFlattenPositions(seqLen int) *FlattenPositions { return &FlattenPosition
 
 // Forward reshapes to one row per position.
 func (f *FlattenPositions) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
-	return x.Reshape(x.Rows*f.T, x.Cols/f.T)
+	return f.yView.View(x.Data, x.Rows*f.T, x.Cols/f.T)
 }
 
 // Backward restores the batch-major shape.
 func (f *FlattenPositions) Backward(grad *tensor.Matrix) *tensor.Matrix {
-	return grad.Reshape(grad.Rows/f.T, grad.Cols*f.T)
+	return f.dxView.View(grad.Data, grad.Rows/f.T, grad.Cols*f.T)
 }
 
 // Params returns nil; reshaping has no parameters.

@@ -150,12 +150,3 @@ func unflatten(ps []*Param, src tensor.Vector, field func(*Param) tensor.Vector)
 		panic(fmt.Sprintf("nn: unflatten length mismatch: params %d, src %d", off, len(src)))
 	}
 }
-
-// matView reinterprets a parameter's flat data as a rows×cols matrix view
-// (shared storage).
-func matView(v tensor.Vector, rows, cols int) *tensor.Matrix {
-	if rows*cols != len(v) {
-		panic(fmt.Sprintf("nn: matView %dx%d over %d elements", rows, cols, len(v)))
-	}
-	return &tensor.Matrix{Rows: rows, Cols: cols, Data: v}
-}

@@ -19,6 +19,7 @@ type LayerNorm struct {
 
 	xhat   *tensor.Matrix
 	invStd tensor.Vector
+	y, dx  *tensor.Matrix // owned buffers reused across steps
 }
 
 // NewLayerNorm builds a LayerNorm over rows of width dim, gain initialized
@@ -39,9 +40,10 @@ func (l *LayerNorm) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	if x.Cols != l.Dim {
 		panic("nn: LayerNorm width mismatch")
 	}
-	y := tensor.NewMatrix(x.Rows, x.Cols)
-	l.xhat = tensor.NewMatrix(x.Rows, x.Cols)
-	l.invStd = tensor.NewVector(x.Rows)
+	l.y = tensor.EnsureMatrix(l.y, x.Rows, x.Cols)
+	y := l.y
+	l.xhat = tensor.EnsureMatrix(l.xhat, x.Rows, x.Cols)
+	l.invStd = tensor.EnsureVector(l.invStd, x.Rows)
 	for i := 0; i < x.Rows; i++ {
 		row := x.Row(i)
 		mu := row.Mean()
@@ -64,7 +66,8 @@ func (l *LayerNorm) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 // dxhat = dy⊙g, plus gain/bias gradient accumulation.
 func (l *LayerNorm) Backward(grad *tensor.Matrix) *tensor.Matrix {
 	n := float64(l.Dim)
-	dx := tensor.NewMatrix(grad.Rows, grad.Cols)
+	l.dx = tensor.EnsureMatrix(l.dx, grad.Rows, grad.Cols)
+	dx := l.dx
 	for i := 0; i < grad.Rows; i++ {
 		dy := grad.Row(i)
 		xh := l.xhat.Row(i)
@@ -98,7 +101,8 @@ type Dropout struct {
 	P   float64
 	rng *tensor.RNG
 
-	mask []float64
+	mask  []float64
+	y, dx *tensor.Matrix // owned buffers reused across steps
 }
 
 // NewDropout builds a Dropout layer with drop probability p in [0, 1).
@@ -112,37 +116,35 @@ func NewDropout(p float64, rng *tensor.RNG) *Dropout {
 // Forward applies the random mask in training mode; identity in eval mode.
 func (d *Dropout) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	if !train || d.P == 0 {
-		d.mask = nil
+		d.mask = d.mask[:0]
 		return x
 	}
-	y := x.Clone()
-	if cap(d.mask) < len(y.Data) {
-		d.mask = make([]float64, len(y.Data))
+	d.y = tensor.EnsureMatrix(d.y, x.Rows, x.Cols)
+	if cap(d.mask) < len(x.Data) {
+		d.mask = make([]float64, len(x.Data))
 	}
-	d.mask = d.mask[:len(y.Data)]
+	d.mask = d.mask[:len(x.Data)]
 	keep := 1 - d.P
 	scale := 1 / keep
-	for i := range y.Data {
+	for i, v := range x.Data {
 		if d.rng.Float64() < keep {
 			d.mask[i] = scale
 		} else {
 			d.mask[i] = 0
 		}
-		y.Data[i] *= d.mask[i]
+		d.y.Data[i] = v * d.mask[i]
 	}
-	return y
+	return d.y
 }
 
 // Backward applies the cached mask (identity if Forward ran in eval mode).
 func (d *Dropout) Backward(grad *tensor.Matrix) *tensor.Matrix {
-	if d.mask == nil {
+	if len(d.mask) == 0 {
 		return grad
 	}
-	dx := grad.Clone()
-	for i := range dx.Data {
-		dx.Data[i] *= d.mask[i]
-	}
-	return dx
+	d.dx = tensor.EnsureMatrix(d.dx, grad.Rows, grad.Cols)
+	tensor.Mul(d.dx.Data, grad.Data, tensor.Vector(d.mask))
+	return d.dx
 }
 
 // Params returns nil; Dropout has no parameters.

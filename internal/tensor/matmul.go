@@ -10,6 +10,48 @@ import (
 // for the small matrices that dominate unit tests.
 const parallelThreshold = 16 * 1024
 
+// The three MatMul variants share a pair of register-blocked micro-kernels:
+// axpy4 (dst += a0·u0 + a1·u1 + a2·u2 + a3·u3) amortizes the load/store of
+// the destination row over four source rows, and dot4 computes four
+// independent dot products in one pass over the shared operand. Both break
+// the single-accumulator dependency chain of the naive loops, which is what
+// bounds throughput on the scalar float64 pipeline.
+
+// axpy4 computes dst += a0*u0 + a1*u1 + a2*u2 + a3*u3 element-wise. All
+// slices must have len(dst) elements.
+func axpy4(dst Vector, a0 float64, u0 Vector, a1 float64, u1 Vector, a2 float64, u2 Vector, a3 float64, u3 Vector) {
+	if haveFMA {
+		fmaAxpy4(dst, u0[:len(dst)], u1[:len(dst)], u2[:len(dst)], u3[:len(dst)], a0, a1, a2, a3)
+		return
+	}
+	u0 = u0[:len(dst)]
+	u1 = u1[:len(dst)]
+	u2 = u2[:len(dst)]
+	u3 = u3[:len(dst)]
+	for j := range dst {
+		dst[j] += a0*u0[j] + a1*u1[j] + a2*u2[j] + a3*u3[j]
+	}
+}
+
+// dot4 returns the four dot products of a against b0..b3 in one pass over
+// a. All slices must have len(a) elements.
+func dot4(a, b0, b1, b2, b3 Vector) (s0, s1, s2, s3 float64) {
+	if haveFMA {
+		return fmaDot4(a, b0[:len(a)], b1[:len(a)], b2[:len(a)], b3[:len(a)])
+	}
+	b0 = b0[:len(a)]
+	b1 = b1[:len(a)]
+	b2 = b2[:len(a)]
+	b3 = b3[:len(a)]
+	for j, x := range a {
+		s0 += x * b0[j]
+		s1 += x * b1[j]
+		s2 += x * b2[j]
+		s3 += x * b3[j]
+	}
+	return
+}
+
 // MatMul computes dst = a × b. Shapes must satisfy a.Cols == b.Rows,
 // dst.Rows == a.Rows and dst.Cols == b.Cols; it panics otherwise. Large
 // products are partitioned row-wise across GOMAXPROCS goroutines; each
@@ -19,31 +61,55 @@ func MatMul(dst, a, b *Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic("tensor: MatMul shape mismatch")
 	}
-	work := func(lo, hi int) {
-		// i-k-j loop order streams through b row-wise, which is
-		// cache-friendly for row-major storage.
-		for i := lo; i < hi; i++ {
-			out := dst.Row(i)
-			out.Zero()
-			arow := a.Row(i)
-			for k, av := range arow {
-				if av == 0 {
-					continue
-				}
+	// The serial fast path calls the range kernel directly: routing it
+	// through a closure would heap-allocate the capture on every call,
+	// which the zero-allocation training step cannot afford.
+	if maxProcsFor(dst.Rows*dst.Cols) == 1 || dst.Rows < 2 {
+		matMulRange(dst, a, b, 0, dst.Rows)
+		return
+	}
+	parallelRows(dst.Rows, dst.Cols, func(lo, hi int) { matMulRange(dst, a, b, lo, hi) })
+}
+
+// matMulRange computes output rows [lo, hi) of dst = a × b. The i-k-j loop
+// order streams through b row-wise, which is cache-friendly for row-major
+// storage; the k dimension is blocked by four so each pass over the output
+// row carries four fused multiply-adds.
+func matMulRange(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		out := dst.Row(i)
+		out.Zero()
+		arow := a.Row(i)
+		k := 0
+		for ; k+4 <= len(arow); k += 4 {
+			axpy4(out,
+				arow[k], b.Row(k),
+				arow[k+1], b.Row(k+1),
+				arow[k+2], b.Row(k+2),
+				arow[k+3], b.Row(k+3))
+		}
+		for ; k < len(arow); k++ {
+			if av := arow[k]; av != 0 {
 				out.Axpy(av, b.Row(k))
 			}
 		}
 	}
-	parallelRows(dst.Rows, dst.Cols, work)
 }
 
 // MatMulATB computes dst = aᵀ × b without materializing the transpose.
 // Shapes: a is (n × p), b is (n × q), dst is (p × q).
 func MatMulATB(dst, a, b *Matrix) {
+	dst.Zero()
+	MatMulATBAcc(dst, a, b)
+}
+
+// MatMulATBAcc computes dst += aᵀ × b: the accumulating form layers use to
+// fold weight gradients straight into the Param.Grad accumulators without a
+// private scratch matrix and the extra zero+add passes it would cost.
+func MatMulATBAcc(dst, a, b *Matrix) {
 	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
 		panic("tensor: MatMulATB shape mismatch")
 	}
-	dst.Zero()
 	// Accumulate outer products row by row of the shared n dimension.
 	// Parallelizing over dst rows requires a transposed access pattern;
 	// instead we chunk the n dimension per goroutine into private
@@ -80,8 +146,19 @@ func MatMulATB(dst, a, b *Matrix) {
 	}
 }
 
+// accumulateATB adds aᵀ×b restricted to shared-dimension rows [lo, hi) into
+// dst. The n dimension is blocked by four: each pass over a dst row fuses
+// the contributions of four samples, amortizing the dst load/store.
 func accumulateATB(dst, a, b *Matrix, lo, hi int) {
-	for n := lo; n < hi; n++ {
+	n := lo
+	for ; n+4 <= hi; n += 4 {
+		a0, a1, a2, a3 := a.Row(n), a.Row(n+1), a.Row(n+2), a.Row(n+3)
+		b0, b1, b2, b3 := b.Row(n), b.Row(n+1), b.Row(n+2), b.Row(n+3)
+		for i := range a0 {
+			axpy4(dst.Row(i), a0[i], b0, a1[i], b1, a2[i], b2, a3[i], b3)
+		}
+	}
+	for ; n < hi; n++ {
 		arow := a.Row(n)
 		brow := b.Row(n)
 		for i, av := range arow {
@@ -96,19 +173,53 @@ func accumulateATB(dst, a, b *Matrix, lo, hi int) {
 // MatMulABT computes dst = a × bᵀ without materializing the transpose.
 // Shapes: a is (n × p), b is (q × p), dst is (n × q).
 func MatMulABT(dst, a, b *Matrix) {
+	matMulABT(dst, a, b, false)
+}
+
+// MatMulABTAcc computes dst += a × bᵀ (see MatMulATBAcc for why the
+// accumulating forms exist).
+func MatMulABTAcc(dst, a, b *Matrix) {
+	matMulABT(dst, a, b, true)
+}
+
+func matMulABT(dst, a, b *Matrix, acc bool) {
 	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic("tensor: MatMulABT shape mismatch")
 	}
-	work := func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			out := dst.Row(i)
-			for j := 0; j < b.Rows; j++ {
+	if maxProcsFor(dst.Rows*dst.Cols) == 1 || dst.Rows < 2 {
+		matMulABTRange(dst, a, b, 0, dst.Rows, acc)
+		return
+	}
+	parallelRows(dst.Rows, dst.Cols, func(lo, hi int) { matMulABTRange(dst, a, b, lo, hi, acc) })
+}
+
+// matMulABTRange computes output rows [lo, hi) of dst = a × bᵀ, four dot
+// products per pass over the shared a row.
+func matMulABTRange(dst, a, b *Matrix, lo, hi int, acc bool) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		out := dst.Row(i)
+		j := 0
+		for ; j+4 <= b.Rows; j += 4 {
+			s0, s1, s2, s3 := dot4(arow,
+				b.Row(j), b.Row(j+1), b.Row(j+2), b.Row(j+3))
+			if acc {
+				out[j] += s0
+				out[j+1] += s1
+				out[j+2] += s2
+				out[j+3] += s3
+			} else {
+				out[j], out[j+1], out[j+2], out[j+3] = s0, s1, s2, s3
+			}
+		}
+		for ; j < b.Rows; j++ {
+			if acc {
+				out[j] += arow.Dot(b.Row(j))
+			} else {
 				out[j] = arow.Dot(b.Row(j))
 			}
 		}
 	}
-	parallelRows(dst.Rows, dst.Cols, work)
 }
 
 // parallelRows splits [0, rows) across goroutines when the output is large

@@ -18,6 +18,31 @@ func NewMatrix(rows, cols int) *Matrix {
 	return &Matrix{Rows: rows, Cols: cols, Data: NewVector(rows * cols)}
 }
 
+// EnsureMatrix returns a rows×cols matrix, reusing m's backing storage when
+// it has enough capacity and allocating a fresh one otherwise. Contents are
+// unspecified; callers that need zeroes must call Zero. This is the buffer
+// hook behind the allocation-free training step: layers keep their output
+// and gradient matrices across iterations and re-shape them per batch.
+func EnsureMatrix(m *Matrix, rows, cols int) *Matrix {
+	n := rows * cols
+	if m == nil || cap(m.Data) < n {
+		return NewMatrix(rows, cols)
+	}
+	m.Rows, m.Cols, m.Data = rows, cols, m.Data[:n]
+	return m
+}
+
+// View overwrites m's header in place to be a rows×cols view over data
+// (shared storage) and returns m. Unlike Reshape it allocates nothing, so
+// hot paths can keep a view struct alive across iterations.
+func (m *Matrix) View(data Vector, rows, cols int) *Matrix {
+	if rows*cols != len(data) {
+		panic(fmt.Sprintf("tensor: View %dx%d over %d elements", rows, cols, len(data)))
+	}
+	m.Rows, m.Cols, m.Data = rows, cols, data
+	return m
+}
+
 // FromRows builds a matrix whose i-th row is rows[i]. All rows must share
 // one length; it panics otherwise or when rows is empty.
 func FromRows(rows []Vector) *Matrix {

@@ -1,0 +1,73 @@
+//go:build amd64
+
+package tensor
+
+// AVX2+FMA implementations of the four GEMM micro-kernels, selected at
+// startup by CPUID. The pure-Go bodies in vector.go/matmul.go remain the
+// portable fallback (and the reference the SIMD path is tested against in
+// simd_test.go). FMA contracts the multiply-add rounding step, so the SIMD
+// and generic paths differ in the last ulps; every replica in a simulated
+// cluster runs the same path, so cross-replica determinism is unaffected.
+
+// haveFMA reports whether the CPU and OS support the AVX2+FMA kernels.
+var haveFMA = detectFMA()
+
+func detectFMA() bool {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	const (
+		cpuFMA     = 1 << 12
+		cpuOSXSAVE = 1 << 27
+		cpuAVX     = 1 << 28
+		cpuAVX2    = 1 << 5 // leaf 7 EBX
+	)
+	_, _, ecx, _ := cpuidex(1, 0)
+	if ecx&cpuFMA == 0 || ecx&cpuOSXSAVE == 0 || ecx&cpuAVX == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE) and 2 (AVX): the OS must save/restore ymm state.
+	xcr0, _ := xgetbv0()
+	if xcr0&0x6 != 0x6 {
+		return false
+	}
+	_, ebx, _, _ := cpuidex(7, 0)
+	return ebx&cpuAVX2 != 0
+}
+
+// cpuidex executes CPUID with the given leaf and subleaf.
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads extended control register 0.
+func xgetbv0() (eax, edx uint32)
+
+// fmaDot returns <a, b> over len(a) elements; len(b) must be >= len(a).
+//
+//go:noescape
+func fmaDot(a, b Vector) float64
+
+// fmaAxpy computes dst += alpha*u over len(dst) elements.
+//
+//go:noescape
+func fmaAxpy(alpha float64, dst, u Vector)
+
+// fmaDot4 returns the dot products of a against b0..b3 in one pass.
+//
+//go:noescape
+func fmaDot4(a, b0, b1, b2, b3 Vector) (s0, s1, s2, s3 float64)
+
+// fmaAxpy4 computes dst += a0*u0 + a1*u1 + a2*u2 + a3*u3.
+//
+//go:noescape
+func fmaAxpy4(dst, u0, u1, u2, u3 Vector, a0, a1, a2, a3 float64)
+
+// fmaMul computes dst = a ⊙ b over len(dst) elements.
+//
+//go:noescape
+func fmaMul(dst, a, b Vector)
+
+// fmaRelu writes y = max(x, 0) and mask = 1 where x > 0 (else 0).
+//
+//go:noescape
+func fmaRelu(y, mask, x Vector)

@@ -1,0 +1,295 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX2+FMA micro-kernels. All kernels iterate eight float64s (two ymm
+// registers) per step with scalar tails, and issue VZEROUPPER before
+// returning so the surrounding SSE-encoded Go code pays no transition
+// penalty. Bounds are the caller's responsibility (the Go wrappers in
+// vector.go/matmul.go slice operands to a common length first).
+
+// func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func fmaDot(a, b Vector) float64
+TEXT ·fmaDot(SB), NOSPLIT, $0-56
+	MOVQ a_base+0(FP), DI
+	MOVQ a_len+8(FP), CX
+	MOVQ b_base+24(FP), SI
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+dot_loop8:
+	CMPQ AX, DX
+	JGE  dot_fold
+	VMOVUPD (DI)(AX*8), Y2
+	VMOVUPD 32(DI)(AX*8), Y3
+	VFMADD231PD (SI)(AX*8), Y2, Y0
+	VFMADD231PD 32(SI)(AX*8), Y3, Y1
+	ADDQ $8, AX
+	JMP  dot_loop8
+dot_fold:
+	// Reduce to a scalar in X0 lane 0 BEFORE the tail: scalar VEX FMAs
+	// write the xmm register and zero ymm bits 128-255, so the packed
+	// accumulator must already be folded down when the tail runs.
+	VADDPD Y1, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD X1, X0, X0
+	VHADDPD X0, X0, X0
+dot_tail:
+	CMPQ AX, CX
+	JGE  dot_done
+	VMOVSD (DI)(AX*8), X2
+	VFMADD231SD (SI)(AX*8), X2, X0
+	INCQ AX
+	JMP  dot_tail
+dot_done:
+	VMOVSD X0, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// func fmaAxpy(alpha float64, dst, u Vector)
+TEXT ·fmaAxpy(SB), NOSPLIT, $0-56
+	VBROADCASTSD alpha+0(FP), Y4
+	MOVQ dst_base+8(FP), DI
+	MOVQ dst_len+16(FP), CX
+	MOVQ u_base+32(FP), SI
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+axpy_loop8:
+	CMPQ AX, DX
+	JGE  axpy_tail
+	VMOVUPD (DI)(AX*8), Y0
+	VMOVUPD 32(DI)(AX*8), Y1
+	VFMADD231PD (SI)(AX*8), Y4, Y0
+	VFMADD231PD 32(SI)(AX*8), Y4, Y1
+	VMOVUPD Y0, (DI)(AX*8)
+	VMOVUPD Y1, 32(DI)(AX*8)
+	ADDQ $8, AX
+	JMP  axpy_loop8
+axpy_tail:
+	CMPQ AX, CX
+	JGE  axpy_done
+	VMOVSD (DI)(AX*8), X0
+	VFMADD231SD (SI)(AX*8), X4, X0
+	VMOVSD X0, (DI)(AX*8)
+	INCQ AX
+	JMP  axpy_tail
+axpy_done:
+	VZEROUPPER
+	RET
+
+// func fmaDot4(a, b0, b1, b2, b3 Vector) (s0, s1, s2, s3 float64)
+TEXT ·fmaDot4(SB), NOSPLIT, $0-152
+	MOVQ a_base+0(FP), DI
+	MOVQ a_len+8(FP), CX
+	MOVQ b0_base+24(FP), SI
+	MOVQ b1_base+48(FP), R8
+	MOVQ b2_base+72(FP), R9
+	MOVQ b3_base+96(FP), R10
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+dot4_loop8:
+	CMPQ AX, DX
+	JGE  dot4_fold
+	VMOVUPD (DI)(AX*8), Y8
+	VMOVUPD 32(DI)(AX*8), Y9
+	VFMADD231PD (SI)(AX*8), Y8, Y0
+	VFMADD231PD 32(SI)(AX*8), Y9, Y4
+	VFMADD231PD (R8)(AX*8), Y8, Y1
+	VFMADD231PD 32(R8)(AX*8), Y9, Y5
+	VFMADD231PD (R9)(AX*8), Y8, Y2
+	VFMADD231PD 32(R9)(AX*8), Y9, Y6
+	VFMADD231PD (R10)(AX*8), Y8, Y3
+	VFMADD231PD 32(R10)(AX*8), Y9, Y7
+	ADDQ $8, AX
+	JMP  dot4_loop8
+dot4_fold:
+	// Fold the odd-block accumulators and horizontally reduce each lane
+	// set to a scalar BEFORE the tail (see fmaDot: scalar VEX FMAs zero
+	// ymm bits 128-255 of their destination).
+	VADDPD Y4, Y0, Y0
+	VADDPD Y5, Y1, Y1
+	VADDPD Y6, Y2, Y2
+	VADDPD Y7, Y3, Y3
+	VEXTRACTF128 $1, Y0, X8
+	VADDPD X8, X0, X0
+	VHADDPD X0, X0, X0
+	VEXTRACTF128 $1, Y1, X8
+	VADDPD X8, X1, X1
+	VHADDPD X1, X1, X1
+	VEXTRACTF128 $1, Y2, X8
+	VADDPD X8, X2, X2
+	VHADDPD X2, X2, X2
+	VEXTRACTF128 $1, Y3, X8
+	VADDPD X8, X3, X3
+	VHADDPD X3, X3, X3
+dot4_tail:
+	CMPQ AX, CX
+	JGE  dot4_done
+	VMOVSD (DI)(AX*8), X8
+	VFMADD231SD (SI)(AX*8), X8, X0
+	VFMADD231SD (R8)(AX*8), X8, X1
+	VFMADD231SD (R9)(AX*8), X8, X2
+	VFMADD231SD (R10)(AX*8), X8, X3
+	INCQ AX
+	JMP  dot4_tail
+dot4_done:
+	VMOVSD X0, s0+120(FP)
+	VMOVSD X1, s1+128(FP)
+	VMOVSD X2, s2+136(FP)
+	VMOVSD X3, s3+144(FP)
+	VZEROUPPER
+	RET
+
+// func fmaAxpy4(dst, u0, u1, u2, u3 Vector, a0, a1, a2, a3 float64)
+TEXT ·fmaAxpy4(SB), NOSPLIT, $0-152
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ u0_base+24(FP), SI
+	MOVQ u1_base+48(FP), R8
+	MOVQ u2_base+72(FP), R9
+	MOVQ u3_base+96(FP), R10
+	VBROADCASTSD a0+120(FP), Y4
+	VBROADCASTSD a1+128(FP), Y5
+	VBROADCASTSD a2+136(FP), Y6
+	VBROADCASTSD a3+144(FP), Y7
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+axpy4_loop8:
+	CMPQ AX, DX
+	JGE  axpy4_tail
+	VMOVUPD (DI)(AX*8), Y0
+	VMOVUPD 32(DI)(AX*8), Y1
+	VFMADD231PD (SI)(AX*8), Y4, Y0
+	VFMADD231PD 32(SI)(AX*8), Y4, Y1
+	VFMADD231PD (R8)(AX*8), Y5, Y0
+	VFMADD231PD 32(R8)(AX*8), Y5, Y1
+	VFMADD231PD (R9)(AX*8), Y6, Y0
+	VFMADD231PD 32(R9)(AX*8), Y6, Y1
+	VFMADD231PD (R10)(AX*8), Y7, Y0
+	VFMADD231PD 32(R10)(AX*8), Y7, Y1
+	VMOVUPD Y0, (DI)(AX*8)
+	VMOVUPD Y1, 32(DI)(AX*8)
+	ADDQ $8, AX
+	JMP  axpy4_loop8
+axpy4_tail:
+	CMPQ AX, CX
+	JGE  axpy4_done
+	VMOVSD (DI)(AX*8), X0
+	VFMADD231SD (SI)(AX*8), X4, X0
+	VFMADD231SD (R8)(AX*8), X5, X0
+	VFMADD231SD (R9)(AX*8), X6, X0
+	VFMADD231SD (R10)(AX*8), X7, X0
+	VMOVSD X0, (DI)(AX*8)
+	INCQ AX
+	JMP  axpy4_tail
+axpy4_done:
+	VZEROUPPER
+	RET
+
+// func fmaMul(dst, a, b Vector)
+TEXT ·fmaMul(SB), NOSPLIT, $0-72
+	MOVQ dst_base+0(FP), DI
+	MOVQ dst_len+8(FP), CX
+	MOVQ a_base+24(FP), SI
+	MOVQ b_base+48(FP), R8
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+mul_loop8:
+	CMPQ AX, DX
+	JGE  mul_tail
+	VMOVUPD (SI)(AX*8), Y0
+	VMOVUPD 32(SI)(AX*8), Y1
+	VMULPD (R8)(AX*8), Y0, Y0
+	VMULPD 32(R8)(AX*8), Y1, Y1
+	VMOVUPD Y0, (DI)(AX*8)
+	VMOVUPD Y1, 32(DI)(AX*8)
+	ADDQ $8, AX
+	JMP  mul_loop8
+mul_tail:
+	CMPQ AX, CX
+	JGE  mul_done
+	VMOVSD (SI)(AX*8), X0
+	VMULSD (R8)(AX*8), X0, X0
+	VMOVSD X0, (DI)(AX*8)
+	INCQ AX
+	JMP  mul_tail
+mul_done:
+	VZEROUPPER
+	RET
+
+// func fmaRelu(y, mask, x Vector)
+TEXT ·fmaRelu(SB), NOSPLIT, $0-72
+	MOVQ y_base+0(FP), DI
+	MOVQ y_len+8(FP), CX
+	MOVQ mask_base+24(FP), SI
+	MOVQ x_base+48(FP), R8
+	VXORPD Y1, Y1, Y1            // zeros
+	MOVQ $0x3FF0000000000000, AX // 1.0
+	MOVQ AX, X2
+	VBROADCASTSD X2, Y2          // ones
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+relu_loop8:
+	CMPQ AX, DX
+	JGE  relu_tail
+	VMOVUPD (R8)(AX*8), Y0
+	VMOVUPD 32(R8)(AX*8), Y4
+	VCMPPD $0x1E, Y1, Y0, Y3     // x > 0 (quiet), all-ones lanes
+	VCMPPD $0x1E, Y1, Y4, Y5
+	VANDPD Y0, Y3, Y6            // y = x & (x > 0)
+	VANDPD Y4, Y5, Y7
+	VMOVUPD Y6, (DI)(AX*8)
+	VMOVUPD Y7, 32(DI)(AX*8)
+	VANDPD Y2, Y3, Y6            // mask = 1 & (x > 0)
+	VANDPD Y2, Y5, Y7
+	VMOVUPD Y6, (SI)(AX*8)
+	VMOVUPD Y7, 32(SI)(AX*8)
+	ADDQ $8, AX
+	JMP  relu_loop8
+relu_tail:
+	CMPQ AX, CX
+	JGE  relu_done
+	VMOVSD (R8)(AX*8), X0
+	VCMPSD $0x1E, X1, X0, X3
+	VANDPD X0, X3, X6
+	VMOVSD X6, (DI)(AX*8)
+	VANDPD X2, X3, X6
+	VMOVSD X6, (SI)(AX*8)
+	INCQ AX
+	JMP  relu_tail
+relu_done:
+	VZEROUPPER
+	RET

@@ -1,0 +1,16 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds always take the portable Go kernels; haveFMA is a
+// compile-time false so the SIMD branches fold away.
+const haveFMA = false
+
+func fmaDot(a, b Vector) float64                                { panic("tensor: no SIMD") }
+func fmaAxpy(alpha float64, dst, u Vector)                      { panic("tensor: no SIMD") }
+func fmaDot4(a, b0, b1, b2, b3 Vector) (s0, s1, s2, s3 float64) { panic("tensor: no SIMD") }
+func fmaAxpy4(dst, u0, u1, u2, u3 Vector, a0, a1, a2, a3 float64) {
+	panic("tensor: no SIMD")
+}
+func fmaMul(dst, a, b Vector)   { panic("tensor: no SIMD") }
+func fmaRelu(y, mask, x Vector) { panic("tensor: no SIMD") }

@@ -1,0 +1,107 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// genericDot is the portable four-accumulator dot product, duplicated here
+// as the reference the SIMD kernels are validated against.
+func genericDot(v, u Vector) float64 {
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(v); i += 4 {
+		s0 += v[i] * u[i]
+		s1 += v[i+1] * u[i+1]
+		s2 += v[i+2] * u[i+2]
+		s3 += v[i+3] * u[i+3]
+	}
+	for ; i < len(v); i++ {
+		s0 += v[i] * u[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+func randVec(rng *RNG, n int) Vector {
+	v := NewVector(n)
+	rng.NormVector(v, 0, 1)
+	return v
+}
+
+// relClose compares within the slack FMA contraction and lane reassociation
+// introduce relative to the strictly-ordered reference.
+func relClose(a, b float64) bool {
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff/scale < 1e-12
+}
+
+// TestSIMDKernelsMatchGeneric exercises every kernel across lengths that
+// cover the empty case, pure tails, and full 8-wide blocks plus tails.
+func TestSIMDKernelsMatchGeneric(t *testing.T) {
+	if !haveFMA {
+		t.Skip("no AVX2+FMA on this machine; generic path is the only path")
+	}
+	rng := NewRNG(42)
+	for _, n := range []int{0, 1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 31, 64, 100, 129} {
+		a := randVec(rng, n)
+		bs := [4]Vector{randVec(rng, n), randVec(rng, n), randVec(rng, n), randVec(rng, n)}
+		coef := [4]float64{0.3, -1.7, 2.5, 0.01}
+
+		if got, want := fmaDot(a, bs[0]), genericDot(a, bs[0]); !relClose(got, want) {
+			t.Errorf("fmaDot n=%d: got %g want %g", n, got, want)
+		}
+
+		s0, s1, s2, s3 := fmaDot4(a, bs[0], bs[1], bs[2], bs[3])
+		for i, got := range []float64{s0, s1, s2, s3} {
+			if want := genericDot(a, bs[i]); !relClose(got, want) {
+				t.Errorf("fmaDot4 n=%d lane %d: got %g want %g", n, i, got, want)
+			}
+		}
+
+		dst := randVec(rng, n)
+		want := dst.Clone()
+		fmaAxpy(coef[0], dst, a)
+		for i := range want {
+			want[i] += coef[0] * a[i]
+		}
+		for i := range dst {
+			if !relClose(dst[i], want[i]) {
+				t.Fatalf("fmaAxpy n=%d elem %d: got %g want %g", n, i, dst[i], want[i])
+			}
+		}
+
+		dst = randVec(rng, n)
+		want = dst.Clone()
+		fmaAxpy4(dst, bs[0], bs[1], bs[2], bs[3], coef[0], coef[1], coef[2], coef[3])
+		for i := range want {
+			want[i] += coef[0]*bs[0][i] + coef[1]*bs[1][i] + coef[2]*bs[2][i] + coef[3]*bs[3][i]
+		}
+		for i := range dst {
+			if !relClose(dst[i], want[i]) {
+				t.Fatalf("fmaAxpy4 n=%d elem %d: got %g want %g", n, i, dst[i], want[i])
+			}
+		}
+
+		dst = NewVector(n)
+		fmaMul(dst, a, bs[0])
+		for i := range dst {
+			if dst[i] != a[i]*bs[0][i] {
+				t.Fatalf("fmaMul n=%d elem %d: got %g want %g", n, i, dst[i], a[i]*bs[0][i])
+			}
+		}
+
+		y, mask := NewVector(n), NewVector(n)
+		fmaRelu(y, mask, a)
+		for i, v := range a {
+			wantY, wantM := 0.0, 0.0
+			if v > 0 {
+				wantY, wantM = v, 1
+			}
+			if y[i] != wantY || mask[i] != wantM {
+				t.Fatalf("fmaRelu n=%d elem %d (x=%g): got y=%g mask=%g want y=%g mask=%g",
+					n, i, v, y[i], mask[i], wantY, wantM)
+			}
+		}
+	}
+}

@@ -23,6 +23,15 @@ type Vector []float64
 // NewVector returns a zeroed vector of length n.
 func NewVector(n int) Vector { return make(Vector, n) }
 
+// EnsureVector returns a length-n vector, reusing v's backing storage when
+// it has enough capacity. Contents are unspecified (see EnsureMatrix).
+func EnsureVector(v Vector, n int) Vector {
+	if cap(v) < n {
+		return NewVector(n)
+	}
+	return v[:n]
+}
+
 // Clone returns a deep copy of v.
 func (v Vector) Clone() Vector {
 	c := make(Vector, len(v))
@@ -47,6 +56,10 @@ func (v Vector) Fill(x float64) {
 // Add computes v += u. It panics if the lengths differ.
 func (v Vector) Add(u Vector) {
 	assertSameLen(len(v), len(u), "Add")
+	if haveFMA {
+		fmaAxpy(1, v, u)
+		return
+	}
 	for i, x := range u {
 		v[i] += x
 	}
@@ -55,6 +68,10 @@ func (v Vector) Add(u Vector) {
 // Sub computes v -= u. It panics if the lengths differ.
 func (v Vector) Sub(u Vector) {
 	assertSameLen(len(v), len(u), "Sub")
+	if haveFMA {
+		fmaAxpy(-1, v, u)
+		return
+	}
 	for i, x := range u {
 		v[i] -= x
 	}
@@ -68,31 +85,67 @@ func (v Vector) Scale(a float64) {
 }
 
 // Axpy computes v += a*u (the BLAS axpy kernel). It panics if the lengths
-// differ.
+// differ. The body is unrolled four-wide to help the scalar float64
+// pipeline overlap independent multiply-adds.
 func (v Vector) Axpy(a float64, u Vector) {
 	assertSameLen(len(v), len(u), "Axpy")
-	for i, x := range u {
-		v[i] += a * x
+	if haveFMA {
+		fmaAxpy(a, v, u)
+		return
+	}
+	u = u[:len(v)]
+	i := 0
+	for ; i+4 <= len(v); i += 4 {
+		v[i] += a * u[i]
+		v[i+1] += a * u[i+1]
+		v[i+2] += a * u[i+2]
+		v[i+3] += a * u[i+3]
+	}
+	for ; i < len(v); i++ {
+		v[i] += a * u[i]
 	}
 }
 
 // Dot returns the inner product <v, u>. It panics if the lengths differ.
+// Four independent accumulators break the addition dependency chain that
+// otherwise serializes the reduction at one element per add latency.
 func (v Vector) Dot(u Vector) float64 {
 	assertSameLen(len(v), len(u), "Dot")
-	var s float64
-	for i, x := range v {
-		s += x * u[i]
+	if haveFMA {
+		return fmaDot(v, u)
 	}
-	return s
+	u = u[:len(v)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(v); i += 4 {
+		s0 += v[i] * u[i]
+		s1 += v[i+1] * u[i+1]
+		s2 += v[i+2] * u[i+2]
+		s3 += v[i+3] * u[i+3]
+	}
+	for ; i < len(v); i++ {
+		s0 += v[i] * u[i]
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
-// Norm2 returns the squared L2 norm of v.
+// Norm2 returns the squared L2 norm of v, accumulated four-wide like Dot.
 func (v Vector) Norm2() float64 {
-	var s float64
-	for _, x := range v {
-		s += x * x
+	if haveFMA {
+		return fmaDot(v, v)
 	}
-	return s
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(v); i += 4 {
+		s0 += v[i] * v[i]
+		s1 += v[i+1] * v[i+1]
+		s2 += v[i+2] * v[i+2]
+		s3 += v[i+3] * v[i+3]
+	}
+	for ; i < len(v); i++ {
+		s0 += v[i] * v[i]
+	}
+	return (s0 + s1) + (s2 + s3)
 }
 
 // Norm returns the L2 norm of v.
@@ -204,39 +257,110 @@ func (v Vector) AllFinite() bool {
 	return true
 }
 
+// Mul computes dst = a ⊙ b element-wise. It panics if the lengths differ.
+// This is the masked-gradient kernel of the activation and dropout layers.
+func Mul(dst, a, b Vector) {
+	assertSameLen(len(dst), len(a), "Mul")
+	assertSameLen(len(dst), len(b), "Mul")
+	if haveFMA {
+		fmaMul(dst, a, b)
+		return
+	}
+	a, b = a[:len(dst)], b[:len(dst)]
+	for i := range dst {
+		dst[i] = a[i] * b[i]
+	}
+}
+
+// ReluMask writes y = max(x, 0) and mask = 1 where x > 0 (else 0) in one
+// pass — the branch-free forward of the ReLU layer, whose sign pattern is
+// data-dependent and defeats the branch predictor in scalar form.
+func ReluMask(y, mask, x Vector) {
+	assertSameLen(len(y), len(x), "ReluMask")
+	assertSameLen(len(mask), len(x), "ReluMask")
+	if haveFMA {
+		fmaRelu(y, mask, x)
+		return
+	}
+	for i, v := range x {
+		if v > 0 {
+			y[i] = v
+			mask[i] = 1
+		} else {
+			y[i] = 0
+			mask[i] = 0
+		}
+	}
+}
+
 // Average overwrites dst with the element-wise mean of the given vectors.
 // It panics if vs is empty or the lengths are inconsistent. This is the
 // reduction kernel used by the parameter server for both gradient and
-// parameter aggregation; the iteration order over vs is fixed, so the
+// parameter aggregation. The flat dimension is chunked across GOMAXPROCS
+// goroutines (each owns a disjoint slice of dst, so no synchronization is
+// needed) and the iteration order over vs inside a chunk is fixed, so the
 // floating-point result is deterministic.
 func Average(dst Vector, vs []Vector) {
-	if len(vs) == 0 {
-		panic("tensor: Average of no vectors")
-	}
-	dst.Zero()
-	for _, v := range vs {
-		dst.Add(v)
-	}
-	dst.Scale(1 / float64(len(vs)))
+	weightedCombine(dst, vs, nil, 1/float64(len(vs)))
 }
 
 // WeightedAverage overwrites dst with sum_i w[i]*vs[i] / sum_i w[i].
 // It panics if vs is empty, lengths mismatch, or the weights sum to zero.
+// Like Average it is chunk-parallel over the flat parameter dimension.
 func WeightedAverage(dst Vector, vs []Vector, w []float64) {
-	if len(vs) == 0 || len(vs) != len(w) {
+	if len(vs) != len(w) {
 		panic("tensor: WeightedAverage arity mismatch")
 	}
 	var total float64
 	for _, x := range w {
 		total += x
 	}
-	if total == 0 {
+	if len(vs) > 0 && total == 0 {
 		panic("tensor: WeightedAverage weights sum to zero")
 	}
-	dst.Zero()
-	for i, v := range vs {
-		dst.Axpy(w[i]/total, v)
+	weightedCombine(dst, vs, w, 1/total)
+}
+
+// weightedCombine computes dst = scale * sum_i coef_i * vs[i], with coef_i
+// taken from w (nil means all ones). Work is split into contiguous chunks
+// of the flat dimension; within a chunk, sources are folded four at a time
+// through axpy4 so each pass over the destination carries four inputs.
+func weightedCombine(dst Vector, vs []Vector, w []float64, scale float64) {
+	if len(vs) == 0 {
+		panic("tensor: Average of no vectors")
 	}
+	for _, v := range vs {
+		assertSameLen(len(dst), len(v), "Average")
+	}
+	if maxProcsFor(len(dst)) == 1 {
+		combineRange(dst, vs, w, scale, 0, len(dst))
+		return
+	}
+	parallelRows(len(dst), 1, func(lo, hi int) { combineRange(dst, vs, w, scale, lo, hi) })
+}
+
+// combineRange applies the weighted combination to dst[lo:hi].
+func combineRange(dst Vector, vs []Vector, w []float64, scale float64, lo, hi int) {
+	coef := func(i int) float64 {
+		if w == nil {
+			return 1
+		}
+		return w[i]
+	}
+	d := dst[lo:hi]
+	d.Zero()
+	i := 0
+	for ; i+4 <= len(vs); i += 4 {
+		axpy4(d,
+			coef(i), vs[i][lo:hi],
+			coef(i+1), vs[i+1][lo:hi],
+			coef(i+2), vs[i+2][lo:hi],
+			coef(i+3), vs[i+3][lo:hi])
+	}
+	for ; i < len(vs); i++ {
+		d.Axpy(coef(i), vs[i][lo:hi])
+	}
+	d.Scale(scale)
 }
 
 func assertSameLen(a, b int, op string) {

@@ -27,10 +27,15 @@ type runner struct {
 	injCursors []int
 	injRNG     *tensor.RNG
 
-	evalNet   nn.Network
-	evalFlat  tensor.Vector
-	gradFlat  tensor.Vector
-	snapSteps map[int]bool
+	evalNet  nn.Network
+	evalFlat tensor.Vector
+	gradFlat tensor.Vector
+	flatVecs []tensor.Vector // reused per-worker slots for mean reductions
+	// Per-worker batch buffers reused across steps (workers touch only
+	// their own slot, so computeGrads stays race-free).
+	batchX      []*tensor.Matrix
+	batchLabels [][]int
+	snapSteps   map[int]bool
 
 	bestMetric float64
 	haveBest   bool
@@ -131,8 +136,13 @@ func (r *runner) nextBatches() (batches [][]int, injCost float64) {
 // each worker's clock by its modeled compute time. Per-worker mean losses
 // land in r.losses.
 func (r *runner) computeGrads(batches [][]int) {
+	if r.batchX == nil {
+		r.batchX = make([]*tensor.Matrix, r.cl.N())
+		r.batchLabels = make([][]int, r.cl.N())
+	}
 	r.cl.Each(func(w *cluster.Worker) {
-		x, labels := r.cfg.Train.Batch(batches[w.ID])
+		x, labels := r.cfg.Train.BatchInto(r.batchX[w.ID], r.batchLabels[w.ID], batches[w.ID])
+		r.batchX[w.ID], r.batchLabels[w.ID] = x, labels
 		loss, _ := w.Model.ComputeGradients(x, labels)
 		r.losses[w.ID] = loss
 		w.Clock += w.Device.ComputeTime(simnet.StepFlops(r.spec.FlopsPerSample, len(batches[w.ID])))
@@ -145,20 +155,25 @@ func (r *runner) applyLocal(lr float64) {
 }
 
 // meanParams writes the across-replica mean parameter vector into
-// r.evalFlat and returns it.
+// r.evalFlat and returns it. The per-worker slot list is reused across
+// calls so the reduction allocates nothing in steady state.
 func (r *runner) meanParams() tensor.Vector {
-	vecs := make([]tensor.Vector, r.cl.N())
-	r.cl.Each(func(w *cluster.Worker) { vecs[w.ID] = w.FlatParams() })
-	tensor.Average(r.evalFlat, vecs)
+	if r.flatVecs == nil {
+		r.flatVecs = make([]tensor.Vector, r.cl.N())
+	}
+	r.cl.Each(func(w *cluster.Worker) { r.flatVecs[w.ID] = w.FlatParams() })
+	tensor.Average(r.evalFlat, r.flatVecs)
 	return r.evalFlat
 }
 
 // meanGrads writes the across-replica mean gradient vector into r.gradFlat
 // and returns it.
 func (r *runner) meanGrads() tensor.Vector {
-	vecs := make([]tensor.Vector, r.cl.N())
-	r.cl.Each(func(w *cluster.Worker) { vecs[w.ID] = w.FlatGrads() })
-	tensor.Average(r.gradFlat, vecs)
+	if r.flatVecs == nil {
+		r.flatVecs = make([]tensor.Vector, r.cl.N())
+	}
+	r.cl.Each(func(w *cluster.Worker) { r.flatVecs[w.ID] = w.FlatGrads() })
+	tensor.Average(r.gradFlat, r.flatVecs)
 	return r.gradFlat
 }
 
@@ -260,16 +275,20 @@ func EvaluateDataset(net nn.Network, d *data.Dataset, chunk int) (loss, metric f
 	}
 	var totalLoss float64
 	var totalCorrect, totalRows int
+	// One index buffer and one batch buffer serve every chunk.
+	idx := make([]int, 0, chunk)
+	var x *tensor.Matrix
+	var labels []int
 	for start := 0; start < d.N(); start += chunk {
 		end := start + chunk
 		if end > d.N() {
 			end = d.N()
 		}
-		idx := make([]int, end-start)
-		for i := range idx {
-			idx[i] = start + i
+		idx = idx[:0]
+		for i := start; i < end; i++ {
+			idx = append(idx, i)
 		}
-		x, labels := d.Batch(idx)
+		x, labels = d.BatchInto(x, labels, idx)
 		l, correct := net.Evaluate(x, labels)
 		totalLoss += l * float64(len(labels))
 		totalCorrect += correct
