@@ -23,17 +23,22 @@ import (
 	"testing"
 
 	"selsync"
+	"selsync/internal/cluster"
 	"selsync/internal/nn"
+	"selsync/internal/opt"
 	"selsync/internal/tensor"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (fig1a…table1) or 'all'")
 	scale := flag.String("scale", "tiny", "experiment scale: tiny | quick | full")
+	parallel := flag.Int("parallel", 1, "concurrent training runs across the experiment harness (1 = serial)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
-	steps := flag.Bool("steps", false, "run the four zoo step benchmarks and write machine-readable results")
+	steps := flag.Bool("steps", false, "run the zoo step, sync-round and optimizer benchmarks and write machine-readable results")
 	stepsOut := flag.String("stepsout", "BENCH_step.json", "output path for -steps results")
 	flag.Parse()
+
+	selsync.SetExperimentParallelism(*parallel)
 
 	if *list {
 		for _, id := range selsync.ExperimentIDs() {
@@ -63,16 +68,20 @@ func main() {
 		os.Exit(2)
 	}
 
-	ids := []string{*exp}
 	if *exp == "all" {
-		ids = selsync.ExperimentIDs()
-	}
-	for _, id := range ids {
-		fmt.Printf("\n### %s (%s scale)\n", id, *scale)
-		if err := selsync.RunExperiment(id, s, os.Stdout); err != nil {
+		// RunAllExperiments prints the same per-id headers and, under
+		// -parallel, schedules every training run in the registry through
+		// the shared budget while keeping the output in id order.
+		if err := selsync.RunAllExperiments(s, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		return
+	}
+	fmt.Printf("\n### %s (%s scale)\n", *exp, *scale)
+	if err := selsync.RunExperiment(*exp, s, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 
@@ -96,7 +105,9 @@ type stepBenchReport struct {
 }
 
 // runStepBenchmarks measures one training step (ComputeGradients) for each
-// zoo model via testing.Benchmark and writes the results as JSON.
+// zoo model, one aggregation round per mode, and one whole-model optimizer
+// step per optimizer family, via testing.Benchmark, and writes the results
+// as JSON.
 func runStepBenchmarks(outPath string) error {
 	benchName := map[string]string{
 		"resnet":      "BenchmarkResNetLiteStep",
@@ -109,23 +120,10 @@ func runStepBenchmarks(outPath string) error {
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 	}
-	zoo := nn.Zoo()
-	for _, short := range nn.ZooNames() {
-		if benchName[short] == "" {
-			return fmt.Errorf("selsync-bench: zoo model %q has no step-benchmark name; update runStepBenchmarks", short)
-		}
-		f := zoo[short]
-		net := f.New(1)
-		x, labels := nn.StepBenchBatch(f, tensor.NewRNG(2))
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				net.ComputeGradients(x, labels)
-			}
-		})
+	record := func(name, model string, r testing.BenchmarkResult) {
 		res := stepBenchResult{
-			Name:        benchName[short],
-			Model:       f.Spec.Name,
+			Name:        name,
+			Model:       model,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			AllocsPerOp: r.AllocsPerOp(),
@@ -135,6 +133,70 @@ func runStepBenchmarks(outPath string) error {
 		fmt.Printf("%-30s %12.0f ns/op %8d B/op %6d allocs/op (%d iters)\n",
 			res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.Iterations)
 	}
+	zoo := nn.Zoo()
+	for _, short := range nn.ZooNames() {
+		if benchName[short] == "" {
+			return fmt.Errorf("selsync-bench: zoo model %q has no step-benchmark name; update runStepBenchmarks", short)
+		}
+		f := zoo[short]
+		net := f.New(1)
+		x, labels := nn.StepBenchBatch(f, tensor.NewRNG(2))
+		record(benchName[short], f.Spec.Name, testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				net.ComputeGradients(x, labels)
+			}
+		}))
+	}
+
+	// Aggregation-round microbenches: one parameter round (push + average
+	// + broadcast) and one gradient round on the same 8-worker ResNetLite
+	// cluster internal/cluster's BenchmarkSyncRound* use, so the numbers
+	// are comparable across PRs.
+	factory := nn.ResNetLite(10, 6)
+	cl := cluster.New(cluster.Config{
+		Workers: 8,
+		Model:   factory,
+		Opt: func(ps []*nn.Param) opt.Optimizer {
+			return opt.NewSGD(ps, 0.9, 4e-4)
+		},
+		Seed: 7,
+	})
+	record("BenchmarkSyncRoundParams", factory.Spec.Name, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cl.AggregateParams()
+		}
+	}))
+	gradDst := tensor.NewVector(cl.Dim())
+	record("BenchmarkSyncRoundGrads", factory.Spec.Name, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cl.AggregateGrads(gradDst)
+		}
+	}))
+
+	// Optimizer-step microbenches: one fused whole-arena update per
+	// optimizer family over a ResNetLite replica.
+	optNet := factory.New(7)
+	g := tensor.NewVector(nn.ParamCount(optNet.Params()))
+	tensor.NewRNG(8).NormVector(g, 0, 1e-2)
+	nn.SetGrads(optNet.Params(), g)
+	sgd := opt.NewSGD(optNet.Params(), 0.9, 4e-4)
+	record("BenchmarkOptimizerStep/SGD", factory.Spec.Name, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sgd.Step(0.05)
+		}
+	}))
+	adam := opt.NewAdam(optNet.Params())
+	record("BenchmarkOptimizerStep/Adam", factory.Spec.Name, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			adam.Step(1e-3)
+		}
+	}))
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

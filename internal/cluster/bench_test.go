@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"testing"
+
+	"selsync/internal/nn"
+	"selsync/internal/opt"
+	"selsync/internal/tensor"
+)
+
+// benchCluster builds an 8-worker ResNetLite cluster — the deepest zoo
+// model, so the flatten/copy traffic per aggregation round is the largest
+// of the four workloads.
+func benchCluster(b *testing.B, workers int) *Cluster {
+	b.Helper()
+	return New(Config{
+		Workers: workers,
+		Model:   nn.ResNetLite(10, 6),
+		Opt: func(ps []*nn.Param) opt.Optimizer {
+			return opt.NewSGD(ps, 0.9, 4e-4)
+		},
+		Seed: 7,
+	})
+}
+
+// BenchmarkSyncRoundParams measures one full parameter-aggregation round
+// (push all replica parameters, average, broadcast) — the per-sync cost
+// SelSync's synchronous steps pay on the ParamAgg path.
+func BenchmarkSyncRoundParams(b *testing.B) {
+	c := benchCluster(b, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.AggregateParams()
+	}
+}
+
+// BenchmarkSyncRoundGrads measures one full gradient-aggregation round
+// (push all replica gradients, average into the PS scratch) — the per-sync
+// cost of the GradAgg path and every BSP step.
+func BenchmarkSyncRoundGrads(b *testing.B) {
+	c := benchCluster(b, 8)
+	dst := tensor.NewVector(c.Dim())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.AggregateGrads(dst)
+	}
+}
+
+// BenchmarkSyncRound measures the combined exchange a SelSync synchronous
+// step performs under parameter aggregation plus the gradient mean the
+// tracker path reads: one param round and one grad round back to back.
+func BenchmarkSyncRound(b *testing.B) {
+	c := benchCluster(b, 8)
+	dst := tensor.NewVector(c.Dim())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.AggregateParams()
+		c.AggregateGrads(dst)
+	}
+}
+
+// BenchmarkOptimizerStep measures one whole-model optimizer step per
+// optimizer family, over the ResNetLite replica the sync benches use.
+func BenchmarkOptimizerStep(b *testing.B) {
+	model := nn.ResNetLite(10, 6).New(7)
+	rng := tensor.NewRNG(8)
+	g := tensor.NewVector(nn.ParamCount(model.Params()))
+	rng.NormVector(g, 0, 1e-2)
+	nn.SetGrads(model.Params(), g)
+
+	b.Run("SGD", func(b *testing.B) {
+		o := opt.NewSGD(model.Params(), 0.9, 4e-4)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			o.Step(0.05)
+		}
+	})
+	b.Run("Adam", func(b *testing.B) {
+		o := opt.NewAdam(model.Params())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			o.Step(1e-3)
+		}
+	})
+}

@@ -109,28 +109,51 @@ type Worker struct {
 	LocalSteps int
 	SyncSteps  int
 
-	flat tensor.Vector // scratch for parameter/gradient flattening
+	arena *nn.Arena     // contiguous parameter/gradient storage (nil = copy path)
+	flat  tensor.Vector // flatten scratch, allocated only without an arena
 }
 
-// FlatParams copies the worker's parameters into its scratch vector and
-// returns it (valid until the next Flat* call).
+// FlatParams returns the worker's parameters as one flat vector. For
+// arena-backed models (every zoo model) this is a zero-copy view of the
+// replica's live storage: callers must treat it as read-only and
+// invalidated by the worker's next training step. Models without an arena
+// pay a flatten copy into the worker's scratch vector.
 func (w *Worker) FlatParams() tensor.Vector {
+	if w.arena != nil {
+		return w.arena.Data
+	}
 	nn.FlattenParams(w.Model.Params(), w.flat)
 	return w.flat
 }
 
-// FlatGrads copies the worker's gradients into its scratch vector and
-// returns it (valid until the next Flat* call).
+// FlatGrads returns the worker's gradients as one flat vector, with the
+// same zero-copy view semantics as FlatParams.
 func (w *Worker) FlatGrads() tensor.Vector {
+	if w.arena != nil {
+		return w.arena.Grad
+	}
 	nn.FlattenGrads(w.Model.Params(), w.flat)
 	return w.flat
 }
 
-// SetParams overwrites the replica's parameters.
-func (w *Worker) SetParams(v tensor.Vector) { nn.SetParams(w.Model.Params(), v) }
+// SetParams overwrites the replica's parameters — a single SIMD copy on
+// the arena path.
+func (w *Worker) SetParams(v tensor.Vector) {
+	if w.arena != nil {
+		w.arena.Data.CopyFrom(v)
+		return
+	}
+	nn.SetParams(w.Model.Params(), v)
+}
 
 // SetGrads overwrites the replica's gradient accumulators.
-func (w *Worker) SetGrads(v tensor.Vector) { nn.SetGrads(w.Model.Params(), v) }
+func (w *Worker) SetGrads(v tensor.Vector) {
+	if w.arena != nil {
+		w.arena.Grad.CopyFrom(v)
+		return
+	}
+	nn.SetGrads(w.Model.Params(), v)
+}
 
 // LSSR returns the worker's local-to-synchronous step ratio (paper Eqn. 4).
 func (w *Worker) LSSR() float64 {
@@ -156,9 +179,10 @@ type Cluster struct {
 	Spec     nn.ModelSpec
 	Topology Topology
 
-	dim     int
-	scratch tensor.Vector
-	avgVecs []tensor.Vector // reused per-worker slot list for averageInto
+	dim      int
+	scratch  tensor.Vector
+	avgVecs  []tensor.Vector // reused per-worker slot list for averageInto
+	allArena bool            // every worker exposes a zero-copy arena
 }
 
 // New builds the cluster: every worker constructs the model with the same
@@ -193,6 +217,7 @@ func New(cfg Config) *Cluster {
 		Topology: cfg.Topology,
 	}
 	seedRNG := tensor.NewRNG(cfg.Seed)
+	c.allArena = true
 	for id := 0; id < cfg.Workers; id++ {
 		model := cfg.Model.New(cfg.Seed) // same seed: identical init
 		w := &Worker{
@@ -202,7 +227,12 @@ func New(cfg Config) *Cluster {
 			Device:    deviceFor(id),
 			Tracker:   gradstat.NewTracker(cfg.TrackerAlpha, cfg.TrackerWindow),
 			RNG:       seedRNG.Split(),
-			flat:      tensor.NewVector(nn.ParamCount(model.Params())),
+		}
+		if ab, ok := w.Model.(nn.ArenaBacked); ok {
+			w.arena = ab.Arena()
+		} else {
+			w.flat = tensor.NewVector(nn.ParamCount(model.Params()))
+			c.allArena = false
 		}
 		c.Workers = append(c.Workers, w)
 	}
@@ -234,10 +264,27 @@ func (c *Cluster) Each(fn func(w *Worker)) {
 }
 
 // Broadcast overwrites every replica's parameters with the PS global state
-// and counts one pull per worker.
+// and counts one pull per worker. On the all-arena path this is one
+// chunk-parallel fan-out copy straight into the replicas' live storage.
 func (c *Cluster) Broadcast() {
-	c.Each(func(w *Worker) { w.SetParams(c.PS.Global) })
+	if c.allArena {
+		tensor.CopyAll(c.slots(func(w *Worker) tensor.Vector { return w.arena.Data }), c.PS.Global)
+	} else {
+		c.Each(func(w *Worker) { w.SetParams(c.PS.Global) })
+	}
 	c.PS.PullCount += c.N()
+}
+
+// slots fills the cluster-owned per-worker vector list (serially — the
+// all-arena getters are pointer reads) and returns it.
+func (c *Cluster) slots(get func(w *Worker) tensor.Vector) []tensor.Vector {
+	if c.avgVecs == nil {
+		c.avgVecs = make([]tensor.Vector, c.N())
+	}
+	for _, w := range c.Workers {
+		c.avgVecs[w.ID] = get(w)
+	}
+	return c.avgVecs
 }
 
 // AggregateParams averages the replicas' parameters into the PS global
@@ -257,10 +304,16 @@ func (c *Cluster) AggregateGrads(dst tensor.Vector) {
 	c.PS.PullCount += c.N()
 }
 
-// averageInto collects one vector per worker (in parallel) and reduces in
-// worker-id order for determinism. The slot list is owned by the cluster so
-// steady-state aggregation rounds allocate nothing.
+// averageInto collects one vector per worker and reduces in worker-id
+// order for determinism. The slot list is owned by the cluster so
+// steady-state aggregation rounds allocate nothing. On the all-arena path
+// collecting is just reading N pointers, so it runs serially; only the
+// copy-path fallback fans the per-worker flattens out across goroutines.
 func (c *Cluster) averageInto(dst tensor.Vector, get func(w *Worker) tensor.Vector) {
+	if c.allArena {
+		tensor.Average(dst, c.slots(get))
+		return
+	}
 	if c.avgVecs == nil {
 		c.avgVecs = make([]tensor.Vector, c.N())
 	}
@@ -309,8 +362,11 @@ func (c *Cluster) FlagsCost() float64 {
 // ConsistentReplicas reports whether all replicas hold bit-identical
 // parameters — the invariant parameter aggregation restores after every
 // synchronization and gradient aggregation violates once replicas diverge.
+// The reference is worker 0's flat view read in place (every worker
+// flattens into its own storage, so no defensive clone is needed) and the
+// scan stops at the first mismatching element.
 func (c *Cluster) ConsistentReplicas() bool {
-	ref := c.Workers[0].FlatParams().Clone()
+	ref := c.Workers[0].FlatParams()
 	for _, w := range c.Workers[1:] {
 		flat := w.FlatParams()
 		for i := range ref {

@@ -19,29 +19,44 @@ func AblationTopology(scale Scale, w io.Writer) *Table {
 		Title:   "Ablation: PS vs ring-allreduce synchronization transport",
 		Columns: []string{"model", "method", "topology", "best metric", "simtime(s)", "vs PS"},
 	}
-	for _, model := range []string{"resnet", "vgg"} {
-		wl := SetupWorkload(model, p, 131)
-		for _, run := range []struct {
-			name string
-			do   func(cfg train.Config) *train.Result
-		}{
-			{"BSP", train.RunBSP},
-			{"SelSync", func(cfg train.Config) *train.Result {
-				return train.RunSelSync(cfg, train.SelSyncOptions{Delta: wl.DeltaLow, Mode: cluster.ParamAgg})
-			}},
-		} {
+	models := []string{"resnet", "vgg"}
+	methods := []string{"BSP", "SelSync"}
+	topos := []cluster.Topology{cluster.PS, cluster.Ring}
+	// One job per model × method × topology (index order matches the
+	// nested loops the serial version ran), sharing one read-only
+	// workload per model.
+	wls := make([]Workload, len(models))
+	for i, model := range models {
+		wls[i] = SetupWorkload(model, p, 131)
+	}
+	results := make([]*train.Result, len(models)*len(methods)*len(topos))
+	parallelDo(len(results), func(j int) {
+		wl := wls[j/(len(methods)*len(topos))]
+		method := methods[j/len(topos)%len(methods)]
+		topo := topos[j%len(topos)]
+		cfg := BaseConfig(wl, p, 131)
+		cfg.Topology = topo
+		if method == "BSP" {
+			results[j] = train.RunBSP(cfg)
+		} else {
+			results[j] = train.RunSelSync(cfg, train.SelSyncOptions{Delta: wl.DeltaLow, Mode: cluster.ParamAgg})
+		}
+	})
+	j := 0
+	for i := range models {
+		name := wls[i].Factory.Spec.Name
+		for _, method := range methods {
 			var psTime float64
-			for _, topo := range []cluster.Topology{cluster.PS, cluster.Ring} {
-				cfg := BaseConfig(wl, p, 131)
-				cfg.Topology = topo
-				res := run.do(cfg)
+			for _, topo := range topos {
+				res := results[j]
+				j++
 				rel := "1.00x"
 				if topo == cluster.PS {
 					psTime = res.SimTime
 				} else if res.SimTime > 0 {
 					rel = fmtF(psTime/res.SimTime, 2) + "x"
 				}
-				t.AddRow(wl.Factory.Spec.Name, run.name, topo.String(),
+				t.AddRow(name, method, topo.String(),
 					fmtF(res.BestMetric, 2), fmtF(res.SimTime, 1), rel)
 			}
 		}
@@ -61,33 +76,35 @@ func AblationStraggler(scale Scale, w io.Writer) *Table {
 		Title:   "Ablation: 4x straggler (systems heterogeneity)",
 		Columns: []string{"method", "homogeneous(s)", "straggler(s)", "slowdown"},
 	}
+	methods := []string{"BSP", "SSP(s=8)", "SelSync"}
+	// One job per method × homogeneous/straggler fleet over one shared
+	// read-only workload.
 	wl := SetupWorkload("resnet", p, 137)
-	straggler := func(id int) *simnet.Device {
-		d := simnet.NewV100(137 ^ uint64(id))
-		if id == 0 {
-			d.Straggle = 4
+	results := make([]*train.Result, 2*len(methods))
+	parallelDo(len(results), func(j int) {
+		cfg := BaseConfig(wl, p, 137)
+		if j%2 == 1 {
+			cfg.Device = func(id int) *simnet.Device {
+				d := simnet.NewV100(137 ^ uint64(id))
+				if id == 0 {
+					d.Straggle = 4
+				}
+				return d
+			}
 		}
-		return d
-	}
-	for _, run := range []struct {
-		name string
-		do   func(cfg train.Config) *train.Result
-	}{
-		{"BSP", train.RunBSP},
-		{"SSP(s=8)", func(cfg train.Config) *train.Result {
-			return train.RunSSP(cfg, train.SSPOptions{Staleness: 8})
-		}},
-		{"SelSync", func(cfg train.Config) *train.Result {
-			return train.RunSelSync(cfg, train.SelSyncOptions{Delta: wl.DeltaLow, Mode: cluster.ParamAgg})
-		}},
-	} {
-		base := BaseConfig(wl, p, 137)
-		homog := run.do(base)
-		slow := base
-		slow.Device = straggler
-		hetero := run.do(slow)
+		switch j / 2 {
+		case 0:
+			results[j] = train.RunBSP(cfg)
+		case 1:
+			results[j] = train.RunSSP(cfg, train.SSPOptions{Staleness: 8})
+		case 2:
+			results[j] = train.RunSelSync(cfg, train.SelSyncOptions{Delta: wl.DeltaLow, Mode: cluster.ParamAgg})
+		}
+	})
+	for i, method := range methods {
+		homog, hetero := results[2*i], results[2*i+1]
 		slowdown := hetero.SimTime / homog.SimTime
-		t.AddRow(run.name, fmtF(homog.SimTime, 1), fmtF(hetero.SimTime, 1), fmtF(slowdown, 2)+"x")
+		t.AddRow(method, fmtF(homog.SimTime, 1), fmtF(hetero.SimTime, 1), fmtF(slowdown, 2)+"x")
 	}
 	t.Fprint(w)
 	return t

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 )
 
 // Runner executes one experiment at a scale, writing its report.
@@ -63,12 +65,52 @@ func Run(id string, scale Scale, w io.Writer) error {
 	return r(scale, w)
 }
 
-// RunAll executes every experiment in id order.
+// RunAll executes every experiment. With a serial budget (the default) it
+// runs them one after another in id order. With SetParallelism(n>1) every
+// experiment renders into its own buffer concurrently — their training
+// runs all drawing from the same n-slot budget — and the buffers are
+// flushed in id order, so the report bytes match the serial run for every
+// deterministic experiment (the wall-clock-measuring figures 8a/8b report
+// machine timings and are never byte-stable, serial or not).
 func RunAll(scale Scale, w io.Writer) error {
-	for _, id := range IDs() {
+	ids := IDs()
+	if Parallelism() <= 1 {
+		for _, id := range ids {
+			fmt.Fprintf(w, "\n### %s (%s scale)\n", id, scale)
+			if err := Run(id, scale, w); err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+		}
+		return nil
+	}
+
+	bufs := make([]bytes.Buffer, len(ids))
+	errs := make([]error, len(ids))
+	// Experiment-level concurrency gets its own cap (same width as the
+	// run budget) so at most that many experiments hold datasets and
+	// report buffers at once. It is a separate semaphore from the leaf
+	// budget: experiment goroutines never hold a leaf slot (sched.go
+	// invariant 1), and leaf jobs never touch this one, so there is no
+	// circular wait.
+	expSem := make(chan struct{}, Parallelism())
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			expSem <- struct{}{}
+			defer func() { <-expSem }()
+			errs[i] = Run(id, scale, &bufs[i])
+		}(i, id)
+	}
+	wg.Wait()
+	for i, id := range ids {
 		fmt.Fprintf(w, "\n### %s (%s scale)\n", id, scale)
-		if err := Run(id, scale, w); err != nil {
-			return fmt.Errorf("%s: %w", id, err)
+		if _, err := w.Write(bufs[i].Bytes()); err != nil {
+			return err
+		}
+		if errs[i] != nil {
+			return fmt.Errorf("%s: %w", id, errs[i])
 		}
 	}
 	return nil

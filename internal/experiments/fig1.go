@@ -62,22 +62,30 @@ func Fig1b(scale Scale, w io.Writer) *Figure {
 		{"resnet", 1},
 		{"vgg", 10},
 	}
-	for _, c := range cases {
-		wl := SetupWorkload(c.model, p, 11)
+	// Four independent runs (case × IID/non-IID) over one shared
+	// read-only workload per case.
+	wls := make([]Workload, len(cases))
+	for i, c := range cases {
+		wls[i] = SetupWorkload(c.model, p, 11)
+	}
+	results := make([]*train.Result, 2*len(cases))
+	parallelDo(len(results), func(j int) {
+		c, wl := cases[j/2], wls[j/2]
 		opts := train.FedAvgOptions{C: 1, E: NonIIDSyncFactor(p, p.Workers, wl.Batch)}
-		base := BaseConfig(wl, p, 11)
-		iidCfg := base
-		iidCfg.Scheme = data.DefDP
-		iid := train.RunFedAvg(iidCfg, opts)
-
-		nonCfg := base
-		nonCfg.NonIID = &train.NonIID{LabelsPerWorker: c.labels}
-		non := train.RunFedAvg(nonCfg, opts)
-
-		ix, iy := historyXY(iid)
-		fig.Add(wl.Factory.Spec.Name+" IID", ix, iy)
-		nx, ny := historyXY(non)
-		fig.Add(wl.Factory.Spec.Name+" NonIID", nx, ny)
+		cfg := BaseConfig(wl, p, 11)
+		if j%2 == 0 {
+			cfg.Scheme = data.DefDP
+		} else {
+			cfg.NonIID = &train.NonIID{LabelsPerWorker: c.labels}
+		}
+		results[j] = train.RunFedAvg(cfg, opts)
+	})
+	for i := range cases {
+		name := wls[i].Factory.Spec.Name
+		ix, iy := historyXY(results[2*i])
+		fig.Add(name+" IID", ix, iy)
+		nx, ny := historyXY(results[2*i+1])
+		fig.Add(name+" NonIID", nx, ny)
 	}
 	fig.Fprint(w)
 	return fig

@@ -22,13 +22,26 @@ func Fig10(scale Scale, w io.Writer) (*Figure, *Table) {
 		Title:   "Fig 10 summary: best metric per aggregation mode",
 		Columns: []string{"model", "ParamAgg", "GradAgg", "PA at least as good?"},
 	}
-	for _, model := range AllWorkloads() {
-		wl := SetupWorkload(model, p, 101)
-		base := BaseConfig(wl, p, 101)
-		pa := train.RunSelSync(base, train.SelSyncOptions{Delta: wl.DeltaMid, Mode: cluster.ParamAgg})
-		ga := train.RunSelSync(base, train.SelSyncOptions{Delta: wl.DeltaMid, Mode: cluster.GradAgg})
-
-		name := wl.Factory.Spec.Name
+	models := AllWorkloads()
+	// One job per model × aggregation mode (even index PA, odd GA),
+	// sharing one read-only workload per model.
+	wls := make([]Workload, len(models))
+	for i, model := range models {
+		wls[i] = SetupWorkload(model, p, 101)
+	}
+	results := make([]*train.Result, 2*len(models))
+	parallelDo(len(results), func(j int) {
+		wl := wls[j/2]
+		mode := cluster.ParamAgg
+		if j%2 == 1 {
+			mode = cluster.GradAgg
+		}
+		cfg := BaseConfig(wl, p, 101)
+		results[j] = train.RunSelSync(cfg, train.SelSyncOptions{Delta: wl.DeltaMid, Mode: mode})
+	})
+	for i := range models {
+		pa, ga := results[2*i], results[2*i+1]
+		name := wls[i].Factory.Spec.Name
 		px, py := historyXY(pa)
 		fig.Add(name+" PA", px, py)
 		gx, gy := historyXY(ga)

@@ -19,12 +19,23 @@ func Fig11(scale Scale, w io.Writer) (*Figure, *Table) {
 	mid := p.MaxSteps/2 - 1
 	late := p.MaxSteps - 1
 
+	// Three independent runs over one shared read-only workload; each
+	// job builds its own config (and cluster) from the seed.
 	wl := SetupWorkload("resnet", p, 111)
-	base := BaseConfig(wl, p, 111)
-	base.SnapshotAtSteps = []int{mid, late}
-	bsp := train.RunBSP(base)
-	pa := train.RunSelSync(base, train.SelSyncOptions{Delta: wl.DeltaMid, Mode: cluster.ParamAgg})
-	ga := train.RunSelSync(base, train.SelSyncOptions{Delta: wl.DeltaMid, Mode: cluster.GradAgg})
+	results := make([]*train.Result, 3)
+	parallelDo(len(results), func(j int) {
+		cfg := BaseConfig(wl, p, 111)
+		cfg.SnapshotAtSteps = []int{mid, late}
+		switch j {
+		case 0:
+			results[j] = train.RunBSP(cfg)
+		case 1:
+			results[j] = train.RunSelSync(cfg, train.SelSyncOptions{Delta: wl.DeltaMid, Mode: cluster.ParamAgg})
+		case 2:
+			results[j] = train.RunSelSync(cfg, train.SelSyncOptions{Delta: wl.DeltaMid, Mode: cluster.GradAgg})
+		}
+	})
+	bsp, pa, ga := results[0], results[1], results[2]
 
 	fig := &Figure{
 		Title:  "Fig 11: weight-distribution density, BSP vs SelSync-PA vs SelSync-GA",

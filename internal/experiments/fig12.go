@@ -48,33 +48,51 @@ func Fig12(scale Scale, w io.Writer) (*Figure, *Table) {
 		{"resnet", 1},
 		{"vgg", 10},
 	}
-	for _, c := range cases {
-		wl := SetupWorkload(c.model, p, 121)
-		name := wl.Factory.Spec.Name
-		base := BaseConfig(wl, p, 121)
-
-		fedCfg := base
-		fedCfg.NonIID = &train.NonIID{LabelsPerWorker: c.labels}
-		fed := train.RunFedAvg(fedCfg, train.FedAvgOptions{C: 1, E: NonIIDSyncFactor(p, p.Workers, wl.Batch)})
-		fx, fy := historyXY(fed)
-		fig.Add(name+" FedAvg", fx, fy)
-		summary.AddRow(name, fed.Method, fmtF(fed.BestMetric, 2))
-
-		for _, ic := range injConfigs {
-			delta := wl.DeltaLow
-			if ic.tightDelta {
-				delta = wl.DeltaLow / 4
-			}
-			cfg := base
-			cfg.NonIID = &train.NonIID{
-				LabelsPerWorker: c.labels,
-				Injection:       &data.Injection{Alpha: ic.alpha, Beta: ic.beta},
-			}
-			res := train.RunSelSync(cfg, train.SelSyncOptions{Delta: delta, Mode: cluster.ParamAgg})
-			label := fmt.Sprintf("(%.2g,%.2g,%.3g)", ic.alpha, ic.beta, delta)
+	// One job per case × configuration: index j runs case j/4 under
+	// FedAvg (j%4 == 0) or injection config j%4−1, over one shared
+	// read-only workload per case.
+	wls := make([]Workload, len(cases))
+	for i, c := range cases {
+		wls[i] = SetupWorkload(c.model, p, 121)
+	}
+	perCase := 1 + len(injConfigs)
+	results := make([]*train.Result, perCase*len(cases))
+	labels := make([]string, len(results))
+	parallelDo(len(results), func(j int) {
+		c, wl := cases[j/perCase], wls[j/perCase]
+		cfg := BaseConfig(wl, p, 121)
+		k := j % perCase
+		if k == 0 {
+			cfg.NonIID = &train.NonIID{LabelsPerWorker: c.labels}
+			results[j] = train.RunFedAvg(cfg, train.FedAvgOptions{C: 1, E: NonIIDSyncFactor(p, p.Workers, wl.Batch)})
+			labels[j] = "FedAvg"
+			return
+		}
+		ic := injConfigs[k-1]
+		delta := wl.DeltaLow
+		if ic.tightDelta {
+			delta = wl.DeltaLow / 4
+		}
+		cfg.NonIID = &train.NonIID{
+			LabelsPerWorker: c.labels,
+			Injection:       &data.Injection{Alpha: ic.alpha, Beta: ic.beta},
+		}
+		results[j] = train.RunSelSync(cfg, train.SelSyncOptions{Delta: delta, Mode: cluster.ParamAgg})
+		labels[j] = fmt.Sprintf("SelSync(%.2g,%.2g,%.3g)", ic.alpha, ic.beta, delta)
+	})
+	for i := range cases {
+		name := wls[i].Factory.Spec.Name
+		for k := 0; k < perCase; k++ {
+			res := results[i*perCase+k]
 			x, y := historyXY(res)
-			fig.Add(name+" SelSync"+label, x, y)
-			summary.AddRow(name, "SelSync"+label, fmtF(res.BestMetric, 2))
+			rowLabel := labels[i*perCase+k]
+			if k == 0 {
+				fig.Add(name+" FedAvg", x, y)
+				summary.AddRow(name, res.Method, fmtF(res.BestMetric, 2))
+				continue
+			}
+			fig.Add(name+" "+rowLabel, x, y)
+			summary.AddRow(name, rowLabel, fmtF(res.BestMetric, 2))
 		}
 	}
 	fig.Fprint(w)

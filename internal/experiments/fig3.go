@@ -17,24 +17,30 @@ func Fig3(scale Scale, w io.Writer) *Figure {
 		Title:  "Fig 3: gradient KDE, early vs late training",
 		XLabel: "gradient value", YLabel: "density",
 	}
-	for _, model := range []string{"resnet", "transformer"} {
-		wl := SetupWorkload(model, p, 31)
-		early := maxInt(1, p.MaxSteps/20) - 1
-		late := p.MaxSteps - 1
+	models := []string{"resnet", "transformer"}
+	early := maxInt(1, p.MaxSteps/20) - 1
+	late := p.MaxSteps - 1
+	results := make([]*train.Result, len(models))
+	names := make([]string, len(models))
+	parallelDo(len(models), func(i int) {
+		wl := SetupWorkload(models[i], p, 31)
 		cfg := BaseConfig(wl, p, 31)
 		cfg.SnapshotAtSteps = []int{early, late}
-		res := train.RunBSP(cfg)
+		names[i] = wl.Factory.Spec.Name
+		results[i] = train.RunBSP(cfg)
+	})
+	for i := range models {
 		for _, sn := range []struct {
 			tag  string
 			step int
 		}{{"early", early}, {"late", late}} {
-			snap, ok := res.Snapshots[sn.step]
+			snap, ok := results[i].Snapshots[sn.step]
 			if !ok {
 				continue
 			}
 			kde := stats.NewKDE(subsampleFloats(snap.Grads, 4096))
 			xs, ys := kde.AutoGrid(64)
-			fig.Add(wl.Factory.Spec.Name+" "+sn.tag, xs, ys)
+			fig.Add(names[i]+" "+sn.tag, xs, ys)
 		}
 	}
 	fig.Fprint(w)

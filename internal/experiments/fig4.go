@@ -21,8 +21,14 @@ func Fig4(scale Scale, w io.Writer) *Figure {
 		XLabel: "training step", YLabel: "eigenvalue / variance (scaled)",
 	}
 	probeEvery := maxInt(1, p.MaxSteps/12)
-	for _, model := range []string{"resnet", "vgg"} {
-		wl := SetupWorkload(model, p, 41)
+	models := []string{"resnet", "vgg"}
+	type curves struct {
+		name          string
+		xs, eigs, vrs []float64
+	}
+	results := make([]curves, len(models))
+	parallelDo(len(models), func(i int) {
+		wl := SetupWorkload(models[i], p, 41)
 		net := wl.Factory.New(41)
 		optimizer := wl.Opt(net.Params())
 		sampler := data.NewSampler(seqIndices(wl.Data.Train.N()), wl.Batch)
@@ -30,7 +36,7 @@ func Fig4(scale Scale, w io.Writer) *Figure {
 		// Fixed probe batch for curvature measurements.
 		probeX, probeLabels := wl.Data.Train.Batch(seqIndices(minInt(64, wl.Data.Train.N())))
 
-		var xs, eigs, vars []float64
+		c := curves{name: wl.Factory.Spec.Name}
 		grad := tensor.NewVector(nn.ParamCount(net.Params()))
 		for step := 0; step < p.MaxSteps; step++ {
 			x, labels := wl.Data.Train.Batch(sampler.Next())
@@ -44,15 +50,17 @@ func Fig4(scale Scale, w io.Writer) *Figure {
 				// The Hessian probe overwrote the gradients; recompute
 				// the step's own gradient before updating.
 				net.ComputeGradients(x, labels)
-				xs = append(xs, float64(step))
-				eigs = append(eigs, eig)
-				vars = append(vars, variance)
+				c.xs = append(c.xs, float64(step))
+				c.eigs = append(c.eigs, eig)
+				c.vrs = append(c.vrs, variance)
 			}
 			optimizer.Step(wl.Schedule.LR(step))
 		}
-		name := wl.Factory.Spec.Name
-		fig.Add(name+" hessian-eig", xs, eigs)
-		fig.Add(name+" grad-variance", xs, vars)
+		results[i] = c
+	})
+	for _, c := range results {
+		fig.Add(c.name+" hessian-eig", c.xs, c.eigs)
+		fig.Add(c.name+" grad-variance", c.xs, c.vrs)
 	}
 	fig.Fprint(w)
 	return fig

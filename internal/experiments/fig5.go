@@ -16,19 +16,24 @@ func Fig5(scale Scale, w io.Writer) *Figure {
 		Title:  "Fig 5: Δ(g_i) vs test metric across BSP training",
 		XLabel: "training step", YLabel: "Δ(g_i) / test metric",
 	}
-	for _, model := range AllWorkloads() {
-		wl := SetupWorkload(model, p, 51)
+	models := AllWorkloads()
+	results := make([]*train.Result, len(models))
+	names := make([]string, len(models))
+	parallelDo(len(models), func(i int) {
+		wl := SetupWorkload(models[i], p, 51)
 		cfg := BaseConfig(wl, p, 51)
 		cfg.TrackDeltas = true
-		res := train.RunBSP(cfg)
-		name := wl.Factory.Spec.Name
+		names[i] = wl.Factory.Spec.Name
+		results[i] = train.RunBSP(cfg)
+	})
+	for i, res := range results {
 		dx := make([]float64, len(res.Deltas))
-		for i := range dx {
-			dx[i] = float64(i + 1)
+		for j := range dx {
+			dx[j] = float64(j + 1)
 		}
-		fig.Add(name+" delta", dx, res.Deltas)
+		fig.Add(names[i]+" delta", dx, res.Deltas)
 		mx, my := historyXY(res)
-		fig.Add(name+" metric", mx, my)
+		fig.Add(names[i]+" metric", mx, my)
 	}
 	fig.Fprint(w)
 	return fig

@@ -26,32 +26,38 @@ func Fig8a(scale Scale, w io.Writer) *Table {
 	if scale == Tiny {
 		reps = 50
 	}
-	for _, name := range AllWorkloads() {
-		f := nn.Zoo()[name]
-		net := f.New(81)
-		dim := nn.ParamCount(net.Params())
-		grad := tensor.NewVector(dim)
-		tensor.NewRNG(82).NormVector(grad, 0, 1e-3)
-		nn.SetGrads(net.Params(), grad)
+	// The whole sweep runs as ONE scheduler job: wall-clock measurement
+	// must hold a budget slot like any training run (otherwise -parallel
+	// inflates the timings by running them against unbudgeted load), and
+	// the per-model measurements must stay serial relative to each other.
+	parallelDo(1, func(int) {
+		for _, name := range AllWorkloads() {
+			f := nn.Zoo()[name]
+			net := f.New(81)
+			dim := nn.ParamCount(net.Params())
+			grad := tensor.NewVector(dim)
+			tensor.NewRNG(82).NormVector(grad, 0, 1e-3)
+			nn.SetGrads(net.Params(), grad)
 
-		row := []string{f.Spec.Name}
-		for _, window := range windows {
-			tracker := gradstat.NewTracker(0.16, window)
-			// Warm the window so the steady-state (variance over a full
-			// ring buffer) is what gets measured.
-			for i := 0; i < window; i++ {
-				tracker.ObserveParams(net.Params())
+			row := []string{f.Spec.Name}
+			for _, window := range windows {
+				tracker := gradstat.NewTracker(0.16, window)
+				// Warm the window so the steady-state (variance over a
+				// full ring buffer) is what gets measured.
+				for i := 0; i < window; i++ {
+					tracker.ObserveParams(net.Params())
+				}
+				start := time.Now()
+				for i := 0; i < reps; i++ {
+					tracker.ObserveParams(net.Params())
+					_ = tracker.Variance()
+				}
+				perIter := time.Since(start).Seconds() / float64(reps) * 1e6
+				row = append(row, fmtF(perIter, 1))
 			}
-			start := time.Now()
-			for i := 0; i < reps; i++ {
-				tracker.ObserveParams(net.Params())
-				_ = tracker.Variance()
-			}
-			perIter := time.Since(start).Seconds() / float64(reps) * 1e6
-			row = append(row, fmtF(perIter, 1))
+			t.AddRow(row...)
 		}
-		t.AddRow(row...)
-	}
+	})
 	t.Fprint(w)
 	return t
 }
@@ -67,14 +73,18 @@ func Fig8b(scale Scale, w io.Writer) *Table {
 		Columns: []string{"dataset", "DefDP", "SelDP", "SelDP/DefDP"},
 	}
 	kinds := []string{"cifar10like", "cifar100like", "wikitextlike", "imagenetlike"}
-	for _, kind := range kinds {
-		wload := data.NewWorkload(data.WorkloadSpec{Kind: kind, TrainN: p.TrainN, TestN: 8, Seed: 83})
-		n := wload.Train.N()
-		defT := timePartition(data.DefDP, n, p.Workers)
-		selT := timePartition(data.SelDP, n, p.Workers)
-		ratio := selT / defT
-		t.AddRow(kind, fmtF(defT*1e6, 1), fmtF(selT*1e6, 1), fmtF(ratio, 2))
-	}
+	// One scheduler job for the same reason as Fig8a: these are
+	// wall-clock measurements and must hold a budget slot.
+	parallelDo(1, func(int) {
+		for _, kind := range kinds {
+			wload := data.NewWorkload(data.WorkloadSpec{Kind: kind, TrainN: p.TrainN, TestN: 8, Seed: 83})
+			n := wload.Train.N()
+			defT := timePartition(data.DefDP, n, p.Workers)
+			selT := timePartition(data.SelDP, n, p.Workers)
+			ratio := selT / defT
+			t.AddRow(kind, fmtF(defT*1e6, 1), fmtF(selT*1e6, 1), fmtF(ratio, 2))
+		}
+	})
 	t.Fprint(w)
 	return t
 }

@@ -29,19 +29,28 @@ func Fig9(scale Scale, w io.Writer) (*Figure, *Table) {
 		Title:   "Fig 9 summary: best metric per partitioning scheme",
 		Columns: []string{"model", "SelDP", "DefDP", "SelDP better?"},
 	}
-	for _, model := range AllWorkloads() {
-		wl := SetupWorkload(model, p, 91)
+	models := AllWorkloads()
+	// One job per model × scheme (even index SelDP, odd DefDP), sharing
+	// one read-only workload per model.
+	wls := make([]Workload, len(models))
+	for i, model := range models {
+		wls[i] = SetupWorkload(model, p, 91)
+	}
+	results := make([]*train.Result, 2*len(models))
+	parallelDo(len(results), func(j int) {
+		wl := wls[j/2]
 		opts := train.SelSyncOptions{Delta: wl.DeltaMid, Mode: cluster.GradAgg}
-		base := BaseConfig(wl, p, 91)
-		selCfg := base
-		selCfg.Scheme = data.SelDP
-		sel := train.RunSelSync(selCfg, opts)
-
-		defCfg := base
-		defCfg.Scheme = data.DefDP
-		def := train.RunSelSync(defCfg, opts)
-
-		name := wl.Factory.Spec.Name
+		cfg := BaseConfig(wl, p, 91)
+		if j%2 == 0 {
+			cfg.Scheme = data.SelDP
+		} else {
+			cfg.Scheme = data.DefDP
+		}
+		results[j] = train.RunSelSync(cfg, opts)
+	})
+	for i := range models {
+		sel, def := results[2*i], results[2*i+1]
+		name := wls[i].Factory.Spec.Name
 		sx, sy := historyXY(sel)
 		fig.Add(name+" SelDP", sx, sy)
 		dx, dy := historyXY(def)

@@ -1,0 +1,101 @@
+package experiments
+
+import "sync"
+
+// The run-level scheduler. Every figure/table of the paper decomposes into
+// independent training runs (different workloads, methods, δ settings or
+// topologies that share nothing but immutable inputs); the scheduler lets
+// the harness execute those runs concurrently under one process-wide
+// concurrency budget while keeping every report byte-identical to a serial
+// execution.
+//
+// Two invariants keep it deadlock-free and deterministic:
+//
+//  1. Slots are held only by leaf jobs (individual training runs), never
+//     by the experiment goroutines that fan them out — so a full budget
+//     can always drain. parallelDo jobs must not call parallelDo.
+//  2. Jobs write results into caller-owned, index-addressed slots and all
+//     report assembly happens after parallelDo returns, in index order.
+//     Runs are themselves deterministic (seeded RNGs, no shared state),
+//     so scheduling order cannot leak into the output.
+//
+// The budget is shared across every concurrently executing experiment
+// (RunAll runs the registry concurrently through the same semaphore), and
+// it compounds with cluster.Each: one training run drives Workers
+// goroutines, so the process runs up to parallelism × Workers
+// compute goroutines, all multiplexed onto GOMAXPROCS threads — see
+// EXPERIMENTS.md for how to size -parallel against GOMAXPROCS.
+
+var (
+	parMu  sync.Mutex
+	parVal = 1
+	runSem chan struct{} // nil when serial
+)
+
+// SetParallelism sets the number of training runs the experiment harness
+// may execute concurrently. Values below 1 mean serial. The setting is
+// process-wide; cmd/selsync-bench exposes it as -parallel.
+func SetParallelism(n int) {
+	parMu.Lock()
+	defer parMu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	parVal = n
+	if n > 1 {
+		runSem = make(chan struct{}, n)
+	} else {
+		runSem = nil
+	}
+}
+
+// Parallelism returns the current run-level concurrency budget.
+func Parallelism() int {
+	parMu.Lock()
+	defer parMu.Unlock()
+	return parVal
+}
+
+// currentSem snapshots the semaphore under the lock so SetParallelism
+// mid-flight cannot race a fan-out.
+func currentSem() chan struct{} {
+	parMu.Lock()
+	defer parMu.Unlock()
+	return runSem
+}
+
+// parallelDo executes jobs 0..n-1, each under one slot of the shared
+// budget, and returns when all have finished. With a serial budget the
+// jobs run in index order on the calling goroutine — exactly the loop the
+// experiments ran before the scheduler existed. Jobs must be independent,
+// must write only to caller-owned per-index slots, and must not call
+// parallelDo themselves (leaf-only slot holding, invariant 1 above).
+func parallelDo(n int, job func(i int)) {
+	sem := currentSem()
+	if sem == nil {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	if n == 1 {
+		// Single jobs still count against the budget (a wall-clock
+		// measurement sweep submitted as one job must not run as an
+		// unbudgeted extra workload); they just run on the caller.
+		sem <- struct{}{}
+		defer func() { <-sem }()
+		job(0)
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			job(i)
+		}(i)
+	}
+	wg.Wait()
+}

@@ -27,63 +27,92 @@ func Table1(scale Scale, w io.Writer) *Table {
 			"conv. diff", "beats BSP?", "speedup",
 		},
 	}
-	for _, model := range AllWorkloads() {
-		RunTable1Model(t, model, p)
+	models := AllWorkloads()
+	// One workload per model, built once and shared read-only by all nine
+	// runs (datasets are immutable once generated; every run builds its
+	// own cluster/replicas from the factory).
+	wls := make([]Workload, len(models))
+	for i, model := range models {
+		wls[i] = SetupWorkload(model, p, 7)
+	}
+	// Phase 1: the four BSP references (every other row's baseline).
+	bsps := make([]*train.Result, len(models))
+	parallelDo(len(models), func(i int) {
+		cfg := table1Config(wls[i], p)
+		cfg.Scheme = data.DefDP
+		bsps[i] = train.RunBSP(cfg)
+	})
+	// Phase 2: the eight semi-synchronous methods per model, all
+	// independent of each other given the BSP baselines.
+	semis := make([]*train.Result, len(models)*table1Methods)
+	parallelDo(len(semis), func(j int) {
+		semis[j] = runTable1Method(wls[j/table1Methods], p, j%table1Methods)
+	})
+	for i := range models {
+		name := wls[i].Factory.Spec.Name
+		addTable1Row(t, name, bsps[i], bsps[i])
+		for k := 0; k < table1Methods; k++ {
+			addTable1Row(t, name, semis[i*table1Methods+k], bsps[i])
+		}
 	}
 	t.Fprint(w)
 	return t
 }
 
-// RunTable1Model appends the nine method rows for one workload. Following
-// the paper, every method trains until its test metric stops improving:
+// table1Methods is the number of semi-synchronous method rows per model:
+// four FedAvg configurations, two SSP staleness settings, two SelSync
+// thresholds.
+const table1Methods = 8
+
+// table1Config builds one workload's Table I configuration. Following the
+// paper, every method trains until its test metric stops improving:
 // semi-synchronous methods get a 4× larger step budget than BSP (the
 // paper's SelSync-on-VGG11 runs 7× more iterations than BSP yet finishes
 // 13.75× sooner in wall-clock) with patience-based early stopping, and the
-// reported iteration count is the step of the best checkpoint.
-func RunTable1Model(t *Table, model string, p Params) {
-	wl := SetupWorkload(model, p, 7)
+// reported iteration count is the step of the best checkpoint. Every
+// method — including BSP — runs under the same extended step budget and
+// stops when its test metric plateaus; learning-rate milestones stay
+// anchored to the base budget so decay points are comparable.
+func table1Config(wl Workload, p Params) train.Config {
 	base := BaseConfig(wl, p, 7)
 	if base.Patience == 0 {
 		base.Patience = 4
 	}
-	// Every method — including BSP — runs under the same extended step
-	// budget (4× the scale's base) and stops when its test metric
-	// plateaus, mirroring the paper's "run until the metric does not
-	// improve" protocol. Learning-rate milestones stay anchored to the
-	// base budget so decay points are comparable across methods.
 	base.MaxSteps = 4 * p.MaxSteps
+	return base
+}
 
-	// BSP is the reference; it uses the default partitioning of DDP
-	// training (DefDP), as in the paper. SelSync uses SelDP (its own
-	// scheme); FedAvg and SSP run on the default scheme like BSP.
-	bspCfg := base
-	bspCfg.Scheme = data.DefDP
-	bsp := train.RunBSP(bspCfg)
-	addTable1Row(t, wl, bsp, bsp)
-
-	semiCfg := bspCfg
+// runTable1Method executes semi-synchronous method k for one workload.
+// BSP and the FedAvg/SSP rows use the default partitioning of DDP training
+// (DefDP), as in the paper; SelSync uses SelDP (its own scheme).
+func runTable1Method(wl Workload, p Params, k int) *train.Result {
+	base := table1Config(wl, p)
+	semiCfg := base
+	semiCfg.Scheme = data.DefDP
 	selCfg := base
-
-	runs := []func() *train.Result{
-		func() *train.Result { return train.RunFedAvg(semiCfg, train.FedAvgOptions{C: 1, E: 0.25}) },
-		func() *train.Result { return train.RunFedAvg(semiCfg, train.FedAvgOptions{C: 1, E: 0.125}) },
-		func() *train.Result { return train.RunFedAvg(semiCfg, train.FedAvgOptions{C: 0.5, E: 0.25}) },
-		func() *train.Result { return train.RunFedAvg(semiCfg, train.FedAvgOptions{C: 0.5, E: 0.125}) },
-		func() *train.Result { return train.RunSSP(semiCfg, train.SSPOptions{Staleness: 100, PSOpt: wl.SSPOpt}) },
-		func() *train.Result { return train.RunSSP(semiCfg, train.SSPOptions{Staleness: 200, PSOpt: wl.SSPOpt}) },
-		func() *train.Result {
-			return train.RunSelSync(selCfg, train.SelSyncOptions{Delta: wl.DeltaLow, Mode: cluster.ParamAgg})
-		},
-		func() *train.Result {
-			return train.RunSelSync(selCfg, train.SelSyncOptions{Delta: wl.DeltaHigh, Mode: cluster.ParamAgg})
-		},
-	}
-	for _, run := range runs {
-		addTable1Row(t, wl, run(), bsp)
+	switch k {
+	case 0:
+		return train.RunFedAvg(semiCfg, train.FedAvgOptions{C: 1, E: 0.25})
+	case 1:
+		return train.RunFedAvg(semiCfg, train.FedAvgOptions{C: 1, E: 0.125})
+	case 2:
+		return train.RunFedAvg(semiCfg, train.FedAvgOptions{C: 0.5, E: 0.25})
+	case 3:
+		return train.RunFedAvg(semiCfg, train.FedAvgOptions{C: 0.5, E: 0.125})
+	case 4:
+		return train.RunSSP(semiCfg, train.SSPOptions{Staleness: 100, PSOpt: wl.SSPOpt})
+	case 5:
+		return train.RunSSP(semiCfg, train.SSPOptions{Staleness: 200, PSOpt: wl.SSPOpt})
+	case 6:
+		return train.RunSelSync(selCfg, train.SelSyncOptions{Delta: wl.DeltaLow, Mode: cluster.ParamAgg})
+	case 7:
+		return train.RunSelSync(selCfg, train.SelSyncOptions{Delta: wl.DeltaHigh, Mode: cluster.ParamAgg})
+	default:
+		panic("experiments: unknown Table I method index")
 	}
 }
 
-func addTable1Row(t *Table, wl Workload, res, bsp *train.Result) {
+func addTable1Row(t *Table, model string, res, bsp *train.Result) {
 	lssr := "-"
 	if res.LSSR >= 0 {
 		lssr = fmtF(res.LSSR, 3)
@@ -111,7 +140,7 @@ func addTable1Row(t *Table, wl Workload, res, bsp *train.Result) {
 		}
 	}
 	t.AddRow(
-		wl.Factory.Spec.Name,
+		model,
 		res.Method,
 		fmt.Sprintf("%d", res.BestStep),
 		lssr,

@@ -1,0 +1,86 @@
+package nn
+
+import "selsync/internal/tensor"
+
+// Arena is a pair of contiguous per-replica buffers holding every
+// parameter value and every gradient of one model, in Params() order.
+// Layers keep operating on their own Param vectors — after BindArena those
+// vectors are views into the arena — so the whole replica can be read or
+// overwritten as one flat tensor.Vector without any per-layer copying:
+// flattening becomes returning Data, and a full parameter broadcast is a
+// single SIMD CopyFrom. This is the contiguous "gradient bucket" layout
+// real parameter servers ship around, applied to the replica itself.
+type Arena struct {
+	Data tensor.Vector // all parameter values, in Params() order
+	Grad tensor.Vector // all gradient accumulators, same layout
+}
+
+// Dim returns the flat parameter dimension.
+func (a *Arena) Dim() int { return len(a.Data) }
+
+// ZeroGrad clears every gradient accumulator in one pass.
+func (a *Arena) ZeroGrad() { a.Grad.Zero() }
+
+// ArenaBacked is implemented by networks whose parameters live in one
+// contiguous Arena. The cluster and optimizer fast paths type-assert for
+// it and fall back to the per-Param copy loops when absent.
+type ArenaBacked interface {
+	Arena() *Arena
+}
+
+// BindArena re-homes every parameter and gradient in ps into two freshly
+// allocated contiguous buffers, preserving current values, and returns the
+// arena. Each Param's Data/Grad is re-sliced to a window of the arena, so
+// all existing *Param pointers stay valid; the windows keep the arena's
+// remaining capacity, which lets ArenaView re-derive the full flat vector
+// from the first parameter.
+//
+// BindArena must run at network-build time, before buffers derived from
+// the old storage exist. Layers in this package never cache slices of
+// Param.Data/Param.Grad across calls (they re-view per Forward/Backward),
+// so rebinding after layer construction is safe.
+func BindArena(ps []*Param) *Arena {
+	n := ParamCount(ps)
+	a := &Arena{Data: tensor.NewVector(n), Grad: tensor.NewVector(n)}
+	off := 0
+	for _, p := range ps {
+		m := len(p.Data)
+		copy(a.Data[off:off+m], p.Data)
+		copy(a.Grad[off:off+m], p.Grad)
+		p.Data = a.Data[off : off+m]
+		p.Grad = a.Grad[off : off+m]
+		off += m
+	}
+	return a
+}
+
+// ArenaView reports whether the parameters in ps are back-to-back windows
+// of one contiguous allocation (the BindArena layout) and, if so, returns
+// the full flat data and gradient vectors. Optimizers use it to switch to
+// whole-arena fused updates; ok is false for parameter lists assembled
+// from individually allocated Params.
+func ArenaView(ps []*Param) (data, grad tensor.Vector, ok bool) {
+	total := ParamCount(ps)
+	if total == 0 || len(ps) == 0 {
+		return nil, nil, false
+	}
+	first := ps[0]
+	if cap(first.Data) < total || cap(first.Grad) < total {
+		return nil, nil, false
+	}
+	data = first.Data[:total]
+	grad = first.Grad[:total]
+	off := 0
+	for _, p := range ps {
+		if len(p.Data) != len(p.Grad) {
+			return nil, nil, false
+		}
+		if len(p.Data) > 0 {
+			if &data[off] != &p.Data[0] || &grad[off] != &p.Grad[0] {
+				return nil, nil, false
+			}
+		}
+		off += len(p.Data)
+	}
+	return data, grad, true
+}

@@ -59,24 +59,31 @@ type FeedForwardNet struct {
 
 	loss    SoftmaxCrossEntropy
 	params  []*Param
+	arena   *Arena
 	gradBuf *tensor.Matrix // reused loss-gradient buffer
 }
 
 // NewFeedForwardNet wraps a Sequential with its spec, caching the parameter
-// list.
+// list and re-homing it into one contiguous Arena. Binding happens here —
+// network-build time — so every downstream consumer (optimizers, the
+// cluster exchange path) sees the contiguous layout from the first step.
 func NewFeedForwardNet(seq *Sequential, spec ModelSpec) *FeedForwardNet {
-	return &FeedForwardNet{Seq: seq, spec: spec, params: seq.Params()}
+	params := seq.Params()
+	return &FeedForwardNet{Seq: seq, spec: spec, params: params, arena: BindArena(params)}
 }
 
 // Params returns the cached parameter list.
 func (f *FeedForwardNet) Params() []*Param { return f.params }
+
+// Arena returns the contiguous parameter/gradient arena (ArenaBacked).
+func (f *FeedForwardNet) Arena() *Arena { return f.arena }
 
 // Spec returns the model descriptor.
 func (f *FeedForwardNet) Spec() ModelSpec { return f.spec }
 
 // ComputeGradients runs forward and backward in training mode.
 func (f *FeedForwardNet) ComputeGradients(x *tensor.Matrix, labels []int) (float64, int) {
-	ZeroGrads(f.params)
+	f.arena.ZeroGrad()
 	logits := f.Seq.Forward(x, true)
 	f.gradBuf = tensor.EnsureMatrix(f.gradBuf, logits.Rows, logits.Cols)
 	loss, correct := f.loss.LossInto(f.gradBuf, logits, labels)

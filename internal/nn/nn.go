@@ -45,10 +45,17 @@ type Layer interface {
 // Sequential chains layers; the output of layer i feeds layer i+1.
 type Sequential struct {
 	Layers []Layer
+
+	params []*Param // memoized Params() result (the layer list is fixed)
 }
 
-// NewSequential builds a Sequential over the given layers.
-func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+// NewSequential builds a Sequential over the given layers, memoizing the
+// parameter list up front.
+func NewSequential(layers ...Layer) *Sequential {
+	s := &Sequential{Layers: layers}
+	s.params = s.collectParams()
+	return s
+}
 
 // Forward runs the chain front to back.
 func (s *Sequential) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
@@ -68,9 +75,18 @@ func (s *Sequential) Backward(grad *tensor.Matrix) *tensor.Matrix {
 
 // Params returns the concatenated parameter list of all layers, in layer
 // order. The order is deterministic, which keeps flattened vectors
-// compatible across worker replicas.
+// compatible across worker replicas. The list is memoized — it is read on
+// every training step (per worker, via Tracker.ObserveParams) and the
+// layer set never changes after construction.
 func (s *Sequential) Params() []*Param {
-	var ps []*Param
+	if s.params == nil {
+		s.params = s.collectParams()
+	}
+	return s.params
+}
+
+func (s *Sequential) collectParams() []*Param {
+	ps := make([]*Param, 0, 2*len(s.Layers))
 	for _, l := range s.Layers {
 		ps = append(ps, l.Params()...)
 	}

@@ -3,10 +3,14 @@
 // VGG11, Transformer) and Adam (AlexNet), plus step-decay and
 // exponential-decay schedules.
 //
-// Optimizers operate on nn.Param lists in place. Each worker replica owns a
-// private optimizer instance; optimizer state (momentum buffers, Adam
-// moments) is deliberately *not* synchronized between workers — matching
-// the paper's setup, where only gradients or parameters cross the network.
+// Optimizers operate on nn.Param lists in place, holding their state
+// (momentum buffers, Adam moments) in single flat vectors laid out like
+// the parameter arena. When the parameters are arena-contiguous
+// (nn.ArenaView), a step is one fused SIMD pass over the whole model;
+// otherwise the same kernels run per parameter window. Each worker replica
+// owns a private optimizer instance; optimizer state is deliberately *not*
+// synchronized between workers — matching the paper's setup, where only
+// gradients or parameters cross the network.
 package opt
 
 import (
@@ -30,56 +34,78 @@ type Optimizer interface {
 //
 //	v ← μ·v + g + λ·w
 //	w ← w − lr·v
+//
+// Momentum state lives in one flat buffer spanning every parameter. When
+// the parameter list is arena-contiguous (nn.BindArena's layout — every
+// zoo model), Step is a single fused tensor.SGDMomentum pass over the
+// whole arena; otherwise it falls back to the same kernel applied per
+// parameter window.
 type SGD struct {
 	Params      []*nn.Param
 	Momentum    float64
 	WeightDecay float64
 
-	velocity []tensor.Vector
+	velocity tensor.Vector // flat momentum state, one window per Param
+	offsets  []int         // Param i's window is velocity[offsets[i]:offsets[i+1]]
+	data     tensor.Vector // whole-arena views when contiguous
+	grad     tensor.Vector
+	fused    bool
 }
 
 // NewSGD builds an SGD optimizer over params.
 func NewSGD(params []*nn.Param, momentum, weightDecay float64) *SGD {
 	s := &SGD{Params: params, Momentum: momentum, WeightDecay: weightDecay}
+	s.offsets = paramOffsets(params)
+	s.data, s.grad, s.fused = nn.ArenaView(params)
 	s.Reset()
 	return s
 }
 
 // Step applies one SGD update.
 func (s *SGD) Step(lr float64) {
+	if s.fused {
+		tensor.SGDMomentum(s.data, s.grad, s.velocity, lr, s.Momentum, s.WeightDecay)
+		return
+	}
 	for i, p := range s.Params {
-		v := s.velocity[i]
-		for j, g := range p.Grad {
-			g += s.WeightDecay * p.Data[j]
-			v[j] = s.Momentum*v[j] + g
-			p.Data[j] -= lr * v[j]
-		}
+		v := s.velocity[s.offsets[i]:s.offsets[i+1]]
+		tensor.SGDMomentum(p.Data, p.Grad, v, lr, s.Momentum, s.WeightDecay)
 	}
 }
 
-// Reset zeroes the momentum buffers.
+// Reset zeroes the momentum buffer (allocated once, reused thereafter).
 func (s *SGD) Reset() {
-	s.velocity = make([]tensor.Vector, len(s.Params))
-	for i, p := range s.Params {
-		s.velocity[i] = tensor.NewVector(len(p.Data))
+	if s.velocity == nil {
+		s.velocity = tensor.NewVector(s.offsets[len(s.Params)])
+		return
 	}
+	s.velocity.Zero()
 }
 
 // Adam is the Adam optimizer (Kingma & Ba, 2014) with bias correction.
+// Like SGD, both moment buffers are single flat vectors and the update is
+// one fused tensor.AdamUpdate pass over the whole arena when the parameter
+// list is contiguous.
 type Adam struct {
 	Params []*nn.Param
 	Beta1  float64
 	Beta2  float64
 	Eps    float64
 
-	m, v []tensor.Vector
-	t    int
+	m, v    tensor.Vector // flat first/second moments, one window per Param
+	offsets []int
+	data    tensor.Vector
+	grad    tensor.Vector
+	fused   bool
+	t       int
 }
 
 // NewAdam builds an Adam optimizer with the canonical defaults
 // β1=0.9, β2=0.999, ε=1e-8.
 func NewAdam(params []*nn.Param) *Adam {
 	a := &Adam{Params: params, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+	a.offsets = paramOffsets(params)
+	a.data, a.grad, a.fused = nn.ArenaView(params)
 	a.Reset()
 	return a
 }
@@ -89,27 +115,39 @@ func (a *Adam) Step(lr float64) {
 	a.t++
 	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
 	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	if a.fused {
+		tensor.AdamUpdate(a.data, a.grad, a.m, a.v, lr, a.Beta1, a.Beta2, a.Eps, c1, c2)
+		return
+	}
 	for i, p := range a.Params {
-		m, v := a.m[i], a.v[i]
-		for j, g := range p.Grad {
-			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
-			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
-			mhat := m[j] / c1
-			vhat := v[j] / c2
-			p.Data[j] -= lr * mhat / (math.Sqrt(vhat) + a.Eps)
-		}
+		m := a.m[a.offsets[i]:a.offsets[i+1]]
+		v := a.v[a.offsets[i]:a.offsets[i+1]]
+		tensor.AdamUpdate(p.Data, p.Grad, m, v, lr, a.Beta1, a.Beta2, a.Eps, c1, c2)
 	}
 }
 
-// Reset zeroes the moment buffers and the step counter.
+// Reset zeroes the moment buffers (allocated once, reused thereafter) and
+// the step counter.
 func (a *Adam) Reset() {
-	a.m = make([]tensor.Vector, len(a.Params))
-	a.v = make([]tensor.Vector, len(a.Params))
-	for i, p := range a.Params {
-		a.m[i] = tensor.NewVector(len(p.Data))
-		a.v[i] = tensor.NewVector(len(p.Data))
+	if a.m == nil {
+		n := a.offsets[len(a.Params)]
+		a.m = tensor.NewVector(n)
+		a.v = tensor.NewVector(n)
+	} else {
+		a.m.Zero()
+		a.v.Zero()
 	}
 	a.t = 0
+}
+
+// paramOffsets returns the prefix-sum offsets of each parameter's window
+// in a flat state buffer; the last entry is the total dimension.
+func paramOffsets(params []*nn.Param) []int {
+	offs := make([]int, len(params)+1)
+	for i, p := range params {
+		offs[i+1] = offs[i] + len(p.Data)
+	}
+	return offs
 }
 
 // Schedule maps a step index to a learning rate.

@@ -1,0 +1,72 @@
+package tensor
+
+import "math"
+
+// Fused optimizer kernels. Each applies one whole optimizer update in a
+// single pass over the flat parameter arena — the memory-bound inner loop
+// of every training step once gradients exist — instead of one pass per
+// layer parameter. The gradient operand is read-only in both kernels so
+// trackers can inspect it after the step; optimizer state (v, or m and v)
+// is updated in place.
+//
+// Like the GEMM micro-kernels, each has an AVX2+FMA body selected by
+// CPUID with the portable Go loop kept as fallback and test reference.
+// FMA contracts the multiply-add rounding, so the two paths agree only to
+// the last ulps per step; every replica in a run takes the same path, so
+// cross-replica determinism is unaffected.
+
+// SGDMomentum applies one fused SGD step with classical momentum and
+// L2 weight decay over the whole vector:
+//
+//	v ← μ·v + (g + λ·w)
+//	w ← w − lr·v
+//
+// It panics if the lengths differ.
+func SGDMomentum(w, g, v Vector, lr, mu, wd float64) {
+	assertSameLen(len(w), len(g), "SGDMomentum")
+	assertSameLen(len(w), len(v), "SGDMomentum")
+	if haveFMA {
+		fmaSGDMom(w, g, v, lr, mu, wd)
+		return
+	}
+	g = g[:len(w)]
+	v = v[:len(w)]
+	for j := range w {
+		gj := g[j] + wd*w[j]
+		vj := mu*v[j] + gj
+		v[j] = vj
+		w[j] -= lr * vj
+	}
+}
+
+// AdamUpdate applies one fused Adam step (Kingma & Ba, 2014) over the
+// whole vector. c1 and c2 are the bias-correction factors 1−β1ᵗ and 1−β2ᵗ
+// for the current step t (the caller owns the step counter):
+//
+//	m ← β1·m + (1−β1)·g
+//	v ← β2·v + (1−β2)·g²
+//	w ← w − lr · (m/c1) / (√(v/c2) + ε)
+//
+// It panics if the lengths differ.
+func AdamUpdate(w, g, m, v Vector, lr, beta1, beta2, eps, c1, c2 float64) {
+	assertSameLen(len(w), len(g), "AdamUpdate")
+	assertSameLen(len(w), len(m), "AdamUpdate")
+	assertSameLen(len(w), len(v), "AdamUpdate")
+	if haveFMA {
+		fmaAdam(w, g, m, v, lr, beta1, 1-beta1, beta2, 1-beta2, c1, c2, eps)
+		return
+	}
+	g = g[:len(w)]
+	m = m[:len(w)]
+	v = v[:len(w)]
+	for j := range w {
+		gj := g[j]
+		mj := beta1*m[j] + (1-beta1)*gj
+		vj := beta2*v[j] + (1-beta2)*gj*gj
+		m[j] = mj
+		v[j] = vj
+		mhat := mj / c1
+		vhat := vj / c2
+		w[j] -= lr * mhat / (math.Sqrt(vhat) + eps)
+	}
+}

@@ -1,0 +1,119 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// refSGDMom is the strictly scalar momentum-SGD update the fused kernel is
+// validated against — the exact loop opt.SGD ran before fusion.
+func refSGDMom(w, g, v Vector, lr, mu, wd float64) {
+	for j := range w {
+		gj := g[j] + wd*w[j]
+		v[j] = mu*v[j] + gj
+		w[j] -= lr * v[j]
+	}
+}
+
+// refAdam is the strictly scalar Adam update the fused kernel is validated
+// against.
+func refAdam(w, g, m, v Vector, lr, b1, b2, eps, c1, c2 float64) {
+	for j := range w {
+		gj := g[j]
+		m[j] = b1*m[j] + (1-b1)*gj
+		v[j] = b2*v[j] + (1-b2)*gj*gj
+		mhat := m[j] / c1
+		vhat := v[j] / c2
+		w[j] -= lr * mhat / (math.Sqrt(vhat) + eps)
+	}
+}
+
+// TestSGDMomentumMatchesReference compares the fused kernel (SIMD where
+// available) against the scalar reference across tail-covering lengths and
+// several steps, so momentum state is exercised, not just the first
+// update.
+func TestSGDMomentumMatchesReference(t *testing.T) {
+	rng := NewRNG(7)
+	for _, n := range []int{0, 1, 3, 7, 8, 9, 15, 16, 17, 64, 100, 129} {
+		w := randVec(rng, n)
+		wRef := w.Clone()
+		v := NewVector(n)
+		vRef := NewVector(n)
+		for step := 0; step < 5; step++ {
+			g := randVec(rng, n)
+			SGDMomentum(w, g, v, 0.05, 0.9, 4e-4)
+			refSGDMom(wRef, g, vRef, 0.05, 0.9, 4e-4)
+			for i := range w {
+				if !relClose(w[i], wRef[i]) || !relClose(v[i], vRef[i]) {
+					t.Fatalf("n=%d step=%d elem %d: w %g vs %g, v %g vs %g",
+						n, step, i, w[i], wRef[i], v[i], vRef[i])
+				}
+			}
+		}
+	}
+}
+
+// TestAdamUpdateMatchesReference does the same for the Adam kernel,
+// including evolving bias-correction factors.
+func TestAdamUpdateMatchesReference(t *testing.T) {
+	rng := NewRNG(11)
+	const b1, b2, eps = 0.9, 0.999, 1e-8
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 13, 64, 100, 129} {
+		w := randVec(rng, n)
+		wRef := w.Clone()
+		m, v := NewVector(n), NewVector(n)
+		mRef, vRef := NewVector(n), NewVector(n)
+		for step := 1; step <= 5; step++ {
+			c1 := 1 - math.Pow(b1, float64(step))
+			c2 := 1 - math.Pow(b2, float64(step))
+			g := randVec(rng, n)
+			AdamUpdate(w, g, m, v, 1e-3, b1, b2, eps, c1, c2)
+			refAdam(wRef, g, mRef, vRef, 1e-3, b1, b2, eps, c1, c2)
+			for i := range w {
+				if !relClose(w[i], wRef[i]) || !relClose(m[i], mRef[i]) || !relClose(v[i], vRef[i]) {
+					t.Fatalf("n=%d step=%d elem %d: w %g vs %g", n, step, i, w[i], wRef[i])
+				}
+			}
+		}
+	}
+}
+
+// TestOptKernelsLeaveGradientUntouched pins the read-only gradient
+// contract both kernels document.
+func TestOptKernelsLeaveGradientUntouched(t *testing.T) {
+	rng := NewRNG(13)
+	n := 100
+	g := randVec(rng, n)
+	gCopy := g.Clone()
+	SGDMomentum(randVec(rng, n), g, NewVector(n), 0.1, 0.9, 1e-4)
+	AdamUpdate(randVec(rng, n), g, NewVector(n), NewVector(n), 0.1, 0.9, 0.999, 1e-8, 0.1, 0.001)
+	for i := range g {
+		if g[i] != gCopy[i] {
+			t.Fatalf("gradient mutated at %d", i)
+		}
+	}
+}
+
+func BenchmarkSGDMomentumKernel(b *testing.B) {
+	rng := NewRNG(1)
+	n := 1 << 18
+	w, g, v := randVec(rng, n), randVec(rng, n), NewVector(n)
+	b.SetBytes(int64(8 * n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SGDMomentum(w, g, v, 0.05, 0.9, 4e-4)
+	}
+}
+
+func BenchmarkAdamUpdateKernel(b *testing.B) {
+	rng := NewRNG(1)
+	n := 1 << 18
+	w, g, m, v := randVec(rng, n), randVec(rng, n), NewVector(n), NewVector(n)
+	b.SetBytes(int64(8 * n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AdamUpdate(w, g, m, v, 1e-3, 0.9, 0.999, 1e-8, 0.0951, 0.000999)
+	}
+}

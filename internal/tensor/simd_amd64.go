@@ -67,6 +67,20 @@ func fmaAxpy4(dst, u0, u1, u2, u3 Vector, a0, a1, a2, a3 float64)
 //go:noescape
 func fmaMul(dst, a, b Vector)
 
+// fmaSGDMom applies the fused momentum-SGD update over len(w) elements:
+// v = mu*v + (g + wd*w); w -= lr*v. g is read-only.
+//
+//go:noescape
+func fmaSGDMom(w, g, v Vector, lr, mu, wd float64)
+
+// fmaAdam applies the fused Adam update over len(w) elements:
+// m = b1*m + ob1*g; v = b2*v + ob2*g²; w -= lr*(m/c1)/(sqrt(v/c2)+eps),
+// with ob1 = 1−b1 and ob2 = 1−b2 precomputed by the caller. g is
+// read-only.
+//
+//go:noescape
+func fmaAdam(w, g, m, v Vector, lr, b1, ob1, b2, ob2, c1, c2, eps float64)
+
 // fmaRelu writes y = max(x, 0) and mask = 1 where x > 0 (else 0).
 //
 //go:noescape

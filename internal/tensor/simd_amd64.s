@@ -249,6 +249,135 @@ mul_done:
 	VZEROUPPER
 	RET
 
+// func fmaSGDMom(w, g, v Vector, lr, mu, wd float64)
+//
+// Fused momentum-SGD update: v = mu*v + (g + wd*w); w -= lr*v. Eight
+// float64s per iteration (two ymm banks); g is read-only, v and w are
+// rewritten in the same pass, so one trip over the arena does the work of
+// the three-kernel axpy chain.
+TEXT ·fmaSGDMom(SB), NOSPLIT, $0-96
+	MOVQ w_base+0(FP), DI
+	MOVQ w_len+8(FP), CX
+	MOVQ g_base+24(FP), SI
+	MOVQ v_base+48(FP), R8
+	VBROADCASTSD lr+72(FP), Y5
+	VBROADCASTSD mu+80(FP), Y6
+	VBROADCASTSD wd+88(FP), Y7
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+sgd_loop8:
+	CMPQ AX, DX
+	JGE  sgd_tail
+	VMOVUPD (DI)(AX*8), Y2      // w
+	VMOVUPD 32(DI)(AX*8), Y3
+	VMOVUPD (SI)(AX*8), Y0      // g
+	VMOVUPD 32(SI)(AX*8), Y1
+	VFMADD231PD Y2, Y7, Y0      // g + wd*w
+	VFMADD231PD Y3, Y7, Y1
+	VFMADD231PD (R8)(AX*8), Y6, Y0   // + mu*v → new v
+	VFMADD231PD 32(R8)(AX*8), Y6, Y1
+	VMOVUPD Y0, (R8)(AX*8)
+	VMOVUPD Y1, 32(R8)(AX*8)
+	VFNMADD231PD Y0, Y5, Y2     // w -= lr*v
+	VFNMADD231PD Y1, Y5, Y3
+	VMOVUPD Y2, (DI)(AX*8)
+	VMOVUPD Y3, 32(DI)(AX*8)
+	ADDQ $8, AX
+	JMP  sgd_loop8
+sgd_tail:
+	CMPQ AX, CX
+	JGE  sgd_done
+	VMOVSD (DI)(AX*8), X2
+	VMOVSD (SI)(AX*8), X0
+	VFMADD231SD X2, X7, X0
+	VMOVSD (R8)(AX*8), X1
+	VFMADD231SD X6, X1, X0
+	VMOVSD X0, (R8)(AX*8)
+	VFNMADD231SD X0, X5, X2
+	VMOVSD X2, (DI)(AX*8)
+	INCQ AX
+	JMP  sgd_tail
+sgd_done:
+	VZEROUPPER
+	RET
+
+// func fmaAdam(w, g, m, v Vector, lr, b1, ob1, b2, ob2, c1, c2, eps float64)
+//
+// Fused Adam update: m = b1*m + ob1*g; v = b2*v + ob2*g²;
+// w -= lr*(m/c1)/(sqrt(v/c2)+eps). Four float64s per iteration — the
+// divide/sqrt chain needs more live registers than the pure-FMA kernels,
+// and at two divides plus a sqrt per lane the loop is latency-bound, not
+// issue-bound, so the narrower stride costs nothing measurable.
+TEXT ·fmaAdam(SB), NOSPLIT, $0-160
+	MOVQ w_base+0(FP), DI
+	MOVQ g_base+24(FP), SI
+	MOVQ m_base+48(FP), R8
+	MOVQ v_base+72(FP), R9
+	MOVQ w_len+8(FP), CX
+	VBROADCASTSD lr+96(FP), Y8
+	VBROADCASTSD b1+104(FP), Y9
+	VBROADCASTSD ob1+112(FP), Y10
+	VBROADCASTSD b2+120(FP), Y11
+	VBROADCASTSD ob2+128(FP), Y12
+	VBROADCASTSD c1+136(FP), Y13
+	VBROADCASTSD c2+144(FP), Y14
+	VBROADCASTSD eps+152(FP), Y15
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-4, DX
+adam_loop4:
+	CMPQ AX, DX
+	JGE  adam_tail
+	VMOVUPD (SI)(AX*8), Y0      // g
+	VMOVUPD (R8)(AX*8), Y1      // m
+	VMULPD Y9, Y1, Y1           // b1*m
+	VFMADD231PD Y10, Y0, Y1     // + ob1*g → new m
+	VMOVUPD Y1, (R8)(AX*8)
+	VMOVUPD (R9)(AX*8), Y2      // v
+	VMULPD Y11, Y2, Y2          // b2*v
+	VMULPD Y0, Y0, Y3           // g²
+	VFMADD231PD Y12, Y3, Y2     // + ob2*g² → new v
+	VMOVUPD Y2, (R9)(AX*8)
+	VDIVPD Y13, Y1, Y4          // mhat = m/c1
+	VDIVPD Y14, Y2, Y5          // vhat = v/c2
+	VSQRTPD Y5, Y5
+	VADDPD Y15, Y5, Y5          // sqrt(vhat) + eps
+	VMULPD Y8, Y4, Y4           // lr*mhat
+	VDIVPD Y5, Y4, Y4           // step
+	VMOVUPD (DI)(AX*8), Y6
+	VSUBPD Y4, Y6, Y6
+	VMOVUPD Y6, (DI)(AX*8)
+	ADDQ $4, AX
+	JMP  adam_loop4
+adam_tail:
+	CMPQ AX, CX
+	JGE  adam_done
+	VMOVSD (SI)(AX*8), X0
+	VMOVSD (R8)(AX*8), X1
+	VMULSD X9, X1, X1
+	VFMADD231SD X10, X0, X1
+	VMOVSD X1, (R8)(AX*8)
+	VMOVSD (R9)(AX*8), X2
+	VMULSD X11, X2, X2
+	VMULSD X0, X0, X3
+	VFMADD231SD X12, X3, X2
+	VMOVSD X2, (R9)(AX*8)
+	VDIVSD X13, X1, X4
+	VDIVSD X14, X2, X5
+	VSQRTSD X5, X5, X5
+	VADDSD X15, X5, X5
+	VMULSD X8, X4, X4
+	VDIVSD X5, X4, X4
+	VMOVSD (DI)(AX*8), X6
+	VSUBSD X4, X6, X6
+	VMOVSD X6, (DI)(AX*8)
+	INCQ AX
+	JMP  adam_tail
+adam_done:
+	VZEROUPPER
+	RET
+
 // func fmaRelu(y, mask, x Vector)
 TEXT ·fmaRelu(SB), NOSPLIT, $0-72
 	MOVQ y_base+0(FP), DI

@@ -321,6 +321,38 @@ func WeightedAverage(dst Vector, vs []Vector, w []float64) {
 	weightedCombine(dst, vs, w, 1/total)
 }
 
+// CopyAll copies src into every destination vector — the parameter-server
+// broadcast kernel. Like Average it is chunked across the flat dimension,
+// so one src chunk is fanned out to all destinations while still hot in
+// cache. Destinations must not alias src. It panics on length mismatch.
+func CopyAll(dsts []Vector, src Vector) {
+	for _, d := range dsts {
+		assertSameLen(len(d), len(src), "CopyAll")
+	}
+	if len(dsts) == 0 || maxProcsFor(len(src)*len(dsts)) == 1 {
+		// Serial path: fan each L1-sized src block out to every
+		// destination while it is hot, instead of streaming the full src
+		// from L2 once per destination.
+		for lo := 0; lo < len(src); lo += combineBlock {
+			hi := lo + combineBlock
+			if hi > len(src) {
+				hi = len(src)
+			}
+			s := src[lo:hi]
+			for _, d := range dsts {
+				copy(d[lo:hi], s)
+			}
+		}
+		return
+	}
+	parallelRows(len(src), 1, func(lo, hi int) {
+		s := src[lo:hi]
+		for _, d := range dsts {
+			copy(d[lo:hi], s)
+		}
+	})
+}
+
 // weightedCombine computes dst = scale * sum_i coef_i * vs[i], with coef_i
 // taken from w (nil means all ones). Work is split into contiguous chunks
 // of the flat dimension; within a chunk, sources are folded four at a time
@@ -333,11 +365,26 @@ func weightedCombine(dst Vector, vs []Vector, w []float64, scale float64) {
 		assertSameLen(len(dst), len(v), "Average")
 	}
 	if maxProcsFor(len(dst)) == 1 {
-		combineRange(dst, vs, w, scale, 0, len(dst))
+		// Serial path: walk the flat dimension in L1-sized blocks so the
+		// destination block stays in cache across the zero / fold / scale
+		// passes combineRange makes (a whole-vector pass would stream a
+		// multi-MB dst through L2 four times).
+		for lo := 0; lo < len(dst); lo += combineBlock {
+			hi := lo + combineBlock
+			if hi > len(dst) {
+				hi = len(dst)
+			}
+			combineRange(dst, vs, w, scale, lo, hi)
+		}
 		return
 	}
 	parallelRows(len(dst), 1, func(lo, hi int) { combineRange(dst, vs, w, scale, lo, hi) })
 }
+
+// combineBlock is the element count of one serial reduction block: 2048
+// float64s = 16 KiB, small enough that a dst block plus streaming source
+// reads coexist in a 32 KiB L1d.
+const combineBlock = 2048
 
 // combineRange applies the weighted combination to dst[lo:hi].
 func combineRange(dst Vector, vs []Vector, w []float64, scale float64, lo, hi int) {

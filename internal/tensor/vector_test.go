@@ -225,3 +225,36 @@ func sanitize(a []float64) Vector {
 	}
 	return v
 }
+
+// TestCopyAll covers the broadcast kernel across block boundaries and
+// destination counts (the serial path fans L1 blocks out to every dst).
+func TestCopyAll(t *testing.T) {
+	rng := NewRNG(21)
+	for _, n := range []int{0, 1, 7, combineBlock - 1, combineBlock, combineBlock + 3, 3*combineBlock + 17} {
+		for _, k := range []int{0, 1, 3, 8} {
+			src := randVec(rng, n)
+			dsts := make([]Vector, k)
+			for i := range dsts {
+				dsts[i] = randVec(rng, n)
+			}
+			CopyAll(dsts, src)
+			for i, d := range dsts {
+				for j := range d {
+					if d[j] != src[j] {
+						t.Fatalf("n=%d dst %d elem %d: got %g want %g", n, i, j, d[j], src[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCopyAllLengthMismatchPanics pins the contract.
+func TestCopyAllLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CopyAll([]Vector{NewVector(3)}, NewVector(4))
+}

@@ -32,6 +32,7 @@ func RunFedAvg(cfg Config, opts FedAvgOptions) *Result {
 	}
 	pickRNG := tensor.NewRNG(cfg.Seed ^ 0xFEDA)
 	global := r.cl.PS.Global
+	vecs := make([]tensor.Vector, 0, participants)
 
 	for step := 0; ; step++ {
 		lr := r.lr(step)
@@ -40,11 +41,13 @@ func RunFedAvg(cfg Config, opts FedAvgOptions) *Result {
 		r.applyLocal(lr)
 
 		if (step+1)%syncEvery == 0 {
-			// Collect parameters from C·N randomly chosen workers.
+			// Collect parameters from C·N randomly chosen workers. The
+			// flat views are read-only inputs to the reduction, so no
+			// defensive clones are needed.
 			chosen := pickRNG.Sample(r.cl.N(), participants)
-			vecs := make([]tensor.Vector, 0, len(chosen))
+			vecs = vecs[:0]
 			for _, id := range chosen {
-				vecs = append(vecs, r.cl.Workers[id].FlatParams().Clone())
+				vecs = append(vecs, r.cl.Workers[id].FlatParams())
 			}
 			tensor.Average(global, vecs)
 			r.cl.PS.PushCount += len(chosen)

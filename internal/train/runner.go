@@ -27,10 +27,11 @@ type runner struct {
 	injCursors []int
 	injRNG     *tensor.RNG
 
-	evalNet  nn.Network
-	evalFlat tensor.Vector
-	gradFlat tensor.Vector
-	flatVecs []tensor.Vector // reused per-worker slots for mean reductions
+	evalNet   nn.Network
+	evalArena *nn.Arena // evalNet's arena when arena-backed (every zoo model)
+	evalFlat  tensor.Vector
+	gradFlat  tensor.Vector
+	flatVecs  []tensor.Vector // reused per-worker slots for mean reductions
 	// Per-worker batch buffers reused across steps (workers touch only
 	// their own slot, so computeGrads stays race-free).
 	batchX      []*tensor.Matrix
@@ -78,6 +79,9 @@ func newRunner(cfg Config, method string) *runner {
 		evalFlat: tensor.NewVector(cl.Dim()),
 		gradFlat: tensor.NewVector(cl.Dim()),
 		losses:   make([]float64, cfg.Workers),
+	}
+	if ab, ok := r.evalNet.(nn.ArenaBacked); ok {
+		r.evalArena = ab.Arena()
 	}
 
 	r.perBatch = cfg.Batch
@@ -155,13 +159,17 @@ func (r *runner) applyLocal(lr float64) {
 }
 
 // meanParams writes the across-replica mean parameter vector into
-// r.evalFlat and returns it. The per-worker slot list is reused across
-// calls so the reduction allocates nothing in steady state.
+// r.evalFlat and returns it. Collecting the per-worker vectors is a serial
+// pointer walk (FlatParams is a zero-copy arena view on every zoo model);
+// the slot list is reused across calls so the reduction allocates nothing
+// in steady state.
 func (r *runner) meanParams() tensor.Vector {
 	if r.flatVecs == nil {
 		r.flatVecs = make([]tensor.Vector, r.cl.N())
 	}
-	r.cl.Each(func(w *cluster.Worker) { r.flatVecs[w.ID] = w.FlatParams() })
+	for _, w := range r.cl.Workers {
+		r.flatVecs[w.ID] = w.FlatParams()
+	}
 	tensor.Average(r.evalFlat, r.flatVecs)
 	return r.evalFlat
 }
@@ -172,7 +180,9 @@ func (r *runner) meanGrads() tensor.Vector {
 	if r.flatVecs == nil {
 		r.flatVecs = make([]tensor.Vector, r.cl.N())
 	}
-	r.cl.Each(func(w *cluster.Worker) { r.flatVecs[w.ID] = w.FlatGrads() })
+	for _, w := range r.cl.Workers {
+		r.flatVecs[w.ID] = w.FlatGrads()
+	}
 	tensor.Average(r.gradFlat, r.flatVecs)
 	return r.gradFlat
 }
@@ -191,7 +201,11 @@ func (r *runner) maybeSnapshot(step int) {
 // evalParams evaluates an arbitrary flat parameter vector on the test set,
 // returning mean loss and the model's metric (accuracy % or perplexity).
 func (r *runner) evalParams(v tensor.Vector) (loss, metric float64) {
-	nn.SetParams(r.evalNet.Params(), v)
+	if r.evalArena != nil {
+		r.evalArena.Data.CopyFrom(v)
+	} else {
+		nn.SetParams(r.evalNet.Params(), v)
+	}
 	return EvaluateDataset(r.evalNet, r.cfg.Test, r.cfg.EvalChunk)
 }
 

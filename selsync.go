@@ -146,5 +146,19 @@ func RunExperiment(id string, scale ExperimentScale, w io.Writer) error {
 	return experiments.Run(id, scale, w)
 }
 
+// RunAllExperiments regenerates every table and figure in id order. With
+// SetExperimentParallelism(n>1) the independent training runs inside (and
+// across) experiments execute concurrently under one n-slot budget; the
+// report bytes still come out in id order, identical to a serial run for
+// every deterministic experiment.
+func RunAllExperiments(scale ExperimentScale, w io.Writer) error {
+	return experiments.RunAll(scale, w)
+}
+
+// SetExperimentParallelism sets the process-wide number of training runs
+// the experiment harness may execute concurrently (selsync-bench's
+// -parallel flag). Values below 1 mean serial, the default.
+func SetExperimentParallelism(n int) { experiments.SetParallelism(n) }
+
 // ExperimentIDs lists the available experiment ids.
 func ExperimentIDs() []string { return experiments.IDs() }
