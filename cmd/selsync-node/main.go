@@ -1,0 +1,181 @@
+// Command selsync-node runs one rank of a multi-process training job over
+// the TCP transport, or launches a whole localhost job (-launch).
+//
+// Rank 0 coordinates: it plays the parameter server for every collective,
+// drives the SSP event loop, and prints the run report. The other ranks
+// host their block of workers and meet rank 0 at every synchronization.
+//
+// One rank per terminal:
+//
+//	selsync-node -rank 0 -peers 127.0.0.1:7701,127.0.0.1:7702,127.0.0.1:7703,127.0.0.1:7704 \
+//	    -model resnet -method selsync -workers 4 -steps 100
+//	selsync-node -rank 1 -peers ... (and 2, 3)
+//
+// Or let rank -launch spawn the whole job as real OS processes:
+//
+//	selsync-node -launch 4 -model resnet -method selsync -workers 4 -steps 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+
+	"selsync/internal/experiments"
+)
+
+func main() {
+	model := flag.String("model", "resnet", "workload: resnet | vgg | alexnet | transformer")
+	method := flag.String("method", "selsync", "algorithm: bsp | selsync | fedavg | ssp | local")
+	workers := flag.Int("workers", 4, "global number of workers (divisible by the rank count)")
+	steps := flag.Int("steps", 100, "training steps per worker")
+	trainN := flag.Int("train", 2048, "training-set size")
+	testN := flag.Int("test", 512, "test-set size")
+	seed := flag.Uint64("seed", 1, "run seed")
+	scheme := flag.String("scheme", "seldp", "IID partitioning: seldp | defdp")
+	delta := flag.Float64("delta", 0, "SelSync δ (0 = the workload's calibrated low threshold)")
+	mode := flag.String("agg", "param", "SelSync aggregation: param | grad")
+	c := flag.Float64("c", 1, "FedAvg participation fraction C")
+	e := flag.Float64("e", 0.25, "FedAvg sync factor E")
+	staleness := flag.Int("staleness", 100, "SSP staleness bound")
+	labelsPerWorker := flag.Int("noniid", 0, "labels per worker (0 = IID)")
+	alpha := flag.Float64("alpha", 0, "data-injection α (0 = off)")
+	beta := flag.Float64("beta", 0, "data-injection β")
+	transport := flag.String("transport", "tcp", "communication backend: tcp | loopback")
+	rank := flag.Int("rank", -1, "this process's rank (tcp transport)")
+	peers := flag.String("peers", "", "comma-separated host:port per rank (tcp transport)")
+	launch := flag.Int("launch", 0, "spawn this many ranks as OS processes on localhost and wait")
+	flag.Parse()
+
+	switch *mode {
+	case "param", "grad":
+	default:
+		fail("unknown -agg %q (want param or grad)", *mode)
+	}
+
+	spec := experiments.RunSpec{
+		Model: *model, Method: *method, Scheme: *scheme,
+		Workers: *workers, TrainN: *trainN, TestN: *testN,
+		MaxSteps: *steps, Seed: *seed,
+		Delta: *delta, GradAgg: *mode == "grad",
+		C: *c, E: *e, Staleness: *staleness,
+		LabelsPerWorker: *labelsPerWorker, Alpha: *alpha, Beta: *beta,
+	}
+
+	if *launch > 0 {
+		if *rank != -1 || *peers != "" {
+			fail("-launch spawns all ranks itself; -rank/-peers cannot be combined with it")
+		}
+		if *transport != "tcp" {
+			fail("-launch requires -transport tcp (loopback is single-process)")
+		}
+		if *workers%*launch != 0 {
+			fail("-workers (%d) must be divisible by -launch (%d)", *workers, *launch)
+		}
+		os.Exit(launchJob(*launch, flag.CommandLine))
+	}
+
+	fabric, report, err := experiments.ParseTransport(*transport, *rank, *peers, *workers)
+	if err != nil {
+		fail("%v", err)
+	}
+	if fabric != nil {
+		defer fabric.Close()
+		spec.Fabric = fabric
+	}
+
+	res, err := experiments.RunOne(spec)
+	if err != nil {
+		fail("%v", err)
+	}
+	if report {
+		fmt.Println(res)
+		fmt.Printf("sync steps: %d, local steps: %d, comm reduction vs BSP: %.1fx\n",
+			res.SyncSteps, res.LocalSteps, res.CommReduction())
+	} else {
+		fmt.Printf("rank %d done\n", *rank)
+	}
+}
+
+// launchJob reserves one localhost port per rank, spawns every rank as a
+// child process of this same binary, and waits. Returns the exit code.
+func launchJob(ranks int, fs *flag.FlagSet) int {
+	peers, err := reservePorts(ranks)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reserving ports: %v\n", err)
+		return 1
+	}
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "locating binary: %v\n", err)
+		return 1
+	}
+
+	// Forward every training flag as explicitly set or defaulted, minus
+	// the launcher-only ones.
+	var common []string
+	fs.VisitAll(func(f *flag.Flag) {
+		switch f.Name {
+		case "launch", "rank", "peers":
+			return
+		}
+		common = append(common, "-"+f.Name+"="+f.Value.String())
+	})
+
+	fmt.Printf("launching %d ranks: %s\n", ranks, strings.Join(peers, " "))
+	cmds := make([]*exec.Cmd, ranks)
+	for r := 0; r < ranks; r++ {
+		args := append([]string{
+			"-rank=" + strconv.Itoa(r),
+			"-peers=" + strings.Join(peers, ","),
+		}, common...)
+		cmd := exec.Command(self, args...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "starting rank %d: %v\n", r, err)
+			for _, running := range cmds[:r] {
+				running.Process.Kill()
+			}
+			return 1
+		}
+		cmds[r] = cmd
+	}
+	code := 0
+	for r, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			fmt.Fprintf(os.Stderr, "rank %d: %v\n", r, err)
+			code = 1
+		}
+	}
+	return code
+}
+
+// reservePorts finds n free localhost ports by binding and releasing them.
+// The children re-bind moments later; on a quiet machine the addresses
+// stay free for that window.
+func reservePorts(n int) ([]string, error) {
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs, nil
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

@@ -47,7 +47,7 @@ func main() {
 
 	p := experiments.Params{
 		Workers: *workers, TrainN: *trainN, TestN: *testN,
-		MaxSteps: *steps, EvalEvery: maxInt(1, *steps/10),
+		MaxSteps: *steps, EvalEvery: max(1, *steps/10),
 	}
 	wl := experiments.SetupWorkload(*model, p, *seed)
 	cfg := experiments.BaseConfig(wl, p, *seed)
@@ -71,9 +71,3 @@ func main() {
 	}
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -1,12 +1,18 @@
-// Command selsync-train runs one distributed-training configuration on the
-// simulated cluster and prints the metric history and summary.
+// Command selsync-train runs one distributed-training configuration and
+// prints the metric history and summary.
 //
-// Usage:
+// Single process (loopback transport, the default):
 //
 //	selsync-train -model resnet -method selsync -delta 0.18 -workers 8 -steps 400
 //	selsync-train -model vgg -method fedavg -c 0.5 -e 0.125
 //	selsync-train -model alexnet -method ssp -staleness 100
 //	selsync-train -model transformer -method bsp
+//
+// Across OS processes (TCP transport; start one process per rank, or use
+// cmd/selsync-node's -launch to spawn them all):
+//
+//	selsync-train -transport tcp -rank 0 -peers 127.0.0.1:7701,127.0.0.1:7702 -workers 2 -model resnet &
+//	selsync-train -transport tcp -rank 1 -peers 127.0.0.1:7701,127.0.0.1:7702 -workers 2 -model resnet
 package main
 
 import (
@@ -14,14 +20,13 @@ import (
 	"fmt"
 	"os"
 
-	"selsync"
 	"selsync/internal/experiments"
 )
 
 func main() {
 	model := flag.String("model", "resnet", "workload: resnet | vgg | alexnet | transformer")
 	method := flag.String("method", "selsync", "algorithm: bsp | selsync | fedavg | ssp | local")
-	workers := flag.Int("workers", 8, "number of simulated workers")
+	workers := flag.Int("workers", 8, "number of workers")
 	steps := flag.Int("steps", 300, "training steps per worker")
 	trainN := flag.Int("train", 6144, "training-set size")
 	testN := flag.Int("test", 1024, "test-set size")
@@ -35,52 +40,42 @@ func main() {
 	labelsPerWorker := flag.Int("noniid", 0, "labels per worker (0 = IID)")
 	alpha := flag.Float64("alpha", 0, "data-injection α (0 = off)")
 	beta := flag.Float64("beta", 0, "data-injection β")
+	transport := flag.String("transport", "loopback", "communication backend: loopback | tcp")
+	rank := flag.Int("rank", -1, "this process's rank (tcp transport only)")
+	peers := flag.String("peers", "", "comma-separated host:port per rank (tcp transport only)")
 	flag.Parse()
 
-	p := experiments.Params{
-		Workers: *workers, TrainN: *trainN, TestN: *testN,
-		MaxSteps: *steps, EvalEvery: maxInt(1, *steps/10),
-	}
-	wl := experiments.SetupWorkload(*model, p, *seed)
-	cfg := experiments.BaseConfig(wl, p, *seed)
-	switch *scheme {
-	case "seldp":
-		cfg.Scheme = selsync.SelDP
-	case "defdp":
-		cfg.Scheme = selsync.DefDP
+	switch *mode {
+	case "param", "grad":
 	default:
-		fail("unknown scheme %q", *scheme)
-	}
-	if *labelsPerWorker > 0 {
-		non := &selsync.NonIID{LabelsPerWorker: *labelsPerWorker}
-		if *alpha > 0 {
-			non.Injection = &selsync.Injection{Alpha: *alpha, Beta: *beta}
-		}
-		cfg.NonIID = non
+		fail("unknown -agg %q (want param or grad)", *mode)
 	}
 
-	var res *selsync.Result
-	switch *method {
-	case "bsp":
-		res = selsync.RunBSP(cfg)
-	case "local":
-		res = selsync.RunLocalSGD(cfg)
-	case "selsync":
-		d := *delta
-		if d == 0 {
-			d = wl.DeltaLow
-		}
-		m := selsync.ParamAgg
-		if *mode == "grad" {
-			m = selsync.GradAgg
-		}
-		res = selsync.RunSelSync(cfg, selsync.SelSyncOptions{Delta: d, Mode: m})
-	case "fedavg":
-		res = selsync.RunFedAvg(cfg, selsync.FedAvgOptions{C: *c, E: *e})
-	case "ssp":
-		res = selsync.RunSSP(cfg, selsync.SSPOptions{Staleness: *staleness, PSOpt: wl.SSPOpt})
-	default:
-		fail("unknown method %q", *method)
+	spec := experiments.RunSpec{
+		Model: *model, Method: *method, Scheme: *scheme,
+		Workers: *workers, TrainN: *trainN, TestN: *testN,
+		MaxSteps: *steps, Seed: *seed,
+		Delta: *delta, GradAgg: *mode == "grad",
+		C: *c, E: *e, Staleness: *staleness,
+		LabelsPerWorker: *labelsPerWorker, Alpha: *alpha, Beta: *beta,
+	}
+
+	fabric, report, err := experiments.ParseTransport(*transport, *rank, *peers, *workers)
+	if err != nil {
+		fail("%v", err)
+	}
+	if fabric != nil {
+		defer fabric.Close()
+		spec.Fabric = fabric
+	}
+
+	res, err := experiments.RunOne(spec)
+	if err != nil {
+		fail("%v", err)
+	}
+	if !report {
+		fmt.Printf("rank %d done (rank 0 holds the report)\n", *rank)
+		return
 	}
 
 	unit := "acc%"
@@ -100,11 +95,4 @@ func main() {
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, format+"\n", args...)
 	os.Exit(2)
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

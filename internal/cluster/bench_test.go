@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"sync"
 	"testing"
 
 	"selsync/internal/nn"
@@ -60,6 +61,40 @@ func BenchmarkSyncRound(b *testing.B) {
 		c.AggregateParams()
 		c.AggregateGrads(dst)
 	}
+}
+
+// BenchmarkEach measures one fan-out/join over the persistent per-worker
+// goroutine pool against the historical spawn-per-call dispatch it
+// replaced, at the no-op limit where dispatch overhead is everything the
+// benchmark sees. The pooled path is what every training step's
+// computeGrads and local-update fan-outs pay.
+func BenchmarkEach(b *testing.B) {
+	c := benchCluster(b, 8)
+	defer c.Close()
+	noop := func(w *Worker) {}
+
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Each(noop)
+		}
+	})
+	b.Run("spawn", func(b *testing.B) {
+		// The pre-pool implementation: a fresh goroutine per worker per
+		// call, kept here as the benchmark baseline.
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for _, w := range c.Workers {
+				wg.Add(1)
+				go func(w *Worker) {
+					defer wg.Done()
+					noop(w)
+				}(w)
+			}
+			wg.Wait()
+		}
+	})
 }
 
 // BenchmarkOptimizerStep measures one whole-model optimizer step per

@@ -1,16 +1,29 @@
-// Package cluster builds the simulated data-parallel training cluster: N
-// worker replicas around a central parameter server, in the image of the
-// paper's 16-container V100 testbed. Workers hold real model replicas and
-// compute real gradients (in parallel, on goroutines); their clocks are
-// virtual and advance by the cost-model times from internal/simnet. The
-// parameter server owns the flat global state and the two aggregation modes
-// the paper compares (parameter vs gradient aggregation, §III-C).
+// Package cluster builds the data-parallel training cluster: N worker
+// replicas around a central parameter server, in the image of the paper's
+// 16-container V100 testbed. Workers hold real model replicas and compute
+// real gradients (in parallel, on a persistent per-worker goroutine pool);
+// their clocks are virtual and advance by the cost-model times from
+// internal/simnet. The parameter server owns the flat global state and the
+// two aggregation modes the paper compares (parameter vs gradient
+// aggregation, §III-C).
+//
+// Every synchronization primitive — broadcast, parameter/gradient
+// aggregation, the SelSync flags allgather, the clock barrier — executes
+// through an internal/comm Fabric. With the default loopback fabric the
+// whole cluster lives in one process and the rounds are direct
+// shared-memory kernels, byte-identical to the historical in-process path
+// and allocation-free in steady state. With a comm.Mesh fabric (TCP), each
+// OS process hosts a contiguous block of the workers and the same rounds
+// become real wire exchanges; rank 0 plays the parameter server. Because
+// the mesh reduces in worker-id order with the same kernels, a multi-
+// process run reproduces the single-process results bit for bit.
 package cluster
 
 import (
 	"fmt"
 	"sync"
 
+	"selsync/internal/comm"
 	"selsync/internal/gradstat"
 	"selsync/internal/nn"
 	"selsync/internal/opt"
@@ -90,11 +103,17 @@ type Config struct {
 	TrackerAlpha  float64
 	// Topology prices synchronization rounds (PS by default).
 	Topology Topology
+	// Fabric is the communication backend synchronization rounds execute
+	// through. Nil selects the in-process loopback over all Workers. A
+	// multi-process fabric (comm.Mesh) makes this cluster instance host
+	// only the fabric's local worker block; Workers must then equal the
+	// fabric's global worker count.
+	Fabric comm.Fabric
 }
 
-// Worker is one simulated training replica.
+// Worker is one training replica hosted by this process.
 type Worker struct {
-	ID        int
+	ID        int // global worker id
 	Model     nn.Network
 	Optimizer opt.Optimizer
 	Device    *simnet.Device
@@ -164,14 +183,29 @@ func (w *Worker) LSSR() float64 {
 	return float64(w.LocalSteps) / float64(total)
 }
 
-// ParameterServer holds the flat global model state.
+// ParameterServer holds the flat global model state. Traffic accounting
+// lives in the comm fabric's ledger: the counters here are views of it, so
+// loopback and TCP runs report identical logical message and byte counts.
 type ParameterServer struct {
 	Global tensor.Vector
-	// PushCount / PullCount record traffic for the experiment reports.
-	PushCount, PullCount int
+	stats  *comm.Stats
 }
 
-// Cluster is the assembled system.
+// PushCount returns how many worker→PS messages the run has performed.
+func (ps *ParameterServer) PushCount() int { return ps.stats.Pushes }
+
+// PullCount returns how many PS→worker messages the run has performed.
+func (ps *ParameterServer) PullCount() int { return ps.stats.Pulls }
+
+// BytesRecv returns the wire bytes pushed into the PS (codec-exact sizes).
+func (ps *ParameterServer) BytesRecv() int64 { return ps.stats.Bytes.Recv }
+
+// BytesSent returns the wire bytes pulled out of the PS.
+func (ps *ParameterServer) BytesSent() int64 { return ps.stats.Bytes.Sent }
+
+// Cluster is the assembled system. Workers holds the replicas hosted by
+// this process — all N of them on the loopback fabric, a contiguous block
+// on a multi-process fabric.
 type Cluster struct {
 	Workers  []*Worker
 	PS       *ParameterServer
@@ -179,15 +213,31 @@ type Cluster struct {
 	Spec     nn.ModelSpec
 	Topology Topology
 
-	dim      int
-	scratch  tensor.Vector
-	avgVecs  []tensor.Vector // reused per-worker slot list for averageInto
-	allArena bool            // every worker exposes a zero-copy arena
+	fabric    comm.Fabric
+	ownFabric bool
+	firstID   int
+	dim       int
+	scratch   tensor.Vector
+	allIDs    []int
+	// Stored view closures and per-local-worker arena slots keep the
+	// steady-state sync round allocation-free.
+	paramView  func(id int) tensor.Vector
+	gradView   func(id int) tensor.Vector
+	paramSlots []tensor.Vector
+	allArena   bool
+
+	// Persistent per-worker goroutine pool behind Each.
+	eachCh    []chan func(*Worker)
+	eachWG    sync.WaitGroup
+	closeOnce sync.Once
 }
 
 // New builds the cluster: every worker constructs the model with the same
 // seed (replicas start bit-identical, the pullFromPS of Alg. 1 line 3) and
-// the PS snapshots that state as the initial global model.
+// the PS snapshots that state as the initial global model. On a multi-
+// process fabric only the locally hosted workers materialize; per-worker
+// RNG streams are split for every global id so hosted workers draw the
+// same streams on every rank layout.
 func New(cfg Config) *Cluster {
 	if cfg.Workers <= 0 {
 		panic("cluster: need at least one worker")
@@ -210,15 +260,31 @@ func New(cfg Config) *Cluster {
 			return simnet.NewV100(cfg.Seed ^ (0xD0 + uint64(id)))
 		}
 	}
+	fabric := cfg.Fabric
+	ownFabric := false
+	if fabric == nil {
+		fabric = comm.NewLoopback(cfg.Workers)
+		ownFabric = true
+	}
+	if fabric.Workers() != cfg.Workers {
+		panic(fmt.Sprintf("cluster: config has %d workers but fabric has %d", cfg.Workers, fabric.Workers()))
+	}
 
 	c := &Cluster{
-		Network:  cfg.Network,
-		Spec:     cfg.Model.Spec,
-		Topology: cfg.Topology,
+		Network:   cfg.Network,
+		Spec:      cfg.Model.Spec,
+		Topology:  cfg.Topology,
+		fabric:    fabric,
+		ownFabric: ownFabric,
+		firstID:   fabric.LocalWorkers()[0],
 	}
 	seedRNG := tensor.NewRNG(cfg.Seed)
 	c.allArena = true
 	for id := 0; id < cfg.Workers; id++ {
+		rng := seedRNG.Split() // advance the stream for every global id
+		if !fabric.Hosts(id) {
+			continue
+		}
 		model := cfg.Model.New(cfg.Seed) // same seed: identical init
 		w := &Worker{
 			ID:        id,
@@ -226,7 +292,7 @@ func New(cfg Config) *Cluster {
 			Optimizer: cfg.Opt(model.Params()),
 			Device:    deviceFor(id),
 			Tracker:   gradstat.NewTracker(cfg.TrackerAlpha, cfg.TrackerWindow),
-			RNG:       seedRNG.Split(),
+			RNG:       rng,
 		}
 		if ab, ok := w.Model.(nn.ArenaBacked); ok {
 			w.arena = ab.Arena()
@@ -238,91 +304,181 @@ func New(cfg Config) *Cluster {
 	}
 	c.dim = nn.ParamCount(c.Workers[0].Model.Params())
 	c.scratch = tensor.NewVector(c.dim)
-	c.PS = &ParameterServer{Global: c.Workers[0].FlatParams().Clone()}
+	c.allIDs = make([]int, cfg.Workers)
+	for i := range c.allIDs {
+		c.allIDs[i] = i
+	}
+	c.paramView = func(id int) tensor.Vector { return c.workerByID(id).FlatParams() }
+	c.gradView = func(id int) tensor.Vector { return c.workerByID(id).FlatGrads() }
+	if c.allArena {
+		c.paramSlots = make([]tensor.Vector, len(c.Workers))
+		for i, w := range c.Workers {
+			c.paramSlots[i] = w.arena.Data
+		}
+	}
+	c.PS = &ParameterServer{Global: c.Workers[0].FlatParams().Clone(), stats: fabric.Stats()}
+	c.startPool()
 	return c
 }
 
-// N returns the worker count.
-func (c *Cluster) N() int { return len(c.Workers) }
+// workerByID maps a hosted global worker id to its replica.
+func (c *Cluster) workerByID(id int) *Worker { return c.Workers[id-c.firstID] }
+
+// LocalWorker returns the replica for a global worker id, or nil when this
+// rank does not host it.
+func (c *Cluster) LocalWorker(id int) *Worker {
+	if !c.fabric.Hosts(id) {
+		return nil
+	}
+	return c.workerByID(id)
+}
+
+// N returns the global worker count.
+func (c *Cluster) N() int { return c.fabric.Workers() }
+
+// LocalN returns how many workers this process hosts.
+func (c *Cluster) LocalN() int { return len(c.Workers) }
+
+// Rank returns this process's rank on the fabric (0 on loopback).
+func (c *Cluster) Rank() int { return c.fabric.Rank() }
+
+// Procs returns the fabric's process count (1 on loopback).
+func (c *Cluster) Procs() int { return c.fabric.Procs() }
+
+// Fabric returns the communication backend.
+func (c *Cluster) Fabric() comm.Fabric { return c.fabric }
 
 // Dim returns the flat parameter dimension.
 func (c *Cluster) Dim() int { return c.dim }
 
-// Each runs fn for every worker concurrently and waits for all to finish.
-// Workers touch disjoint state, so fn needs no locking as long as it only
-// accesses its own worker.
-func (c *Cluster) Each(fn func(w *Worker)) {
-	var wg sync.WaitGroup
-	for _, w := range c.Workers {
-		wg.Add(1)
-		go func(w *Worker) {
-			defer wg.Done()
-			fn(w)
-		}(w)
+// startPool launches one persistent goroutine per hosted worker — the
+// start of the pool's start/step/stop protocol. Each call is a step:
+// the closure fans out over the resident goroutines instead of spawning
+// fresh ones. Close stops them.
+func (c *Cluster) startPool() {
+	if len(c.Workers) == 1 {
+		return // single hosted worker: Each runs inline
 	}
-	wg.Wait()
+	c.eachCh = make([]chan func(*Worker), len(c.Workers))
+	for i, w := range c.Workers {
+		ch := make(chan func(*Worker), 1)
+		c.eachCh[i] = ch
+		go func(w *Worker, ch chan func(*Worker)) {
+			for fn := range ch {
+				fn(w)
+				c.eachWG.Done()
+			}
+		}(w, ch)
+	}
+}
+
+// Each runs fn for every hosted worker concurrently on the persistent
+// worker pool and waits for all to finish. Workers touch disjoint state,
+// so fn needs no locking as long as it only accesses its own worker.
+func (c *Cluster) Each(fn func(w *Worker)) {
+	if len(c.Workers) == 1 {
+		fn(c.Workers[0])
+		return
+	}
+	c.eachWG.Add(len(c.Workers))
+	for _, ch := range c.eachCh {
+		ch <- fn
+	}
+	c.eachWG.Wait()
+}
+
+// Close stops the worker pool and, when the cluster built its own loopback
+// fabric, releases it. Externally supplied fabrics (TCP meshes) are closed
+// by their creators. Safe to call more than once; the cluster must not be
+// used afterwards.
+func (c *Cluster) Close() {
+	c.closeOnce.Do(func() {
+		for _, ch := range c.eachCh {
+			close(ch)
+		}
+		if c.ownFabric {
+			c.fabric.Close()
+		}
+	})
 }
 
 // Broadcast overwrites every replica's parameters with the PS global state
-// and counts one pull per worker. On the all-arena path this is one
-// chunk-parallel fan-out copy straight into the replicas' live storage.
+// and counts one pull per worker. On the all-arena path this is the
+// fabric's fan-out (one chunk-parallel copy straight into the replicas'
+// live storage on loopback).
 func (c *Cluster) Broadcast() {
 	if c.allArena {
-		tensor.CopyAll(c.slots(func(w *Worker) tensor.Vector { return w.arena.Data }), c.PS.Global)
+		c.fabric.FanOut(c.paramSlots, c.PS.Global)
 	} else {
 		c.Each(func(w *Worker) { w.SetParams(c.PS.Global) })
 	}
-	c.PS.PullCount += c.N()
-}
-
-// slots fills the cluster-owned per-worker vector list (serially — the
-// all-arena getters are pointer reads) and returns it.
-func (c *Cluster) slots(get func(w *Worker) tensor.Vector) []tensor.Vector {
-	if c.avgVecs == nil {
-		c.avgVecs = make([]tensor.Vector, c.N())
-	}
-	for _, w := range c.Workers {
-		c.avgVecs[w.ID] = get(w)
-	}
-	return c.avgVecs
+	c.fabric.AccountPull(c.N(), c.dim)
 }
 
 // AggregateParams averages the replicas' parameters into the PS global
-// state and broadcasts the result — one full parameter-aggregation round.
+// state and broadcasts the result — one full parameter-aggregation round
+// (push all, pull all) through the fabric.
 func (c *Cluster) AggregateParams() {
-	c.averageInto(c.PS.Global, func(w *Worker) tensor.Vector { return w.FlatParams() })
-	c.PS.PushCount += c.N()
+	c.fabric.ReduceMean(c.PS.Global, c.allIDs, c.paramView)
+	c.fabric.AccountPush(c.N(), c.dim)
 	c.Broadcast()
 }
 
 // AggregateGrads averages the replicas' gradients into dst (one
-// gradient-aggregation round: push gradients, pull the mean). Callers apply
-// dst through each worker's optimizer.
+// gradient-aggregation round: push gradients, pull the mean; the mean is
+// left on every rank by the fabric). Callers apply dst through each
+// worker's optimizer.
 func (c *Cluster) AggregateGrads(dst tensor.Vector) {
-	c.averageInto(dst, func(w *Worker) tensor.Vector { return w.FlatGrads() })
-	c.PS.PushCount += c.N()
-	c.PS.PullCount += c.N()
+	c.fabric.ReduceMean(dst, c.allIDs, c.gradView)
+	c.fabric.AccountPush(c.N(), c.dim)
+	c.fabric.AccountPull(c.N(), c.dim)
 }
 
-// averageInto collects one vector per worker and reduces in worker-id
-// order for determinism. The slot list is owned by the cluster so
-// steady-state aggregation rounds allocate nothing. On the all-arena path
-// collecting is just reading N pointers, so it runs serially; only the
-// copy-path fallback fans the per-worker flattens out across goroutines.
-func (c *Cluster) averageInto(dst tensor.Vector, get func(w *Worker) tensor.Vector) {
-	if c.allArena {
-		tensor.Average(dst, c.slots(get))
-		return
-	}
-	if c.avgVecs == nil {
-		c.avgVecs = make([]tensor.Vector, c.N())
-	}
-	c.Each(func(w *Worker) { c.avgVecs[w.ID] = get(w) })
-	tensor.Average(dst, c.avgVecs)
+// ReduceParamsSubset averages the parameters of the given workers into the
+// PS global state (FedAvg's partial participation: only ids push).
+func (c *Cluster) ReduceParamsSubset(ids []int) {
+	c.fabric.ReduceMean(c.PS.Global, ids, c.paramView)
+	c.fabric.AccountPush(len(ids), c.dim)
 }
 
-// MaxClock returns the latest worker clock — the cluster's wall time, since
-// a run ends when its slowest worker does.
+// AverageParamsInto writes the across-replica mean parameter vector into
+// dst on every rank — a diagnostic read (evaluation, snapshots), not PS
+// traffic, so it leaves the ledger untouched.
+func (c *Cluster) AverageParamsInto(dst tensor.Vector) {
+	c.fabric.ReduceMean(dst, c.allIDs, c.paramView)
+}
+
+// AverageGradsInto writes the across-replica mean gradient vector into dst
+// on every rank without touching the ledger.
+func (c *Cluster) AverageGradsInto(dst tensor.Vector) {
+	c.fabric.ReduceMean(dst, c.allIDs, c.gradView)
+}
+
+// AccountPush records n worker→PS model-sized messages that bypassed the
+// collective entry points (SSP's per-event pushes).
+func (c *Cluster) AccountPush(n int) { c.fabric.AccountPush(n, c.dim) }
+
+// AccountPull records n PS→worker model-sized messages.
+func (c *Cluster) AccountPull(n int) { c.fabric.AccountPull(n, c.dim) }
+
+// ExchangeFlags runs SelSync's one-bit significance allgather through the
+// fabric: on entry flags[id] is set for hosted ids, on return every
+// worker's vote is present on every rank. It reports whether any worker
+// voted to synchronize.
+func (c *Cluster) ExchangeFlags(flags []bool) bool {
+	c.fabric.AllGatherFlags(flags)
+	for _, f := range flags {
+		if f {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxClock returns the latest worker clock across all ranks — the
+// cluster's wall time, since a run ends when its slowest worker does. On a
+// multi-process fabric this is a collective and must be called by every
+// rank at the same point.
 func (c *Cluster) MaxClock() float64 {
 	var m float64
 	for _, w := range c.Workers {
@@ -330,10 +486,10 @@ func (c *Cluster) MaxClock() float64 {
 			m = w.Clock
 		}
 	}
-	return m
+	return c.fabric.MaxFloat(m)
 }
 
-// Barrier advances every worker's clock to the cluster maximum (the
+// Barrier advances every worker's clock to the cluster-wide maximum (the
 // blocking wait of BSP-style synchronization) and then adds extra seconds
 // of shared synchronization cost.
 func (c *Cluster) Barrier(extra float64) {
@@ -359,12 +515,13 @@ func (c *Cluster) FlagsCost() float64 {
 	return c.Network.AllGatherBits(c.N())
 }
 
-// ConsistentReplicas reports whether all replicas hold bit-identical
-// parameters — the invariant parameter aggregation restores after every
-// synchronization and gradient aggregation violates once replicas diverge.
-// The reference is worker 0's flat view read in place (every worker
-// flattens into its own storage, so no defensive clone is needed) and the
-// scan stops at the first mismatching element.
+// ConsistentReplicas reports whether all locally hosted replicas hold
+// bit-identical parameters — the invariant parameter aggregation restores
+// after every synchronization and gradient aggregation violates once
+// replicas diverge. The reference is the first hosted worker's flat view
+// read in place (every worker flattens into its own storage, so no
+// defensive clone is needed) and the scan stops at the first mismatching
+// element.
 func (c *Cluster) ConsistentReplicas() bool {
 	ref := c.Workers[0].FlatParams()
 	for _, w := range c.Workers[1:] {
@@ -378,8 +535,9 @@ func (c *Cluster) ConsistentReplicas() bool {
 	return true
 }
 
-// MaxParamDivergence returns the largest L2 distance between any replica
-// and the PS global state, the divergence quantity behind Fig. 11.
+// MaxParamDivergence returns the largest L2 distance between any locally
+// hosted replica and the PS global state, the divergence quantity behind
+// Fig. 11.
 func (c *Cluster) MaxParamDivergence() float64 {
 	var worst float64
 	for _, w := range c.Workers {

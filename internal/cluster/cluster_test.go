@@ -2,8 +2,10 @@ package cluster
 
 import (
 	"math"
+	"sync"
 	"testing"
 
+	"selsync/internal/comm"
 	"selsync/internal/nn"
 	"selsync/internal/opt"
 	"selsync/internal/simnet"
@@ -110,8 +112,12 @@ func TestAggregateGradsIsMean(t *testing.T) {
 			t.Fatalf("mean gradient wrong at %d: %v", i, avg[i])
 		}
 	}
-	if c.PS.PushCount != 2 || c.PS.PullCount != 2 {
-		t.Fatalf("traffic counts: push=%d pull=%d", c.PS.PushCount, c.PS.PullCount)
+	if c.PS.PushCount() != 2 || c.PS.PullCount() != 2 {
+		t.Fatalf("traffic counts: push=%d pull=%d", c.PS.PushCount(), c.PS.PullCount())
+	}
+	wantBytes := 2 * comm.TensorWireBytes(c.Dim())
+	if c.PS.BytesRecv() != wantBytes || c.PS.BytesSent() != wantBytes {
+		t.Fatalf("traffic bytes: recv=%d sent=%d want %d", c.PS.BytesRecv(), c.PS.BytesSent(), wantBytes)
 	}
 }
 
@@ -240,4 +246,149 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 			t.Fatal("training must be bit-deterministic across runs")
 		}
 	}
+}
+
+func TestEachReusesPersistentPool(t *testing.T) {
+	c := New(testConfig(4))
+	defer c.Close()
+	var mu sync.Mutex
+	counts := make(map[int]int)
+	for i := 0; i < 50; i++ {
+		c.Each(func(w *Worker) {
+			mu.Lock()
+			counts[w.ID]++
+			mu.Unlock()
+		})
+	}
+	for id := 0; id < 4; id++ {
+		if counts[id] != 50 {
+			t.Fatalf("worker %d ran %d of 50 steps", id, counts[id])
+		}
+	}
+	c.Close() // idempotent stop
+}
+
+// meshClusters builds one cluster per rank over in-process channel
+// endpoints, so multi-process aggregation runs inside one test binary.
+func meshClusters(t *testing.T, workers, procs int, seed uint64) ([]*Cluster, func()) {
+	t.Helper()
+	eps := comm.NewLoopbackEndpoints(procs)
+	cls := make([]*Cluster, procs)
+	var wg sync.WaitGroup
+	for r := 0; r < procs; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			m, err := comm.NewMesh(eps[r], workers)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			cfg := testConfig(workers)
+			cfg.Seed = seed
+			cfg.Fabric = m
+			cls[r] = New(cfg)
+		}(r)
+	}
+	wg.Wait()
+	cleanup := func() {
+		for r, c := range cls {
+			if c != nil {
+				c.Close()
+			}
+			eps[r].Close()
+		}
+	}
+	for _, c := range cls {
+		if c == nil {
+			cleanup()
+			t.Fatal("mesh cluster construction failed")
+		}
+	}
+	return cls, cleanup
+}
+
+// eachRank runs fn concurrently on every rank's cluster — the SPMD shape
+// of a multi-process run.
+func eachRank(cls []*Cluster, fn func(c *Cluster)) {
+	var wg sync.WaitGroup
+	for _, c := range cls {
+		wg.Add(1)
+		go func(c *Cluster) {
+			defer wg.Done()
+			fn(c)
+		}(c)
+	}
+	wg.Wait()
+}
+
+func TestMeshClusterMatchesLoopbackBitwise(t *testing.T) {
+	const workers = 4
+	lb := New(testConfig(workers))
+	defer lb.Close()
+
+	step := func(c *Cluster, round int) {
+		c.Each(func(w *Worker) {
+			x, labels := randBatch(uint64(w.ID*10+round), 8, 4)
+			w.Model.ComputeGradients(x, labels)
+			w.Optimizer.Step(0.1)
+		})
+		c.AggregateParams()
+	}
+	for round := 0; round < 3; round++ {
+		step(lb, round)
+	}
+
+	for _, procs := range []int{2, 4} {
+		cls, cleanup := meshClusters(t, workers, procs, 42)
+		eachRank(cls, func(c *Cluster) {
+			for round := 0; round < 3; round++ {
+				step(c, round)
+			}
+		})
+		for r, c := range cls {
+			for i, x := range c.PS.Global {
+				if x != lb.PS.Global[i] {
+					cleanup()
+					t.Fatalf("procs=%d rank %d: global[%d] diverged from loopback", procs, r, i)
+				}
+			}
+			if c.PS.PushCount() != lb.PS.PushCount() || c.PS.PullCount() != lb.PS.PullCount() ||
+				c.PS.BytesRecv() != lb.PS.BytesRecv() || c.PS.BytesSent() != lb.PS.BytesSent() {
+				cleanup()
+				t.Fatalf("procs=%d rank %d: traffic ledger diverged: push=%d/%d pull=%d/%d",
+					procs, r, c.PS.PushCount(), lb.PS.PushCount(), c.PS.PullCount(), lb.PS.PullCount())
+			}
+		}
+		cleanup()
+	}
+}
+
+func TestMeshClusterFlagsAndBarrier(t *testing.T) {
+	cls, cleanup := meshClusters(t, 4, 2, 7)
+	defer cleanup()
+	eachRank(cls, func(c *Cluster) {
+		flags := make([]bool, c.N())
+		for _, w := range c.Workers {
+			flags[w.ID] = w.ID == 3 // only worker 3 votes
+		}
+		if !c.ExchangeFlags(flags) {
+			t.Error("vote lost in allgather")
+			return
+		}
+		for id, f := range flags {
+			if f != (id == 3) {
+				t.Errorf("flag %d = %v", id, f)
+			}
+		}
+		for _, w := range c.Workers {
+			w.Clock = float64(w.ID)
+		}
+		c.Barrier(0.5)
+		for _, w := range c.Workers {
+			if w.Clock != 3.5 {
+				t.Errorf("worker %d clock %v want 3.5", w.ID, w.Clock)
+			}
+		}
+	})
 }

@@ -1,0 +1,178 @@
+package comm
+
+import (
+	"fmt"
+
+	"selsync/internal/tensor"
+)
+
+// Rank-level collectives over a bare Endpoint: one vector per rank. The
+// Mesh fabric wraps the same frame primitives with worker-id bookkeeping;
+// these are the building blocks for tools, tests and topologies that don't
+// need the worker mapping.
+
+// sendTensorEP streams v to a peer in chunked frames, reusing scratch for
+// encoding. It returns the (possibly grown) scratch.
+func sendTensorEP(ep Endpoint, to, worker int, v tensor.Vector, scratch []byte) ([]byte, error) {
+	seq := uint32(0)
+	for lo := 0; ; lo += ChunkElems {
+		hi := min(lo+ChunkElems, len(v))
+		scratch = tensor.AppendVector(scratch[:0], v[lo:hi])
+		f := Frame{Type: MsgTensorChunk, Worker: int32(worker), Seq: seq, Payload: scratch}
+		if hi == len(v) {
+			f.Flags |= FlagLast
+		}
+		if err := ep.Send(to, &f); err != nil {
+			return scratch, err
+		}
+		if hi == len(v) {
+			return scratch, nil
+		}
+		seq++
+	}
+}
+
+// recvTensorEP reassembles one chunked tensor from a peer into dst,
+// validating the worker tag (when non-negative), chunk sequence and total
+// size.
+func recvTensorEP(ep Endpoint, from, worker int, dst tensor.Vector) error {
+	off := 0
+	for seq := uint32(0); ; seq++ {
+		f, err := ep.Recv(from)
+		if err != nil {
+			return err
+		}
+		if f.Type != MsgTensorChunk {
+			return fmt.Errorf("comm: expected tensor chunk from rank %d, got type %d", from, f.Type)
+		}
+		if worker >= 0 && f.Worker != int32(worker) {
+			return fmt.Errorf("comm: tensor chunk for worker %d, want %d", f.Worker, worker)
+		}
+		if f.Seq != seq {
+			return fmt.Errorf("comm: tensor chunk seq %d, want %d", f.Seq, seq)
+		}
+		n := len(f.Payload) / 8
+		if off+n > len(dst) {
+			return fmt.Errorf("comm: tensor stream overflows %d-element destination", len(dst))
+		}
+		if err := tensor.DecodeVector(dst[off:off+n], f.Payload); err != nil {
+			return err
+		}
+		off += n
+		if f.Flags&FlagLast != 0 {
+			if off != len(dst) {
+				return fmt.Errorf("comm: tensor stream ended at %d of %d elements", off, len(dst))
+			}
+			return nil
+		}
+	}
+}
+
+// BroadcastTensor copies root's v into every rank's v.
+func BroadcastTensor(ep Endpoint, root int, v tensor.Vector) error {
+	if ep.Procs() == 1 {
+		return nil
+	}
+	if ep.Rank() == root {
+		var scratch []byte
+		var err error
+		for r := 0; r < ep.Procs(); r++ {
+			if r == root {
+				continue
+			}
+			if scratch, err = sendTensorEP(ep, r, -1, v, scratch); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return recvTensorEP(ep, root, -1, v)
+}
+
+// PushPullMean is the parameter-server round at rank granularity: every
+// rank pushes contrib to root, root averages the contributions in rank
+// order (the same deterministic tensor.Average fold the cluster uses) and
+// every rank pulls the mean into dst. contrib and dst may alias.
+func PushPullMean(ep Endpoint, root int, dst, contrib tensor.Vector) error {
+	if ep.Procs() == 1 {
+		if &dst[0] != &contrib[0] {
+			dst.CopyFrom(contrib)
+		}
+		return nil
+	}
+	if ep.Rank() == root {
+		slots := make([]tensor.Vector, ep.Procs())
+		for r := range slots {
+			if r == root {
+				slots[r] = contrib
+				continue
+			}
+			buf := tensor.NewVector(len(dst))
+			if err := recvTensorEP(ep, r, -1, buf); err != nil {
+				return err
+			}
+			slots[r] = buf
+		}
+		tensor.Average(dst, slots)
+		return BroadcastTensor(ep, root, dst)
+	}
+	if _, err := sendTensorEP(ep, root, -1, contrib, nil); err != nil {
+		return err
+	}
+	return recvTensorEP(ep, root, -1, dst)
+}
+
+// RingAllReduceMean averages v across all ranks in place with the
+// bandwidth-optimal ring collective: a reduce-scatter pass leaves each
+// rank owning one fully reduced segment, an allgather pass circulates the
+// reduced segments, then every rank scales by 1/P. Each rank moves
+// 2·(P−1)/P of the vector — the cost model simnet.RingAllReduce prices.
+//
+// The per-element addition order depends on ring position, so the result
+// is deterministic but not bitwise identical to PushPullMean's flat fold —
+// the reason the cluster's bit-stability path stays on the PS collective.
+func RingAllReduceMean(ep Endpoint, v tensor.Vector) error {
+	p := ep.Procs()
+	if p == 1 {
+		return nil
+	}
+	rank := ep.Rank()
+	next := (rank + 1) % p
+	prev := (rank - 1 + p) % p
+	seg := func(i int) (int, int) {
+		i = ((i % p) + p) % p
+		return i * len(v) / p, (i + 1) * len(v) / p
+	}
+	scratch := tensor.NewVector(len(v)/p + 1)
+	var enc []byte
+	var err error
+
+	// Reduce-scatter: after step s, the segment (rank−s−1) accumulates the
+	// partial sums of s+2 ranks; after P−1 steps rank r owns the full sum
+	// of segment r+1.
+	for s := 0; s < p-1; s++ {
+		slo, shi := seg(rank - s)
+		if enc, err = sendTensorEP(ep, next, -1, v[slo:shi], enc); err != nil {
+			return err
+		}
+		rlo, rhi := seg(rank - s - 1)
+		in := scratch[:rhi-rlo]
+		if err := recvTensorEP(ep, prev, -1, in); err != nil {
+			return err
+		}
+		v[rlo:rhi].Add(in)
+	}
+	// Allgather: circulate the reduced segments.
+	for s := 0; s < p-1; s++ {
+		slo, shi := seg(rank + 1 - s)
+		if enc, err = sendTensorEP(ep, next, -1, v[slo:shi], enc); err != nil {
+			return err
+		}
+		rlo, rhi := seg(rank - s)
+		if err := recvTensorEP(ep, prev, -1, v[rlo:rhi]); err != nil {
+			return err
+		}
+	}
+	v.Scale(1 / float64(p))
+	return nil
+}

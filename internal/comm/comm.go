@@ -1,0 +1,180 @@
+// Package comm is the communication subsystem of the SelSync reproduction:
+// a transport-agnostic stack that moves flat tensors, SelSync significance
+// flags and control messages between training ranks.
+//
+// It is layered:
+//
+//   - Frame / wire codec (frame.go): versioned length-prefixed binary
+//     frames with chunked tensor streaming.
+//   - Endpoint (endpoint.go): point-to-point send/recv of frames between
+//     ranks, with two backends — an in-process channel loopback and a TCP
+//     full mesh with persistent, reused connections.
+//   - Collectives (mesh.go): PS-style push/pull averaging, broadcast, ring
+//     all-reduce and the SelSync one-bit flags allgather, layered on any
+//     Endpoint.
+//   - Fabric (this file): the interface internal/cluster drives its
+//     synchronization rounds through. NewLoopback is the single-process
+//     backend (direct shared-memory kernels, zero-copy, zero allocations in
+//     steady state — byte-identical to the pre-comm aggregation path);
+//     Mesh runs the same rounds over real endpoints so the four training
+//     algorithms execute across OS processes.
+//
+// Traffic accounting: a Fabric counts the *logical* parameter-server
+// protocol — one push per contributing worker, one pull per receiving
+// worker, with byte sizes computed from the wire codec (TensorWireBytes) —
+// identically on every backend and every rank. That is what the experiment
+// reports need (it is the traffic the modeled PS tier absorbs), and it is
+// what makes loopback and TCP runs comparable. The bytes that actually
+// crossed sockets are tracked separately per Endpoint (NetStats).
+package comm
+
+import (
+	"selsync/internal/tensor"
+)
+
+// Stats is a fabric's logical traffic ledger, from the parameter server's
+// perspective: pushes arrive (BytesRecv), pulls depart (BytesSent).
+// Identical on every rank of a run, and across backends for identical
+// collective sequences.
+type Stats struct {
+	Pushes int   // worker→PS messages
+	Pulls  int   // PS→worker messages
+	Bytes  struct{ Recv, Sent int64 }
+
+	FlagRounds int   // SelSync flags-allgather rounds
+	FlagBytes  int64 // logical bytes of those rounds (FlagsWireBytes)
+}
+
+// Fabric is the backend internal/cluster executes synchronization rounds
+// through. Implementations: *Loopback (single process) and *Mesh (over an
+// Endpoint, e.g. TCP).
+//
+// Collective calls (ReduceMean, FanOut, AllGatherFlags, MaxFloat) must be
+// made by every rank of the fabric with matching arguments, in the same
+// order — the SPMD contract of every collective library.
+type Fabric interface {
+	// Rank is this process's rank; Procs the process count.
+	Rank() int
+	Procs() int
+	// Workers is the global worker count; Hosts reports whether this rank
+	// hosts the given global worker id; LocalWorkers lists hosted ids in
+	// ascending order.
+	Workers() int
+	Hosts(worker int) bool
+	LocalWorkers() []int
+
+	// ReduceMean averages one vector per id in ids — each rank supplies
+	// views for the ids it hosts via view — into dst, leaving the
+	// bit-identical mean on every rank. The reduction always folds in ids
+	// order with the shared tensor.Average kernel, so the result does not
+	// depend on the backend or the process count. No ledger entry: the
+	// caller decides whether the round was PS traffic (AccountPush) or a
+	// diagnostic read (evaluation means), keeping the logical ledger
+	// identical across backends either way.
+	ReduceMean(dst tensor.Vector, ids []int, view func(worker int) tensor.Vector)
+	// FanOut copies src into every locally hosted destination (the PS
+	// pull). src must already be rank-identical — in the cluster protocol
+	// it always is, because it is either the initial snapshot or a
+	// ReduceMean result. No ledger entry (see ReduceMean).
+	FanOut(dsts []tensor.Vector, src tensor.Vector)
+	// AllGatherFlags exchanges the one-bit significance votes: on entry
+	// each rank has filled flags[id] for its hosted ids; on return flags
+	// holds every worker's vote on every rank.
+	AllGatherFlags(flags []bool)
+	// MaxFloat returns the global maximum of x across ranks (virtual-clock
+	// reduction).
+	MaxFloat(x float64) float64
+
+	// AccountPush / AccountPull record n point-to-point PS messages of dim
+	// elements that bypassed the collective entry points (SSP's push/pull
+	// pairs, non-arena broadcast paths).
+	AccountPush(n, dim int)
+	AccountPull(n, dim int)
+	Stats() *Stats
+
+	// Close releases transport resources. On multi-process backends it
+	// runs a drain barrier first, so no rank tears sockets down under a
+	// peer still reading.
+	Close() error
+}
+
+// Loopback is the single-process Fabric: all workers share this address
+// space, so collectives are direct shared-memory kernels (the chunk-parallel
+// tensor.Average / tensor.CopyAll paths) with zero copies beyond the
+// reduction itself and zero steady-state allocations. Only the ledger
+// models the wire.
+type Loopback struct {
+	workers int
+	locals  []int
+	stats   Stats
+	slots   []tensor.Vector
+}
+
+// NewLoopback builds the in-process fabric over n workers.
+func NewLoopback(n int) *Loopback {
+	if n <= 0 {
+		panic("comm: loopback fabric needs at least one worker")
+	}
+	locals := make([]int, n)
+	for i := range locals {
+		locals[i] = i
+	}
+	return &Loopback{workers: n, locals: locals, slots: make([]tensor.Vector, 0, n)}
+}
+
+// Rank implements Fabric.
+func (l *Loopback) Rank() int { return 0 }
+
+// Procs implements Fabric.
+func (l *Loopback) Procs() int { return 1 }
+
+// Workers implements Fabric.
+func (l *Loopback) Workers() int { return l.workers }
+
+// Hosts implements Fabric.
+func (l *Loopback) Hosts(worker int) bool { return worker >= 0 && worker < l.workers }
+
+// LocalWorkers implements Fabric.
+func (l *Loopback) LocalWorkers() []int { return l.locals }
+
+// ReduceMean implements Fabric.
+func (l *Loopback) ReduceMean(dst tensor.Vector, ids []int, view func(worker int) tensor.Vector) {
+	l.slots = l.slots[:0]
+	for _, id := range ids {
+		l.slots = append(l.slots, view(id))
+	}
+	tensor.Average(dst, l.slots)
+}
+
+// FanOut implements Fabric.
+func (l *Loopback) FanOut(dsts []tensor.Vector, src tensor.Vector) {
+	tensor.CopyAll(dsts, src)
+}
+
+// AllGatherFlags implements Fabric: in one process the votes are already
+// all present; only the ledger moves.
+func (l *Loopback) AllGatherFlags(flags []bool) {
+	l.stats.FlagRounds++
+	l.stats.FlagBytes += FlagsWireBytes(l.workers)
+}
+
+// MaxFloat implements Fabric.
+func (l *Loopback) MaxFloat(x float64) float64 { return x }
+
+// AccountPush implements Fabric.
+func (l *Loopback) AccountPush(n, dim int) {
+	l.stats.Pushes += n
+	l.stats.Bytes.Recv += int64(n) * TensorWireBytes(dim)
+}
+
+// AccountPull implements Fabric.
+func (l *Loopback) AccountPull(n, dim int) {
+	l.stats.Pulls += n
+	l.stats.Bytes.Sent += int64(n) * TensorWireBytes(dim)
+}
+
+// Stats implements Fabric.
+func (l *Loopback) Stats() *Stats { return &l.stats }
+
+// Close implements Fabric.
+func (l *Loopback) Close() error { return nil }

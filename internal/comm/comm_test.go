@@ -1,0 +1,416 @@
+package comm
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"testing"
+
+	"selsync/internal/tensor"
+)
+
+// withEndpoints runs fn once over channel-loopback endpoints and once over
+// a real TCP mesh on 127.0.0.1, so every collective is exercised on both
+// transports.
+func withEndpoints(t *testing.T, procs int, fn func(t *testing.T, eps []Endpoint)) {
+	t.Helper()
+	t.Run("chan", func(t *testing.T) {
+		eps := NewLoopbackEndpoints(procs)
+		defer closeAll(eps)
+		fn(t, eps)
+	})
+	t.Run("tcp", func(t *testing.T) {
+		eps := tcpEndpoints(t, procs)
+		defer closeAll(eps)
+		fn(t, eps)
+	})
+}
+
+// tcpEndpoints reserves ports race-free by binding 127.0.0.1:0 listeners
+// first, then dials the full mesh concurrently.
+func tcpEndpoints(t *testing.T, procs int) []Endpoint {
+	t.Helper()
+	lns := make([]net.Listener, procs)
+	peers := make([]string, procs)
+	for r := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[r] = ln
+		peers[r] = ln.Addr().String()
+	}
+	eps := make([]Endpoint, procs)
+	errs := make([]error, procs)
+	var wg sync.WaitGroup
+	for r := 0; r < procs; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ep, err := DialTCPWithListener(r, peers, lns[r])
+			eps[r], errs[r] = ep, err
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	return eps
+}
+
+func closeAll(eps []Endpoint) {
+	for _, ep := range eps {
+		if ep != nil {
+			ep.Close()
+		}
+	}
+}
+
+// parallelRanks runs fn concurrently for every rank and propagates
+// failures.
+func parallelRanks(t *testing.T, eps []Endpoint, fn func(ep Endpoint) error) {
+	t.Helper()
+	errs := make([]error, len(eps))
+	var wg sync.WaitGroup
+	for i, ep := range eps {
+		wg.Add(1)
+		go func(i int, ep Endpoint) {
+			defer wg.Done()
+			errs[i] = fn(ep)
+		}(i, ep)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+func TestEndpointOrderedDelivery(t *testing.T) {
+	withEndpoints(t, 3, func(t *testing.T, eps []Endpoint) {
+		parallelRanks(t, eps, func(ep Endpoint) error {
+			const msgs = 50
+			// Every rank sends a numbered scalar stream to every peer,
+			// then checks per-peer arrival order.
+			for to := 0; to < ep.Procs(); to++ {
+				if to == ep.Rank() {
+					continue
+				}
+				for i := 0; i < msgs; i++ {
+					f := &Frame{Type: MsgScalar, Seq: uint32(i), Payload: putScalar(nil, float64(ep.Rank()*1000+i))}
+					if err := ep.Send(to, f); err != nil {
+						return err
+					}
+				}
+			}
+			for from := 0; from < ep.Procs(); from++ {
+				if from == ep.Rank() {
+					continue
+				}
+				for i := 0; i < msgs; i++ {
+					f, err := ep.Recv(from)
+					if err != nil {
+						return err
+					}
+					if f.Seq != uint32(i) {
+						return fmt.Errorf("from %d: seq %d want %d", from, f.Seq, i)
+					}
+					v, err := getScalar(f.Payload)
+					if err != nil {
+						return err
+					}
+					if v != float64(from*1000+i) {
+						return fmt.Errorf("from %d: payload %v", from, v)
+					}
+				}
+			}
+			return nil
+		})
+	})
+}
+
+func TestEndpointNetStatsCountWire(t *testing.T) {
+	eps := tcpEndpoints(t, 2)
+	defer closeAll(eps)
+	dim := ChunkElems + 100 // forces chunked streaming
+	v := tensor.NewVector(dim)
+	tensor.NewRNG(5).NormVector(v, 0, 1)
+	got := tensor.NewVector(dim)
+
+	parallelRanks(t, eps, func(ep Endpoint) error {
+		if ep.Rank() == 0 {
+			_, err := sendTensorEP(ep, 1, -1, v, nil)
+			return err
+		}
+		return recvTensorEP(ep, 0, -1, got)
+	})
+
+	want := TensorWireBytes(dim)
+	s0, s1 := eps[0].NetStats(), eps[1].NetStats()
+	if s0.BytesSent != want {
+		t.Fatalf("sender socket bytes %d, want TensorWireBytes=%d", s0.BytesSent, want)
+	}
+	if s1.BytesRecv != want {
+		t.Fatalf("receiver socket bytes %d, want %d", s1.BytesRecv, want)
+	}
+	if s0.FramesSent != int64(TensorChunks(dim)) || s1.FramesRecv != int64(TensorChunks(dim)) {
+		t.Fatalf("frames sent/recv %d/%d, want %d", s0.FramesSent, s1.FramesRecv, TensorChunks(dim))
+	}
+	for i := range v {
+		if math.Float64bits(got[i]) != math.Float64bits(v[i]) {
+			t.Fatalf("element %d not bit-identical after chunked streaming", i)
+		}
+	}
+}
+
+func TestBroadcastTensor(t *testing.T) {
+	withEndpoints(t, 4, func(t *testing.T, eps []Endpoint) {
+		dim := 2*ChunkElems + 33
+		want := tensor.NewVector(dim)
+		tensor.NewRNG(11).NormVector(want, 0, 1)
+		parallelRanks(t, eps, func(ep Endpoint) error {
+			v := tensor.NewVector(dim)
+			if ep.Rank() == 1 {
+				v.CopyFrom(want)
+			}
+			if err := BroadcastTensor(ep, 1, v); err != nil {
+				return err
+			}
+			for i := range v {
+				if v[i] != want[i] {
+					return fmt.Errorf("rank %d: element %d diverged", ep.Rank(), i)
+				}
+			}
+			return nil
+		})
+	})
+}
+
+func TestPushPullMeanMatchesFlatAverage(t *testing.T) {
+	withEndpoints(t, 4, func(t *testing.T, eps []Endpoint) {
+		dim := 1000
+		contribs := make([]tensor.Vector, len(eps))
+		rng := tensor.NewRNG(13)
+		for r := range contribs {
+			contribs[r] = tensor.NewVector(dim)
+			rng.NormVector(contribs[r], 0, 1)
+		}
+		want := tensor.NewVector(dim)
+		tensor.Average(want, contribs)
+
+		parallelRanks(t, eps, func(ep Endpoint) error {
+			dst := tensor.NewVector(dim)
+			if err := PushPullMean(ep, 0, dst, contribs[ep.Rank()]); err != nil {
+				return err
+			}
+			for i := range dst {
+				if math.Float64bits(dst[i]) != math.Float64bits(want[i]) {
+					return fmt.Errorf("rank %d: element %d not bit-identical to flat average", ep.Rank(), i)
+				}
+			}
+			return nil
+		})
+	})
+}
+
+func TestRingAllReduceMean(t *testing.T) {
+	withEndpoints(t, 4, func(t *testing.T, eps []Endpoint) {
+		dim := 517 // deliberately not divisible by the ring size
+		contribs := make([]tensor.Vector, len(eps))
+		rng := tensor.NewRNG(17)
+		for r := range contribs {
+			contribs[r] = tensor.NewVector(dim)
+			rng.NormVector(contribs[r], 0, 1)
+		}
+		want := tensor.NewVector(dim)
+		tensor.Average(want, contribs)
+
+		results := make([]tensor.Vector, len(eps))
+		parallelRanks(t, eps, func(ep Endpoint) error {
+			v := contribs[ep.Rank()].Clone()
+			if err := RingAllReduceMean(ep, v); err != nil {
+				return err
+			}
+			results[ep.Rank()] = v
+			return nil
+		})
+		for r, v := range results {
+			for i := range v {
+				if math.Abs(v[i]-want[i]) > 1e-12 {
+					t.Fatalf("rank %d element %d: ring %v vs flat %v", r, i, v[i], want[i])
+				}
+			}
+			// All ranks agree bitwise with each other.
+			for i := range v {
+				if math.Float64bits(v[i]) != math.Float64bits(results[0][i]) {
+					t.Fatalf("rank %d element %d differs from rank 0", r, i)
+				}
+			}
+		}
+	})
+}
+
+// meshes builds a Mesh per endpoint.
+func meshes(t *testing.T, eps []Endpoint, workers int) []*Mesh {
+	t.Helper()
+	ms := make([]*Mesh, len(eps))
+	for r, ep := range eps {
+		m, err := NewMesh(ep, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms[r] = m
+	}
+	return ms
+}
+
+func TestMeshReduceMeanMatchesLoopbackBitwise(t *testing.T) {
+	const workers, dim = 8, 700
+	vecs := make([]tensor.Vector, workers)
+	rng := tensor.NewRNG(19)
+	for w := range vecs {
+		vecs[w] = tensor.NewVector(dim)
+		rng.NormVector(vecs[w], 0, 1)
+	}
+	ids := make([]int, workers)
+	for i := range ids {
+		ids[i] = i
+	}
+	view := func(w int) tensor.Vector { return vecs[w] }
+
+	lb := NewLoopback(workers)
+	want := tensor.NewVector(dim)
+	lb.ReduceMean(want, ids, view)
+
+	for _, procs := range []int{2, 4} {
+		t.Run(fmt.Sprintf("procs=%d", procs), func(t *testing.T) {
+			eps := NewLoopbackEndpoints(procs)
+			defer closeAll(eps)
+			ms := meshes(t, eps, workers)
+			results := make([]tensor.Vector, procs)
+			parallelRanks(t, eps, func(ep Endpoint) error {
+				m := ms[ep.Rank()]
+				dst := tensor.NewVector(dim)
+				m.ReduceMean(dst, ids, view)
+				results[ep.Rank()] = dst
+				return nil
+			})
+			for r, got := range results {
+				for i := range got {
+					if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+						t.Fatalf("procs=%d rank %d: element %d not bit-identical to loopback", procs, r, i)
+					}
+				}
+			}
+			// Logical ledger matches the loopback fabric on every rank:
+			// same Account calls yield identical counters, with byte sizes
+			// from the shared wire arithmetic.
+			lb.AccountPush(workers, dim)
+			lb.AccountPull(workers, dim)
+			for _, m := range ms {
+				m.AccountPush(workers, dim)
+				m.AccountPull(workers, dim)
+			}
+			for r, m := range ms {
+				if *m.Stats() != *lb.Stats() {
+					t.Fatalf("rank %d stats %+v != loopback %+v", r, *m.Stats(), *lb.Stats())
+				}
+			}
+			lb.Stats().Pushes, lb.Stats().Pulls = 0, 0
+			lb.Stats().Bytes.Recv, lb.Stats().Bytes.Sent = 0, 0
+		})
+	}
+}
+
+func TestMeshFlagsAndClock(t *testing.T) {
+	withEndpoints(t, 4, func(t *testing.T, eps []Endpoint) {
+		const workers = 8
+		ms := meshes(t, eps, workers)
+		want := []bool{true, false, false, true, false, true, true, false}
+		clocks := []float64{3.5, 9.25, 1.0, 7.5}
+
+		parallelRanks(t, eps, func(ep Endpoint) error {
+			m := ms[ep.Rank()]
+			flags := make([]bool, workers)
+			for _, id := range m.LocalWorkers() {
+				flags[id] = want[id]
+			}
+			m.AllGatherFlags(flags)
+			for i := range flags {
+				if flags[i] != want[i] {
+					return fmt.Errorf("rank %d: flag %d wrong", ep.Rank(), i)
+				}
+			}
+			if got := m.MaxFloat(clocks[ep.Rank()]); got != 9.25 {
+				return fmt.Errorf("rank %d: MaxFloat=%v", ep.Rank(), got)
+			}
+			return nil
+		})
+		if ms[0].Stats().FlagRounds != 1 || ms[0].Stats().FlagBytes != FlagsWireBytes(workers) {
+			t.Fatalf("flag accounting: %+v", *ms[0].Stats())
+		}
+	})
+}
+
+func TestMeshPeerLinkControlAndTensors(t *testing.T) {
+	withEndpoints(t, 2, func(t *testing.T, eps []Endpoint) {
+		ms := meshes(t, eps, 2)
+		payload := tensor.Vector{1, 2, 3, 4.5}
+		parallelRanks(t, eps, func(ep Endpoint) error {
+			m := ms[ep.Rank()]
+			if ep.Rank() == 0 {
+				if err := m.SendControl(1, CtlSSPStart, 1, 2.5, 0); err != nil {
+					return err
+				}
+				if err := m.SendTensor(1, 1, payload); err != nil {
+					return err
+				}
+				c, err := m.RecvControl(1)
+				if err != nil {
+					return err
+				}
+				if c.Op != CtlSSPGrad || c.Worker != 1 || c.A != 0.125 || c.B != 0.5 {
+					return fmt.Errorf("bad grad reply: %+v", c)
+				}
+				return nil
+			}
+			c, err := m.RecvControl(0)
+			if err != nil {
+				return err
+			}
+			if c.Op != CtlSSPStart || c.Worker != 1 || c.A != 2.5 {
+				return fmt.Errorf("bad start: %+v", c)
+			}
+			got := tensor.NewVector(len(payload))
+			if err := m.RecvTensorInto(0, 1, got); err != nil {
+				return err
+			}
+			for i := range got {
+				if got[i] != payload[i] {
+					return fmt.Errorf("tensor element %d: %v", i, got[i])
+				}
+			}
+			return m.SendControl(0, CtlSSPGrad, 1, 0.125, 0.5)
+		})
+	})
+}
+
+func TestMeshCloseBarrier(t *testing.T) {
+	eps := tcpEndpoints(t, 3)
+	ms := meshes(t, eps, 3)
+	parallelRanks(t, eps, func(ep Endpoint) error {
+		return ms[ep.Rank()].Close()
+	})
+}
+
+func TestMeshRejectsIndivisibleWorkers(t *testing.T) {
+	eps := NewLoopbackEndpoints(3)
+	defer closeAll(eps)
+	if _, err := NewMesh(eps[0], 8); err == nil {
+		t.Fatal("8 workers over 3 procs must be rejected")
+	}
+}

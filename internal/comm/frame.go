@@ -1,0 +1,213 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Wire format (version 1). Every message on every transport is one frame:
+//
+//	offset  size  field
+//	0       4     magic  0x53454C31 ("SEL1")
+//	4       1     version (1)
+//	5       1     type (MsgType)
+//	6       2     flags (bit 0: last chunk of a tensor stream)
+//	8       4     worker id the payload belongs to (int32; -1 = none)
+//	12      4     seq (chunk index within a tensor stream, else 0)
+//	16      4     payload length in bytes
+//	20      n     payload
+//
+// Tensor payloads are little-endian float64 words (tensor.AppendVector) and
+// are chunked into at most ChunkElems elements per frame so multi-megabyte
+// models stream through bounded buffers. Flag payloads pack one bit per
+// worker. Control payloads are [op byte][a float64][b float64].
+const (
+	Magic      = 0x53454C31
+	Version    = 1
+	HeaderSize = 20
+	// MaxPayload bounds a frame payload; DecodeFrame rejects anything
+	// larger, so a malformed length field cannot trigger a huge read.
+	MaxPayload = 1 << 22
+	// ChunkElems is the tensor streaming granularity: 32Ki float64s =
+	// 256 KiB payloads.
+	ChunkElems = 32 * 1024
+)
+
+// MsgType labels a frame.
+type MsgType uint8
+
+const (
+	// MsgHello is the connection handshake; the worker field carries the
+	// dialer's rank.
+	MsgHello MsgType = 1
+	// MsgTensorChunk carries one chunk of a streamed tensor.
+	MsgTensorChunk MsgType = 2
+	// MsgFlags carries packed one-bit-per-worker SelSync significance
+	// flags.
+	MsgFlags MsgType = 3
+	// MsgScalar carries one float64 (clock reductions).
+	MsgScalar MsgType = 4
+	// MsgControl carries a control op plus two float64 arguments.
+	MsgControl MsgType = 5
+)
+
+func (t MsgType) valid() bool { return t >= MsgHello && t <= MsgControl }
+
+// FlagLast marks the final chunk of a tensor stream.
+const FlagLast uint16 = 1
+
+// Control ops carried by MsgControl frames.
+const (
+	// CtlSSPStart tells a worker rank to run one SSP iteration for the
+	// frame's worker id; the current global parameters follow as a tensor
+	// stream. Arg A is the virtual start time.
+	CtlSSPStart uint8 = 1
+	// CtlSSPGrad is the reply: arg A is the mini-batch loss, arg B the
+	// modeled compute seconds; the gradient follows as a tensor stream.
+	CtlSSPGrad uint8 = 2
+	// CtlStop ends a worker rank's serve loop.
+	CtlStop uint8 = 3
+	// ctlBye / ctlByeAck implement the close barrier: every rank drains
+	// its peers before any socket is torn down.
+	ctlBye    uint8 = 4
+	ctlByeAck uint8 = 5
+)
+
+// Frame is one decoded wire message.
+type Frame struct {
+	Type    MsgType
+	Flags   uint16
+	Worker  int32
+	Seq     uint32
+	Payload []byte
+}
+
+// AppendFrame appends f's wire encoding to dst and returns the extended
+// slice. It panics if the payload exceeds MaxPayload (a caller bug, not a
+// wire condition).
+func AppendFrame(dst []byte, f *Frame) []byte {
+	if len(f.Payload) > MaxPayload {
+		panic(fmt.Sprintf("comm: frame payload %d exceeds MaxPayload", len(f.Payload)))
+	}
+	var hdr [HeaderSize]byte
+	putHeader(hdr[:], f, len(f.Payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, f.Payload...)
+}
+
+func putHeader(hdr []byte, f *Frame, payloadLen int) {
+	binary.LittleEndian.PutUint32(hdr[0:], Magic)
+	hdr[4] = Version
+	hdr[5] = byte(f.Type)
+	binary.LittleEndian.PutUint16(hdr[6:], f.Flags)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(f.Worker))
+	binary.LittleEndian.PutUint32(hdr[12:], f.Seq)
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(payloadLen))
+}
+
+// parseHeader validates a wire header and returns the frame metadata plus
+// the payload length. It never panics: every malformed field maps to an
+// error.
+func parseHeader(hdr []byte) (f Frame, payloadLen int, err error) {
+	if len(hdr) < HeaderSize {
+		return f, 0, fmt.Errorf("comm: short header: %d bytes", len(hdr))
+	}
+	if m := binary.LittleEndian.Uint32(hdr[0:]); m != Magic {
+		return f, 0, fmt.Errorf("comm: bad magic %#x", m)
+	}
+	if v := hdr[4]; v != Version {
+		return f, 0, fmt.Errorf("comm: unsupported wire version %d", v)
+	}
+	f.Type = MsgType(hdr[5])
+	if !f.Type.valid() {
+		return f, 0, fmt.Errorf("comm: unknown frame type %d", hdr[5])
+	}
+	f.Flags = binary.LittleEndian.Uint16(hdr[6:])
+	f.Worker = int32(binary.LittleEndian.Uint32(hdr[8:]))
+	f.Seq = binary.LittleEndian.Uint32(hdr[12:])
+	n := binary.LittleEndian.Uint32(hdr[16:])
+	if n > MaxPayload {
+		return f, 0, fmt.Errorf("comm: payload length %d exceeds MaxPayload", n)
+	}
+	return f, int(n), nil
+}
+
+// DecodeFrame decodes one frame from the front of b, returning the frame,
+// the number of bytes consumed, and an error for any malformed input. The
+// returned payload aliases b. It never panics — the fuzz target
+// FuzzDecodeFrame holds it to that.
+func DecodeFrame(b []byte) (Frame, int, error) {
+	f, n, err := parseHeader(b)
+	if err != nil {
+		return Frame{}, 0, err
+	}
+	if len(b) < HeaderSize+n {
+		return Frame{}, 0, fmt.Errorf("comm: truncated frame: have %d payload bytes, want %d", len(b)-HeaderSize, n)
+	}
+	f.Payload = b[HeaderSize : HeaderSize+n]
+	return f, HeaderSize + n, nil
+}
+
+// TensorChunks returns how many frames a dim-element tensor streams as.
+func TensorChunks(dim int) int {
+	if dim <= 0 {
+		return 1
+	}
+	return (dim + ChunkElems - 1) / ChunkElems
+}
+
+// TensorWireBytes returns the exact wire footprint of one dim-element
+// tensor message: chunk headers plus the float64 payload. Both backends
+// account traffic with this, so loopback and TCP report identical byte
+// counts for identical collective sequences.
+func TensorWireBytes(dim int) int64 {
+	return int64(TensorChunks(dim)*HeaderSize) + int64(dim)*8
+}
+
+// FlagsWireBytes returns the logical wire footprint of one SelSync flags
+// round among n workers: every worker pushes a one-byte flag frame and
+// pulls the packed n-bit vector.
+func FlagsWireBytes(n int) int64 {
+	packed := (n + 7) / 8
+	return int64(n)*(HeaderSize+1) + int64(n)*int64(HeaderSize+packed)
+}
+
+// packBits packs bools into dst (little-endian bit order), returning the
+// extended slice.
+func packBits(dst []byte, bits []bool) []byte {
+	n := (len(bits) + 7) / 8
+	off := len(dst)
+	dst = append(dst, make([]byte, n)...)
+	for i, b := range bits {
+		if b {
+			dst[off+i/8] |= 1 << (i % 8)
+		}
+	}
+	return dst
+}
+
+// unpackBits unpacks len(bits) bools from b. It errors (never panics) when
+// b is too short.
+func unpackBits(bits []bool, b []byte) error {
+	if len(b)*8 < len(bits) {
+		return fmt.Errorf("comm: flags payload %d bytes too short for %d bits", len(b), len(bits))
+	}
+	for i := range bits {
+		bits[i] = b[i/8]&(1<<(i%8)) != 0
+	}
+	return nil
+}
+
+func putScalar(dst []byte, x float64) []byte {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+	return append(dst, buf[:]...)
+}
+
+func getScalar(b []byte) (float64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("comm: scalar payload is %d bytes, want 8", len(b))
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), nil
+}

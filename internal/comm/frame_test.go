@@ -1,0 +1,157 @@
+package comm
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"selsync/internal/tensor"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	for trial := 0; trial < 200; trial++ {
+		want := Frame{
+			Type:   MsgType(1 + rng.Intn(5)),
+			Flags:  uint16(rng.Intn(1 << 16)),
+			Worker: int32(rng.Intn(64) - 1),
+			Seq:    uint32(rng.Intn(1 << 20)),
+		}
+		n := rng.Intn(512)
+		want.Payload = make([]byte, n)
+		for i := range want.Payload {
+			want.Payload[i] = byte(rng.Intn(256))
+		}
+
+		wire := AppendFrame(nil, &want)
+		got, consumed, err := DecodeFrame(wire)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if consumed != len(wire) {
+			t.Fatalf("trial %d: consumed %d of %d bytes", trial, consumed, len(wire))
+		}
+		if got.Type != want.Type || got.Flags != want.Flags || got.Worker != want.Worker || got.Seq != want.Seq {
+			t.Fatalf("trial %d: header mismatch: %+v vs %+v", trial, got, want)
+		}
+		if !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("trial %d: payload mismatch", trial)
+		}
+	}
+}
+
+func TestFrameDecodeStream(t *testing.T) {
+	// Multiple frames back to back decode in order, each reporting its
+	// exact consumed length.
+	var wire []byte
+	for i := 0; i < 5; i++ {
+		wire = AppendFrame(wire, &Frame{Type: MsgScalar, Seq: uint32(i), Payload: putScalar(nil, float64(i))})
+	}
+	for i := 0; i < 5; i++ {
+		f, n, err := DecodeFrame(wire)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.Seq != uint32(i) {
+			t.Fatalf("frame %d: seq %d", i, f.Seq)
+		}
+		wire = wire[n:]
+	}
+	if len(wire) != 0 {
+		t.Fatalf("%d trailing bytes", len(wire))
+	}
+}
+
+func TestDecodeFrameRejectsMalformed(t *testing.T) {
+	good := AppendFrame(nil, &Frame{Type: MsgFlags, Payload: []byte{0xAA}})
+	cases := map[string]func([]byte) []byte{
+		"short header":  func(b []byte) []byte { return b[:HeaderSize-1] },
+		"bad magic":     func(b []byte) []byte { b[0] ^= 0xFF; return b },
+		"bad version":   func(b []byte) []byte { b[4] = 99; return b },
+		"bad type":      func(b []byte) []byte { b[5] = 0; return b },
+		"huge length":   func(b []byte) []byte { b[16], b[17], b[18], b[19] = 0xFF, 0xFF, 0xFF, 0x7F; return b },
+		"truncated":     func(b []byte) []byte { b[16] = 2; return b }, // claims 2 payload bytes, has 1
+		"empty":         func(b []byte) []byte { return nil },
+	}
+	for name, corrupt := range cases {
+		b := corrupt(append([]byte(nil), good...))
+		if _, _, err := DecodeFrame(b); err == nil {
+			t.Errorf("%s: decode accepted malformed frame", name)
+		}
+	}
+}
+
+func TestVectorCodecRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	for _, n := range []int{0, 1, 3, 128, 1000} {
+		v := tensor.NewVector(n)
+		rng.NormVector(v, 0, 10)
+		if n > 0 {
+			v[0] = math.Inf(1)
+		}
+		if n > 1 {
+			v[1] = -0.0
+		}
+		enc := tensor.AppendVector(nil, v)
+		if len(enc) != tensor.VectorWireBytes(n) {
+			t.Fatalf("n=%d: encoded %d bytes, want %d", n, len(enc), tensor.VectorWireBytes(n))
+		}
+		dec := tensor.NewVector(n)
+		if err := tensor.DecodeVector(dec, enc); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := range v {
+			if math.Float64bits(dec[i]) != math.Float64bits(v[i]) {
+				t.Fatalf("n=%d: element %d not bit-identical: %v vs %v", n, i, dec[i], v[i])
+			}
+		}
+		if n > 0 {
+			if err := tensor.DecodeVector(dec, enc[:len(enc)-1]); err == nil {
+				t.Fatalf("n=%d: truncated payload accepted", n)
+			}
+		}
+	}
+}
+
+func TestTensorWireArithmetic(t *testing.T) {
+	if got := TensorChunks(1); got != 1 {
+		t.Fatalf("TensorChunks(1)=%d", got)
+	}
+	if got := TensorChunks(ChunkElems); got != 1 {
+		t.Fatalf("TensorChunks(ChunkElems)=%d", got)
+	}
+	if got := TensorChunks(ChunkElems + 1); got != 2 {
+		t.Fatalf("TensorChunks(ChunkElems+1)=%d", got)
+	}
+	dim := 3*ChunkElems + 17
+	want := int64(4*HeaderSize) + int64(dim)*8
+	if got := TensorWireBytes(dim); got != want {
+		t.Fatalf("TensorWireBytes(%d)=%d want %d", dim, got, want)
+	}
+}
+
+func TestPackUnpackBits(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	for _, n := range []int{1, 7, 8, 9, 64, 100} {
+		bits := make([]bool, n)
+		for i := range bits {
+			bits[i] = rng.Intn(2) == 1
+		}
+		packed := packBits(nil, bits)
+		if len(packed) != (n+7)/8 {
+			t.Fatalf("n=%d: packed %d bytes", n, len(packed))
+		}
+		got := make([]bool, n)
+		if err := unpackBits(got, packed); err != nil {
+			t.Fatal(err)
+		}
+		for i := range bits {
+			if got[i] != bits[i] {
+				t.Fatalf("n=%d: bit %d flipped", n, i)
+			}
+		}
+	}
+	if err := unpackBits(make([]bool, 9), []byte{0xFF}); err == nil {
+		t.Fatal("unpack of short payload must error")
+	}
+}

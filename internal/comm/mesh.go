@@ -1,0 +1,332 @@
+package comm
+
+import (
+	"fmt"
+
+	"selsync/internal/tensor"
+)
+
+// Mesh is the multi-process Fabric: the cluster's synchronization rounds
+// executed as real frame exchanges over an Endpoint. Rank 0 plays the
+// parameter server for the collectives (gather, reduce in worker-id order
+// with the same tensor.Average kernel the loopback fabric uses, broadcast
+// the result), which keeps every reduction bit-identical to a
+// single-process run regardless of the process count.
+//
+// Global workers are block-distributed: with W workers over P processes
+// (P must divide W), rank r hosts workers [r·W/P, (r+1)·W/P).
+type Mesh struct {
+	ep      Endpoint
+	workers int
+	nlocal  int
+	locals  []int
+	stats   Stats
+
+	slots    []tensor.Vector
+	recvBufs map[int]tensor.Vector
+	scratch  []byte
+	ctl      []byte
+}
+
+// NewMesh layers the fabric over an endpoint for the given global worker
+// count.
+func NewMesh(ep Endpoint, workers int) (*Mesh, error) {
+	procs := ep.Procs()
+	if workers <= 0 || procs <= 0 || workers%procs != 0 {
+		return nil, fmt.Errorf("comm: %d workers not divisible over %d processes", workers, procs)
+	}
+	nlocal := workers / procs
+	m := &Mesh{
+		ep: ep, workers: workers, nlocal: nlocal,
+		recvBufs: make(map[int]tensor.Vector),
+		scratch:  make([]byte, 0, ChunkElems*8),
+		ctl:      make([]byte, 0, 17),
+	}
+	for id := ep.Rank() * nlocal; id < (ep.Rank()+1)*nlocal; id++ {
+		m.locals = append(m.locals, id)
+	}
+	return m, nil
+}
+
+// DialTCPMesh builds the TCP endpoint for rank over peers and layers the
+// worker fabric on it — the one-call backend constructor the CLIs use.
+func DialTCPMesh(rank int, peers []string, workers int) (*Mesh, error) {
+	ep, err := DialTCP(rank, peers)
+	if err != nil {
+		return nil, err
+	}
+	m, err := NewMesh(ep, workers)
+	if err != nil {
+		ep.Close()
+		return nil, err
+	}
+	return m, nil
+}
+
+// Endpoint returns the transport the mesh runs on (for NetStats).
+func (m *Mesh) Endpoint() Endpoint { return m.ep }
+
+// Rank implements Fabric.
+func (m *Mesh) Rank() int { return m.ep.Rank() }
+
+// Procs implements Fabric.
+func (m *Mesh) Procs() int { return m.ep.Procs() }
+
+// Workers implements Fabric.
+func (m *Mesh) Workers() int { return m.workers }
+
+// Hosts implements Fabric.
+func (m *Mesh) Hosts(worker int) bool { return m.OwnerOf(worker) == m.Rank() }
+
+// LocalWorkers implements Fabric.
+func (m *Mesh) LocalWorkers() []int { return m.locals }
+
+// OwnerOf returns the rank hosting a global worker id.
+func (m *Mesh) OwnerOf(worker int) int {
+	if worker < 0 || worker >= m.workers {
+		return -1
+	}
+	return worker / m.nlocal
+}
+
+// ReduceMean implements Fabric. Contributions flow to rank 0, which
+// reduces them in ids order and broadcasts the mean; every rank returns
+// with bit-identical dst.
+func (m *Mesh) ReduceMean(dst tensor.Vector, ids []int, view func(worker int) tensor.Vector) {
+	if m.Rank() == 0 {
+		m.slots = m.slots[:0]
+		for _, id := range ids {
+			if m.Hosts(id) {
+				m.slots = append(m.slots, view(id))
+				continue
+			}
+			buf := m.recvBuf(id, len(dst))
+			if err := m.RecvTensorInto(m.OwnerOf(id), id, buf); err != nil {
+				panic(fmt.Sprintf("comm: reduce gather worker %d: %v", id, err))
+			}
+			m.slots = append(m.slots, buf)
+		}
+		tensor.Average(dst, m.slots)
+		for r := 1; r < m.Procs(); r++ {
+			if err := m.SendTensor(r, -1, dst); err != nil {
+				panic(fmt.Sprintf("comm: reduce broadcast to rank %d: %v", r, err))
+			}
+		}
+	} else {
+		for _, id := range ids {
+			if m.Hosts(id) {
+				if err := m.SendTensor(0, id, view(id)); err != nil {
+					panic(fmt.Sprintf("comm: reduce push worker %d: %v", id, err))
+				}
+			}
+		}
+		if err := m.RecvTensorInto(0, -1, dst); err != nil {
+			panic(fmt.Sprintf("comm: reduce pull: %v", err))
+		}
+	}
+}
+
+func (m *Mesh) recvBuf(worker, dim int) tensor.Vector {
+	if buf, ok := m.recvBufs[worker]; ok && len(buf) == dim {
+		return buf
+	}
+	buf := tensor.NewVector(dim)
+	m.recvBufs[worker] = buf
+	return buf
+}
+
+// FanOut implements Fabric: src is rank-identical by the fabric contract
+// (initial snapshot or ReduceMean result), so the pull round is a local
+// fan-out copy.
+func (m *Mesh) FanOut(dsts []tensor.Vector, src tensor.Vector) {
+	tensor.CopyAll(dsts, src)
+}
+
+// AllGatherFlags implements Fabric: local votes ride to rank 0 as packed
+// bits, the full vote vector rides back.
+func (m *Mesh) AllGatherFlags(flags []bool) {
+	if len(flags) != m.workers {
+		panic(fmt.Sprintf("comm: flags length %d, want %d", len(flags), m.workers))
+	}
+	if m.Rank() == 0 {
+		for r := 1; r < m.Procs(); r++ {
+			f, err := m.recvTyped(r, MsgFlags)
+			if err != nil {
+				panic(fmt.Sprintf("comm: flags gather from rank %d: %v", r, err))
+			}
+			if err := unpackBits(flags[r*m.nlocal:(r+1)*m.nlocal], f.Payload); err != nil {
+				panic(err)
+			}
+		}
+		payload := packBits(m.scratch[:0], flags)
+		for r := 1; r < m.Procs(); r++ {
+			if err := m.ep.Send(r, &Frame{Type: MsgFlags, Worker: -1, Payload: payload}); err != nil {
+				panic(fmt.Sprintf("comm: flags broadcast to rank %d: %v", r, err))
+			}
+		}
+	} else {
+		lo := m.Rank() * m.nlocal
+		payload := packBits(m.scratch[:0], flags[lo:lo+m.nlocal])
+		if err := m.ep.Send(0, &Frame{Type: MsgFlags, Worker: int32(lo), Payload: payload}); err != nil {
+			panic(fmt.Sprintf("comm: flags push: %v", err))
+		}
+		f, err := m.recvTyped(0, MsgFlags)
+		if err != nil {
+			panic(fmt.Sprintf("comm: flags pull: %v", err))
+		}
+		if err := unpackBits(flags, f.Payload); err != nil {
+			panic(err)
+		}
+	}
+	m.stats.FlagRounds++
+	m.stats.FlagBytes += FlagsWireBytes(m.workers)
+}
+
+// MaxFloat implements Fabric.
+func (m *Mesh) MaxFloat(x float64) float64 {
+	if m.Rank() == 0 {
+		for r := 1; r < m.Procs(); r++ {
+			f, err := m.recvTyped(r, MsgScalar)
+			if err != nil {
+				panic(fmt.Sprintf("comm: clock gather from rank %d: %v", r, err))
+			}
+			v, err := getScalar(f.Payload)
+			if err != nil {
+				panic(err)
+			}
+			if v > x {
+				x = v
+			}
+		}
+		for r := 1; r < m.Procs(); r++ {
+			if err := m.ep.Send(r, &Frame{Type: MsgScalar, Worker: -1, Payload: putScalar(m.scratch[:0], x)}); err != nil {
+				panic(fmt.Sprintf("comm: clock broadcast to rank %d: %v", r, err))
+			}
+		}
+		return x
+	}
+	if err := m.ep.Send(0, &Frame{Type: MsgScalar, Worker: -1, Payload: putScalar(m.scratch[:0], x)}); err != nil {
+		panic(fmt.Sprintf("comm: clock push: %v", err))
+	}
+	f, err := m.recvTyped(0, MsgScalar)
+	if err != nil {
+		panic(fmt.Sprintf("comm: clock pull: %v", err))
+	}
+	v, err := getScalar(f.Payload)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func (m *Mesh) recvTyped(from int, t MsgType) (*Frame, error) {
+	f, err := m.ep.Recv(from)
+	if err != nil {
+		return nil, err
+	}
+	if f.Type != t {
+		return nil, fmt.Errorf("comm: expected frame type %d from rank %d, got %d", t, from, f.Type)
+	}
+	return f, nil
+}
+
+// AccountPush implements Fabric.
+func (m *Mesh) AccountPush(n, dim int) {
+	m.stats.Pushes += n
+	m.stats.Bytes.Recv += int64(n) * TensorWireBytes(dim)
+}
+
+// AccountPull implements Fabric.
+func (m *Mesh) AccountPull(n, dim int) {
+	m.stats.Pulls += n
+	m.stats.Bytes.Sent += int64(n) * TensorWireBytes(dim)
+}
+
+// Stats implements Fabric.
+func (m *Mesh) Stats() *Stats { return &m.stats }
+
+// Close implements Fabric: a bye/ack drain barrier through rank 0 ensures
+// every peer has consumed all data frames before any socket is torn down,
+// then the endpoint closes. Barrier errors are ignored — by then the run
+// is over and teardown must proceed.
+func (m *Mesh) Close() error {
+	if m.Procs() > 1 {
+		if m.Rank() == 0 {
+			for r := 1; r < m.Procs(); r++ {
+				m.RecvControl(r)
+			}
+			for r := 1; r < m.Procs(); r++ {
+				m.SendControl(r, ctlByeAck, -1, 0, 0)
+			}
+		} else {
+			m.SendControl(0, ctlBye, -1, 0, 0)
+			m.RecvControl(0)
+		}
+	}
+	return m.ep.Close()
+}
+
+// SendTensor implements PeerLink: chunked streaming of v tagged with a
+// worker id (-1 for untagged), reusing the mesh's encode scratch buffer.
+func (m *Mesh) SendTensor(to, worker int, v tensor.Vector) error {
+	scratch, err := sendTensorEP(m.ep, to, worker, v, m.scratch)
+	m.scratch = scratch
+	return err
+}
+
+// RecvTensorInto implements PeerLink: reassembles a chunked tensor stream
+// from one peer into dst, validating worker tag (when non-negative),
+// chunk sequence and total size.
+func (m *Mesh) RecvTensorInto(from, worker int, dst tensor.Vector) error {
+	return recvTensorEP(m.ep, from, worker, dst)
+}
+
+// CtlMsg is one decoded control message.
+type CtlMsg struct {
+	Op     uint8
+	Worker int
+	A, B   float64
+}
+
+// PeerLink is the point-to-point surface of a multi-process fabric. The
+// SSP coordinator (rank 0 drives the event loop, worker ranks serve
+// compute requests) type-asserts a Fabric to it.
+type PeerLink interface {
+	OwnerOf(worker int) int
+	SendTensor(to, worker int, v tensor.Vector) error
+	RecvTensorInto(from, worker int, dst tensor.Vector) error
+	SendControl(to int, op uint8, worker int, a, b float64) error
+	RecvControl(from int) (CtlMsg, error)
+}
+
+// SendControl implements PeerLink.
+func (m *Mesh) SendControl(to int, op uint8, worker int, a, b float64) error {
+	payload := append(m.ctl[:0], op)
+	payload = putScalar(payload, a)
+	payload = putScalar(payload, b)
+	return m.ep.Send(to, &Frame{Type: MsgControl, Worker: int32(worker), Payload: payload})
+}
+
+// RecvControl implements PeerLink.
+func (m *Mesh) RecvControl(from int) (CtlMsg, error) {
+	f, err := m.recvTyped(from, MsgControl)
+	if err != nil {
+		return CtlMsg{}, err
+	}
+	if len(f.Payload) != 17 {
+		return CtlMsg{}, fmt.Errorf("comm: control payload is %d bytes, want 17", len(f.Payload))
+	}
+	a, err := getScalar(f.Payload[1:9])
+	if err != nil {
+		return CtlMsg{}, err
+	}
+	b, err := getScalar(f.Payload[9:17])
+	if err != nil {
+		return CtlMsg{}, err
+	}
+	return CtlMsg{Op: f.Payload[0], Worker: int(f.Worker), A: a, B: b}, nil
+}
+
+var _ Fabric = (*Mesh)(nil)
+var _ Fabric = (*Loopback)(nil)
+var _ PeerLink = (*Mesh)(nil)

@@ -1,0 +1,330 @@
+package comm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPEndpoint is the cross-process frame transport: a full mesh of
+// persistent TCP connections, one per rank pair, established once and
+// reused for every frame of the run. Rank j dials every rank i < j (the
+// dialer introduces itself with a MsgHello frame); rank i accepts the
+// remaining connections on its listen address. One reader goroutine per
+// connection demultiplexes incoming frames into per-peer inboxes, so a
+// send never blocks on an unrelated receive — collectives can gather from
+// many peers in a fixed order while frames arrive in any order.
+type TCPEndpoint struct {
+	rank  int
+	procs int
+	ln    net.Listener
+	conns []*tcpConn // indexed by peer rank; nil at self
+	in    []*peerIn
+	done  chan struct{}
+	once  sync.Once
+	net   netCounters
+}
+
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
+	w  *bufio.Writer
+}
+
+type peerIn struct {
+	ch     chan *Frame
+	failed chan struct{}
+	err    error
+	once   sync.Once
+}
+
+func (p *peerIn) fail(err error) {
+	p.once.Do(func() {
+		p.err = err
+		close(p.failed)
+	})
+}
+
+// tcp setup budgets: ranks may start in any order (a launcher spawns them
+// as independent OS processes), so dialing retries until the peer's
+// listener is up.
+const (
+	tcpDialTimeout   = 20 * time.Second
+	tcpDialRetry     = 50 * time.Millisecond
+	tcpAcceptTimeout = 30 * time.Second
+)
+
+// DialTCP builds the full-mesh endpoint for rank over the peer addresses
+// (peers[rank] is this rank's listen address). It blocks until every pair
+// connection is established. Binding retries briefly: launchers that
+// reserve ports by bind-and-release (selsync-node -launch) hand the
+// address over with a small window in which the old socket may still be
+// draining.
+func DialTCP(rank int, peers []string) (*TCPEndpoint, error) {
+	if rank < 0 || rank >= len(peers) {
+		return nil, fmt.Errorf("comm: rank %d out of range for %d peers", rank, len(peers))
+	}
+	var ln net.Listener
+	var err error
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ln, err = net.Listen("tcp", peers[rank])
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("comm: rank %d cannot listen on %s: %w", rank, peers[rank], err)
+		}
+		time.Sleep(tcpDialRetry)
+	}
+	return DialTCPWithListener(rank, peers, ln)
+}
+
+// DialTCPWithListener is DialTCP over a caller-provided listener — tests
+// reserve ports race-free by listening on 127.0.0.1:0 first and building
+// the peers list from the bound addresses.
+func DialTCPWithListener(rank int, peers []string, ln net.Listener) (*TCPEndpoint, error) {
+	procs := len(peers)
+	e := &TCPEndpoint{
+		rank: rank, procs: procs, ln: ln,
+		conns: make([]*tcpConn, procs),
+		in:    make([]*peerIn, procs),
+		done:  make(chan struct{}),
+	}
+	for r := range e.in {
+		if r != rank {
+			e.in[r] = &peerIn{ch: make(chan *Frame, inboxSize), failed: make(chan struct{})}
+		}
+	}
+
+	// Accept connections from every higher rank; each introduces itself
+	// with a Hello frame.
+	expect := procs - 1 - rank
+	acceptErr := make(chan error, 1)
+	go func() {
+		for i := 0; i < expect; i++ {
+			c, err := ln.Accept()
+			if err != nil {
+				acceptErr <- err
+				return
+			}
+			from, err := readHello(c)
+			if err != nil || from <= rank || from >= procs || e.conns[from] != nil {
+				c.Close()
+				acceptErr <- fmt.Errorf("comm: rank %d bad handshake (peer %d): %v", rank, from, err)
+				return
+			}
+			e.conns[from] = &tcpConn{c: c, w: bufio.NewWriter(c)}
+		}
+		acceptErr <- nil
+	}()
+
+	// Dial every lower rank, retrying while its listener comes up.
+	for to := 0; to < rank; to++ {
+		c, err := dialRetry(peers[to])
+		if err != nil {
+			e.teardown()
+			return nil, fmt.Errorf("comm: rank %d cannot reach rank %d at %s: %w", rank, to, peers[to], err)
+		}
+		tc := &tcpConn{c: c, w: bufio.NewWriter(c)}
+		e.conns[to] = tc
+		hello := &Frame{Type: MsgHello, Worker: int32(rank)}
+		if err := e.writeFrame(tc, hello); err != nil {
+			e.teardown()
+			return nil, fmt.Errorf("comm: rank %d hello to rank %d: %w", rank, to, err)
+		}
+	}
+
+	select {
+	case err := <-acceptErr:
+		if err != nil {
+			e.teardown()
+			return nil, err
+		}
+	case <-time.After(tcpAcceptTimeout):
+		// Stop the accept goroutine (closing the listener fails its
+		// Accept) and wait for it to report before teardown touches
+		// e.conns — the accept goroutine writes slots until it exits.
+		ln.Close()
+		<-acceptErr
+		e.teardown()
+		return nil, fmt.Errorf("comm: rank %d timed out waiting for %d inbound connections", rank, expect)
+	}
+
+	for from, tc := range e.conns {
+		if tc != nil {
+			go e.readLoop(from, tc.c)
+		}
+	}
+	return e, nil
+}
+
+func dialRetry(addr string) (net.Conn, error) {
+	deadline := time.Now().Add(tcpDialTimeout)
+	for {
+		c, err := net.DialTimeout("tcp", addr, tcpDialRetry*10)
+		if err == nil {
+			return c, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(tcpDialRetry)
+	}
+}
+
+// readHello reads the handshake straight off the raw connection — no
+// buffering, so not a single byte of any frame the dialer pipelines after
+// its hello can be consumed and lost before readLoop takes over. (Hello
+// frames carry no payload, so readFrame performs exactly one 20-byte
+// ReadFull here.)
+func readHello(c net.Conn) (int, error) {
+	c.SetReadDeadline(time.Now().Add(tcpAcceptTimeout))
+	defer c.SetReadDeadline(time.Time{})
+	f, err := readFrame(c)
+	if err != nil {
+		return -1, err
+	}
+	if f.Type != MsgHello {
+		return -1, fmt.Errorf("comm: expected hello, got frame type %d", f.Type)
+	}
+	if len(f.Payload) != 0 {
+		return -1, fmt.Errorf("comm: hello frame carries %d payload bytes", len(f.Payload))
+	}
+	return int(f.Worker), nil
+}
+
+// readFrame reads one wire frame.
+func readFrame(r io.Reader) (*Frame, error) {
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	f, n, err := parseHeader(hdr[:])
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		f.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			return nil, fmt.Errorf("comm: truncated payload: %w", err)
+		}
+	}
+	return &f, nil
+}
+
+func (e *TCPEndpoint) readLoop(from int, c net.Conn) {
+	br := bufio.NewReaderSize(c, 1<<16)
+	p := e.in[from]
+	for {
+		f, err := readFrame(br)
+		if err != nil {
+			select {
+			case <-e.done:
+				p.fail(ErrClosed)
+			default:
+				p.fail(fmt.Errorf("comm: read from rank %d: %w", from, err))
+			}
+			return
+		}
+		e.net.countRecv(f)
+		select {
+		case p.ch <- f:
+		case <-e.done:
+			p.fail(ErrClosed)
+			return
+		}
+	}
+}
+
+// Rank implements Endpoint.
+func (e *TCPEndpoint) Rank() int { return e.rank }
+
+// Procs implements Endpoint.
+func (e *TCPEndpoint) Procs() int { return e.procs }
+
+// Send implements Endpoint. Frames to one peer are serialized under the
+// connection lock; the persistent connection is reused for the whole run.
+func (e *TCPEndpoint) Send(to int, f *Frame) error {
+	if to < 0 || to >= e.procs || to == e.rank || e.conns[to] == nil {
+		return fmt.Errorf("comm: rank %d cannot send to %d", e.rank, to)
+	}
+	select {
+	case <-e.done:
+		return ErrClosed
+	default:
+	}
+	if err := e.writeFrame(e.conns[to], f); err != nil {
+		return err
+	}
+	e.net.countSend(f)
+	return nil
+}
+
+func (e *TCPEndpoint) writeFrame(tc *tcpConn, f *Frame) error {
+	var hdr [HeaderSize]byte
+	putHeader(hdr[:], f, len(f.Payload))
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if _, err := tc.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(f.Payload) > 0 {
+		if _, err := tc.w.Write(f.Payload); err != nil {
+			return err
+		}
+	}
+	return tc.w.Flush()
+}
+
+// Recv implements Endpoint.
+func (e *TCPEndpoint) Recv(from int) (*Frame, error) {
+	if from < 0 || from >= e.procs || from == e.rank {
+		return nil, fmt.Errorf("comm: rank %d cannot recv from %d", e.rank, from)
+	}
+	p := e.in[from]
+	select {
+	case f := <-p.ch:
+		return f, nil
+	case <-p.failed:
+		select {
+		case f := <-p.ch:
+			return f, nil
+		default:
+			return nil, p.err
+		}
+	case <-e.done:
+		select {
+		case f := <-p.ch:
+			return f, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// NetStats implements Endpoint.
+func (e *TCPEndpoint) NetStats() EndpointStats { return e.net.snapshot() }
+
+// Close implements Endpoint.
+func (e *TCPEndpoint) Close() error {
+	e.teardown()
+	return nil
+}
+
+func (e *TCPEndpoint) teardown() {
+	e.once.Do(func() {
+		close(e.done)
+		if e.ln != nil {
+			e.ln.Close()
+		}
+		for _, tc := range e.conns {
+			if tc != nil {
+				tc.c.Close()
+			}
+		}
+	})
+}

@@ -18,7 +18,7 @@ func Fig3(scale Scale, w io.Writer) *Figure {
 		XLabel: "gradient value", YLabel: "density",
 	}
 	models := []string{"resnet", "transformer"}
-	early := maxInt(1, p.MaxSteps/20) - 1
+	early := max(1, p.MaxSteps/20) - 1
 	late := p.MaxSteps - 1
 	results := make([]*train.Result, len(models))
 	names := make([]string, len(models))

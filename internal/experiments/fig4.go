@@ -20,7 +20,7 @@ func Fig4(scale Scale, w io.Writer) *Figure {
 		Title:  "Fig 4: Hessian top eigenvalue vs gradient variance over training",
 		XLabel: "training step", YLabel: "eigenvalue / variance (scaled)",
 	}
-	probeEvery := maxInt(1, p.MaxSteps/12)
+	probeEvery := max(1, p.MaxSteps/12)
 	models := []string{"resnet", "vgg"}
 	type curves struct {
 		name          string

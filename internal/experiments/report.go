@@ -47,7 +47,7 @@ func (t *Table) Fprint(w io.Writer) {
 	for _, wd := range widths {
 		total += wd + 1
 	}
-	fmt.Fprintln(w, strings.Repeat("-", maxInt(total, 8)))
+	fmt.Fprintln(w, strings.Repeat("-", max(total, 8)))
 	for _, row := range t.Rows {
 		printRow(row)
 	}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"selsync/internal/cluster"
+	"selsync/internal/comm"
+	"selsync/internal/data"
+	"selsync/internal/train"
+)
+
+// RunSpec describes one CLI-driven training run — the shared surface of
+// cmd/selsync-train and cmd/selsync-node, including multi-process runs
+// over a comm fabric.
+type RunSpec struct {
+	Model  string // resnet | vgg | alexnet | transformer
+	Method string // bsp | selsync | fedavg | ssp | local
+	Scheme string // seldp | defdp
+
+	Workers  int
+	TrainN   int
+	TestN    int
+	MaxSteps int
+	Seed     uint64
+
+	Delta   float64 // SelSync δ (0 = the workload's calibrated low threshold)
+	GradAgg bool    // SelSync gradient aggregation instead of parameter aggregation
+
+	C float64 // FedAvg participation fraction
+	E float64 // FedAvg sync factor
+
+	Staleness int // SSP staleness bound
+
+	LabelsPerWorker int     // non-IID labels per worker (0 = IID)
+	Alpha, Beta     float64 // data-injection parameters (Alpha 0 = off)
+
+	// Fabric is the communication backend; nil = in-process loopback.
+	Fabric comm.Fabric
+}
+
+// ParseTransport validates a CLI's -transport/-rank/-peers/-workers flag
+// combination and builds the communication fabric: (nil, true, nil) for
+// the loopback transport, a dialed TCP mesh for "tcp". report says
+// whether this process should print the run report (rank 0 holds it on a
+// mesh). The caller owns Close on a non-nil fabric.
+func ParseTransport(transport string, rank int, peers string, workers int) (fabric comm.Fabric, report bool, err error) {
+	switch transport {
+	case "loopback":
+		// -rank/-peers only mean something on the TCP transport; reject
+		// them instead of silently ignoring a half-configured mesh.
+		if rank != -1 {
+			return nil, false, fmt.Errorf("-rank is only valid with -transport tcp")
+		}
+		if peers != "" {
+			return nil, false, fmt.Errorf("-peers is only valid with -transport tcp")
+		}
+		return nil, true, nil
+	case "tcp":
+		list := splitPeers(peers)
+		if len(list) == 0 {
+			return nil, false, fmt.Errorf("-transport tcp requires -peers host:port[,host:port...]")
+		}
+		if rank < 0 || rank >= len(list) {
+			return nil, false, fmt.Errorf("-rank must be in [0,%d) for %d peers, got %d", len(list), len(list), rank)
+		}
+		if workers%len(list) != 0 {
+			return nil, false, fmt.Errorf("-workers (%d) must be divisible by the number of peers (%d)", workers, len(list))
+		}
+		fabric, err := comm.DialTCPMesh(rank, list, workers)
+		if err != nil {
+			return nil, false, fmt.Errorf("tcp transport: %w", err)
+		}
+		return fabric, rank == 0, nil
+	default:
+		return nil, false, fmt.Errorf("unknown -transport %q (want loopback or tcp)", transport)
+	}
+}
+
+// splitPeers splits a comma-separated peer list, dropping empty entries.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// RunOne executes the described run and returns its Result. On a
+// multi-process fabric it must be called SPMD by every rank with an
+// identical spec; rank 0's Result is authoritative for SSP, the ranks
+// agree bitwise for every other method.
+func RunOne(spec RunSpec) (*train.Result, error) {
+	known := false
+	for _, name := range AllWorkloads() {
+		if name == spec.Model {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return nil, fmt.Errorf("unknown model %q (have %v)", spec.Model, AllWorkloads())
+	}
+
+	p := Params{
+		Workers: spec.Workers, TrainN: spec.TrainN, TestN: spec.TestN,
+		MaxSteps: spec.MaxSteps, EvalEvery: max(1, spec.MaxSteps/10),
+	}
+	wl := SetupWorkload(spec.Model, p, spec.Seed)
+	cfg := BaseConfig(wl, p, spec.Seed)
+	cfg.Fabric = spec.Fabric
+
+	switch spec.Scheme {
+	case "", "seldp":
+		cfg.Scheme = data.SelDP
+	case "defdp":
+		cfg.Scheme = data.DefDP
+	default:
+		return nil, fmt.Errorf("unknown scheme %q (want seldp or defdp)", spec.Scheme)
+	}
+	if spec.LabelsPerWorker > 0 {
+		non := &train.NonIID{LabelsPerWorker: spec.LabelsPerWorker}
+		if spec.Alpha > 0 {
+			non.Injection = &data.Injection{Alpha: spec.Alpha, Beta: spec.Beta}
+		}
+		cfg.NonIID = non
+	}
+
+	switch spec.Method {
+	case "bsp":
+		return train.RunBSP(cfg), nil
+	case "local":
+		return train.RunLocalSGD(cfg), nil
+	case "selsync":
+		d := spec.Delta
+		if d == 0 {
+			d = wl.DeltaLow
+		}
+		opts := train.SelSyncOptions{Delta: d, Mode: cluster.ParamAgg}
+		if spec.GradAgg {
+			opts.Mode = cluster.GradAgg
+		}
+		return train.RunSelSync(cfg, opts), nil
+	case "fedavg":
+		return train.RunFedAvg(cfg, train.FedAvgOptions{C: spec.C, E: spec.E}), nil
+	case "ssp":
+		return train.RunSSP(cfg, train.SSPOptions{Staleness: spec.Staleness, PSOpt: wl.SSPOpt}), nil
+	default:
+		return nil, fmt.Errorf("unknown method %q (want bsp|selsync|fedavg|ssp|local)", spec.Method)
+	}
+}

@@ -146,7 +146,7 @@ func SetupWorkload(name string, p Params, seed uint64) Workload {
 		// Paper: SGD lr 2.0 decayed by 0.8 every 2000 iterations.
 		w.Factory = nn.TransformerLite()
 		w.Opt = sgd(0, 0)
-		w.Schedule = opt.ExpDecay{Base: 1.0, Factor: 0.8, Interval: maxInt(1, p.MaxSteps/2)}
+		w.Schedule = opt.ExpDecay{Base: 1.0, Factor: 0.8, Interval: max(1, p.MaxSteps/2)}
 		w.Batch = 8
 		w.DeltaLow, w.DeltaMid, w.DeltaHigh = 0.045, 0.06, 0.09
 	default:
@@ -178,7 +178,7 @@ func NonIIDSyncFactor(p Params, workers, batch int) float64 {
 	if stepsPerEpoch >= 60 {
 		return 0.1 // the paper's setting
 	}
-	e := 6.0 / float64(maxInt(1, stepsPerEpoch))
+	e := 6.0 / float64(max(1, stepsPerEpoch))
 	if e > 1 {
 		e = 1
 	}
@@ -188,9 +188,3 @@ func NonIIDSyncFactor(p Params, workers, batch int) float64 {
 // AllWorkloads returns the four paper workloads in report order.
 func AllWorkloads() []string { return []string{"resnet", "vgg", "alexnet", "transformer"} }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

@@ -1,0 +1,38 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Wire codec helpers: Vectors cross process boundaries as little-endian
+// IEEE-754 float64 words. internal/comm frames tensor payloads with these
+// so both transport backends (and their traffic accounting) share one
+// byte-exact definition of a serialized vector.
+
+// VectorWireBytes returns the payload size of n encoded elements.
+func VectorWireBytes(n int) int { return n * 8 }
+
+// AppendVector appends v's wire encoding to dst and returns the extended
+// slice (append semantics: dst may be nil).
+func AppendVector(dst []byte, v Vector) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, len(v)*8)...)
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(dst[off+i*8:], math.Float64bits(x))
+	}
+	return dst
+}
+
+// DecodeVector decodes len(dst) elements from b into dst. It returns an
+// error (never panics) when b is not exactly len(dst) encoded elements.
+func DecodeVector(dst Vector, b []byte) error {
+	if len(b) != len(dst)*8 {
+		return fmt.Errorf("tensor: vector payload is %d bytes, want %d", len(b), len(dst)*8)
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return nil
+}

@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"selsync/internal/cluster"
+	"selsync/internal/comm"
 	"selsync/internal/data"
 	"selsync/internal/nn"
 	"selsync/internal/opt"
@@ -50,6 +51,18 @@ type Config struct {
 	// Topology prices synchronization rounds: cluster.PS (default) or
 	// cluster.Ring, the paper's §III-E allreduce swap.
 	Topology cluster.Topology
+	// Fabric is the communication backend synchronization executes
+	// through. Nil selects the in-process loopback (all workers in this
+	// process). A comm.Mesh fabric runs the same algorithm across OS
+	// processes: every rank executes the run over its hosted worker block,
+	// exchanging parameters, gradients and SelSync flags over the wire.
+	// The fabric's global worker count must equal Workers, and every rank
+	// must use identical Config values — determinism then makes the ranks'
+	// Results bit-identical to a loopback run, with two exceptions: the
+	// TrackDeltas series lands only in the Result of the rank hosting
+	// worker 0 (it reads that worker's tracker), and SSP's rank 0
+	// coordinates the event loop and holds the authoritative Result.
+	Fabric comm.Fabric
 
 	MaxSteps  int // hard bound on training steps (per worker); default 2000
 	EvalEvery int // steps between test evaluations; default 50

@@ -1,0 +1,146 @@
+package train
+
+import (
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+
+	"selsync/internal/cluster"
+	"selsync/internal/comm"
+)
+
+// runTCPRanks executes one training run SPMD across `procs` ranks, each
+// with its own real TCP endpoint on 127.0.0.1, its own mesh fabric and its
+// own independently constructed Config — exactly what `procs` separate OS
+// processes would do, minus fork/exec. It returns every rank's Result and
+// rank 0's fabric for ledger inspection.
+func runTCPRanks(t *testing.T, procs int, mkCfg func() Config, run func(cfg Config) *Result) ([]*Result, *comm.Stats) {
+	t.Helper()
+	lns := make([]net.Listener, procs)
+	peers := make([]string, procs)
+	for r := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[r] = ln
+		peers[r] = ln.Addr().String()
+	}
+	results := make([]*Result, procs)
+	var stats0 comm.Stats
+	var wg sync.WaitGroup
+	errs := make([]any, procs)
+	for r := 0; r < procs; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() { errs[r] = recover() }()
+			ep, err := comm.DialTCPWithListener(r, peers, lns[r])
+			if err != nil {
+				panic(err)
+			}
+			cfg := mkCfg()
+			mesh, err := comm.NewMesh(ep, cfg.Workers)
+			if err != nil {
+				panic(err)
+			}
+			defer mesh.Close()
+			cfg.Fabric = mesh
+			results[r] = run(cfg)
+			if r == 0 {
+				stats0 = *mesh.Stats()
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r, e := range errs {
+		if e != nil {
+			t.Fatalf("rank %d panicked: %v", r, e)
+		}
+	}
+	return results, &stats0
+}
+
+// TestSelSyncTCPByteIdenticalToLoopback is the subsystem's acceptance
+// bar: a 4-worker SelSync(δ) run executed across four TCP ranks on
+// localhost must produce a Result byte-identical to the single-process
+// loopback run of the same seed — History, SimTime, LSSR, step counts,
+// everything.
+func TestSelSyncTCPByteIdenticalToLoopback(t *testing.T) {
+	mkCfg := func() Config {
+		cfg := smallConfig(21)
+		cfg.MaxSteps = 30
+		cfg.EvalEvery = 10
+		return cfg
+	}
+	opts := SelSyncOptions{Delta: 0.01, Mode: cluster.ParamAgg}
+	run := func(cfg Config) *Result { return RunSelSync(cfg, opts) }
+
+	lbFabric := comm.NewLoopback(4)
+	lbCfg := mkCfg()
+	lbCfg.Fabric = lbFabric
+	want := run(lbCfg)
+	if want.LocalSteps == 0 || want.SyncSteps == 0 {
+		t.Fatalf("test needs a mixed local/sync regime, got %+v", want)
+	}
+
+	results, stats := runTCPRanks(t, 4, mkCfg, run)
+	for r, got := range results {
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("rank %d Result diverged from loopback:\n tcp: %+v\n  lb: %+v", r, got, want)
+		}
+	}
+
+	// The logical traffic ledger matches the loopback fabric too: same
+	// pushes, pulls, flag rounds, and codec-exact bytes.
+	if *stats != *lbFabric.Stats() {
+		t.Fatalf("traffic ledger diverged:\n tcp: %+v\n  lb: %+v", *stats, *lbFabric.Stats())
+	}
+	if stats.Pushes == 0 || stats.Bytes.Recv == 0 || stats.FlagRounds != 30 {
+		t.Fatalf("implausible ledger: %+v", *stats)
+	}
+}
+
+func TestBSPAndFedAvgTCPMatchLoopback(t *testing.T) {
+	mkCfg := func() Config {
+		cfg := smallConfig(22)
+		cfg.MaxSteps = 16
+		cfg.EvalEvery = 8
+		return cfg
+	}
+	for _, tc := range []struct {
+		name string
+		run  func(cfg Config) *Result
+	}{
+		{"bsp", func(cfg Config) *Result { return RunBSP(cfg) }},
+		{"fedavg", func(cfg Config) *Result { return RunFedAvg(cfg, FedAvgOptions{C: 0.5, E: 0.5}) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			lbCfg := mkCfg()
+			want := tc.run(lbCfg)
+			results, _ := runTCPRanks(t, 2, mkCfg, tc.run) // 2 procs × 2 workers
+			for r, got := range results {
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("rank %d Result diverged:\n tcp: %+v\n  lb: %+v", r, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestSSPTCPCoordinatorMatchesLoopback(t *testing.T) {
+	mkCfg := func() Config {
+		cfg := smallConfig(23)
+		cfg.MaxSteps = 20
+		cfg.EvalEvery = 10
+		return cfg
+	}
+	opts := SSPOptions{Staleness: 3}
+	want := RunSSP(mkCfg(), opts)
+	results, _ := runTCPRanks(t, 4, mkCfg, func(cfg Config) *Result { return RunSSP(cfg, opts) })
+	// Rank 0 coordinates and holds the authoritative Result.
+	if !reflect.DeepEqual(results[0], want) {
+		t.Fatalf("coordinator Result diverged:\n tcp: %+v\n  lb: %+v", results[0], want)
+	}
+}

@@ -31,8 +31,6 @@ func RunFedAvg(cfg Config, opts FedAvgOptions) *Result {
 		participants = 1
 	}
 	pickRNG := tensor.NewRNG(cfg.Seed ^ 0xFEDA)
-	global := r.cl.PS.Global
-	vecs := make([]tensor.Vector, 0, participants)
 
 	for step := 0; ; step++ {
 		lr := r.lr(step)
@@ -41,16 +39,13 @@ func RunFedAvg(cfg Config, opts FedAvgOptions) *Result {
 		r.applyLocal(lr)
 
 		if (step+1)%syncEvery == 0 {
-			// Collect parameters from C·N randomly chosen workers. The
-			// flat views are read-only inputs to the reduction, so no
-			// defensive clones are needed.
+			// Collect parameters from C·N randomly chosen workers — the
+			// pick RNG is seeded from the config, so every rank draws the
+			// same participant set without a broadcast. The fabric gathers
+			// the chosen replicas' flat views (zero-copy reads on
+			// loopback) into the global model.
 			chosen := pickRNG.Sample(r.cl.N(), participants)
-			vecs = vecs[:0]
-			for _, id := range chosen {
-				vecs = append(vecs, r.cl.Workers[id].FlatParams())
-			}
-			tensor.Average(global, vecs)
-			r.cl.PS.PushCount += len(chosen)
+			r.cl.ReduceParamsSubset(chosen)
 			r.cl.Broadcast()
 			r.cl.Each(func(w *cluster.Worker) {
 				w.Steps++

@@ -1,6 +1,7 @@
 package train
 
 import (
+	"fmt"
 	"math"
 
 	"selsync/internal/cluster"
@@ -13,11 +14,23 @@ import (
 // runner holds the shared mechanics of every training algorithm: the
 // cluster, per-worker samplers over the configured partitions, optional
 // data-injection state, the evaluation replica, and result bookkeeping.
+//
+// On a multi-process fabric the runner is SPMD: every rank executes the
+// same loop over its hosted workers, meeting the other ranks at the
+// cluster's collectives (aggregation, flags, clock barriers). All
+// rank-invariant state — datasets, partitions, injection pools, the
+// learning-rate schedule, evaluation — is recomputed identically on every
+// rank from the shared seed, so control flow (sync votes, early stopping)
+// never needs a broadcast and the per-rank Results agree bit for bit.
 type runner struct {
 	cfg  Config
 	cl   *cluster.Cluster
 	spec nn.ModelSpec
 	res  *Result
+	// clock returns the run's current virtual time; cluster.MaxClock by
+	// default, overridden by the distributed SSP coordinator which tracks
+	// remote workers' clocks itself.
+	clock func() float64
 
 	samplers []*data.Sampler
 	parts    [][]int
@@ -31,7 +44,6 @@ type runner struct {
 	evalArena *nn.Arena // evalNet's arena when arena-backed (every zoo model)
 	evalFlat  tensor.Vector
 	gradFlat  tensor.Vector
-	flatVecs  []tensor.Vector // reused per-worker slots for mean reductions
 	// Per-worker batch buffers reused across steps (workers touch only
 	// their own slot, so computeGrads stays race-free).
 	batchX      []*tensor.Matrix
@@ -44,6 +56,11 @@ type runner struct {
 	sinceBest  int
 	stop       bool
 
+	// sspSteps, when non-nil, is the per-worker mean step count computed
+	// by the distributed SSP coordinator, whose remote workers are not
+	// visible through r.cl.Workers.
+	sspSteps *int
+
 	stepsPerEpoch int
 	losses        []float64
 }
@@ -52,6 +69,10 @@ func newRunner(cfg Config, method string) *runner {
 	cfg = cfg.withDefaults()
 	if cfg.Train == nil || cfg.Test == nil {
 		panic("train: Config.Train and Config.Test are required")
+	}
+	if cfg.Fabric != nil && cfg.Fabric.Workers() != cfg.Workers {
+		panic(fmt.Sprintf("train: Config.Workers=%d but the fabric carries %d workers",
+			cfg.Workers, cfg.Fabric.Workers()))
 	}
 	cl := cluster.New(cluster.Config{
 		Workers:       cfg.Workers,
@@ -63,6 +84,7 @@ func newRunner(cfg Config, method string) *runner {
 		TrackerWindow: cfg.TrackerWindow,
 		TrackerAlpha:  cfg.TrackerAlpha,
 		Topology:      cfg.Topology,
+		Fabric:        cfg.Fabric,
 	})
 	r := &runner{
 		cfg:  cfg,
@@ -80,6 +102,7 @@ func newRunner(cfg Config, method string) *runner {
 		gradFlat: tensor.NewVector(cl.Dim()),
 		losses:   make([]float64, cfg.Workers),
 	}
+	r.clock = r.cl.MaxClock
 	if ab, ok := r.evalNet.(nn.ArenaBacked); ok {
 		r.evalArena = ab.Arena()
 	}
@@ -120,16 +143,19 @@ func (r *runner) lr(step int) float64 { return r.cfg.Schedule.LR(step) }
 // nextBatches returns one step's per-worker dataset indices plus the
 // virtual per-worker cost of the injection traffic (0 without injection).
 // Under injection, every worker's batch is its own b′ examples plus the
-// shared pool, restoring the effective batch to ≈b (Eqn. 3).
+// shared pool, restoring the effective batch to ≈b (Eqn. 3). Only hosted
+// workers' samplers advance — each rank owns its workers' batch streams —
+// while the injection pool (which draws from every partition) is rebuilt
+// identically on every rank from the shared injection RNG.
 func (r *runner) nextBatches() (batches [][]int, injCost float64) {
 	batches = make([][]int, r.cl.N())
-	for w := range batches {
-		batches[w] = r.samplers[w].Next()
+	for _, w := range r.cl.Workers {
+		batches[w.ID] = r.samplers[w.ID].Next()
 	}
 	if r.inj != nil {
 		pool := r.inj.BuildPool(r.parts, r.injCursors, r.perBatch, r.injRNG)
-		for w := range batches {
-			batches[w] = append(batches[w], pool...)
+		for _, w := range r.cl.Workers {
+			batches[w.ID] = append(batches[w.ID], pool...)
 		}
 		injCost = r.cl.Network.P2P(r.inj.PoolBytes(r.cfg.Train, r.perBatch, r.cl.N()))
 	}
@@ -159,31 +185,18 @@ func (r *runner) applyLocal(lr float64) {
 }
 
 // meanParams writes the across-replica mean parameter vector into
-// r.evalFlat and returns it. Collecting the per-worker vectors is a serial
-// pointer walk (FlatParams is a zero-copy arena view on every zoo model);
-// the slot list is reused across calls so the reduction allocates nothing
-// in steady state.
+// r.evalFlat and returns it. The reduction runs through the cluster's
+// fabric (a zero-copy pointer walk plus tensor.Average on loopback, a
+// gather on a mesh) and is bit-identical across backends.
 func (r *runner) meanParams() tensor.Vector {
-	if r.flatVecs == nil {
-		r.flatVecs = make([]tensor.Vector, r.cl.N())
-	}
-	for _, w := range r.cl.Workers {
-		r.flatVecs[w.ID] = w.FlatParams()
-	}
-	tensor.Average(r.evalFlat, r.flatVecs)
+	r.cl.AverageParamsInto(r.evalFlat)
 	return r.evalFlat
 }
 
 // meanGrads writes the across-replica mean gradient vector into r.gradFlat
 // and returns it.
 func (r *runner) meanGrads() tensor.Vector {
-	if r.flatVecs == nil {
-		r.flatVecs = make([]tensor.Vector, r.cl.N())
-	}
-	for _, w := range r.cl.Workers {
-		r.flatVecs[w.ID] = w.FlatGrads()
-	}
-	tensor.Average(r.gradFlat, r.flatVecs)
+	r.cl.AverageGradsInto(r.gradFlat)
 	return r.gradFlat
 }
 
@@ -227,7 +240,7 @@ func (r *runner) record(step int, loss, metric float64) {
 	pt := EvalPoint{
 		Step:    step + 1,
 		Epoch:   float64(step+1) / float64(r.stepsPerEpoch),
-		SimTime: r.cl.MaxClock(),
+		SimTime: r.clock(),
 		Loss:    loss,
 		Metric:  metric,
 	}
@@ -247,36 +260,56 @@ func (r *runner) record(step int, loss, metric float64) {
 }
 
 // observeDelta feeds a gradient norm into worker 0's tracker and records it
-// when delta tracking is on (the Fig. 5 series for BSP runs).
+// when delta tracking is on (the Fig. 5 series for BSP runs). On a
+// multi-process run only the rank hosting worker 0 records deltas.
 func (r *runner) trackDelta(norm float64) {
 	if !r.cfg.TrackDeltas {
 		return
 	}
-	d := r.cl.Workers[0].Tracker.ObserveGradNorm(norm)
+	w0 := r.cl.LocalWorker(0)
+	if w0 == nil {
+		return
+	}
+	d := w0.Tracker.ObserveGradNorm(norm)
 	r.res.Deltas = append(r.res.Deltas, d)
 }
 
-// finish computes the aggregate counters and returns the result.
+// finish computes the aggregate counters from the hosted workers, stops
+// the cluster's worker pool, and returns the result. The per-worker step
+// counters of every SPMD algorithm are rank-invariant (sync decisions are
+// global), so averaging over the hosted block equals averaging over all N
+// workers — the multi-process Result matches the loopback one exactly.
 func (r *runner) finish() *Result {
+	if r.sspSteps != nil {
+		return r.finishCounts(*r.sspSteps, 0, 0)
+	}
 	var steps, sync, local int
 	for _, w := range r.cl.Workers {
 		steps += w.Steps
 		sync += w.SyncSteps
 		local += w.LocalSteps
 	}
-	n := r.cl.N()
-	r.res.Steps = steps / n
-	r.res.SyncSteps = sync / n
-	r.res.LocalSteps = local / n
+	n := r.cl.LocalN()
+	return r.finishCounts(steps/n, sync/n, local/n)
+}
+
+// finishCounts fills the aggregate fields from explicit per-worker step
+// counts (the distributed SSP coordinator tracks remote workers itself)
+// and releases the cluster.
+func (r *runner) finishCounts(steps, sync, local int) *Result {
+	r.res.Steps = steps
+	r.res.SyncSteps = sync
+	r.res.LocalSteps = local
 	if r.res.SyncSteps+r.res.LocalSteps > 0 {
 		r.res.LSSR = float64(r.res.LocalSteps) / float64(r.res.LocalSteps+r.res.SyncSteps)
 	}
-	r.res.SimTime = r.cl.MaxClock()
+	r.res.SimTime = r.clock()
 	r.res.BestMetric = r.bestMetric
 	r.res.BestStep = r.bestStep
 	if len(r.res.History) > 0 {
 		r.res.FinalMetric = r.res.History[len(r.res.History)-1].Metric
 	}
+	r.cl.Close()
 	return r.res
 }
 

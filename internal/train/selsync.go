@@ -29,19 +29,19 @@ func runSelSyncLoop(r *runner, opts SelSyncOptions) {
 		batches, injCost := r.nextBatches()
 		r.computeGrads(batches)
 
-		// Per-worker significance vote (Alg. 1 lines 8-11). Tracker
-		// updates are cheap; running them sequentially keeps the
-		// reduction deterministic.
-		anySync := false
+		// Per-worker significance vote (Alg. 1 lines 8-11): each rank
+		// updates the trackers of its hosted workers (sequentially —
+		// updates are cheap and the order is then deterministic), then the
+		// one-bit votes cross the fabric in the flags allgather.
 		for _, w := range r.cl.Workers {
 			w.Tracker.ObserveParams(w.Model.Params())
 			flags[w.ID] = w.Tracker.Exceeds(opts.Delta)
-			if flags[w.ID] {
-				anySync = true
-			}
 		}
+		anySync := r.cl.ExchangeFlags(flags)
 		if r.cfg.TrackDeltas {
-			r.res.Deltas = append(r.res.Deltas, r.cl.Workers[0].Tracker.Delta())
+			if w0 := r.cl.LocalWorker(0); w0 != nil {
+				r.res.Deltas = append(r.res.Deltas, w0.Tracker.Delta())
+			}
 		}
 		flagsCost := r.cl.FlagsCost()
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"selsync/internal/comm"
 	"selsync/internal/nn"
 	"selsync/internal/opt"
 	"selsync/internal/tensor"
@@ -33,7 +34,14 @@ func RunSSP(cfg Config, opts SSPOptions) *Result {
 
 // runSSPLoop is the body of RunSSP, factored out so tests can inspect the
 // cluster (per-worker step spread under the staleness gate) afterwards.
+// On a multi-process fabric it dispatches to the coordinator/serve
+// protocol of ssp_dist.go: SSP's PS is genuinely central, so rank 0 runs
+// the event loop and the other ranks serve compute requests.
 func runSSPLoop(r *runner, opts SSPOptions) {
+	if link, ok := r.cl.Fabric().(comm.PeerLink); ok && r.cl.Procs() > 1 {
+		runSSPMesh(r, opts, link)
+		return
+	}
 	n := r.cl.N()
 	global := r.cl.PS.Global
 
@@ -57,7 +65,7 @@ func runSSPLoop(r *runner, opts SSPOptions) {
 	start := func(w int, now float64) {
 		worker := r.cl.Workers[w]
 		worker.SetParams(global)
-		r.cl.PS.PullCount++
+		r.cl.AccountPull(1)
 		batch := r.samplers[w].Next()
 		x, labels := r.cfg.Train.Batch(batch)
 		loss, _ := worker.Model.ComputeGradients(x, labels)
@@ -99,7 +107,7 @@ func runSSPLoop(r *runner, opts SSPOptions) {
 		// Apply the (possibly stale) gradient at the PS.
 		psParam.Grad.CopyFrom(pending[next])
 		pending[next] = nil
-		r.cl.PS.PushCount++
+		r.cl.AccountPush(1)
 		perWorkerStep := totalApplied / n
 		// Updates arrive N× more often than in BSP and are not averaged,
 		// so each is applied at lr/N: N asynchronous pushes then do the

@@ -21,12 +21,32 @@
 //		Delta: 0.05, Mode: selsync.ParamAgg,
 //	})
 //	fmt.Println(res)
+//
+// Distributed runs: setting Config.Fabric routes every synchronization
+// round (parameter/gradient aggregation, broadcast, the SelSync flags
+// allgather) through a communication backend instead of shared memory.
+// Each OS process runs the same code over its block of workers — see
+// examples/distributed for the full program:
+//
+//	// On process i of N (every process runs identical code):
+//	fabric, err := selsync.DialTCPFabric(rank, peers, workers) // peers[rank] = own host:port
+//	if err != nil { ... }
+//	defer fabric.Close()
+//	cfg.Fabric = fabric
+//	res := selsync.RunSelSync(cfg, selsync.SelSyncOptions{Delta: 0.05, Mode: selsync.ParamAgg})
+//	// res is bit-identical on every rank, and to a single-process run
+//	// (diagnostics excepted: Config.TrackDeltas records only on the rank
+//	// hosting worker 0, and SSP's authoritative Result lives on rank 0).
+//
+// cmd/selsync-node launches such jobs on localhost (-launch N) or joins
+// one rank at a time (-rank i -peers ...).
 package selsync
 
 import (
 	"io"
 
 	"selsync/internal/cluster"
+	"selsync/internal/comm"
 	"selsync/internal/data"
 	"selsync/internal/experiments"
 	"selsync/internal/nn"
@@ -126,6 +146,24 @@ var (
 
 // WorkloadSpec selects a synthetic dataset kind and size.
 type WorkloadSpec = data.WorkloadSpec
+
+// Fabric is a communication backend for Config.Fabric: the loopback
+// (single process) or a TCP mesh (one process per rank).
+type Fabric = comm.Fabric
+
+// NewLoopbackFabric builds the in-process communication backend over n
+// workers — what Config.Fabric = nil selects implicitly. Useful when the
+// caller wants to read the traffic ledger (Stats) after a run.
+func NewLoopbackFabric(workers int) Fabric { return comm.NewLoopback(workers) }
+
+// DialTCPFabric joins a multi-process training job as `rank`: it listens
+// on peers[rank], connects the full TCP mesh to the other ranks, and
+// returns the fabric for Config.Fabric. workers is the global worker
+// count and must be divisible by len(peers); this rank hosts workers
+// [rank·W/P, (rank+1)·W/P). Close the fabric after the run.
+func DialTCPFabric(rank int, peers []string, workers int) (Fabric, error) {
+	return comm.DialTCPMesh(rank, peers, workers)
+}
 
 // ExperimentScale selects experiment sizing for RunExperiment.
 type ExperimentScale = experiments.Scale
