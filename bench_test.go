@@ -105,6 +105,10 @@ func BenchmarkAblationTopology(b *testing.B) { runExperimentBench(b, "ablation-t
 // ablation: BSP vs SSP vs SelSync under a 4× straggler.
 func BenchmarkAblationStraggler(b *testing.B) { runExperimentBench(b, "ablation-straggler") }
 
+// BenchmarkSwitchPolicy regenerates the Sync-Switch-style hybrid
+// comparison: BSP warmup → SelSync steady-state vs the pure policies.
+func BenchmarkSwitchPolicy(b *testing.B) { runExperimentBench(b, "switch") }
+
 // BenchmarkTable1 regenerates Table I: the full method × workload
 // comparison with iterations, LSSR, metric, convergence difference and
 // speedup over BSP.

@@ -30,7 +30,7 @@ import (
 
 func main() {
 	model := flag.String("model", "resnet", "workload: resnet | vgg | alexnet | transformer")
-	method := flag.String("method", "selsync", "algorithm: bsp | selsync | fedavg | ssp | local")
+	method := flag.String("method", "selsync", "policy: bsp | selsync | fedavg | ssp | local, or a schedule like bsp:200,selsync")
 	workers := flag.Int("workers", 4, "global number of workers (divisible by the rank count)")
 	steps := flag.Int("steps", 100, "training steps per worker")
 	trainN := flag.Int("train", 2048, "training-set size")

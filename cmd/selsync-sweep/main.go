@@ -7,6 +7,12 @@
 // Usage:
 //
 //	selsync-sweep -model resnet -deltas 0,0.05,0.1,0.2,0.4 -steps 300
+//
+// With -warmup N every run becomes the Sync-Switch-style hybrid — N steps
+// of BSP warmup, then SelSync(δ) — so the sweep shows how the threshold
+// behaves downstream of a synchronous warmup phase:
+//
+//	selsync-sweep -model resnet -deltas 0.05,0.1,0.2 -warmup 100 -steps 300
 package main
 
 import (
@@ -29,6 +35,7 @@ func main() {
 	testN := flag.Int("test", 1024, "test-set size")
 	seed := flag.Uint64("seed", 1, "run seed")
 	agg := flag.String("agg", "param", "aggregation during sync: param | grad")
+	warmup := flag.Int("warmup", 0, "BSP warmup steps before SelSync takes over (0 = pure SelSync)")
 	flag.Parse()
 
 	var deltas []float64
@@ -56,12 +63,26 @@ func main() {
 	if wl.Factory.Spec.Perplexity {
 		unit = "ppl"
 	}
-	fmt.Printf("δ sweep: %s, %d workers, %d steps, %s aggregation\n",
-		wl.Factory.Spec.Name, *workers, *steps, mode)
+	hybrid := ""
+	if *warmup > 0 {
+		hybrid = fmt.Sprintf(", BSP warmup %d steps", *warmup)
+	}
+	fmt.Printf("δ sweep: %s, %d workers, %d steps, %s aggregation%s\n",
+		wl.Factory.Spec.Name, *workers, *steps, mode, hybrid)
 	fmt.Printf("%-10s %-8s %-10s %-10s %-12s %s\n", "delta", "LSSR", "sync", "local", "simtime(s)", unit)
 	baseline := -1.0
 	for _, d := range deltas {
-		res := selsync.RunSelSync(cfg, selsync.SelSyncOptions{Delta: d, Mode: mode})
+		var res *selsync.Result
+		if *warmup > 0 {
+			// A fresh SwitchPolicy per run: the switch flag is per-run state.
+			res = selsync.Run(cfg, &selsync.SwitchPolicy{
+				From:   selsync.BSPPolicy{},
+				To:     selsync.SelSyncPolicy{Delta: d, Mode: mode},
+				AtStep: *warmup,
+			})
+		} else {
+			res = selsync.RunSelSync(cfg, selsync.SelSyncOptions{Delta: d, Mode: mode})
+		}
 		if baseline < 0 {
 			baseline = res.SimTime
 		}
@@ -70,4 +91,3 @@ func main() {
 			res.BestMetric, baseline/res.SimTime, deltas[0])
 	}
 }
-

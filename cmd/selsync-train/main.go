@@ -8,6 +8,11 @@
 //	selsync-train -model alexnet -method ssp -staleness 100
 //	selsync-train -model transformer -method bsp
 //
+// -method also accepts a hybrid phase schedule — Sync-Switch-style BSP
+// warmup flowing into SelSync steady-state, for example:
+//
+//	selsync-train -model resnet -method bsp:200,selsync -steps 400
+//
 // Across OS processes (TCP transport; start one process per rank, or use
 // cmd/selsync-node's -launch to spawn them all):
 //
@@ -25,7 +30,7 @@ import (
 
 func main() {
 	model := flag.String("model", "resnet", "workload: resnet | vgg | alexnet | transformer")
-	method := flag.String("method", "selsync", "algorithm: bsp | selsync | fedavg | ssp | local")
+	method := flag.String("method", "selsync", "policy: bsp | selsync | fedavg | ssp | local, or a schedule like bsp:200,selsync")
 	workers := flag.Int("workers", 8, "number of workers")
 	steps := flag.Int("steps", 300, "training steps per worker")
 	trainN := flag.Int("train", 6144, "training-set size")

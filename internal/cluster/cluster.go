@@ -248,12 +248,6 @@ func New(cfg Config) *Cluster {
 	if cfg.Network == nil {
 		cfg.Network = simnet.DefaultNetwork()
 	}
-	if cfg.TrackerWindow == 0 {
-		cfg.TrackerWindow = 25
-	}
-	if cfg.TrackerAlpha == 0 {
-		cfg.TrackerAlpha = float64(cfg.Workers) / 100
-	}
 	deviceFor := cfg.Device
 	if deviceFor == nil {
 		deviceFor = func(id int) *simnet.Device {
@@ -291,7 +285,7 @@ func New(cfg Config) *Cluster {
 			Model:     model,
 			Optimizer: cfg.Opt(model.Params()),
 			Device:    deviceFor(id),
-			Tracker:   gradstat.NewTracker(cfg.TrackerAlpha, cfg.TrackerWindow),
+			Tracker:   gradstat.NewConfiguredTracker(cfg.TrackerAlpha, cfg.TrackerWindow, cfg.Workers),
 			RNG:       rng,
 		}
 		if ab, ok := w.Model.(nn.ArenaBacked); ok {
@@ -350,6 +344,10 @@ func (c *Cluster) Fabric() comm.Fabric { return c.fabric }
 
 // Dim returns the flat parameter dimension.
 func (c *Cluster) Dim() int { return c.dim }
+
+// AllWorkerIDs returns the global worker ids 0..N-1. The slice is shared —
+// treat it as read-only.
+func (c *Cluster) AllWorkerIDs() []int { return c.allIDs }
 
 // startPool launches one persistent goroutine per hosted worker — the
 // start of the pool's start/step/stop protocol. Each call is a step:

@@ -37,8 +37,8 @@ import (
 // Identical on every rank of a run, and across backends for identical
 // collective sequences.
 type Stats struct {
-	Pushes int   // worker→PS messages
-	Pulls  int   // PS→worker messages
+	Pushes int // worker→PS messages
+	Pulls  int // PS→worker messages
 	Bytes  struct{ Recv, Sent int64 }
 
 	FlagRounds int   // SelSync flags-allgather rounds

@@ -1,0 +1,65 @@
+// Package commtest provides shared helpers for tests that run SPMD code
+// across real TCP ranks. Distributed tests across the repo (train, future
+// subsystems) use RunRanks instead of hand-rolling the listener/mesh/
+// goroutine scaffolding.
+package commtest
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"selsync/internal/comm"
+)
+
+// RunRanks executes fn SPMD across procs ranks, each on its own real TCP
+// endpoint on 127.0.0.1 with its own full-mesh fabric over `workers` global
+// workers — exactly what procs separate OS processes would do, minus
+// fork/exec. fn must treat its fabric the way a rank's main would: every
+// rank runs the same code and they meet at the fabric's collectives. It
+// returns every rank's value plus rank 0's fabric stats (captured before
+// the fabric closes), and fails the test if any rank panics.
+func RunRanks[T any](t testing.TB, procs, workers int, fn func(rank int, fabric comm.Fabric) T) ([]T, *comm.Stats) {
+	t.Helper()
+	lns := make([]net.Listener, procs)
+	peers := make([]string, procs)
+	for r := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[r] = ln
+		peers[r] = ln.Addr().String()
+	}
+	results := make([]T, procs)
+	var stats0 comm.Stats
+	var wg sync.WaitGroup
+	errs := make([]any, procs)
+	for r := 0; r < procs; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() { errs[r] = recover() }()
+			ep, err := comm.DialTCPWithListener(r, peers, lns[r])
+			if err != nil {
+				panic(err)
+			}
+			mesh, err := comm.NewMesh(ep, workers)
+			if err != nil {
+				panic(err)
+			}
+			defer mesh.Close()
+			results[r] = fn(r, mesh)
+			if r == 0 {
+				stats0 = *mesh.Stats()
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r, e := range errs {
+		if e != nil {
+			t.Fatalf("rank %d panicked: %v", r, e)
+		}
+	}
+	return results, &stats0
+}

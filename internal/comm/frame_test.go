@@ -65,13 +65,13 @@ func TestFrameDecodeStream(t *testing.T) {
 func TestDecodeFrameRejectsMalformed(t *testing.T) {
 	good := AppendFrame(nil, &Frame{Type: MsgFlags, Payload: []byte{0xAA}})
 	cases := map[string]func([]byte) []byte{
-		"short header":  func(b []byte) []byte { return b[:HeaderSize-1] },
-		"bad magic":     func(b []byte) []byte { b[0] ^= 0xFF; return b },
-		"bad version":   func(b []byte) []byte { b[4] = 99; return b },
-		"bad type":      func(b []byte) []byte { b[5] = 0; return b },
-		"huge length":   func(b []byte) []byte { b[16], b[17], b[18], b[19] = 0xFF, 0xFF, 0xFF, 0x7F; return b },
-		"truncated":     func(b []byte) []byte { b[16] = 2; return b }, // claims 2 payload bytes, has 1
-		"empty":         func(b []byte) []byte { return nil },
+		"short header": func(b []byte) []byte { return b[:HeaderSize-1] },
+		"bad magic":    func(b []byte) []byte { b[0] ^= 0xFF; return b },
+		"bad version":  func(b []byte) []byte { b[4] = 99; return b },
+		"bad type":     func(b []byte) []byte { b[5] = 0; return b },
+		"huge length":  func(b []byte) []byte { b[16], b[17], b[18], b[19] = 0xFF, 0xFF, 0xFF, 0x7F; return b },
+		"truncated":    func(b []byte) []byte { b[16] = 2; return b }, // claims 2 payload bytes, has 1
+		"empty":        func(b []byte) []byte { return nil },
 	}
 	for name, corrupt := range cases {
 		b := corrupt(append([]byte(nil), good...))

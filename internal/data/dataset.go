@@ -112,16 +112,24 @@ func NewSampler(indices []int, batchSize int) *Sampler {
 // Next returns the next mini-batch of dataset indices, wrapping around the
 // index list as needed (so batches at the boundary span the wrap).
 func (s *Sampler) Next() []int {
-	out := make([]int, s.batch)
+	return s.NextInto(make([]int, 0, s.batch))
+}
+
+// NextInto is the allocation-free Next: it fills dst (truncated to length
+// zero first) with the next mini-batch and returns it. With cap(dst) ≥ the
+// batch size the returned slice is dst's backing array; the training hot
+// loop reuses one buffer per worker this way.
+func (s *Sampler) NextInto(dst []int) []int {
+	dst = dst[:0]
 	for i := 0; i < s.batch; i++ {
-		out[i] = s.indices[s.pos]
+		dst = append(dst, s.indices[s.pos])
 		s.pos++
 		if s.pos == len(s.indices) {
 			s.pos = 0
 			s.epochs++
 		}
 	}
-	return out
+	return dst
 }
 
 // Epochs returns how many full passes over the index list have completed.

@@ -42,6 +42,9 @@ func Registry() map[string]Runner {
 		// Ablations for the design choices DESIGN.md calls out.
 		"ablation-topology":  wrapT(AblationTopology),
 		"ablation-straggler": wrapT(AblationStraggler),
+		// Beyond the paper: the Sync-Switch-style hybrid the policy engine
+		// enables (BSP warmup → SelSync steady-state vs the pure policies).
+		"switch": wrapFT(SwitchCompare),
 	}
 }
 

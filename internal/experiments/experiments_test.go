@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"io"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -11,7 +12,7 @@ func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 	want := []string{
 		"fig1a", "fig1b", "fig2a", "fig2b", "fig3", "fig4", "fig5",
 		"fig8a", "fig8b", "fig9", "fig10", "fig11", "fig12", "table1",
-		"ablation-topology", "ablation-straggler",
+		"ablation-topology", "ablation-straggler", "switch",
 	}
 	reg := Registry()
 	if len(reg) != len(want) {
@@ -180,6 +181,76 @@ func TestFig11ProducesDensitiesAndDistances(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "Fig 11") {
 		t.Fatal("report must be printed")
+	}
+}
+
+func TestSwitchCompareShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	var buf bytes.Buffer
+	fig, tab := SwitchCompare(Tiny, &buf)
+	if len(fig.Series) != 6 { // 2 models × {bsp, selsync, bsp→selsync}
+		t.Fatalf("series: %d", len(fig.Series))
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	// Row layout per model: bsp, selsync, bsp→selsync. BSP never takes a
+	// local step; the hybrid must mix sync (≥ the warmup quarter) with
+	// local steps — the switch visibly changed behavior at its boundary.
+	warmup := ParamsFor(Tiny).MaxSteps / 4
+	for m := 0; m < 2; m++ {
+		bsp, hybrid := tab.Rows[3*m], tab.Rows[3*m+2]
+		if bsp[4] != "0" {
+			t.Fatalf("%s: BSP must have 0 local steps, row %v", bsp[0], bsp)
+		}
+		if hybrid[1] != "bsp→selsync" {
+			t.Fatalf("row order wrong: %v", hybrid)
+		}
+		sync, local := atoiCell(t, hybrid[3]), atoiCell(t, hybrid[4])
+		if sync < warmup {
+			t.Fatalf("%s hybrid: warmup alone gives ≥ %d sync steps, got %d", hybrid[0], warmup, sync)
+		}
+		if local == 0 {
+			t.Fatalf("%s hybrid: the SelSync phase should produce local steps, row %v", hybrid[0], hybrid)
+		}
+	}
+	if !strings.Contains(buf.String(), "Switch") {
+		t.Fatal("report must be printed")
+	}
+}
+
+func atoiCell(t *testing.T, s string) int {
+	t.Helper()
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		t.Fatalf("cell %q is not an integer", s)
+	}
+	return n
+}
+
+func TestPolicyForSchedules(t *testing.T) {
+	p := ParamsFor(Tiny)
+	wl := SetupWorkload("vgg", p, 1)
+	for spec, wantName := range map[string]string{
+		"bsp":             "BSP",
+		"local":           "LocalSGD",
+		"selsync":         "SelSync(δ=0.055,ParamAgg)", // DeltaLow default
+		"bsp:200,selsync": "Schedule(BSP:200→SelSync(δ=0.055,ParamAgg))",
+	} {
+		policy, err := PolicyFor(RunSpec{Method: spec}, wl)
+		if err != nil {
+			t.Fatalf("%q: %v", spec, err)
+		}
+		if policy.Name() != wantName {
+			t.Fatalf("%q: policy %q, want %q", spec, policy.Name(), wantName)
+		}
+	}
+	for _, spec := range []string{"nope", "bsp:200,ssp", "bsp,selsync"} {
+		if _, err := PolicyFor(RunSpec{Method: spec}, wl); err == nil {
+			t.Fatalf("%q must fail", spec)
+		}
 	}
 }
 

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"io"
+
+	"selsync/internal/cluster"
+	"selsync/internal/train"
+)
+
+// SwitchCompare runs the Sync-Switch-style comparison the unified training
+// engine makes possible (Li et al., 2021; the old per-method loops could
+// not host it): a hybrid policy that trains BSP for the first quarter of
+// the step budget and then switches to SelSync(δ_low), against pure BSP and
+// pure SelSync, on the residual and plain-convolutional workloads. The
+// hybrid's warmup phase pays full synchronization while gradients move
+// fast, then hands over to significance-gated synchronization — it should
+// hold BSP-like accuracy while recovering most of SelSync's simulated-time
+// win. The summary table reports where each run's synchronization budget
+// went and the simulated speedup over BSP.
+func SwitchCompare(scale Scale, w io.Writer) (*Figure, *Table) {
+	p := ParamsFor(scale)
+	warmup := p.MaxSteps / 4
+	fig := &Figure{
+		Title:  "Switch: BSP warmup → SelSync(δ_low) vs the pure policies",
+		XLabel: "simulated seconds", YLabel: "test metric",
+	}
+	summary := &Table{
+		Title:   "Switch summary: sync budget and simulated speedup vs BSP",
+		Columns: []string{"model", "policy", "LSSR", "sync", "local", "best", "simtime(s)", "vs BSP"},
+	}
+
+	models := []string{"resnet", "vgg"}
+	labels := []string{"bsp", "selsync", "bsp→selsync"}
+	policyFor := func(wl Workload, kind int) train.SyncPolicy {
+		sel := train.SelSyncPolicy{Delta: wl.DeltaLow, Mode: cluster.ParamAgg}
+		switch kind {
+		case 0:
+			return train.BSPPolicy{}
+		case 1:
+			return sel
+		default:
+			return &train.SwitchPolicy{From: train.BSPPolicy{}, To: sel, AtStep: warmup}
+		}
+	}
+
+	wls := make([]Workload, len(models))
+	for i, model := range models {
+		wls[i] = SetupWorkload(model, p, 97)
+	}
+	results := make([]*train.Result, len(models)*len(labels))
+	parallelDo(len(results), func(j int) {
+		wl := wls[j/len(labels)]
+		cfg := BaseConfig(wl, p, 97)
+		results[j] = train.Run(cfg, policyFor(wl, j%len(labels)))
+	})
+
+	for i := range models {
+		name := wls[i].Factory.Spec.Name
+		bsp := results[i*len(labels)]
+		for k, label := range labels {
+			res := results[i*len(labels)+k]
+			xs := make([]float64, len(res.History))
+			ys := make([]float64, len(res.History))
+			for n, pt := range res.History {
+				xs[n] = pt.SimTime
+				ys[n] = pt.Metric
+			}
+			fig.Add(name+" "+label, xs, ys)
+			summary.AddRow(name, label, fmtF(res.LSSR, 3),
+				fmtI(res.SyncSteps), fmtI(res.LocalSteps),
+				fmtF(res.BestMetric, 2), fmtF(res.SimTime, 1),
+				fmtF(bsp.SimTime/res.SimTime, 2)+"x")
+		}
+	}
+	fig.Fprint(w)
+	summary.Fprint(w)
+	return fig, summary
+}

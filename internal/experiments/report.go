@@ -110,3 +110,6 @@ func subsample(n, k int) []int {
 
 // fmtF renders a float with sensible precision for report cells.
 func fmtF(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
+
+// fmtI renders an integer report cell.
+func fmtI(v int) string { return fmt.Sprintf("%d", v) }

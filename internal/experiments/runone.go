@@ -14,8 +14,11 @@ import (
 // cmd/selsync-train and cmd/selsync-node, including multi-process runs
 // over a comm fabric.
 type RunSpec struct {
-	Model  string // resnet | vgg | alexnet | transformer
-	Method string // bsp | selsync | fedavg | ssp | local
+	Model string // resnet | vgg | alexnet | transformer
+	// Method is a synchronization policy: one of the five method names
+	// (bsp | selsync | fedavg | ssp | local) or a hybrid phase schedule
+	// like "bsp:200,selsync" (see train.ParseSchedule for the grammar).
+	Method string
 	Scheme string // seldp | defdp
 
 	Workers  int
@@ -128,26 +131,42 @@ func RunOne(spec RunSpec) (*train.Result, error) {
 		cfg.NonIID = non
 	}
 
-	switch spec.Method {
-	case "bsp":
-		return train.RunBSP(cfg), nil
-	case "local":
-		return train.RunLocalSGD(cfg), nil
-	case "selsync":
-		d := spec.Delta
-		if d == 0 {
-			d = wl.DeltaLow
-		}
-		opts := train.SelSyncOptions{Delta: d, Mode: cluster.ParamAgg}
-		if spec.GradAgg {
-			opts.Mode = cluster.GradAgg
-		}
-		return train.RunSelSync(cfg, opts), nil
-	case "fedavg":
-		return train.RunFedAvg(cfg, train.FedAvgOptions{C: spec.C, E: spec.E}), nil
-	case "ssp":
-		return train.RunSSP(cfg, train.SSPOptions{Staleness: spec.Staleness, PSOpt: wl.SSPOpt}), nil
-	default:
-		return nil, fmt.Errorf("unknown method %q (want bsp|selsync|fedavg|ssp|local)", spec.Method)
+	policy, err := PolicyFor(spec, wl)
+	if err != nil {
+		return nil, err
 	}
+	return train.Run(cfg, policy), nil
+}
+
+// PolicyFor builds the synchronization policy spec.Method names, binding
+// the CLI options (δ and aggregation mode, FedAvg's C/E, SSP's staleness)
+// to each named phase. A bare method name yields the pure policy; a
+// comma-separated phase list like "bsp:200,selsync" yields the hybrid
+// schedule the engine runs as one training loop.
+func PolicyFor(spec RunSpec, wl Workload) (train.SyncPolicy, error) {
+	mk := func(name string) (train.SyncPolicy, error) {
+		switch name {
+		case "bsp":
+			return train.BSPPolicy{}, nil
+		case "local":
+			return train.LocalSGDPolicy{}, nil
+		case "selsync":
+			d := spec.Delta
+			if d == 0 {
+				d = wl.DeltaLow
+			}
+			mode := cluster.ParamAgg
+			if spec.GradAgg {
+				mode = cluster.GradAgg
+			}
+			return train.SelSyncPolicy{Delta: d, Mode: mode}, nil
+		case "fedavg":
+			return &train.FedAvgPolicy{C: spec.C, E: spec.E}, nil
+		case "ssp":
+			return &train.SSPPolicy{Staleness: spec.Staleness, PSOpt: wl.SSPOpt}, nil
+		default:
+			return nil, fmt.Errorf("unknown method %q (want bsp|selsync|fedavg|ssp|local, or a phase schedule like \"bsp:200,selsync\")", name)
+		}
+	}
+	return train.ParseSchedule(spec.Method, mk)
 }

@@ -187,4 +187,3 @@ func NonIIDSyncFactor(p Params, workers, batch int) float64 {
 
 // AllWorkloads returns the four paper workloads in report order.
 func AllWorkloads() []string { return []string{"resnet", "vgg", "alexnet", "transformer"} }
-

@@ -46,8 +46,22 @@ func NewTracker(alpha float64, window int) *Tracker {
 // N-worker cluster: window 25, smoothing factor N/100 (0.16 for the
 // 16-node cluster in §III-A).
 func NewPaperTracker(workers int) *Tracker {
-	alpha := float64(workers) / 100
-	return NewTracker(alpha, 25)
+	return NewConfiguredTracker(0, 0, workers)
+}
+
+// NewConfiguredTracker builds a tracker from override knobs, filling zero
+// values with the paper defaults for an N-worker cluster (window 25,
+// smoothing factor workers/100). Every Δ(g_i) tracker in the system — the
+// workers' voting trackers and the runner's diagnostics tracker — goes
+// through this one defaulting rule so they can never drift apart.
+func NewConfiguredTracker(alpha float64, window, workers int) *Tracker {
+	if window == 0 {
+		window = 25
+	}
+	if alpha == 0 {
+		alpha = float64(workers) / 100
+	}
+	return NewTracker(alpha, window)
 }
 
 // ObserveGradNorm feeds the L2 norm of the current iteration's gradient and

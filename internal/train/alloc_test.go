@@ -1,0 +1,40 @@
+//go:build !race
+
+package train
+
+import (
+	"testing"
+
+	"selsync/internal/cluster"
+)
+
+// TestEngineStepDoesNotAllocate pins the BenchmarkEngineStep property as a
+// hard test: after warmup, a steady-state engine step performs zero heap
+// allocations for the always-sync, vote-and-sync and never-sync policies.
+// Skipped under the race detector, which instruments allocations.
+func TestEngineStepDoesNotAllocate(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		policy SyncPolicy
+	}{
+		{"bsp", BSPPolicy{}},
+		{"selsync", SelSyncPolicy{Delta: 0.05, Mode: cluster.ParamAgg}},
+		{"local", LocalSGDPolicy{}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r, e := benchEngine(tc.policy)
+			defer r.cl.Close()
+			step := 0
+			for ; step < 10; step++ { // warm buffers and tracker windows
+				e.step(step)
+			}
+			allocs := testing.AllocsPerRun(100, func() {
+				e.step(step)
+				step++
+			})
+			if allocs > 0 {
+				t.Fatalf("engine step allocated %.1f times per op, want 0", allocs)
+			}
+		})
+	}
+}

@@ -1,65 +1,27 @@
 package train
 
 import (
-	"net"
 	"reflect"
-	"sync"
 	"testing"
 
 	"selsync/internal/cluster"
 	"selsync/internal/comm"
+	"selsync/internal/comm/commtest"
 )
 
-// runTCPRanks executes one training run SPMD across `procs` ranks, each
-// with its own real TCP endpoint on 127.0.0.1, its own mesh fabric and its
+// runTCPRanks executes one training run SPMD across `procs` ranks (hosting
+// `workers` global workers) through the shared commtest harness: each rank
+// gets its own real TCP endpoint on 127.0.0.1, its own mesh fabric and its
 // own independently constructed Config — exactly what `procs` separate OS
 // processes would do, minus fork/exec. It returns every rank's Result and
-// rank 0's fabric for ledger inspection.
-func runTCPRanks(t *testing.T, procs int, mkCfg func() Config, run func(cfg Config) *Result) ([]*Result, *comm.Stats) {
+// rank 0's fabric stats.
+func runTCPRanks(t *testing.T, procs, workers int, mkCfg func() Config, run func(cfg Config) *Result) ([]*Result, *comm.Stats) {
 	t.Helper()
-	lns := make([]net.Listener, procs)
-	peers := make([]string, procs)
-	for r := range lns {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			t.Fatal(err)
-		}
-		lns[r] = ln
-		peers[r] = ln.Addr().String()
-	}
-	results := make([]*Result, procs)
-	var stats0 comm.Stats
-	var wg sync.WaitGroup
-	errs := make([]any, procs)
-	for r := 0; r < procs; r++ {
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			defer func() { errs[r] = recover() }()
-			ep, err := comm.DialTCPWithListener(r, peers, lns[r])
-			if err != nil {
-				panic(err)
-			}
-			cfg := mkCfg()
-			mesh, err := comm.NewMesh(ep, cfg.Workers)
-			if err != nil {
-				panic(err)
-			}
-			defer mesh.Close()
-			cfg.Fabric = mesh
-			results[r] = run(cfg)
-			if r == 0 {
-				stats0 = *mesh.Stats()
-			}
-		}(r)
-	}
-	wg.Wait()
-	for r, e := range errs {
-		if e != nil {
-			t.Fatalf("rank %d panicked: %v", r, e)
-		}
-	}
-	return results, &stats0
+	return commtest.RunRanks(t, procs, workers, func(rank int, fabric comm.Fabric) *Result {
+		cfg := mkCfg()
+		cfg.Fabric = fabric
+		return run(cfg)
+	})
 }
 
 // TestSelSyncTCPByteIdenticalToLoopback is the subsystem's acceptance
@@ -85,7 +47,7 @@ func TestSelSyncTCPByteIdenticalToLoopback(t *testing.T) {
 		t.Fatalf("test needs a mixed local/sync regime, got %+v", want)
 	}
 
-	results, stats := runTCPRanks(t, 4, mkCfg, run)
+	results, stats := runTCPRanks(t, 4, 4, mkCfg, run)
 	for r, got := range results {
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("rank %d Result diverged from loopback:\n tcp: %+v\n  lb: %+v", r, got, want)
@@ -119,7 +81,43 @@ func TestBSPAndFedAvgTCPMatchLoopback(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			lbCfg := mkCfg()
 			want := tc.run(lbCfg)
-			results, _ := runTCPRanks(t, 2, mkCfg, tc.run) // 2 procs × 2 workers
+			results, _ := runTCPRanks(t, 2, 4, mkCfg, tc.run) // 2 procs × 2 workers
+			for r, got := range results {
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("rank %d Result diverged:\n tcp: %+v\n  lb: %+v", r, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestLocalSGDAndSwitchTCPMatchLoopback extends the byte-identity bar to
+// pure local SGD and a hybrid SwitchPolicy run: the TCP mesh Result must
+// reflect.DeepEqual the loopback one, exactly as for BSP/SelSync/FedAvg.
+func TestLocalSGDAndSwitchTCPMatchLoopback(t *testing.T) {
+	mkCfg := func() Config {
+		cfg := smallConfig(24)
+		cfg.MaxSteps = 16
+		cfg.EvalEvery = 8
+		return cfg
+	}
+	for _, tc := range []struct {
+		name string
+		run  func(cfg Config) *Result
+	}{
+		{"localsgd", func(cfg Config) *Result { return RunLocalSGD(cfg) }},
+		// A fresh policy per run: SwitchPolicy carries the switched flag.
+		{"switch", func(cfg Config) *Result {
+			return Run(cfg, &SwitchPolicy{
+				From:   BSPPolicy{},
+				To:     SelSyncPolicy{Delta: 0.01, Mode: cluster.ParamAgg},
+				AtStep: 8,
+			})
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want := tc.run(mkCfg())
+			results, _ := runTCPRanks(t, 2, 4, mkCfg, tc.run) // 2 procs × 2 workers
 			for r, got := range results {
 				if !reflect.DeepEqual(got, want) {
 					t.Fatalf("rank %d Result diverged:\n tcp: %+v\n  lb: %+v", r, got, want)
@@ -138,7 +136,7 @@ func TestSSPTCPCoordinatorMatchesLoopback(t *testing.T) {
 	}
 	opts := SSPOptions{Staleness: 3}
 	want := RunSSP(mkCfg(), opts)
-	results, _ := runTCPRanks(t, 4, mkCfg, func(cfg Config) *Result { return RunSSP(cfg, opts) })
+	results, _ := runTCPRanks(t, 4, 4, mkCfg, func(cfg Config) *Result { return RunSSP(cfg, opts) })
 	// Rank 0 coordinates and holds the authoritative Result.
 	if !reflect.DeepEqual(results[0], want) {
 		t.Fatalf("coordinator Result diverged:\n tcp: %+v\n  lb: %+v", results[0], want)

@@ -1,0 +1,193 @@
+package train
+
+import (
+	"fmt"
+
+	"selsync/internal/cluster"
+	"selsync/internal/tensor"
+)
+
+// Run executes one training run under the given synchronization policy.
+// This is THE training loop: batching, gradient compute, the evaluation
+// cadence, patience, delta tracking, snapshots and Result assembly all live
+// here, and the policy is consulted once per step for the synchronization
+// decision, executed through the cluster's comm fabric.
+//
+// On a multi-process fabric Run is SPMD: every rank calls it with an
+// identical Config and an identically-constructed policy, and the ranks
+// meet at the collectives the chosen actions imply. Policies carry per-run
+// state — construct a fresh policy value for every call.
+func Run(cfg Config, policy SyncPolicy) *Result {
+	r := newRunner(cfg, policy.Name())
+	// finish releases the cluster on the normal path; a panic anywhere
+	// after construction (policy validation in Init hooks, a mid-run
+	// failure) must release it too — Close is idempotent — so callers that
+	// recover (option-validating harnesses) don't leak the worker pool.
+	defer func() {
+		if e := recover(); e != nil {
+			r.cl.Close()
+			panic(e)
+		}
+	}()
+	if ev, ok := policy.(eventLoopPolicy); ok {
+		ev.runEventLoop(r)
+		res := r.finish()
+		ev.finalizeResult(res)
+		return res
+	}
+	e := newEngine(r, policy)
+	e.run()
+	return r.finish()
+}
+
+// RunBSP trains with bulk-synchronous parallelism: every step is a gradient
+// aggregation with a blocking barrier (paper §II-A).
+func RunBSP(cfg Config) *Result { return Run(cfg, BSPPolicy{}) }
+
+// RunLocalSGD trains with purely local updates: workers never communicate
+// after the initial broadcast (the δ ≥ M degeneration of SelSync).
+func RunLocalSGD(cfg Config) *Result { return Run(cfg, LocalSGDPolicy{}) }
+
+// RunSelSync trains with the paper's selective synchronization (Alg. 1):
+// per-worker significance votes select synchronous vs local steps.
+func RunSelSync(cfg Config, opts SelSyncOptions) *Result {
+	return Run(cfg, SelSyncPolicy{Delta: opts.Delta, Mode: opts.Mode})
+}
+
+// RunFedAvg trains with Federated Averaging (paper §II-B). The policy's
+// Init validates C and E.
+func RunFedAvg(cfg Config, opts FedAvgOptions) *Result {
+	return Run(cfg, &FedAvgPolicy{C: opts.C, E: opts.E})
+}
+
+// RunSSP trains with stale-synchronous parallelism (paper §II-C): the
+// discrete-event loop of ssp.go behind the SSPPolicy event-loop hook,
+// which validates the staleness bound.
+func RunSSP(cfg Config, opts SSPOptions) *Result {
+	return Run(cfg, &SSPPolicy{Staleness: opts.Staleness, PSOpt: opts.PSOpt})
+}
+
+// engine drives the SPMD step loop for one run. Everything per-step is
+// preallocated — the aggregation buffer, the Signals (with its flags
+// slice), and the worker closures, which bind mutable per-step inputs
+// (learning rate, clock increments) through engine fields — so a steady-
+// state step allocates nothing beyond what the policy itself allocates.
+type engine struct {
+	r      *runner
+	policy SyncPolicy
+	sig    Signals
+	avg    tensor.Vector
+
+	// Per-step inputs bound into the reusable closures below.
+	lr         float64
+	localExtra float64
+
+	syncGradsFn func(*cluster.Worker)
+	countSyncFn func(*cluster.Worker)
+	localFn     func(*cluster.Worker)
+}
+
+// newEngine wires the loop state and runs the policy's Init hook.
+func newEngine(r *runner, policy SyncPolicy) *engine {
+	e := &engine{
+		r:      r,
+		policy: policy,
+		avg:    tensor.NewVector(r.cl.Dim()),
+	}
+	e.sig = Signals{
+		StepsPerEpoch: r.stepsPerEpoch,
+		Workers:       r.cl.N(),
+		Seed:          r.cfg.Seed,
+		r:             r,
+		flags:         make([]bool, r.cl.N()),
+	}
+	e.syncGradsFn = func(w *cluster.Worker) {
+		w.SetGrads(e.avg)
+		w.Optimizer.Step(e.lr)
+		w.Steps++
+		w.SyncSteps++
+	}
+	e.countSyncFn = func(w *cluster.Worker) {
+		w.Steps++
+		w.SyncSteps++
+	}
+	e.localFn = func(w *cluster.Worker) {
+		w.Steps++
+		w.LocalSteps++
+		w.Clock += e.localExtra
+	}
+	if init, ok := policy.(PolicyInit); ok {
+		init.Init(&e.sig)
+	}
+	return e
+}
+
+// run executes steps until the budget or patience stops the run.
+func (e *engine) run() {
+	for step := 0; ; step++ {
+		if e.step(step) {
+			return
+		}
+	}
+}
+
+// step executes one training step: draw batches, compute gradients, ask the
+// policy, execute its action, evaluate on cadence. Reports true when the
+// run should stop.
+func (e *engine) step(step int) bool {
+	r := e.r
+	e.lr = r.lr(step)
+	injCost := r.nextBatches()
+	r.computeGrads()
+	e.sig.Step = step
+	e.execute(e.policy.Decide(step, &e.sig), injCost)
+	return r.maybeEval(step)
+}
+
+// execute carries out one synchronization action through the cluster's
+// fabric, advancing step counters and virtual clocks exactly as the
+// hand-rolled per-method loops did.
+func (e *engine) execute(act Action, injCost float64) {
+	r := e.r
+	switch act.Kind {
+	case ActSyncGrads:
+		// Push gradients, pull the mean, every worker applies the same
+		// averaged update. Replicas that diverged during earlier local
+		// phases stay diverged — the inconsistency §III-C warns about.
+		r.cl.AggregateGrads(e.avg)
+		if act.TrackMeanGradDelta && r.cfg.TrackDeltas {
+			r.trackDelta(e.avg.Norm())
+		}
+		r.cl.Each(e.syncGradsFn)
+		r.cl.Barrier(act.ExtraCost + r.cl.SyncCost() + injCost)
+	case ActSyncParams:
+		// Apply the local update first (Alg. 1 line 9), then push
+		// parameters and pull their average: one consistent global state
+		// for every replica.
+		r.applyLocal(e.lr)
+		r.cl.AggregateParams()
+		r.cl.Each(e.countSyncFn)
+		r.cl.Barrier(act.ExtraCost + r.cl.SyncCost() + injCost)
+	case ActRoundAverage:
+		// FedAvg's round boundary: everyone applies locally, the chosen
+		// participants' parameters average into the global model, everyone
+		// pulls it. Push from the participants, pull to all.
+		r.applyLocal(e.lr)
+		ids := act.Participants
+		if ids == nil {
+			ids = r.cl.AllWorkerIDs()
+		}
+		r.cl.ReduceParamsSubset(ids)
+		r.cl.Broadcast()
+		r.cl.Each(e.countSyncFn)
+		syncCost := r.cl.Network.PSPush(r.spec.WireBytes, len(ids)) +
+			r.cl.Network.PSPull(r.spec.WireBytes, r.cl.N())
+		r.cl.Barrier(act.ExtraCost + syncCost + injCost)
+	case ActLocal:
+		r.applyLocal(e.lr)
+		e.localExtra = act.ExtraCost + injCost
+		r.cl.Each(e.localFn)
+	default:
+		panic(fmt.Sprintf("train: unknown action kind %v", act.Kind))
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"selsync/internal/cluster"
 	"selsync/internal/data"
+	"selsync/internal/gradstat"
 	"selsync/internal/nn"
 	"selsync/internal/simnet"
 	"selsync/internal/tensor"
@@ -45,9 +46,17 @@ type runner struct {
 	evalFlat  tensor.Vector
 	gradFlat  tensor.Vector
 	// Per-worker batch buffers reused across steps (workers touch only
-	// their own slot, so computeGrads stays race-free).
+	// their own slot, so computeGrads stays race-free). batches holds the
+	// per-step dataset indices, backed by batchIdx's per-worker buffers;
+	// computeFn/applyFn are persistent closures reading them plus lrNow, so
+	// a steady-state step allocates nothing.
 	batchX      []*tensor.Matrix
 	batchLabels [][]int
+	batches     [][]int
+	batchIdx    [][]int
+	lrNow       float64
+	computeFn   func(*cluster.Worker)
+	applyFn     func(*cluster.Worker)
 	snapSteps   map[int]bool
 
 	bestMetric float64
@@ -55,6 +64,14 @@ type runner struct {
 	bestStep   int
 	sinceBest  int
 	stop       bool
+
+	// diagTracker smooths the gradient-norm series trackDelta records (the
+	// Fig. 5 diagnostic for BSP/local-SGD regimes). It is deliberately
+	// separate from worker 0's voting tracker: the TrackDeltas flag is pure
+	// observability and must never perturb a SelSync phase's votes (which
+	// matters once hybrid policies chain BSP warmup into SelSync). Nil when
+	// TrackDeltas is off or this rank does not host worker 0.
+	diagTracker *gradstat.Tracker
 
 	// sspSteps, when non-nil, is the per-worker mean step count computed
 	// by the distributed SSP coordinator, whose remote workers are not
@@ -106,6 +123,11 @@ func newRunner(cfg Config, method string) *runner {
 	if ab, ok := r.evalNet.(nn.ArenaBacked); ok {
 		r.evalArena = ab.Arena()
 	}
+	if cfg.TrackDeltas && r.cl.LocalWorker(0) != nil {
+		// Same smoothing as the workers' voting trackers, but a private
+		// instance — see the field comment.
+		r.diagTracker = gradstat.NewConfiguredTracker(cfg.TrackerAlpha, cfg.TrackerWindow, cfg.Workers)
+	}
 
 	r.perBatch = cfg.Batch
 	if cfg.NonIID != nil {
@@ -127,6 +149,22 @@ func newRunner(cfg Config, method string) *runner {
 		r.samplers = append(r.samplers, data.NewSampler(r.parts[w], r.perBatch))
 	}
 
+	r.batches = make([][]int, cfg.Workers)
+	r.batchIdx = make([][]int, cfg.Workers)
+	for _, w := range r.cl.Workers {
+		r.batchIdx[w.ID] = make([]int, 0, r.perBatch)
+	}
+	r.batchX = make([]*tensor.Matrix, cfg.Workers)
+	r.batchLabels = make([][]int, cfg.Workers)
+	r.computeFn = func(w *cluster.Worker) {
+		x, labels := r.cfg.Train.BatchInto(r.batchX[w.ID], r.batchLabels[w.ID], r.batches[w.ID])
+		r.batchX[w.ID], r.batchLabels[w.ID] = x, labels
+		loss, _ := w.Model.ComputeGradients(x, labels)
+		r.losses[w.ID] = loss
+		w.Clock += w.Device.ComputeTime(simnet.StepFlops(r.spec.FlopsPerSample, len(r.batches[w.ID])))
+	}
+	r.applyFn = func(w *cluster.Worker) { w.Optimizer.Step(r.lrNow) }
+
 	r.stepsPerEpoch = cfg.Train.N() / (cfg.Workers * cfg.Batch)
 	if r.stepsPerEpoch < 1 {
 		r.stepsPerEpoch = 1
@@ -140,48 +178,42 @@ func newRunner(cfg Config, method string) *runner {
 
 func (r *runner) lr(step int) float64 { return r.cfg.Schedule.LR(step) }
 
-// nextBatches returns one step's per-worker dataset indices plus the
-// virtual per-worker cost of the injection traffic (0 without injection).
-// Under injection, every worker's batch is its own b′ examples plus the
-// shared pool, restoring the effective batch to ≈b (Eqn. 3). Only hosted
-// workers' samplers advance — each rank owns its workers' batch streams —
-// while the injection pool (which draws from every partition) is rebuilt
-// identically on every rank from the shared injection RNG.
-func (r *runner) nextBatches() (batches [][]int, injCost float64) {
-	batches = make([][]int, r.cl.N())
+// nextBatches fills r.batches with one step's per-worker dataset indices
+// (reusing the per-worker index buffers — allocation-free without
+// injection) and returns the virtual per-worker cost of the injection
+// traffic (0 without injection). Under injection, every worker's batch is
+// its own b′ examples plus the shared pool, restoring the effective batch
+// to ≈b (Eqn. 3). Only hosted workers' samplers advance — each rank owns
+// its workers' batch streams — while the injection pool (which draws from
+// every partition) is rebuilt identically on every rank from the shared
+// injection RNG.
+func (r *runner) nextBatches() (injCost float64) {
 	for _, w := range r.cl.Workers {
-		batches[w.ID] = r.samplers[w.ID].Next()
+		r.batches[w.ID] = r.samplers[w.ID].NextInto(r.batchIdx[w.ID])
 	}
 	if r.inj != nil {
 		pool := r.inj.BuildPool(r.parts, r.injCursors, r.perBatch, r.injRNG)
 		for _, w := range r.cl.Workers {
-			batches[w.ID] = append(batches[w.ID], pool...)
+			// Appending past the index buffer's capacity copies — the
+			// buffer itself stays pristine for the next step.
+			r.batches[w.ID] = append(r.batches[w.ID], pool...)
 		}
 		injCost = r.cl.Network.P2P(r.inj.PoolBytes(r.cfg.Train, r.perBatch, r.cl.N()))
 	}
-	return batches, injCost
+	return injCost
 }
 
-// computeGrads runs one forward+backward per worker concurrently, advancing
-// each worker's clock by its modeled compute time. Per-worker mean losses
-// land in r.losses.
-func (r *runner) computeGrads(batches [][]int) {
-	if r.batchX == nil {
-		r.batchX = make([]*tensor.Matrix, r.cl.N())
-		r.batchLabels = make([][]int, r.cl.N())
-	}
-	r.cl.Each(func(w *cluster.Worker) {
-		x, labels := r.cfg.Train.BatchInto(r.batchX[w.ID], r.batchLabels[w.ID], batches[w.ID])
-		r.batchX[w.ID], r.batchLabels[w.ID] = x, labels
-		loss, _ := w.Model.ComputeGradients(x, labels)
-		r.losses[w.ID] = loss
-		w.Clock += w.Device.ComputeTime(simnet.StepFlops(r.spec.FlopsPerSample, len(batches[w.ID])))
-	})
+// computeGrads runs one forward+backward per worker concurrently over
+// r.batches, advancing each worker's clock by its modeled compute time.
+// Per-worker mean losses land in r.losses.
+func (r *runner) computeGrads() {
+	r.cl.Each(r.computeFn)
 }
 
 // applyLocal applies each worker's own gradient through its own optimizer.
 func (r *runner) applyLocal(lr float64) {
-	r.cl.Each(func(w *cluster.Worker) { w.Optimizer.Step(lr) })
+	r.lrNow = lr
+	r.cl.Each(r.applyFn)
 }
 
 // meanParams writes the across-replica mean parameter vector into
@@ -259,19 +291,15 @@ func (r *runner) record(step int, loss, metric float64) {
 	}
 }
 
-// observeDelta feeds a gradient norm into worker 0's tracker and records it
-// when delta tracking is on (the Fig. 5 series for BSP runs). On a
-// multi-process run only the rank hosting worker 0 records deltas.
+// trackDelta feeds a gradient norm into the diagnostics tracker and records
+// the smoothed Δ when delta tracking is on (the Fig. 5 series for BSP and
+// local-SGD regimes). On a multi-process run only the rank hosting worker 0
+// records deltas; the votes of worker 0's own tracker are never touched.
 func (r *runner) trackDelta(norm float64) {
-	if !r.cfg.TrackDeltas {
+	if r.diagTracker == nil {
 		return
 	}
-	w0 := r.cl.LocalWorker(0)
-	if w0 == nil {
-		return
-	}
-	d := w0.Tracker.ObserveGradNorm(norm)
-	r.res.Deltas = append(r.res.Deltas, d)
+	r.res.Deltas = append(r.res.Deltas, r.diagTracker.ObserveGradNorm(norm))
 }
 
 // finish computes the aggregate counters from the hosted workers, stops

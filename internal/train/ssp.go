@@ -1,7 +1,6 @@
 package train
 
 import (
-	"fmt"
 	"math"
 
 	"selsync/internal/comm"
@@ -10,30 +9,22 @@ import (
 	"selsync/internal/tensor"
 )
 
-// RunSSP trains with stale-synchronous parallelism (paper §II-C): workers
-// run asynchronously, each pulling the current global model, computing a
-// gradient, and pushing it to the PS, which applies it through the shared
-// optimizer. A worker may run at most `Staleness` iterations ahead of the
-// slowest worker; beyond that it blocks until the slowest catches up.
+// Stale-synchronous parallelism (paper §II-C): workers run asynchronously,
+// each pulling the current global model, computing a gradient, and pushing
+// it to the PS, which applies it through the shared optimizer. A worker may
+// run at most `Staleness` iterations ahead of the slowest worker; beyond
+// that it blocks until the slowest catches up.
 //
-// The engine is a discrete-event simulation over virtual time: the next
+// This loop is a discrete-event simulation over virtual time: the next
 // event is always the earliest pending push, so updates from other workers
 // land between a worker's pull and its push exactly as they would on the
 // real asynchronous testbed — that interleaving is the staleness that
-// degrades the deep residual model in Table I.
-func RunSSP(cfg Config, opts SSPOptions) *Result {
-	if opts.Staleness < 0 {
-		panic("train: SSP staleness must be non-negative")
-	}
-	r := newRunner(cfg, fmt.Sprintf("SSP(s=%d)", opts.Staleness))
-	runSSPLoop(r, opts)
-	res := r.finish()
-	res.LSSR = -1 // no synchronous/local split exists in SSP (paper §IV-E)
-	return res
-}
+// degrades the deep residual model in Table I. SSP therefore cannot be
+// expressed as a per-step SyncPolicy decision; SSPPolicy plugs this loop in
+// through the engine's event-loop hook instead.
 
-// runSSPLoop is the body of RunSSP, factored out so tests can inspect the
-// cluster (per-worker step spread under the staleness gate) afterwards.
+// runSSPLoop is the body of an SSP run, factored out so tests can inspect
+// the cluster (per-worker step spread under the staleness gate) afterwards.
 // On a multi-process fabric it dispatches to the coordinator/serve
 // protocol of ssp_dist.go: SSP's PS is genuinely central, so rank 0 runs
 // the event loop and the other ranks serve compute requests.

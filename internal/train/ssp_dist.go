@@ -202,7 +202,7 @@ func runSSPCoordinator(r *runner, opts SSPOptions, link comm.PeerLink) {
 func runSSPServe(r *runner, link comm.PeerLink) {
 	buf := tensor.NewVector(r.cl.Dim())
 	zero := 0
-	r.sspSteps = &zero                   // rank 0 holds the authoritative counts
+	r.sspSteps = &zero                    // rank 0 holds the authoritative counts
 	r.clock = func() float64 { return 0 } // and the authoritative clocks
 	for {
 		msg, err := link.RecvControl(0)

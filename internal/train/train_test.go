@@ -119,10 +119,11 @@ func TestSelSyncGAvsPAConsistency(t *testing.T) {
 }
 
 // runSelSyncReturningCluster mirrors RunSelSync but exposes the cluster for
-// invariant checks.
+// invariant checks: it drives the engine directly and skips finish (which
+// would release the cluster).
 func runSelSyncReturningCluster(cfg Config, opts SelSyncOptions) *cluster.Cluster {
 	r := newRunner(cfg, "probe")
-	runSelSyncLoop(r, opts)
+	newEngine(r, SelSyncPolicy{Delta: opts.Delta, Mode: opts.Mode}).run()
 	return r.cl
 }
 
@@ -131,7 +132,7 @@ func TestSelSyncGADivergesReplicasUnderLocalPhases(t *testing.T) {
 	cfg.MaxSteps = 40
 	// A δ that produces mostly local steps with occasional syncs.
 	r := newRunner(cfg, "probe")
-	runSelSyncLoop(r, SelSyncOptions{Delta: 0.02, Mode: cluster.GradAgg})
+	newEngine(r, SelSyncPolicy{Delta: 0.02, Mode: cluster.GradAgg}).run()
 	if r.res.LocalSteps == 0 {
 		t.Skip("no local phases materialized; divergence unobservable")
 	}

@@ -22,6 +22,25 @@
 //	})
 //	fmt.Println(res)
 //
+// Every method runs on one policy-driven SPMD engine: Run(cfg, policy)
+// owns batching, gradient compute, evaluation and early stopping, and a
+// SyncPolicy decides each step's synchronization (the Run* entry points are
+// thin shims over it). Policies compose — SwitchPolicy and SchedulePolicy
+// host Sync-Switch-style hybrids the per-method loops could not express:
+//
+//	res := selsync.Run(cfg, &selsync.SwitchPolicy{
+//		From:   selsync.BSPPolicy{},                                // warmup
+//		To:     selsync.SelSyncPolicy{Delta: 0.05, Mode: selsync.ParamAgg},
+//		AtStep: 500,
+//	})
+//
+// or, declaratively from a schedule string ("bsp:500,selsync" — the same
+// grammar cmd/selsync-train's -method flag accepts):
+//
+//	policy, err := selsync.ParseSchedule("bsp:500,selsync", mkPolicy)
+//
+// Custom policies are one Decide method away; see SyncPolicy.
+//
 // Distributed runs: setting Config.Fabric routes every synchronization
 // round (parameter/gradient aggregation, broadcast, the SelSync flags
 // allgather) through a communication backend instead of shared memory.
@@ -106,6 +125,9 @@ const (
 
 // Training algorithms.
 var (
+	// Run executes one training run under an arbitrary SyncPolicy — the
+	// engine every method entry point below is a shim over.
+	Run = train.Run
 	// RunBSP trains with bulk-synchronous parallelism (the baseline).
 	RunBSP = train.RunBSP
 	// RunSelSync trains with δ-based selective synchronization (Alg. 1).
@@ -116,6 +138,53 @@ var (
 	RunSSP = train.RunSSP
 	// RunLocalSGD trains with purely local updates (δ ≥ M degeneration).
 	RunLocalSGD = train.RunLocalSGD
+	// ParseSchedule parses a phase-schedule string ("bsp:500,selsync")
+	// into a policy, given a factory binding names to policies.
+	ParseSchedule = train.ParseSchedule
+)
+
+// Synchronization policies. A SyncPolicy decides, once per engine step, how
+// the freshly computed gradients synchronize; implement the interface for
+// custom strategies, or compose the built-ins with Switch/Schedule.
+type (
+	// SyncPolicy is the per-step synchronization decision interface.
+	SyncPolicy = train.SyncPolicy
+	// Signals carries the per-step statistics a policy decides on.
+	Signals = train.Signals
+	// Action is a policy's decision for one step.
+	Action = train.Action
+	// ActionKind selects local, sync-grads, sync-params or round-average.
+	ActionKind = train.ActionKind
+	// BSPPolicy synchronizes gradients every step.
+	BSPPolicy = train.BSPPolicy
+	// LocalSGDPolicy never synchronizes.
+	LocalSGDPolicy = train.LocalSGDPolicy
+	// SelSyncPolicy votes per step on the Δ(g_i) significance signal.
+	SelSyncPolicy = train.SelSyncPolicy
+	// FedAvgPolicy averages a random worker fraction on a round cadence.
+	FedAvgPolicy = train.FedAvgPolicy
+	// SSPPolicy runs the asynchronous stale-synchronous event loop.
+	SSPPolicy = train.SSPPolicy
+	// SwitchPolicy changes the inner policy at a step boundary or when a
+	// Signals predicate fires (Sync-Switch-style hybrids).
+	SwitchPolicy = train.SwitchPolicy
+	// SchedulePolicy runs a declarative phase list back to back.
+	SchedulePolicy = train.SchedulePolicy
+	// PolicyPhase is one SchedulePolicy entry: a policy and its step span.
+	PolicyPhase = train.PolicyPhase
+)
+
+// Action kinds.
+const (
+	// ActLocal applies each worker's own update; no communication.
+	ActLocal = train.ActLocal
+	// ActSyncGrads aggregates gradients and applies the mean everywhere.
+	ActSyncGrads = train.ActSyncGrads
+	// ActSyncParams applies locally, then averages parameters.
+	ActSyncParams = train.ActSyncParams
+	// ActRoundAverage averages a participant subset's parameters and
+	// broadcasts (FedAvg's round boundary).
+	ActRoundAverage = train.ActRoundAverage
 )
 
 // Model zoo (miniature analogues of the paper's four workloads).

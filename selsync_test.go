@@ -41,8 +41,43 @@ func TestFacadeExperimentDispatch(t *testing.T) {
 	if err := selsync.RunExperiment("nope", selsync.ScaleTiny, &buf); err == nil {
 		t.Fatal("unknown experiment must error")
 	}
-	if len(selsync.ExperimentIDs()) != 16 {
-		t.Fatalf("expected 16 experiments, got %d", len(selsync.ExperimentIDs()))
+	if len(selsync.ExperimentIDs()) != 17 {
+		t.Fatalf("expected 17 experiments, got %d", len(selsync.ExperimentIDs()))
+	}
+}
+
+// TestFacadeHybridPolicies drives the policy engine through the public
+// surface: a Sync-Switch-style warmup hybrid and the schedule-string
+// parser.
+func TestFacadeHybridPolicies(t *testing.T) {
+	wload := selsync.WorkloadForModel("resnet", 512, 256, 5)
+	cfg := selsync.Config{
+		Model: selsync.ResNetLite(10, 2), Workers: 4, Batch: 16, Seed: 5,
+		Train: wload.Train, Test: wload.Test, Scheme: selsync.SelDP,
+		MaxSteps: 30, EvalEvery: 15,
+	}
+	res := selsync.Run(cfg, &selsync.SwitchPolicy{
+		From:   selsync.BSPPolicy{},
+		To:     selsync.LocalSGDPolicy{},
+		AtStep: 10,
+	})
+	if res.SyncSteps != 10 || res.LocalSteps != 20 {
+		t.Fatalf("switch boundary not respected: %+v", res)
+	}
+
+	mk := func(name string) (selsync.SyncPolicy, error) {
+		if name == "bsp" {
+			return selsync.BSPPolicy{}, nil
+		}
+		return selsync.LocalSGDPolicy{}, nil
+	}
+	policy, err := selsync.ParseSchedule("bsp:10,local", mk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := selsync.Run(cfg, policy)
+	if sched.SyncSteps != 10 || sched.LocalSteps != 20 {
+		t.Fatalf("schedule boundary not respected: %+v", sched)
 	}
 }
 
