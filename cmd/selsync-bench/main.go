@@ -15,9 +15,11 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"testing"
@@ -196,6 +198,51 @@ func runStepBenchmarks(outPath string) error {
 			adam.Step(1e-3)
 		}
 	}))
+
+	// Observer-overhead benches: the per-step cost of one whole Job run
+	// (a small 4-worker SelSync workload) with no observer, a counting
+	// observer (pure event construction + dispatch), and the JSONL sink
+	// (construction + encoding). ns/op and allocs are normalized per
+	// training step, so "no-observer" doubles as the engine-loop baseline
+	// and the deltas are the price of watching.
+	gen := selsync.NewImageGen(4, 1.2, 1.0, 3e3, 9)
+	trainSet, testSet := gen.Dataset("train", 512), gen.Dataset("test", 256)
+	const obsSteps = 64
+	obsCfg := selsync.Config{
+		Model: selsync.VGGLite(4), Workers: 4, Batch: 16, Seed: 9,
+		Train: trainSet, Test: testSet, Scheme: selsync.SelDP,
+		MaxSteps: obsSteps, EvalEvery: obsSteps,
+	}
+	benchJob := func(opts ...selsync.JobOption) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				policy := selsync.SelSyncPolicy{Delta: 0.05, Mode: selsync.ParamAgg}
+				if _, err := selsync.NewJob(obsCfg, policy, opts...).Run(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	recordPerStep := func(name string, r testing.BenchmarkResult) {
+		res := stepBenchResult{
+			Name:        name,
+			Model:       obsCfg.Model.Spec.Name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N) / obsSteps,
+			BytesPerOp:  r.AllocedBytesPerOp() / obsSteps,
+			AllocsPerOp: r.AllocsPerOp() / obsSteps,
+			Iterations:  r.N,
+		}
+		report.Benchmarks = append(report.Benchmarks, res)
+		fmt.Printf("%-30s %12.0f ns/op %8d B/op %6d allocs/op (%d iters)\n",
+			res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.Iterations)
+	}
+	recordPerStep("BenchmarkJobStep/no-observer", benchJob())
+	var eventCount int64
+	recordPerStep("BenchmarkJobStep/counting-observer", benchJob(
+		selsync.WithObserver(selsync.ObserverFunc(func(selsync.Event) { eventCount++ }))))
+	recordPerStep("BenchmarkJobStep/jsonl-observer", benchJob(
+		selsync.WithObserver(selsync.NewJSONLObserver(io.Discard))))
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -17,15 +17,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
 	"os/exec"
+	"os/signal"
 	"strconv"
 	"strings"
 
 	"selsync/internal/experiments"
+	"selsync/internal/train"
 )
 
 func main() {
@@ -49,6 +53,9 @@ func main() {
 	rank := flag.Int("rank", -1, "this process's rank (tcp transport)")
 	peers := flag.String("peers", "", "comma-separated host:port per rank (tcp transport)")
 	launch := flag.Int("launch", 0, "spawn this many ranks as OS processes on localhost and wait")
+	progress := flag.Bool("progress", false, "stream live evaluation progress to stderr (rank 0)")
+	ckptPath := flag.String("checkpoint", "", "save the run's final (or interrupted) state; on a mesh every rank writes <path>.rank<r>")
+	resumePath := flag.String("resume", "", "resume from a checkpoint; on a mesh every rank reads <path>.rank<r>")
 	flag.Parse()
 
 	switch *mode {
@@ -88,9 +95,67 @@ func main() {
 		spec.Fabric = fabric
 	}
 
-	res, err := experiments.RunOne(spec)
+	// Checkpoints are rank-local: on a mesh each rank owns its hosted
+	// workers' state, so every rank reads/writes its own file.
+	rankPath := func(path string) string {
+		if path == "" || fabric == nil {
+			return path
+		}
+		return fmt.Sprintf("%s.rank%d", path, *rank)
+	}
+
+	var opts []train.Option
+	var prog *train.ProgressObserver
+	if *progress && report {
+		prog = train.NewProgressObserver(os.Stderr)
+		opts = append(opts, train.WithObserver(prog))
+	}
+	if *resumePath != "" {
+		ck, err := train.LoadCheckpoint(rankPath(*resumePath))
+		if err != nil {
+			fail("loading -resume checkpoint: %v", err)
+		}
+		opts = append(opts, train.WithResume(ck))
+	}
+
+	job, wl, err := experiments.JobFor(spec, opts...)
 	if err != nil {
 		fail("%v", err)
+	}
+	if prog != nil {
+		prog.SetPerplexity(wl.Factory.Spec.Perplexity)
+	}
+
+	// SIGINT cancels at the next step boundary. Caution on a mesh: every
+	// rank must receive the signal (the -launch process group does) or
+	// the surviving ranks block at their next collective.
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSig()
+	go func() {
+		// Once cancellation is in flight, restore default SIGINT handling
+		// so a second Ctrl-C force-kills (e.g. a mesh rank stuck in a
+		// collective that never reaches a step boundary).
+		<-ctx.Done()
+		stopSig()
+	}()
+
+	res, err := job.Run(ctx)
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
+		fail("%v", err)
+	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "rank %d interrupted at step %d\n", *rank, res.Steps)
+	}
+	if *ckptPath != "" {
+		ck, err := job.Checkpoint()
+		if err != nil {
+			fail("checkpointing: %v", err)
+		}
+		if err := train.SaveCheckpoint(rankPath(*ckptPath), ck); err != nil {
+			fail("saving checkpoint: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "checkpoint saved to %s\n", rankPath(*ckptPath))
 	}
 	if report {
 		fmt.Println(res)

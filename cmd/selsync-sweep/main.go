@@ -16,9 +16,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -70,18 +73,35 @@ func main() {
 	fmt.Printf("δ sweep: %s, %d workers, %d steps, %s aggregation%s\n",
 		wl.Factory.Spec.Name, *workers, *steps, mode, hybrid)
 	fmt.Printf("%-10s %-8s %-10s %-10s %-12s %s\n", "delta", "LSSR", "sync", "local", "simtime(s)", unit)
+	// Each δ runs as a cancellable Job: Ctrl-C finishes none of the
+	// remaining rows but reports the sweep gathered so far.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		// Once cancellation is in flight, restore default SIGINT handling
+		// so a second Ctrl-C force-kills immediately.
+		<-ctx.Done()
+		stop()
+	}()
 	baseline := -1.0
 	for _, d := range deltas {
-		var res *selsync.Result
+		// A fresh policy per run: policies carry per-run state.
+		var policy selsync.SyncPolicy = selsync.SelSyncPolicy{Delta: d, Mode: mode}
 		if *warmup > 0 {
-			// A fresh SwitchPolicy per run: the switch flag is per-run state.
-			res = selsync.Run(cfg, &selsync.SwitchPolicy{
+			policy = &selsync.SwitchPolicy{
 				From:   selsync.BSPPolicy{},
 				To:     selsync.SelSyncPolicy{Delta: d, Mode: mode},
 				AtStep: *warmup,
-			})
-		} else {
-			res = selsync.RunSelSync(cfg, selsync.SelSyncOptions{Delta: d, Mode: mode})
+			}
+		}
+		res, err := selsync.NewJob(cfg, policy).Run(ctx)
+		if errors.Is(err, context.Canceled) {
+			fmt.Println("sweep interrupted; rows above are complete runs")
+			return
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 		if baseline < 0 {
 			baseline = res.SimTime

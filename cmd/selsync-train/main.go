@@ -13,6 +13,19 @@
 //
 //	selsync-train -model resnet -method bsp:200,selsync -steps 400
 //
+// The run is a cancellable Job: -progress streams live evaluations to
+// stderr, -events writes the full typed event stream as JSONL, and SIGINT
+// (Ctrl-C) stops gracefully at the next step boundary, printing the
+// partial result. With -checkpoint the final state — interrupted or not —
+// is saved, and -resume continues a saved run bit-identically:
+//
+//	selsync-train -model resnet -steps 400 -checkpoint run.ckpt   # Ctrl-C midway
+//	selsync-train -model resnet -steps 400 -resume run.ckpt       # same flags!
+//
+// -digest prints a SHA-256 digest over every Result field (exact float
+// bits); an interrupted-and-resumed run digests identically to an
+// uninterrupted one.
+//
 // Across OS processes (TCP transport; start one process per rank, or use
 // cmd/selsync-node's -launch to spawn them all):
 //
@@ -21,11 +34,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"selsync/internal/experiments"
+	"selsync/internal/train"
 )
 
 func main() {
@@ -48,6 +65,11 @@ func main() {
 	transport := flag.String("transport", "loopback", "communication backend: loopback | tcp")
 	rank := flag.Int("rank", -1, "this process's rank (tcp transport only)")
 	peers := flag.String("peers", "", "comma-separated host:port per rank (tcp transport only)")
+	progress := flag.Bool("progress", false, "stream live evaluation progress to stderr")
+	eventsPath := flag.String("events", "", "write the typed event stream as JSONL to this file")
+	ckptPath := flag.String("checkpoint", "", "save the run's final (or interrupted) state to this file")
+	resumePath := flag.String("resume", "", "resume from a checkpoint file (same flags as the producing run)")
+	digest := flag.Bool("digest", false, "print the Result's SHA-256 digest (bit-exact run fingerprint)")
 	flag.Parse()
 
 	switch *mode {
@@ -65,6 +87,20 @@ func main() {
 		LabelsPerWorker: *labelsPerWorker, Alpha: *alpha, Beta: *beta,
 	}
 
+	// First SIGINT cancels the run at the next step boundary (the partial
+	// result is printed and, with -checkpoint, saved); a second SIGINT
+	// kills the process the usual way. Installed before workload setup so
+	// an early Ctrl-C is graceful too.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		// Once cancellation is in flight, restore default SIGINT handling
+		// so a second Ctrl-C force-kills (e.g. a mesh rank stuck in a
+		// collective that never reaches a step boundary).
+		<-ctx.Done()
+		stop()
+	}()
+
 	fabric, report, err := experiments.ParseTransport(*transport, *rank, *peers, *workers)
 	if err != nil {
 		fail("%v", err)
@@ -74,9 +110,60 @@ func main() {
 		spec.Fabric = fabric
 	}
 
-	res, err := experiments.RunOne(spec)
+	var opts []train.Option
+	var prog *train.ProgressObserver
+	if *progress {
+		prog = train.NewProgressObserver(os.Stderr)
+		opts = append(opts, train.WithObserver(prog))
+	}
+	if *eventsPath != "" {
+		f, err := os.Create(*eventsPath)
+		if err != nil {
+			fail("creating -events file: %v", err)
+		}
+		defer f.Close()
+		sink := train.NewJSONLObserver(f)
+		defer func() {
+			if sink.Err() != nil {
+				fmt.Fprintf(os.Stderr, "event stream truncated: %v\n", sink.Err())
+			}
+		}()
+		opts = append(opts, train.WithObserver(sink))
+	}
+	if *resumePath != "" {
+		ck, err := train.LoadCheckpoint(*resumePath)
+		if err != nil {
+			fail("loading -resume checkpoint: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "resuming from %s (step %d)\n", *resumePath, ck.Step)
+		opts = append(opts, train.WithResume(ck))
+	}
+
+	job, wl, err := experiments.JobFor(spec, opts...)
 	if err != nil {
 		fail("%v", err)
+	}
+	if prog != nil {
+		prog.SetPerplexity(wl.Factory.Spec.Perplexity)
+	}
+
+	res, err := job.Run(ctx)
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
+		fail("%v", err)
+	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "\ninterrupted at step %d; result below is the partial run\n", res.Steps)
+	}
+	if *ckptPath != "" {
+		ck, err := job.Checkpoint()
+		if err != nil {
+			fail("checkpointing: %v", err)
+		}
+		if err := train.SaveCheckpoint(*ckptPath, ck); err != nil {
+			fail("saving checkpoint: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "checkpoint saved to %s (resume with -resume %s)\n", *ckptPath, *ckptPath)
 	}
 	if !report {
 		fmt.Printf("rank %d done (rank 0 holds the report)\n", *rank)
@@ -95,6 +182,9 @@ func main() {
 	fmt.Println(res)
 	fmt.Printf("sync steps: %d, local steps: %d, comm reduction vs BSP: %.1fx\n",
 		res.SyncSteps, res.LocalSteps, res.CommReduction())
+	if *digest {
+		fmt.Printf("result digest: %s\n", res.Digest())
+	}
 }
 
 func fail(format string, args ...any) {

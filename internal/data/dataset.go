@@ -135,6 +135,23 @@ func (s *Sampler) NextInto(dst []int) []int {
 // Epochs returns how many full passes over the index list have completed.
 func (s *Sampler) Epochs() int { return s.epochs }
 
+// Cursor returns the sampler's walk position: the next index offset and
+// the completed epoch count. Checkpointing captures it so a resumed run
+// continues the exact batch stream of an uninterrupted one.
+func (s *Sampler) Cursor() (pos, epochs int) { return s.pos, s.epochs }
+
+// SetCursor restores a walk position previously returned by Cursor.
+func (s *Sampler) SetCursor(pos, epochs int) error {
+	if pos < 0 || pos >= len(s.indices) {
+		return fmt.Errorf("data: sampler cursor %d out of range [0,%d)", pos, len(s.indices))
+	}
+	if epochs < 0 {
+		return fmt.Errorf("data: sampler epoch count %d must be non-negative", epochs)
+	}
+	s.pos, s.epochs = pos, epochs
+	return nil
+}
+
 // StepsPerEpoch returns how many Next calls make up one pass.
 func (s *Sampler) StepsPerEpoch() int {
 	steps := len(s.indices) / s.batch

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 
 	"selsync/internal/cluster"
@@ -30,16 +31,16 @@ func AblationTopology(scale Scale, w io.Writer) *Table {
 		wls[i] = SetupWorkload(model, p, 131)
 	}
 	results := make([]*train.Result, len(models)*len(methods)*len(topos))
-	parallelDo(len(results), func(j int) {
+	parallelDo(len(results), func(ctx context.Context, j int) {
 		wl := wls[j/(len(methods)*len(topos))]
 		method := methods[j/len(topos)%len(methods)]
 		topo := topos[j%len(topos)]
 		cfg := BaseConfig(wl, p, 131)
 		cfg.Topology = topo
 		if method == "BSP" {
-			results[j] = train.RunBSP(cfg)
+			results[j] = runPolicy(ctx, cfg, train.BSPPolicy{})
 		} else {
-			results[j] = train.RunSelSync(cfg, train.SelSyncOptions{Delta: wl.DeltaLow, Mode: cluster.ParamAgg})
+			results[j] = runPolicy(ctx, cfg, train.SelSyncPolicy{Delta: wl.DeltaLow, Mode: cluster.ParamAgg})
 		}
 	})
 	j := 0
@@ -81,7 +82,7 @@ func AblationStraggler(scale Scale, w io.Writer) *Table {
 	// read-only workload.
 	wl := SetupWorkload("resnet", p, 137)
 	results := make([]*train.Result, 2*len(methods))
-	parallelDo(len(results), func(j int) {
+	parallelDo(len(results), func(ctx context.Context, j int) {
 		cfg := BaseConfig(wl, p, 137)
 		if j%2 == 1 {
 			cfg.Device = func(id int) *simnet.Device {
@@ -94,11 +95,11 @@ func AblationStraggler(scale Scale, w io.Writer) *Table {
 		}
 		switch j / 2 {
 		case 0:
-			results[j] = train.RunBSP(cfg)
+			results[j] = runPolicy(ctx, cfg, train.BSPPolicy{})
 		case 1:
-			results[j] = train.RunSSP(cfg, train.SSPOptions{Staleness: 8})
+			results[j] = runPolicy(ctx, cfg, &train.SSPPolicy{Staleness: 8})
 		case 2:
-			results[j] = train.RunSelSync(cfg, train.SelSyncOptions{Delta: wl.DeltaLow, Mode: cluster.ParamAgg})
+			results[j] = runPolicy(ctx, cfg, train.SelSyncPolicy{Delta: wl.DeltaLow, Mode: cluster.ParamAgg})
 		}
 	})
 	for i, method := range methods {

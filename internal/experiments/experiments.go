@@ -59,12 +59,20 @@ func IDs() []string {
 	return ids
 }
 
-// Run dispatches one experiment by id.
-func Run(id string, scale Scale, w io.Writer) error {
+// Run dispatches one experiment by id. A failed training run inside the
+// experiment (a panic from the run fan-out — parallelDo cancels the
+// sibling runs and re-raises the first failure) surfaces as an error, not
+// a crash.
+func Run(id string, scale Scale, w io.Writer) (err error) {
 	r, ok := Registry()[id]
 	if !ok {
 		return fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
 	}
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("experiments: %s failed: %v", id, p)
+		}
+	}()
 	return r(scale, w)
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 
 	"selsync/internal/data"
@@ -69,16 +70,15 @@ func Fig1b(scale Scale, w io.Writer) *Figure {
 		wls[i] = SetupWorkload(c.model, p, 11)
 	}
 	results := make([]*train.Result, 2*len(cases))
-	parallelDo(len(results), func(j int) {
+	parallelDo(len(results), func(ctx context.Context, j int) {
 		c, wl := cases[j/2], wls[j/2]
-		opts := train.FedAvgOptions{C: 1, E: NonIIDSyncFactor(p, p.Workers, wl.Batch)}
 		cfg := BaseConfig(wl, p, 11)
 		if j%2 == 0 {
 			cfg.Scheme = data.DefDP
 		} else {
 			cfg.NonIID = &train.NonIID{LabelsPerWorker: c.labels}
 		}
-		results[j] = train.RunFedAvg(cfg, opts)
+		results[j] = runPolicy(ctx, cfg, &train.FedAvgPolicy{C: 1, E: NonIIDSyncFactor(p, p.Workers, wl.Batch)})
 	})
 	for i := range cases {
 		name := wls[i].Factory.Spec.Name

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 
 	"selsync/internal/cluster"
@@ -30,14 +31,14 @@ func Fig10(scale Scale, w io.Writer) (*Figure, *Table) {
 		wls[i] = SetupWorkload(model, p, 101)
 	}
 	results := make([]*train.Result, 2*len(models))
-	parallelDo(len(results), func(j int) {
+	parallelDo(len(results), func(ctx context.Context, j int) {
 		wl := wls[j/2]
 		mode := cluster.ParamAgg
 		if j%2 == 1 {
 			mode = cluster.GradAgg
 		}
 		cfg := BaseConfig(wl, p, 101)
-		results[j] = train.RunSelSync(cfg, train.SelSyncOptions{Delta: wl.DeltaMid, Mode: mode})
+		results[j] = runPolicy(ctx, cfg, train.SelSyncPolicy{Delta: wl.DeltaMid, Mode: mode})
 	})
 	for i := range models {
 		pa, ga := results[2*i], results[2*i+1]

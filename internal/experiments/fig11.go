@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 	"math"
 
@@ -23,16 +24,16 @@ func Fig11(scale Scale, w io.Writer) (*Figure, *Table) {
 	// job builds its own config (and cluster) from the seed.
 	wl := SetupWorkload("resnet", p, 111)
 	results := make([]*train.Result, 3)
-	parallelDo(len(results), func(j int) {
+	parallelDo(len(results), func(ctx context.Context, j int) {
 		cfg := BaseConfig(wl, p, 111)
 		cfg.SnapshotAtSteps = []int{mid, late}
 		switch j {
 		case 0:
-			results[j] = train.RunBSP(cfg)
+			results[j] = runPolicy(ctx, cfg, train.BSPPolicy{})
 		case 1:
-			results[j] = train.RunSelSync(cfg, train.SelSyncOptions{Delta: wl.DeltaMid, Mode: cluster.ParamAgg})
+			results[j] = runPolicy(ctx, cfg, train.SelSyncPolicy{Delta: wl.DeltaMid, Mode: cluster.ParamAgg})
 		case 2:
-			results[j] = train.RunSelSync(cfg, train.SelSyncOptions{Delta: wl.DeltaMid, Mode: cluster.GradAgg})
+			results[j] = runPolicy(ctx, cfg, train.SelSyncPolicy{Delta: wl.DeltaMid, Mode: cluster.GradAgg})
 		}
 	})
 	bsp, pa, ga := results[0], results[1], results[2]

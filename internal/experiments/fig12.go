@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -58,13 +59,13 @@ func Fig12(scale Scale, w io.Writer) (*Figure, *Table) {
 	perCase := 1 + len(injConfigs)
 	results := make([]*train.Result, perCase*len(cases))
 	labels := make([]string, len(results))
-	parallelDo(len(results), func(j int) {
+	parallelDo(len(results), func(ctx context.Context, j int) {
 		c, wl := cases[j/perCase], wls[j/perCase]
 		cfg := BaseConfig(wl, p, 121)
 		k := j % perCase
 		if k == 0 {
 			cfg.NonIID = &train.NonIID{LabelsPerWorker: c.labels}
-			results[j] = train.RunFedAvg(cfg, train.FedAvgOptions{C: 1, E: NonIIDSyncFactor(p, p.Workers, wl.Batch)})
+			results[j] = runPolicy(ctx, cfg, &train.FedAvgPolicy{C: 1, E: NonIIDSyncFactor(p, p.Workers, wl.Batch)})
 			labels[j] = "FedAvg"
 			return
 		}
@@ -77,7 +78,7 @@ func Fig12(scale Scale, w io.Writer) (*Figure, *Table) {
 			LabelsPerWorker: c.labels,
 			Injection:       &data.Injection{Alpha: ic.alpha, Beta: ic.beta},
 		}
-		results[j] = train.RunSelSync(cfg, train.SelSyncOptions{Delta: delta, Mode: cluster.ParamAgg})
+		results[j] = runPolicy(ctx, cfg, train.SelSyncPolicy{Delta: delta, Mode: cluster.ParamAgg})
 		labels[j] = fmt.Sprintf("SelSync(%.2g,%.2g,%.3g)", ic.alpha, ic.beta, delta)
 	})
 	for i := range cases {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 
 	"selsync/internal/stats"
@@ -22,12 +23,12 @@ func Fig3(scale Scale, w io.Writer) *Figure {
 	late := p.MaxSteps - 1
 	results := make([]*train.Result, len(models))
 	names := make([]string, len(models))
-	parallelDo(len(models), func(i int) {
+	parallelDo(len(models), func(ctx context.Context, i int) {
 		wl := SetupWorkload(models[i], p, 31)
 		cfg := BaseConfig(wl, p, 31)
 		cfg.SnapshotAtSteps = []int{early, late}
 		names[i] = wl.Factory.Spec.Name
-		results[i] = train.RunBSP(cfg)
+		results[i] = runPolicy(ctx, cfg, train.BSPPolicy{})
 	})
 	for i := range models {
 		for _, sn := range []struct {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 
 	"selsync/internal/data"
@@ -27,7 +28,7 @@ func Fig4(scale Scale, w io.Writer) *Figure {
 		xs, eigs, vrs []float64
 	}
 	results := make([]curves, len(models))
-	parallelDo(len(models), func(i int) {
+	parallelDo(len(models), func(_ context.Context, i int) {
 		wl := SetupWorkload(models[i], p, 41)
 		net := wl.Factory.New(41)
 		optimizer := wl.Opt(net.Params())

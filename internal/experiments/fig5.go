@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 
 	"selsync/internal/train"
@@ -19,12 +20,12 @@ func Fig5(scale Scale, w io.Writer) *Figure {
 	models := AllWorkloads()
 	results := make([]*train.Result, len(models))
 	names := make([]string, len(models))
-	parallelDo(len(models), func(i int) {
+	parallelDo(len(models), func(ctx context.Context, i int) {
 		wl := SetupWorkload(models[i], p, 51)
 		cfg := BaseConfig(wl, p, 51)
 		cfg.TrackDeltas = true
 		names[i] = wl.Factory.Spec.Name
-		results[i] = train.RunBSP(cfg)
+		results[i] = runPolicy(ctx, cfg, train.BSPPolicy{})
 	})
 	for i, res := range results {
 		dx := make([]float64, len(res.Deltas))

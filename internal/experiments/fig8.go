@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -30,7 +31,7 @@ func Fig8a(scale Scale, w io.Writer) *Table {
 	// must hold a budget slot like any training run (otherwise -parallel
 	// inflates the timings by running them against unbudgeted load), and
 	// the per-model measurements must stay serial relative to each other.
-	parallelDo(1, func(int) {
+	parallelDo(1, func(context.Context, int) {
 		for _, name := range AllWorkloads() {
 			f := nn.Zoo()[name]
 			net := f.New(81)
@@ -75,7 +76,7 @@ func Fig8b(scale Scale, w io.Writer) *Table {
 	kinds := []string{"cifar10like", "cifar100like", "wikitextlike", "imagenetlike"}
 	// One scheduler job for the same reason as Fig8a: these are
 	// wall-clock measurements and must hold a budget slot.
-	parallelDo(1, func(int) {
+	parallelDo(1, func(context.Context, int) {
 		for _, kind := range kinds {
 			wload := data.NewWorkload(data.WorkloadSpec{Kind: kind, TrainN: p.TrainN, TestN: 8, Seed: 83})
 			n := wload.Train.N()

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 
 	"selsync/internal/cluster"
@@ -37,16 +38,15 @@ func Fig9(scale Scale, w io.Writer) (*Figure, *Table) {
 		wls[i] = SetupWorkload(model, p, 91)
 	}
 	results := make([]*train.Result, 2*len(models))
-	parallelDo(len(results), func(j int) {
+	parallelDo(len(results), func(ctx context.Context, j int) {
 		wl := wls[j/2]
-		opts := train.SelSyncOptions{Delta: wl.DeltaMid, Mode: cluster.GradAgg}
 		cfg := BaseConfig(wl, p, 91)
 		if j%2 == 0 {
 			cfg.Scheme = data.SelDP
 		} else {
 			cfg.Scheme = data.DefDP
 		}
-		results[j] = train.RunSelSync(cfg, opts)
+		results[j] = runPolicy(ctx, cfg, train.SelSyncPolicy{Delta: wl.DeltaMid, Mode: cluster.GradAgg})
 	})
 	for i := range models {
 		sel, def := results[2*i], results[2*i+1]

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 
 	"selsync/internal/cluster"
@@ -48,10 +49,10 @@ func SwitchCompare(scale Scale, w io.Writer) (*Figure, *Table) {
 		wls[i] = SetupWorkload(model, p, 97)
 	}
 	results := make([]*train.Result, len(models)*len(labels))
-	parallelDo(len(results), func(j int) {
+	parallelDo(len(results), func(ctx context.Context, j int) {
 		wl := wls[j/len(labels)]
 		cfg := BaseConfig(wl, p, 97)
-		results[j] = train.Run(cfg, policyFor(wl, j%len(labels)))
+		results[j] = runPolicy(ctx, cfg, policyFor(wl, j%len(labels)))
 	})
 
 	for i := range models {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -91,11 +92,13 @@ func splitPeers(s string) []string {
 	return out
 }
 
-// RunOne executes the described run and returns its Result. On a
-// multi-process fabric it must be called SPMD by every rank with an
-// identical spec; rank 0's Result is authoritative for SSP, the ranks
-// agree bitwise for every other method.
-func RunOne(spec RunSpec) (*train.Result, error) {
+// JobFor builds the training Job a RunSpec describes, forwarding extra
+// Job options (observers, resume checkpoints) — the shared backend of
+// cmd/selsync-train and cmd/selsync-node. The returned Workload exposes
+// the workload's metadata (metric direction, calibrated thresholds) for
+// report rendering. Run the job once with job.Run(ctx); on a multi-process
+// fabric every rank must do so SPMD with an identical spec.
+func JobFor(spec RunSpec, opts ...train.Option) (*train.Job, Workload, error) {
 	known := false
 	for _, name := range AllWorkloads() {
 		if name == spec.Model {
@@ -104,7 +107,7 @@ func RunOne(spec RunSpec) (*train.Result, error) {
 		}
 	}
 	if !known {
-		return nil, fmt.Errorf("unknown model %q (have %v)", spec.Model, AllWorkloads())
+		return nil, Workload{}, fmt.Errorf("unknown model %q (have %v)", spec.Model, AllWorkloads())
 	}
 
 	p := Params{
@@ -121,7 +124,7 @@ func RunOne(spec RunSpec) (*train.Result, error) {
 	case "defdp":
 		cfg.Scheme = data.DefDP
 	default:
-		return nil, fmt.Errorf("unknown scheme %q (want seldp or defdp)", spec.Scheme)
+		return nil, Workload{}, fmt.Errorf("unknown scheme %q (want seldp or defdp)", spec.Scheme)
 	}
 	if spec.LabelsPerWorker > 0 {
 		non := &train.NonIID{LabelsPerWorker: spec.LabelsPerWorker}
@@ -130,12 +133,40 @@ func RunOne(spec RunSpec) (*train.Result, error) {
 		}
 		cfg.NonIID = non
 	}
+	if err := cfg.Validate(); err != nil {
+		return nil, Workload{}, err
+	}
 
 	policy, err := PolicyFor(spec, wl)
 	if err != nil {
+		return nil, Workload{}, err
+	}
+	return train.NewJob(cfg, policy, opts...), wl, nil
+}
+
+// RunOne executes the described run to completion and returns its Result.
+// On a multi-process fabric it must be called SPMD by every rank with an
+// identical spec; rank 0's Result is authoritative for SSP, the ranks
+// agree bitwise for every other method.
+func RunOne(spec RunSpec) (*train.Result, error) {
+	job, _, err := JobFor(spec)
+	if err != nil {
 		return nil, err
 	}
-	return train.Run(cfg, policy), nil
+	return job.Run(context.Background())
+}
+
+// runPolicy executes one training run through the Job API under a
+// fan-out's context — the leaf every figure/table run goes through. A
+// failed or cancelled run panics; parallelDo turns that into fan-out
+// cancellation (stopping the sibling runs in flight) and experiments.Run
+// into an error.
+func runPolicy(ctx context.Context, cfg train.Config, policy train.SyncPolicy) *train.Result {
+	res, err := train.NewJob(cfg, policy).Run(ctx)
+	if err != nil {
+		panic(err)
+	}
+	return res
 }
 
 // PolicyFor builds the synchronization policy spec.Method names, binding

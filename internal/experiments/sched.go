@@ -1,6 +1,9 @@
 package experiments
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // The run-level scheduler. Every figure/table of the paper decomposes into
 // independent training runs (different workloads, methods, δ settings or
@@ -70,32 +73,63 @@ func currentSem() chan struct{} {
 // experiments ran before the scheduler existed. Jobs must be independent,
 // must write only to caller-owned per-index slots, and must not call
 // parallelDo themselves (leaf-only slot holding, invariant 1 above).
-func parallelDo(n int, job func(i int)) {
+//
+// Error handling: the fan-out owns a context that jobs thread into their
+// training runs (runPolicy). When a job panics — a failed run, a
+// misconfiguration — the context is cancelled, so every in-flight sibling
+// run stops at its next step boundary and queued jobs are skipped; the
+// first panic then re-raises on the caller once all jobs have drained
+// (experiments.Run converts it into an error).
+func parallelDo(n int, job func(ctx context.Context, i int)) {
 	sem := currentSem()
 	if sem == nil {
+		// Serial: panics propagate directly, nothing is in flight behind
+		// them.
 		for i := 0; i < n; i++ {
-			job(i)
+			job(context.Background(), i)
 		}
 		return
 	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	if n == 1 {
 		// Single jobs still count against the budget (a wall-clock
 		// measurement sweep submitted as one job must not run as an
 		// unbudgeted extra workload); they just run on the caller.
 		sem <- struct{}{}
 		defer func() { <-sem }()
-		job(0)
+		job(ctx, 0)
 		return
 	}
 	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstPanic any
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			job(i)
+			if ctx.Err() != nil {
+				// A sibling failed while this job queued for a slot;
+				// don't start work that is about to be thrown away.
+				return
+			}
+			defer func() {
+				if p := recover(); p != nil {
+					mu.Lock()
+					if firstPanic == nil {
+						firstPanic = p
+					}
+					mu.Unlock()
+					cancel()
+				}
+			}()
+			job(ctx, i)
 		}(i)
 	}
 	wg.Wait()
+	if firstPanic != nil {
+		panic(firstPanic)
+	}
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"sync/atomic"
 	"testing"
@@ -34,7 +35,7 @@ func TestSetParallelismClampsAndReports(t *testing.T) {
 
 func TestParallelDoSerialRunsInOrder(t *testing.T) {
 	var order []int
-	parallelDo(5, func(i int) { order = append(order, i) })
+	parallelDo(5, func(_ context.Context, i int) { order = append(order, i) })
 	for i, got := range order {
 		if got != i {
 			t.Fatalf("serial parallelDo out of order: %v", order)
@@ -46,7 +47,7 @@ func TestParallelDoRunsEveryJobOnce(t *testing.T) {
 	withParallelism(t, 3, func() {
 		const n = 64
 		var counts [n]int32
-		parallelDo(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		parallelDo(n, func(_ context.Context, i int) { atomic.AddInt32(&counts[i], 1) })
 		for i, c := range counts {
 			if c != 1 {
 				t.Fatalf("job %d ran %d times", i, c)
@@ -59,7 +60,7 @@ func TestParallelDoBoundsConcurrency(t *testing.T) {
 	const budget = 3
 	withParallelism(t, budget, func() {
 		var cur, peak int32
-		parallelDo(32, func(i int) {
+		parallelDo(32, func(_ context.Context, i int) {
 			c := atomic.AddInt32(&cur, 1)
 			for {
 				p := atomic.LoadInt32(&peak)

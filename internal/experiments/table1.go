@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -37,16 +38,16 @@ func Table1(scale Scale, w io.Writer) *Table {
 	}
 	// Phase 1: the four BSP references (every other row's baseline).
 	bsps := make([]*train.Result, len(models))
-	parallelDo(len(models), func(i int) {
+	parallelDo(len(models), func(ctx context.Context, i int) {
 		cfg := table1Config(wls[i], p)
 		cfg.Scheme = data.DefDP
-		bsps[i] = train.RunBSP(cfg)
+		bsps[i] = runPolicy(ctx, cfg, train.BSPPolicy{})
 	})
 	// Phase 2: the eight semi-synchronous methods per model, all
 	// independent of each other given the BSP baselines.
 	semis := make([]*train.Result, len(models)*table1Methods)
-	parallelDo(len(semis), func(j int) {
-		semis[j] = runTable1Method(wls[j/table1Methods], p, j%table1Methods)
+	parallelDo(len(semis), func(ctx context.Context, j int) {
+		semis[j] = runTable1Method(ctx, wls[j/table1Methods], p, j%table1Methods)
 	})
 	for i := range models {
 		name := wls[i].Factory.Spec.Name
@@ -85,28 +86,28 @@ func table1Config(wl Workload, p Params) train.Config {
 // runTable1Method executes semi-synchronous method k for one workload.
 // BSP and the FedAvg/SSP rows use the default partitioning of DDP training
 // (DefDP), as in the paper; SelSync uses SelDP (its own scheme).
-func runTable1Method(wl Workload, p Params, k int) *train.Result {
+func runTable1Method(ctx context.Context, wl Workload, p Params, k int) *train.Result {
 	base := table1Config(wl, p)
 	semiCfg := base
 	semiCfg.Scheme = data.DefDP
 	selCfg := base
 	switch k {
 	case 0:
-		return train.RunFedAvg(semiCfg, train.FedAvgOptions{C: 1, E: 0.25})
+		return runPolicy(ctx, semiCfg, &train.FedAvgPolicy{C: 1, E: 0.25})
 	case 1:
-		return train.RunFedAvg(semiCfg, train.FedAvgOptions{C: 1, E: 0.125})
+		return runPolicy(ctx, semiCfg, &train.FedAvgPolicy{C: 1, E: 0.125})
 	case 2:
-		return train.RunFedAvg(semiCfg, train.FedAvgOptions{C: 0.5, E: 0.25})
+		return runPolicy(ctx, semiCfg, &train.FedAvgPolicy{C: 0.5, E: 0.25})
 	case 3:
-		return train.RunFedAvg(semiCfg, train.FedAvgOptions{C: 0.5, E: 0.125})
+		return runPolicy(ctx, semiCfg, &train.FedAvgPolicy{C: 0.5, E: 0.125})
 	case 4:
-		return train.RunSSP(semiCfg, train.SSPOptions{Staleness: 100, PSOpt: wl.SSPOpt})
+		return runPolicy(ctx, semiCfg, &train.SSPPolicy{Staleness: 100, PSOpt: wl.SSPOpt})
 	case 5:
-		return train.RunSSP(semiCfg, train.SSPOptions{Staleness: 200, PSOpt: wl.SSPOpt})
+		return runPolicy(ctx, semiCfg, &train.SSPPolicy{Staleness: 200, PSOpt: wl.SSPOpt})
 	case 6:
-		return train.RunSelSync(selCfg, train.SelSyncOptions{Delta: wl.DeltaLow, Mode: cluster.ParamAgg})
+		return runPolicy(ctx, selCfg, train.SelSyncPolicy{Delta: wl.DeltaLow, Mode: cluster.ParamAgg})
 	case 7:
-		return train.RunSelSync(selCfg, train.SelSyncOptions{Delta: wl.DeltaHigh, Mode: cluster.ParamAgg})
+		return runPolicy(ctx, selCfg, train.SelSyncPolicy{Delta: wl.DeltaHigh, Mode: cluster.ParamAgg})
 	default:
 		panic("experiments: unknown Table I method index")
 	}

@@ -128,6 +128,44 @@ func (t *Tracker) Exceeds(delta float64) bool {
 	return t.delta >= delta
 }
 
+// TrackerState is a serializable snapshot of a Tracker's mutable state —
+// everything ObserveGradNorm touches — so a checkpointed tracker resumes
+// the Δ(g_i) series bit-identically. The tracker's configuration (alpha,
+// window) is reconstructed by the owner and must match at restore time.
+type TrackerState struct {
+	EWMA     stats.EWMAState
+	Variance stats.WindowedVarianceState
+	Prev     float64
+	HasPrev  bool
+	Delta    float64
+	MaxSeen  float64
+	Count    int
+}
+
+// State snapshots the tracker for checkpointing.
+func (t *Tracker) State() TrackerState {
+	return TrackerState{
+		EWMA:     t.ewma.State(),
+		Variance: t.variance.State(),
+		Prev:     t.prev,
+		HasPrev:  t.hasPrev,
+		Delta:    t.delta,
+		MaxSeen:  t.maxSeen,
+		Count:    t.count,
+	}
+}
+
+// Restore overwrites the tracker's mutable state from a snapshot.
+func (t *Tracker) Restore(s TrackerState) error {
+	if err := t.variance.Restore(s.Variance); err != nil {
+		return err
+	}
+	t.ewma.Restore(s.EWMA)
+	t.prev, t.hasPrev = s.Prev, s.HasPrev
+	t.delta, t.maxSeen, t.count = s.Delta, s.MaxSeen, s.Count
+	return nil
+}
+
 // Reset clears all state.
 func (t *Tracker) Reset() {
 	t.ewma.Reset()

@@ -14,6 +14,7 @@
 package opt
 
 import (
+	"fmt"
 	"math"
 
 	"selsync/internal/nn"
@@ -27,6 +28,26 @@ type Optimizer interface {
 	Step(lr float64)
 	// Reset clears internal state (momentum/moment buffers).
 	Reset()
+}
+
+// State is a serializable snapshot of an optimizer's internal state:
+// its flat state buffers in an optimizer-defined order, plus the update
+// count for time-dependent rules (Adam's bias correction).
+type State struct {
+	Vectors [][]float64
+	Step    int
+}
+
+// Checkpointable is implemented by optimizers whose internal state can be
+// captured and restored for checkpoint/resume. Both built-in optimizers
+// implement it; custom optimizers must too before a run using them can be
+// checkpointed.
+type Checkpointable interface {
+	// State returns a deep copy of the internal state.
+	State() State
+	// SetState overwrites the internal state from a snapshot taken on an
+	// identically configured optimizer.
+	SetState(State) error
 }
 
 // SGD is stochastic gradient descent with classical momentum and decoupled
@@ -71,6 +92,20 @@ func (s *SGD) Step(lr float64) {
 		v := s.velocity[s.offsets[i]:s.offsets[i+1]]
 		tensor.SGDMomentum(p.Data, p.Grad, v, lr, s.Momentum, s.WeightDecay)
 	}
+}
+
+// State implements Checkpointable: a copy of the flat momentum buffer.
+func (s *SGD) State() State {
+	return State{Vectors: [][]float64{append([]float64(nil), s.velocity...)}}
+}
+
+// SetState implements Checkpointable.
+func (s *SGD) SetState(st State) error {
+	if len(st.Vectors) != 1 || len(st.Vectors[0]) != len(s.velocity) {
+		return fmt.Errorf("opt: SGD state shape mismatch (want 1 vector of %d)", len(s.velocity))
+	}
+	copy(s.velocity, st.Vectors[0])
+	return nil
 }
 
 // Reset zeroes the momentum buffer (allocated once, reused thereafter).
@@ -124,6 +159,29 @@ func (a *Adam) Step(lr float64) {
 		v := a.v[a.offsets[i]:a.offsets[i+1]]
 		tensor.AdamUpdate(p.Data, p.Grad, m, v, lr, a.Beta1, a.Beta2, a.Eps, c1, c2)
 	}
+}
+
+// State implements Checkpointable: copies of the two moment buffers plus
+// the bias-correction step counter.
+func (a *Adam) State() State {
+	return State{
+		Vectors: [][]float64{
+			append([]float64(nil), a.m...),
+			append([]float64(nil), a.v...),
+		},
+		Step: a.t,
+	}
+}
+
+// SetState implements Checkpointable.
+func (a *Adam) SetState(st State) error {
+	if len(st.Vectors) != 2 || len(st.Vectors[0]) != len(a.m) || len(st.Vectors[1]) != len(a.v) {
+		return fmt.Errorf("opt: Adam state shape mismatch (want 2 vectors of %d)", len(a.m))
+	}
+	copy(a.m, st.Vectors[0])
+	copy(a.v, st.Vectors[1])
+	a.t = st.Step
+	return nil
 }
 
 // Reset zeroes the moment buffers (allocated once, reused thereafter) and

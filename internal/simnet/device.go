@@ -60,6 +60,25 @@ func (d *Device) ComputeTime(flops float64) float64 {
 	return t
 }
 
+// RNGState returns the jitter generator's state word (0 for a jitter-free
+// device built without a generator). Checkpointing captures it so a
+// resumed run draws the same compute-time noise an uninterrupted run
+// would have drawn.
+func (d *Device) RNGState() uint64 {
+	if d.rng == nil {
+		return 0
+	}
+	return d.rng.State()
+}
+
+// SetRNGState overwrites the jitter generator's state word. It is a no-op
+// on a device built without a generator.
+func (d *Device) SetRNGState(s uint64) {
+	if d.rng != nil {
+		d.rng.SetState(s)
+	}
+}
+
 // StepFlops returns the forward+backward cost of one mini-batch of the
 // given per-sample cost.
 func StepFlops(flopsPerSample float64, batch int) float64 {

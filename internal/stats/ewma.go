@@ -5,7 +5,10 @@
 // histogram / percentile summaries for the experiment reports.
 package stats
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // EWMA is an exponentially weighted moving average with an optional warm-up
 // window. The paper smooths per-iteration gradient norms with "EWMA with a
@@ -70,6 +73,26 @@ func (e *EWMA) Reset() {
 	e.count = 0
 	e.sum = 0
 	e.value = 0
+}
+
+// EWMAState is a serializable snapshot of an EWMA's mutable state (the
+// configuration — Alpha and Window — is reconstructed by the owner, not
+// checkpointed).
+type EWMAState struct {
+	Count int
+	Sum   float64
+	Value float64
+}
+
+// State snapshots the mutable state for checkpointing.
+func (e *EWMA) State() EWMAState {
+	return EWMAState{Count: e.count, Sum: e.sum, Value: e.value}
+}
+
+// Restore overwrites the mutable state from a snapshot; the stream
+// continues bit-identically from the captured point.
+func (e *EWMA) Restore(s EWMAState) {
+	e.count, e.sum, e.value = s.Count, s.Sum, s.Value
 }
 
 // Running tracks mean and variance incrementally using Welford's algorithm,
@@ -180,4 +203,33 @@ func (w *WindowedVariance) Variance() float64 {
 		s += d * d
 	}
 	return s / float64(n)
+}
+
+// WindowedVarianceState is a serializable snapshot of a WindowedVariance
+// ring buffer.
+type WindowedVarianceState struct {
+	Buf  []float64
+	Next int
+	Full bool
+}
+
+// State snapshots the ring buffer for checkpointing. The returned buffer
+// is a copy.
+func (w *WindowedVariance) State() WindowedVarianceState {
+	return WindowedVarianceState{
+		Buf:  append([]float64(nil), w.buf...),
+		Next: w.next,
+		Full: w.full,
+	}
+}
+
+// Restore overwrites the ring buffer from a snapshot. The snapshot's
+// window size must match the receiver's.
+func (w *WindowedVariance) Restore(s WindowedVarianceState) error {
+	if len(s.Buf) != len(w.buf) {
+		return fmt.Errorf("stats: windowed-variance snapshot has window %d, tracker has %d", len(s.Buf), len(w.buf))
+	}
+	copy(w.buf, s.Buf)
+	w.next, w.full = s.Next, s.Full
+	return nil
 }

@@ -13,6 +13,15 @@ type RNG struct {
 // NewRNG returns a generator seeded with seed.
 func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
 
+// State returns the generator's current internal state word. Together with
+// SetState it lets checkpointing code freeze and resume a stream exactly:
+// a generator restored with SetState(State()) produces the same sequence
+// the original would have produced.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState overwrites the generator's internal state word.
+func (r *RNG) SetState(s uint64) { r.state = s }
+
 // Split derives an independent child generator; the i-th Split of a given
 // RNG is stable across runs.
 func (r *RNG) Split() *RNG { return &RNG{state: r.Uint64() ^ 0x9e3779b97f4a7c15} }

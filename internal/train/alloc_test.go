@@ -3,6 +3,7 @@
 package train
 
 import (
+	"context"
 	"testing"
 
 	"selsync/internal/cluster"
@@ -36,5 +37,37 @@ func TestEngineStepDoesNotAllocate(t *testing.T) {
 				t.Fatalf("engine step allocated %.1f times per op, want 0", allocs)
 			}
 		})
+	}
+}
+
+// TestJobLoopDoesNotAllocateWithoutObserver pins the Job-era guarantee:
+// with no observer attached, the full per-step loop — checkpoint-request
+// poll, cancellation poll, and the engine step with its behind-a-nil-check
+// event construction — performs zero heap allocations, even under a
+// cancellable context. Events exist only when someone is listening.
+func TestJobLoopDoesNotAllocateWithoutObserver(t *testing.T) {
+	r, e := benchEngine(SelSyncPolicy{Delta: 0.05, Mode: cluster.ParamAgg})
+	defer r.cl.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	j := NewJob(Config{}, e.policy) // plumbing only; the engine is driven directly
+	j.r = r
+	r.done = ctx.Done()
+
+	step := 0
+	for ; step < 10; step++ { // warm buffers and tracker windows
+		j.serviceCheckpoint(step)
+		e.step(step)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		j.serviceCheckpoint(step)
+		if r.cancelled() {
+			t.Fatal("context unexpectedly done")
+		}
+		e.step(step)
+		step++
+	})
+	if allocs > 0 {
+		t.Fatalf("job step loop allocated %.1f times per op, want 0", allocs)
 	}
 }

@@ -1,0 +1,363 @@
+package train
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"selsync/internal/gradstat"
+	"selsync/internal/opt"
+)
+
+// Checkpoint is a complete snapshot of a training run at a step boundary:
+// everything the next step reads — replica parameters, optimizer state,
+// Δ(g_i) trackers, sampler cursors, virtual clocks, RNG streams, the
+// metric history and early-stopping state, and the policy's own mutable
+// state. A run resumed from a checkpoint continues bit-identically to one
+// that was never interrupted: the same batches, the same jitter draws, the
+// same votes, the same float bits in the Result.
+//
+// A checkpoint is rank-local: on a multi-process fabric every rank
+// captures its own hosted workers and must be resumed on a fabric with the
+// same rank layout. Rank-invariant state (injection cursors, the policy
+// state, the history) is identical across ranks by SPMD construction, so
+// each rank's checkpoint carries its own consistent copy.
+//
+// Event-loop methods (SSP) replace the step loop with a discrete-event
+// simulation mid-flight and cannot be checkpointed.
+//
+// The traffic ledger (push/pull/byte counters) is deliberately not
+// captured: it belongs to the comm fabric, which outlives and predates any
+// single run. Counters restart from the fabric's current state on resume.
+type Checkpoint struct {
+	// Version is the checkpoint format version (checkpointVersion).
+	Version int
+	// Step is the next step the resumed run will execute: steps 0..Step-1
+	// are baked into the snapshot.
+	Step int
+
+	// Identity of the producing run, checked on resume.
+	Method  string
+	Model   string
+	Seed    uint64
+	Workers int // global worker count
+	Dim     int // flat parameter dimension
+	Rank    int // producing rank (0 on loopback)
+	Procs   int // fabric process count (1 on loopback)
+
+	// PSGlobal is the parameter server's flat global state.
+	PSGlobal []float64
+	// Hosted holds one entry per worker hosted by the producing rank.
+	Hosted []WorkerCheckpoint
+
+	// InjCursors and InjRNG freeze the data-injection pool stream (nil /
+	// zero without injection).
+	InjCursors []int
+	InjRNG     uint64
+
+	// DiagTracker is the runner's diagnostics tracker under TrackDeltas
+	// (nil otherwise).
+	DiagTracker *gradstat.TrackerState
+
+	// Partial is the Result accumulated so far (history, deltas,
+	// snapshots); aggregate fields are recomputed when the resumed run
+	// finishes.
+	Partial *Result
+	// Early-stopping state.
+	BestMetric float64
+	HaveBest   bool
+	BestStep   int
+	SinceBest  int
+	Stopped    bool
+
+	// Policy is the synchronization policy's mutable state tree.
+	Policy PolicyState
+}
+
+const checkpointVersion = 1
+
+// checkpointMagic guards against feeding arbitrary files to the gob
+// decoder.
+var checkpointMagic = []byte("selsync-checkpoint\n")
+
+// WorkerCheckpoint freezes one hosted replica.
+type WorkerCheckpoint struct {
+	ID         int
+	Params     []float64
+	Opt        opt.State
+	Tracker    gradstat.TrackerState
+	Clock      float64
+	Steps      int
+	LocalSteps int
+	SyncSteps  int
+	DeviceRNG  uint64
+	WorkerRNG  uint64
+	SamplerPos int
+	SamplerEp  int
+}
+
+// PolicyState is a serializable snapshot of a SyncPolicy's mutable per-run
+// state: a name tag for mismatch detection, the policy's state words, and
+// the states of composed inner policies. Stateless policies (BSP, local
+// SGD, SelSync — whose signal state lives in the workers' trackers) have
+// an empty state.
+type PolicyState struct {
+	Name  string
+	Words []uint64
+	Sub   []PolicyState
+}
+
+// CheckpointablePolicy is the optional SyncPolicy hook for policies with
+// mutable per-run state beyond the tracker signals (RNG streams, switch
+// flags, phase cursors). Policies that do not implement it are treated as
+// stateless by checkpoint/resume.
+type CheckpointablePolicy interface {
+	// CheckpointState snapshots the policy's mutable state.
+	CheckpointState() PolicyState
+	// RestoreState overwrites the policy's mutable state from a snapshot
+	// taken on an identically constructed policy whose Init already ran.
+	RestoreState(PolicyState) error
+}
+
+// capturePolicyState snapshots any policy: implementors provide their
+// state, everything else is stateless.
+func capturePolicyState(p SyncPolicy) PolicyState {
+	if cp, ok := p.(CheckpointablePolicy); ok {
+		return cp.CheckpointState()
+	}
+	return PolicyState{Name: p.Name()}
+}
+
+// restorePolicyState restores any policy, verifying the name tag so a
+// checkpoint cannot silently resume under a different policy.
+func restorePolicyState(p SyncPolicy, st PolicyState) error {
+	if st.Name != p.Name() {
+		return fmt.Errorf("train: checkpoint policy %q does not match run policy %q", st.Name, p.Name())
+	}
+	if cp, ok := p.(CheckpointablePolicy); ok {
+		return cp.RestoreState(st)
+	}
+	if len(st.Words) != 0 || len(st.Sub) != 0 {
+		return fmt.Errorf("train: checkpoint carries state for %q but the policy is stateless", st.Name)
+	}
+	return nil
+}
+
+// captureCheckpoint snapshots a run at the boundary before `step`. It runs
+// on the training goroutine (mid-run requests are serviced between steps)
+// or after the run has ended, so nothing it reads is concurrently mutated.
+func captureCheckpoint(r *runner, policy SyncPolicy, step int) (*Checkpoint, error) {
+	if _, ok := policy.(eventLoopPolicy); ok {
+		return nil, fmt.Errorf("train: %s replaces the step loop and cannot be checkpointed", policy.Name())
+	}
+	ck := &Checkpoint{
+		Version:  checkpointVersion,
+		Step:     step,
+		Method:   policy.Name(),
+		Model:    r.spec.Name,
+		Seed:     r.cfg.Seed,
+		Workers:  r.cl.N(),
+		Dim:      r.cl.Dim(),
+		Rank:     r.cl.Rank(),
+		Procs:    r.cl.Procs(),
+		PSGlobal: append([]float64(nil), r.cl.PS.Global...),
+		Policy:   capturePolicyState(policy),
+
+		BestMetric: r.bestMetric,
+		HaveBest:   r.haveBest,
+		BestStep:   r.bestStep,
+		SinceBest:  r.sinceBest,
+		Stopped:    r.stop,
+		Partial:    cloneResult(r.res),
+	}
+	for _, w := range r.cl.Workers {
+		co, ok := w.Optimizer.(opt.Checkpointable)
+		if !ok {
+			return nil, fmt.Errorf("train: worker %d's optimizer (%T) does not implement opt.Checkpointable", w.ID, w.Optimizer)
+		}
+		pos, ep := r.samplers[w.ID].Cursor()
+		ck.Hosted = append(ck.Hosted, WorkerCheckpoint{
+			ID:         w.ID,
+			Params:     append([]float64(nil), w.FlatParams()...),
+			Opt:        co.State(),
+			Tracker:    w.Tracker.State(),
+			Clock:      w.Clock,
+			Steps:      w.Steps,
+			LocalSteps: w.LocalSteps,
+			SyncSteps:  w.SyncSteps,
+			DeviceRNG:  w.Device.RNGState(),
+			WorkerRNG:  w.RNG.State(),
+			SamplerPos: pos,
+			SamplerEp:  ep,
+		})
+	}
+	if r.inj != nil {
+		ck.InjCursors = append([]int(nil), r.injCursors...)
+		ck.InjRNG = r.injRNG.State()
+	}
+	if r.diagTracker != nil {
+		st := r.diagTracker.State()
+		ck.DiagTracker = &st
+	}
+	if r.obs != nil {
+		r.obs.OnEvent(CheckpointEvent{Step: step, Workers: len(ck.Hosted)})
+	}
+	return ck, nil
+}
+
+// restoreCheckpoint applies a checkpoint to a freshly constructed
+// runner+policy pair (policy Init already ran) and returns the step the
+// run continues from.
+func restoreCheckpoint(r *runner, policy SyncPolicy, ck *Checkpoint) (int, error) {
+	if ck == nil {
+		return 0, fmt.Errorf("train: nil checkpoint")
+	}
+	if ck.Version != checkpointVersion {
+		return 0, fmt.Errorf("train: checkpoint version %d, this build reads %d", ck.Version, checkpointVersion)
+	}
+	switch {
+	case ck.Method != policy.Name():
+		return 0, fmt.Errorf("train: checkpoint method %q does not match policy %q", ck.Method, policy.Name())
+	case ck.Model != r.spec.Name:
+		return 0, fmt.Errorf("train: checkpoint model %q does not match config model %q", ck.Model, r.spec.Name)
+	case ck.Seed != r.cfg.Seed:
+		return 0, fmt.Errorf("train: checkpoint seed %d does not match config seed %d", ck.Seed, r.cfg.Seed)
+	case ck.Workers != r.cl.N():
+		return 0, fmt.Errorf("train: checkpoint has %d workers, config has %d", ck.Workers, r.cl.N())
+	case ck.Dim != r.cl.Dim():
+		return 0, fmt.Errorf("train: checkpoint dimension %d does not match model dimension %d", ck.Dim, r.cl.Dim())
+	case ck.Rank != r.cl.Rank() || ck.Procs != r.cl.Procs():
+		return 0, fmt.Errorf("train: checkpoint from rank %d/%d, resuming on rank %d/%d (rank layout must match)",
+			ck.Rank, ck.Procs, r.cl.Rank(), r.cl.Procs())
+	case len(ck.Hosted) != len(r.cl.Workers):
+		return 0, fmt.Errorf("train: checkpoint hosts %d workers, this rank hosts %d", len(ck.Hosted), len(r.cl.Workers))
+	case len(ck.PSGlobal) != r.cl.Dim():
+		return 0, fmt.Errorf("train: checkpoint PS state has %d elements, want %d", len(ck.PSGlobal), r.cl.Dim())
+	}
+	for i, wc := range ck.Hosted {
+		w := r.cl.Workers[i]
+		if wc.ID != w.ID {
+			return 0, fmt.Errorf("train: checkpoint worker %d at slot %d, this rank hosts worker %d", wc.ID, i, w.ID)
+		}
+		if len(wc.Params) != r.cl.Dim() {
+			return 0, fmt.Errorf("train: worker %d checkpoint has %d parameters, want %d", wc.ID, len(wc.Params), r.cl.Dim())
+		}
+		co, ok := w.Optimizer.(opt.Checkpointable)
+		if !ok {
+			return 0, fmt.Errorf("train: worker %d's optimizer (%T) does not implement opt.Checkpointable", w.ID, w.Optimizer)
+		}
+		if err := co.SetState(wc.Opt); err != nil {
+			return 0, fmt.Errorf("train: worker %d optimizer: %w", w.ID, err)
+		}
+		if err := w.Tracker.Restore(wc.Tracker); err != nil {
+			return 0, fmt.Errorf("train: worker %d tracker: %w", w.ID, err)
+		}
+		if err := r.samplers[w.ID].SetCursor(wc.SamplerPos, wc.SamplerEp); err != nil {
+			return 0, fmt.Errorf("train: worker %d sampler: %w", w.ID, err)
+		}
+		w.SetParams(wc.Params)
+		w.Clock = wc.Clock
+		w.Steps, w.LocalSteps, w.SyncSteps = wc.Steps, wc.LocalSteps, wc.SyncSteps
+		w.Device.SetRNGState(wc.DeviceRNG)
+		w.RNG.SetState(wc.WorkerRNG)
+	}
+	r.cl.PS.Global.CopyFrom(ck.PSGlobal)
+	if r.inj != nil {
+		if len(ck.InjCursors) != len(r.injCursors) {
+			return 0, fmt.Errorf("train: checkpoint has %d injection cursors, want %d", len(ck.InjCursors), len(r.injCursors))
+		}
+		copy(r.injCursors, ck.InjCursors)
+		r.injRNG.SetState(ck.InjRNG)
+	} else if len(ck.InjCursors) != 0 {
+		return 0, fmt.Errorf("train: checkpoint carries injection state but the config has no injection")
+	}
+	if r.diagTracker != nil {
+		if ck.DiagTracker == nil {
+			return 0, fmt.Errorf("train: config tracks deltas but the checkpoint carries no diagnostics tracker")
+		}
+		if err := r.diagTracker.Restore(*ck.DiagTracker); err != nil {
+			return 0, fmt.Errorf("train: diagnostics tracker: %w", err)
+		}
+	}
+	if ck.Partial == nil {
+		return 0, fmt.Errorf("train: checkpoint carries no partial result")
+	}
+	r.res = cloneResult(ck.Partial)
+	r.bestMetric, r.haveBest = ck.BestMetric, ck.HaveBest
+	r.bestStep, r.sinceBest = ck.BestStep, ck.SinceBest
+	r.stop = ck.Stopped
+	if err := restorePolicyState(policy, ck.Policy); err != nil {
+		return 0, err
+	}
+	return ck.Step, nil
+}
+
+// cloneResult deep-copies a Result so checkpoints own their history.
+func cloneResult(res *Result) *Result {
+	out := *res
+	out.History = append([]EvalPoint(nil), res.History...)
+	out.Deltas = append([]float64(nil), res.Deltas...)
+	out.Snapshots = make(map[int]Snapshot, len(res.Snapshots))
+	for k, s := range res.Snapshots {
+		out.Snapshots[k] = Snapshot{
+			Step:   s.Step,
+			Params: append([]float64(nil), s.Params...),
+			Grads:  append([]float64(nil), s.Grads...),
+		}
+	}
+	return &out
+}
+
+// Encode writes the checkpoint to w: a magic header followed by a gob
+// stream.
+func (c *Checkpoint) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(checkpointMagic); err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(bw).Encode(c); err != nil {
+		return fmt.Errorf("train: encoding checkpoint: %w", err)
+	}
+	return bw.Flush()
+}
+
+// DecodeCheckpoint reads a checkpoint written by Encode.
+func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
+	magic := make([]byte, len(checkpointMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("train: reading checkpoint header: %w", err)
+	}
+	if string(magic) != string(checkpointMagic) {
+		return nil, fmt.Errorf("train: not a selsync checkpoint (bad magic)")
+	}
+	ck := &Checkpoint{}
+	if err := gob.NewDecoder(r).Decode(ck); err != nil {
+		return nil, fmt.Errorf("train: decoding checkpoint: %w", err)
+	}
+	return ck, nil
+}
+
+// SaveCheckpoint writes the checkpoint to a file.
+func SaveCheckpoint(path string, c *Checkpoint) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCheckpoint reads a checkpoint file written by SaveCheckpoint.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeCheckpoint(f)
+}

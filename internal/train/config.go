@@ -83,6 +83,57 @@ type Config struct {
 	TrackerAlpha  float64
 }
 
+// Validate reports the first configuration mistake as an error, after
+// applying the same defaulting a run would (so zero values that have
+// defaults — Workers, Batch, budgets — are fine, while explicit negatives
+// and structural mistakes are not). Job.Run and the CLIs call it up front,
+// turning what used to be mid-construction panics into ordinary errors.
+func (c Config) Validate() error {
+	d := c.withDefaults()
+	if d.Train == nil || d.Test == nil {
+		return fmt.Errorf("train: Config.Train and Config.Test are required")
+	}
+	if d.Workers <= 0 {
+		return fmt.Errorf("train: Config.Workers must be positive, got %d", d.Workers)
+	}
+	if d.Batch <= 0 {
+		return fmt.Errorf("train: Config.Batch must be positive, got %d", d.Batch)
+	}
+	if d.MaxSteps <= 0 {
+		return fmt.Errorf("train: Config.MaxSteps must be positive, got %d", d.MaxSteps)
+	}
+	if d.EvalEvery <= 0 {
+		return fmt.Errorf("train: Config.EvalEvery must be positive, got %d", d.EvalEvery)
+	}
+	if d.EvalChunk <= 0 {
+		return fmt.Errorf("train: Config.EvalChunk must be positive, got %d", d.EvalChunk)
+	}
+	if d.Patience < 0 {
+		return fmt.Errorf("train: Config.Patience must be non-negative, got %d", d.Patience)
+	}
+	if d.TrackerWindow < 0 {
+		return fmt.Errorf("train: Config.TrackerWindow must be non-negative, got %d", d.TrackerWindow)
+	}
+	if d.TrackerAlpha < 0 {
+		return fmt.Errorf("train: Config.TrackerAlpha must be non-negative, got %g", d.TrackerAlpha)
+	}
+	if d.Fabric != nil && d.Fabric.Workers() != d.Workers {
+		return fmt.Errorf("train: Config.Workers=%d but the fabric carries %d workers",
+			d.Workers, d.Fabric.Workers())
+	}
+	if d.NonIID != nil {
+		if d.NonIID.LabelsPerWorker <= 0 {
+			return fmt.Errorf("train: NonIID.LabelsPerWorker must be positive, got %d", d.NonIID.LabelsPerWorker)
+		}
+		if d.NonIID.Injection != nil {
+			if err := d.NonIID.Injection.Validate(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 func (c Config) withDefaults() Config {
 	if c.Opt == nil {
 		c.Opt = func(ps []*nn.Param) opt.Optimizer { return opt.NewSGD(ps, 0.9, 0) }

@@ -1,43 +1,30 @@
 package train
 
 import (
+	"context"
 	"fmt"
 
 	"selsync/internal/cluster"
 	"selsync/internal/tensor"
 )
 
-// Run executes one training run under the given synchronization policy.
-// This is THE training loop: batching, gradient compute, the evaluation
-// cadence, patience, delta tracking, snapshots and Result assembly all live
-// here, and the policy is consulted once per step for the synchronization
-// decision, executed through the cluster's comm fabric.
+// Run executes one training run under the given synchronization policy —
+// a thin shim over the Job API: it builds a Job, runs it under a
+// background context, and panics on the configuration errors Job.Run
+// would return (the historical contract of this entry point). Callers
+// that want cancellation, the event stream, or checkpoint/resume use
+// NewJob directly.
 //
 // On a multi-process fabric Run is SPMD: every rank calls it with an
 // identical Config and an identically-constructed policy, and the ranks
 // meet at the collectives the chosen actions imply. Policies carry per-run
 // state — construct a fresh policy value for every call.
 func Run(cfg Config, policy SyncPolicy) *Result {
-	r := newRunner(cfg, policy.Name())
-	// finish releases the cluster on the normal path; a panic anywhere
-	// after construction (policy validation in Init hooks, a mid-run
-	// failure) must release it too — Close is idempotent — so callers that
-	// recover (option-validating harnesses) don't leak the worker pool.
-	defer func() {
-		if e := recover(); e != nil {
-			r.cl.Close()
-			panic(e)
-		}
-	}()
-	if ev, ok := policy.(eventLoopPolicy); ok {
-		ev.runEventLoop(r)
-		res := r.finish()
-		ev.finalizeResult(res)
-		return res
+	res, err := NewJob(cfg, policy).Run(context.Background())
+	if err != nil {
+		panic(err)
 	}
-	e := newEngine(r, policy)
-	e.run()
-	return r.finish()
+	return res
 }
 
 // RunBSP trains with bulk-synchronous parallelism: every step is a gradient
@@ -122,11 +109,28 @@ func newEngine(r *runner, policy SyncPolicy) *engine {
 	return e
 }
 
-// run executes steps until the budget or patience stops the run.
-func (e *engine) run() {
-	for step := 0; ; step++ {
+// run executes steps from `start` until the budget or patience stops the
+// run, servicing checkpoint requests and observing cancellation at every
+// step boundary. It returns the next unexecuted step and whether the run
+// was cancelled. Both boundary checks are non-blocking and allocation-free
+// (r.done is nil under an uncancellable context and never fires).
+func (e *engine) run(start int, j *Job) (next int, cancelled bool) {
+	for step := start; ; step++ {
+		if e.r.stop || step >= e.r.cfg.MaxSteps {
+			// Resuming a run that had already stopped (budget exhausted,
+			// patience fired) must not train further steps.
+			return step, false
+		}
+		if j != nil {
+			j.serviceCheckpoint(step)
+		}
+		select {
+		case <-e.r.done:
+			return step, true
+		default:
+		}
 		if e.step(step) {
-			return
+			return step + 1, false
 		}
 	}
 }
@@ -140,7 +144,19 @@ func (e *engine) step(step int) bool {
 	injCost := r.nextBatches()
 	r.computeGrads()
 	e.sig.Step = step
-	e.execute(e.policy.Decide(step, &e.sig), injCost)
+	act := e.policy.Decide(step, &e.sig)
+	e.execute(act, injCost)
+	if r.obs != nil {
+		// Events are built only behind this nil-check: without an
+		// observer the step allocates nothing (alloc_test.go).
+		r.obs.OnEvent(StepEvent{
+			Step:     step,
+			Action:   act.Kind,
+			LR:       e.lr,
+			MeanLoss: r.hostedMeanLoss(),
+			SimTime:  r.hostedMaxClock(),
+		})
+	}
 	return r.maybeEval(step)
 }
 
@@ -159,7 +175,11 @@ func (e *engine) execute(act Action, injCost float64) {
 			r.trackDelta(e.avg.Norm())
 		}
 		r.cl.Each(e.syncGradsFn)
-		r.cl.Barrier(act.ExtraCost + r.cl.SyncCost() + injCost)
+		cost := act.ExtraCost + r.cl.SyncCost() + injCost
+		r.cl.Barrier(cost)
+		if r.obs != nil {
+			r.obs.OnEvent(SyncEvent{Step: e.sig.Step, Kind: act.Kind, Participants: r.cl.N(), CostSeconds: cost})
+		}
 	case ActSyncParams:
 		// Apply the local update first (Alg. 1 line 9), then push
 		// parameters and pull their average: one consistent global state
@@ -167,7 +187,11 @@ func (e *engine) execute(act Action, injCost float64) {
 		r.applyLocal(e.lr)
 		r.cl.AggregateParams()
 		r.cl.Each(e.countSyncFn)
-		r.cl.Barrier(act.ExtraCost + r.cl.SyncCost() + injCost)
+		cost := act.ExtraCost + r.cl.SyncCost() + injCost
+		r.cl.Barrier(cost)
+		if r.obs != nil {
+			r.obs.OnEvent(SyncEvent{Step: e.sig.Step, Kind: act.Kind, Participants: r.cl.N(), CostSeconds: cost})
+		}
 	case ActRoundAverage:
 		// FedAvg's round boundary: everyone applies locally, the chosen
 		// participants' parameters average into the global model, everyone
@@ -182,7 +206,11 @@ func (e *engine) execute(act Action, injCost float64) {
 		r.cl.Each(e.countSyncFn)
 		syncCost := r.cl.Network.PSPush(r.spec.WireBytes, len(ids)) +
 			r.cl.Network.PSPull(r.spec.WireBytes, r.cl.N())
-		r.cl.Barrier(act.ExtraCost + syncCost + injCost)
+		cost := act.ExtraCost + syncCost + injCost
+		r.cl.Barrier(cost)
+		if r.obs != nil {
+			r.obs.OnEvent(SyncEvent{Step: e.sig.Step, Kind: act.Kind, Participants: len(ids), CostSeconds: cost})
+		}
 	case ActLocal:
 		r.applyLocal(e.lr)
 		e.localExtra = act.ExtraCost + injCost

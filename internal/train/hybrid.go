@@ -63,11 +63,39 @@ func (p *SwitchPolicy) Init(sig *Signals) {
 func (p *SwitchPolicy) Decide(step int, sig *Signals) Action {
 	if !p.switched && ((p.AtStep > 0 && step >= p.AtStep) || (p.When != nil && p.When(sig))) {
 		p.switched = true
+		sig.EmitPhaseSwitch(p.From.Name(), p.To.Name())
 	}
 	if p.switched {
 		return p.To.Decide(step, sig)
 	}
 	return p.From.Decide(step, sig)
+}
+
+// CheckpointState implements CheckpointablePolicy: the one-way switch flag
+// plus both inner policies' states. A predicate switch (When) does not
+// re-fire on resume — the captured flag already encodes whether it fired.
+func (p *SwitchPolicy) CheckpointState() PolicyState {
+	var w uint64
+	if p.switched {
+		w = 1
+	}
+	return PolicyState{
+		Name:  p.Name(),
+		Words: []uint64{w},
+		Sub:   []PolicyState{capturePolicyState(p.From), capturePolicyState(p.To)},
+	}
+}
+
+// RestoreState implements CheckpointablePolicy.
+func (p *SwitchPolicy) RestoreState(st PolicyState) error {
+	if len(st.Words) != 1 || len(st.Sub) != 2 {
+		return fmt.Errorf("train: Switch checkpoint state wants 1 word and 2 inner states, got %d/%d", len(st.Words), len(st.Sub))
+	}
+	p.switched = st.Words[0] != 0
+	if err := restorePolicyState(p.From, st.Sub[0]); err != nil {
+		return err
+	}
+	return restorePolicyState(p.To, st.Sub[1])
 }
 
 // PolicyPhase is one entry of a SchedulePolicy: a policy and how many steps
@@ -124,10 +152,43 @@ func (p *SchedulePolicy) Init(sig *Signals) {
 // Decide implements SyncPolicy.
 func (p *SchedulePolicy) Decide(step int, sig *Signals) Action {
 	for p.idx < len(p.Phases)-1 && step >= p.boundary {
+		sig.EmitPhaseSwitch(p.Phases[p.idx].Policy.Name(), p.Phases[p.idx+1].Policy.Name())
 		p.idx++
 		p.boundary += p.Phases[p.idx].Steps
 	}
 	return p.Phases[p.idx].Policy.Decide(step, sig)
+}
+
+// CheckpointState implements CheckpointablePolicy: the phase cursor plus
+// every inner policy's state.
+func (p *SchedulePolicy) CheckpointState() PolicyState {
+	st := PolicyState{
+		Name:  p.Name(),
+		Words: []uint64{uint64(p.idx), uint64(p.boundary)},
+	}
+	for _, ph := range p.Phases {
+		st.Sub = append(st.Sub, capturePolicyState(ph.Policy))
+	}
+	return st
+}
+
+// RestoreState implements CheckpointablePolicy.
+func (p *SchedulePolicy) RestoreState(st PolicyState) error {
+	if len(st.Words) != 2 || len(st.Sub) != len(p.Phases) {
+		return fmt.Errorf("train: Schedule checkpoint state wants 2 words and %d inner states, got %d/%d",
+			len(p.Phases), len(st.Words), len(st.Sub))
+	}
+	if idx := int(st.Words[0]); idx < 0 || idx >= len(p.Phases) {
+		return fmt.Errorf("train: Schedule checkpoint phase index %d out of range", idx)
+	}
+	p.idx = int(st.Words[0])
+	p.boundary = int(st.Words[1])
+	for i, ph := range p.Phases {
+		if err := restorePolicyState(ph.Policy, st.Sub[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ParseSchedule parses a schedule string into a policy. The grammar is a

@@ -1,0 +1,288 @@
+package train
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Job is a first-class training run: constructed once with NewJob,
+// executed once with Run, observable through a typed event stream,
+// cancellable through its context, and checkpointable mid-flight or after
+// it ends. The Run* entry points and train.Run are thin shims over it.
+//
+// A Job is single-shot — Run may be called once. Checkpoint is safe to
+// call concurrently with Run (the snapshot is taken at the next step
+// boundary by the training goroutine itself) and after Run returns.
+type Job struct {
+	cfg    Config
+	policy SyncPolicy
+	obs    Observer
+	resume *Checkpoint
+
+	// ckptCh carries mid-run checkpoint requests to the engine loop;
+	// runDone closes when Run returns, releasing requesters to capture
+	// from the quiesced run directly.
+	ckptCh  chan chan ckptReply
+	runDone chan struct{}
+
+	mu       sync.Mutex
+	started  bool
+	finished bool
+	r        *runner
+	nextStep int
+	res      *Result
+}
+
+type ckptReply struct {
+	ck  *Checkpoint
+	err error
+}
+
+// Option configures a Job.
+type Option func(*Job)
+
+// WithObserver attaches an observer to the job's event stream. Multiple
+// observers compose with MultiObserver. With no observer attached the
+// engine never constructs an event and the hot path stays
+// allocation-free.
+func WithObserver(o Observer) Option {
+	return func(j *Job) {
+		if j.obs == nil {
+			j.obs = o
+		} else {
+			j.obs = MultiObserver(j.obs, o)
+		}
+	}
+}
+
+// WithResume starts the run from a checkpoint instead of from scratch.
+// The job's Config and policy must be constructed identically to the
+// producing run's (same model, seed, workers, method and rank layout);
+// Run verifies and refuses mismatches. A resumed run continues
+// bit-identically to one that was never interrupted.
+func WithResume(ck *Checkpoint) Option {
+	return func(j *Job) { j.resume = ck }
+}
+
+// NewJob builds a job over a config and a synchronization policy. Like
+// every Run entry point, the policy must be a fresh value per job —
+// policies carry per-run state.
+func NewJob(cfg Config, policy SyncPolicy, opts ...Option) *Job {
+	j := &Job{
+		cfg:     cfg,
+		policy:  policy,
+		ckptCh:  make(chan chan ckptReply),
+		runDone: make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(j)
+	}
+	return j
+}
+
+// Run executes the job. It blocks until the run completes, the context is
+// cancelled, or construction fails:
+//
+//   - On normal completion it returns the final Result and a nil error.
+//   - On context cancellation (or deadline) it stops at the next step
+//     boundary and returns a partial-but-valid Result — consistent step
+//     counters and the evaluation history so far — together with
+//     ctx.Err(). The job can then be checkpointed and resumed later.
+//   - Configuration and policy-validation mistakes return an error
+//     before any training happens.
+//
+// Cancellation is observed at step boundaries, rank-locally. On a
+// multi-process fabric a lone rank cancelling would leave its peers
+// blocked in a collective, so cancel deterministically on every rank at
+// the same step (an observer watching StepEvent.Step, or a shared
+// deadline measured in steps); for interactive multi-process use prefer
+// checkpointing a completed shorter run and resuming with a larger
+// budget.
+func (j *Job) Run(ctx context.Context) (*Result, error) {
+	j.mu.Lock()
+	if j.started {
+		j.mu.Unlock()
+		return nil, fmt.Errorf("train: job already ran (jobs are single-shot; build a new one)")
+	}
+	j.started = true
+	j.mu.Unlock()
+	defer close(j.runDone)
+
+	if err := j.cfg.Validate(); err != nil {
+		j.finish(nil, 0, nil)
+		return nil, err
+	}
+
+	// Construction and policy Init turn their validation panics into
+	// errors; a panic after the cluster exists must release its worker
+	// pool (Close is idempotent).
+	var r *runner
+	var e *engine
+	ev, eventLoop := j.policy.(eventLoopPolicy)
+	err := capturePanic(func() {
+		r = newRunner(j.cfg, j.policy.Name())
+		r.obs = j.obs
+		r.done = ctx.Done()
+		defer func() {
+			if p := recover(); p != nil {
+				r.cl.Close()
+				panic(p)
+			}
+		}()
+		if !eventLoop {
+			e = newEngine(r, j.policy)
+		}
+	})
+	if err != nil {
+		j.finish(r, 0, nil)
+		return nil, err
+	}
+	j.mu.Lock()
+	j.r = r // mid-run checkpoint requests capture from it
+	j.mu.Unlock()
+	// A panic anywhere past construction — a custom policy's Decide, a
+	// comm failure mid-collective — must release the cluster's worker
+	// pool (Close is idempotent), exactly as the legacy Run guaranteed,
+	// so harnesses that recover don't leak goroutines.
+	defer func() {
+		if p := recover(); p != nil {
+			r.cl.Close()
+			panic(p)
+		}
+	}()
+
+	if eventLoop {
+		if j.resume != nil {
+			r.cl.Close()
+			j.finish(r, 0, nil)
+			return nil, fmt.Errorf("train: %s replaces the step loop and cannot resume from a checkpoint", j.policy.Name())
+		}
+		if err := capturePanic(func() {
+			defer func() {
+				if p := recover(); p != nil {
+					r.cl.Close()
+					panic(p)
+				}
+			}()
+			ev.runEventLoop(r)
+		}); err != nil {
+			j.finish(r, 0, nil)
+			return nil, err
+		}
+		res := r.finish()
+		ev.finalizeResult(res)
+		j.finish(r, 0, res)
+		return res, ctx.Err()
+	}
+
+	start := 0
+	if j.resume != nil {
+		var rerr error
+		start, rerr = restoreCheckpoint(r, j.policy, j.resume)
+		if rerr != nil {
+			r.cl.Close()
+			j.finish(r, 0, nil)
+			return nil, rerr
+		}
+	}
+
+	next, cancelled := e.run(start, j)
+	res := r.finish()
+	j.finish(r, next, res)
+	if cancelled {
+		return res, ctx.Err()
+	}
+	return res, nil
+}
+
+// finish records the post-run state Checkpoint and Result read (under
+// the mutex: Result may be polled from another goroutine while Run
+// returns).
+func (j *Job) finish(r *runner, next int, res *Result) {
+	j.mu.Lock()
+	j.finished = true
+	j.r = r
+	j.nextStep = next
+	j.res = res
+	j.mu.Unlock()
+}
+
+// Result returns the Result of a completed run (nil before Run returns).
+func (j *Job) Result() *Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.res
+}
+
+// Checkpoint snapshots the run at a step boundary. Called while Run is in
+// flight it blocks until the training goroutine reaches the next boundary
+// and captures there; called after Run returned (completed, cancelled, or
+// stopped early) it captures the final state, which a new Job can resume
+// with a larger step budget. It must not be called from an observer (the
+// training goroutine would wait on itself).
+func (j *Job) Checkpoint() (*Checkpoint, error) {
+	j.mu.Lock()
+	started := j.started
+	j.mu.Unlock()
+	if !started {
+		return nil, fmt.Errorf("train: checkpoint before Run started")
+	}
+
+	reply := make(chan ckptReply, 1)
+	select {
+	case j.ckptCh <- reply:
+		res := <-reply
+		return res.ck, res.err
+	case <-j.runDone:
+		return j.checkpointFinal()
+	}
+}
+
+// checkpointFinal captures from a run that has already returned.
+func (j *Job) checkpointFinal() (*Checkpoint, error) {
+	j.mu.Lock()
+	r, next := j.r, j.nextStep
+	j.mu.Unlock()
+	if r == nil {
+		return nil, fmt.Errorf("train: nothing to checkpoint (the run failed during construction)")
+	}
+	return captureCheckpoint(r, j.policy, next)
+}
+
+// serviceCheckpoint hands the engine loop any pending mid-run checkpoint
+// request at the boundary before `step`. Non-blocking and allocation-free
+// when nobody is asking.
+func (j *Job) serviceCheckpoint(step int) {
+	select {
+	case reply := <-j.ckptCh:
+		ck, err := captureCheckpoint(j.r0(), j.policy, step)
+		reply <- ckptReply{ck, err}
+	default:
+	}
+}
+
+// r0 returns the runner during an in-flight run.
+func (j *Job) r0() *runner {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.r
+}
+
+// capturePanic runs fn, converting a panic into an error. Construction
+// and Init-hook panics ("train: FedAvg C must be in (0, 1]") become
+// ordinary errors on the Job API while the legacy Run entry points keep
+// panicking.
+func capturePanic(fn func()) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if e, ok := p.(error); ok {
+				err = e
+				return
+			}
+			err = fmt.Errorf("%v", p)
+		}
+	}()
+	fn()
+	return nil
+}

@@ -1,0 +1,88 @@
+package train
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSONLObserver writes one JSON object per event to an io.Writer — the
+// machine-readable run log. Every line carries a "type" field (the event's
+// EventType) plus the event's own fields; consumers can stream-parse the
+// file with any JSONL tooling.
+type JSONLObserver struct {
+	w   io.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLObserver builds a JSONL sink over w. Write errors are sticky:
+// the first one stops all further output and is reported by Err.
+func NewJSONLObserver(w io.Writer) *JSONLObserver {
+	return &JSONLObserver{w: w, enc: json.NewEncoder(w)}
+}
+
+// jsonlRecord wraps an event with its type tag. Event structs have only
+// exported scalar fields, so flat embedding via a map would lose field
+// order; a two-field wrapper keeps lines stable and self-describing.
+type jsonlRecord struct {
+	Type  string `json:"type"`
+	Event Event  `json:"event"`
+}
+
+// OnEvent implements Observer.
+func (o *JSONLObserver) OnEvent(e Event) {
+	if o.err != nil {
+		return
+	}
+	o.err = o.enc.Encode(jsonlRecord{Type: e.EventType(), Event: e})
+}
+
+// Err returns the first write error, if any.
+func (o *JSONLObserver) Err() error { return o.err }
+
+// ProgressObserver renders a live one-line-per-evaluation progress report
+// to a terminal (or any writer): evaluations as full lines, phase
+// switches and checkpoints as annotations. Step events are counted but
+// not printed — at thousands of steps per second a per-step line would
+// drown the terminal.
+type ProgressObserver struct {
+	w          io.Writer
+	perplexity bool
+	steps      int
+	syncs      int
+}
+
+// NewProgressObserver builds a progress reporter over w.
+func NewProgressObserver(w io.Writer) *ProgressObserver {
+	return &ProgressObserver{w: w}
+}
+
+// OnEvent implements Observer.
+func (p *ProgressObserver) OnEvent(e Event) {
+	switch ev := e.(type) {
+	case StepEvent:
+		p.steps++
+	case SyncEvent:
+		p.syncs++
+	case EvalEvent:
+		unit := "acc"
+		if p.perplexity {
+			unit = "ppl"
+		}
+		best := ""
+		if ev.Best {
+			best = "  *best*"
+		}
+		fmt.Fprintf(p.w, "step %-6d epoch %-6.2f simtime %8.1fs  loss %.4f  %s %.2f  (%d/%d steps synced)%s\n",
+			ev.Step, ev.Epoch, ev.SimTime, ev.Loss, unit, ev.Metric, p.syncs, p.steps, best)
+	case PhaseSwitchEvent:
+		fmt.Fprintf(p.w, "step %-6d phase switch: %s → %s\n", ev.Step, ev.From, ev.To)
+	case CheckpointEvent:
+		fmt.Fprintf(p.w, "step %-6d checkpoint captured (%d workers)\n", ev.Step, ev.Workers)
+	}
+}
+
+// SetPerplexity switches the metric label from accuracy to perplexity
+// (EvalEvent carries the value, not its interpretation).
+func (p *ProgressObserver) SetPerplexity(on bool) { p.perplexity = on }

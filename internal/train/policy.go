@@ -149,6 +149,16 @@ func (s *Signals) VoteAny(vote func(w *cluster.Worker) bool) bool {
 // FlagsCost returns the virtual seconds one VoteAny exchange costs.
 func (s *Signals) FlagsCost() float64 { return s.r.cl.FlagsCost() }
 
+// EmitPhaseSwitch delivers a PhaseSwitchEvent to the run's observer (a
+// no-op without one). Composite policies call it when they hand the
+// per-step decision to a different inner policy; custom composites can
+// too.
+func (s *Signals) EmitPhaseSwitch(from, to string) {
+	if s.r.obs != nil {
+		s.r.obs.OnEvent(PhaseSwitchEvent{Step: s.Step, From: from, To: to})
+	}
+}
+
 // RecordTrackerDelta appends worker 0's current Δ(g_i) to the Result's
 // Fig. 5 series under Config.TrackDeltas (no-op otherwise, and on ranks not
 // hosting worker 0).
@@ -284,6 +294,24 @@ func (p *FedAvgPolicy) Decide(step int, sig *Signals) Action {
 		return Action{Kind: ActRoundAverage, Participants: p.pickRNG.Sample(sig.Workers, p.participants)}
 	}
 	return Action{Kind: ActLocal}
+}
+
+// CheckpointState implements CheckpointablePolicy: the participant picker
+// is the policy's only mutable state (the cadence is re-derived by Init).
+func (p *FedAvgPolicy) CheckpointState() PolicyState {
+	return PolicyState{Name: p.Name(), Words: []uint64{p.pickRNG.State()}}
+}
+
+// RestoreState implements CheckpointablePolicy.
+func (p *FedAvgPolicy) RestoreState(st PolicyState) error {
+	if len(st.Words) != 1 {
+		return fmt.Errorf("train: FedAvg checkpoint state wants 1 word, got %d", len(st.Words))
+	}
+	if p.pickRNG == nil {
+		return fmt.Errorf("train: FedAvg state restored before Init")
+	}
+	p.pickRNG.SetState(st.Words[0])
+	return nil
 }
 
 // SSPPolicy is stale-synchronous parallelism (paper §II-C). SSP has no

@@ -137,18 +137,28 @@ func TestParseScheduleSingleNameReturnsPurePolicy(t *testing.T) {
 
 func TestParseScheduleErrors(t *testing.T) {
 	for _, spec := range []string{
-		"",                // empty phase
-		"bsp,local",       // first phase unbounded
-		"bsp:0,local",     // non-positive step count
-		"bsp:x,local",     // non-numeric step count
-		"bsp:10,local:20", // last phase bounded
-		"nope:10,local",   // unknown name propagates mk's error
-		"ssp:10,bsp",      // event-loop method in a schedule
-		"bsp:10,ssp",      // ... in any position
+		"",                 // empty phase
+		"bsp:10,,local",    // empty middle phase
+		"bsp:10,local,",    // trailing comma (empty last phase)
+		",bsp:10,local",    // leading comma
+		"bsp,local",        // first phase unbounded
+		"bsp:0,local",      // non-positive step count
+		"bsp:-5,local",     // negative step count
+		"bsp:x,local",      // non-numeric step count
+		"bsp:10,local:20",  // last phase bounded
+		"nope:10,local",    // unknown name propagates mk's error
+		"nope",             // unknown bare name
+		"bsp:10,nope:5,局部", // unknown names anywhere
+		"ssp:10,bsp",       // event-loop method in a schedule
+		"bsp:10,ssp",       // ... in any position
 	} {
 		if _, err := ParseSchedule(spec, testMk); err == nil {
 			t.Fatalf("spec %q must fail to parse", spec)
 		}
+	}
+	// Whitespace around phases and counts is tolerated.
+	if _, err := ParseSchedule(" bsp : 10 , local ", testMk); err != nil {
+		t.Fatalf("whitespace must be tolerated: %v", err)
 	}
 	// A lone event-loop method is fine: it is not composed.
 	if _, err := ParseSchedule("ssp", testMk); err != nil {

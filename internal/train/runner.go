@@ -80,6 +80,13 @@ type runner struct {
 
 	stepsPerEpoch int
 	losses        []float64
+
+	// obs is the Job's event observer (nil without one: the loops build
+	// no events). done is the Job's cancellation channel (nil under an
+	// uncancellable context); the step and event loops poll it at their
+	// boundaries.
+	obs  Observer
+	done <-chan struct{}
 }
 
 func newRunner(cfg Config, method string) *runner {
@@ -277,7 +284,8 @@ func (r *runner) record(step int, loss, metric float64) {
 		Metric:  metric,
 	}
 	r.res.History = append(r.res.History, pt)
-	if !r.haveBest || r.res.BetterMetric(metric, r.bestMetric) {
+	best := !r.haveBest || r.res.BetterMetric(metric, r.bestMetric)
+	if best {
 		r.haveBest = true
 		r.bestMetric = metric
 		r.bestStep = step + 1
@@ -288,6 +296,51 @@ func (r *runner) record(step int, loss, metric float64) {
 		if r.cfg.Patience > 0 && r.sinceBest >= r.cfg.Patience {
 			r.stop = true
 		}
+	}
+	if r.obs != nil {
+		r.obs.OnEvent(EvalEvent{
+			Step:    pt.Step,
+			Epoch:   pt.Epoch,
+			SimTime: pt.SimTime,
+			Loss:    pt.Loss,
+			Metric:  pt.Metric,
+			Best:    best,
+		})
+	}
+}
+
+// hostedMeanLoss returns the mean of the hosted workers' last step losses
+// (the rank-local training-loss signal StepEvent carries).
+func (r *runner) hostedMeanLoss() float64 {
+	var s float64
+	for _, w := range r.cl.Workers {
+		s += r.losses[w.ID]
+	}
+	return s / float64(len(r.cl.Workers))
+}
+
+// hostedMaxClock returns the latest hosted worker clock — a rank-local
+// read; observation must never trigger the MaxClock collective, which
+// would desynchronize ranks that do not share an observer.
+func (r *runner) hostedMaxClock() float64 {
+	var m float64
+	for _, w := range r.cl.Workers {
+		if w.Clock > m {
+			m = w.Clock
+		}
+	}
+	return m
+}
+
+// cancelled reports whether the run's context is done — polled by the
+// event loops at their boundaries (nil channel without a cancellable
+// context: never ready, zero cost).
+func (r *runner) cancelled() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
 	}
 }
 

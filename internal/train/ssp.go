@@ -107,13 +107,24 @@ func runSSPLoop(r *runner, opts SSPOptions) {
 		psOpt.Step(r.lr(perWorkerStep) / float64(n))
 		worker.Steps++
 		totalApplied++
+		if r.obs != nil {
+			// One StepEvent per applied PS update: the pushing worker's
+			// own step index and loss, at the push's virtual time.
+			r.obs.OnEvent(StepEvent{
+				Step:     worker.Steps - 1,
+				Action:   ActSyncGrads,
+				LR:       r.lr(perWorkerStep) / float64(n),
+				MeanLoss: r.losses[next],
+				SimTime:  now,
+			})
+		}
 
 		// Evaluation cadence in per-worker steps.
 		if totalApplied%(r.cfg.EvalEvery*n) == 0 || totalApplied >= r.cfg.MaxSteps*n {
 			loss, metric := r.evalParams(global)
 			r.record(totalApplied/n-1, loss, metric)
 		}
-		if totalApplied >= r.cfg.MaxSteps*n || r.stop {
+		if totalApplied >= r.cfg.MaxSteps*n || r.stop || r.cancelled() {
 			break
 		}
 

@@ -155,12 +155,24 @@ func runSSPCoordinator(r *runner, opts SSPOptions, link comm.PeerLink) {
 		psOpt.Step(r.lr(perWorkerStep) / float64(n))
 		steps[next]++
 		totalApplied++
+		if r.obs != nil {
+			// Rank-0 event forwarding: the coordinator applies every
+			// update — including those computed on remote ranks — so it
+			// forwards the whole run's step events.
+			r.obs.OnEvent(StepEvent{
+				Step:     steps[next] - 1,
+				Action:   ActSyncGrads,
+				LR:       r.lr(perWorkerStep) / float64(n),
+				MeanLoss: r.losses[next],
+				SimTime:  now,
+			})
+		}
 
 		if totalApplied%(r.cfg.EvalEvery*n) == 0 || totalApplied >= r.cfg.MaxSteps*n {
 			loss, metric := r.evalParams(global)
 			r.record(totalApplied/n-1, loss, metric)
 		}
-		if totalApplied >= r.cfg.MaxSteps*n || r.stop {
+		if totalApplied >= r.cfg.MaxSteps*n || r.stop || r.cancelled() {
 			break
 		}
 

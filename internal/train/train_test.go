@@ -123,7 +123,7 @@ func TestSelSyncGAvsPAConsistency(t *testing.T) {
 // would release the cluster).
 func runSelSyncReturningCluster(cfg Config, opts SelSyncOptions) *cluster.Cluster {
 	r := newRunner(cfg, "probe")
-	newEngine(r, SelSyncPolicy{Delta: opts.Delta, Mode: opts.Mode}).run()
+	newEngine(r, SelSyncPolicy{Delta: opts.Delta, Mode: opts.Mode}).run(0, nil)
 	return r.cl
 }
 
@@ -132,7 +132,7 @@ func TestSelSyncGADivergesReplicasUnderLocalPhases(t *testing.T) {
 	cfg.MaxSteps = 40
 	// A δ that produces mostly local steps with occasional syncs.
 	r := newRunner(cfg, "probe")
-	newEngine(r, SelSyncPolicy{Delta: 0.02, Mode: cluster.GradAgg}).run()
+	newEngine(r, SelSyncPolicy{Delta: 0.02, Mode: cluster.GradAgg}).run(0, nil)
 	if r.res.LocalSteps == 0 {
 		t.Skip("no local phases materialized; divergence unobservable")
 	}

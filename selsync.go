@@ -41,6 +41,21 @@
 //
 // Custom policies are one Decide method away; see SyncPolicy.
 //
+// Jobs: every Run* call is fire-and-forget. For a run you can cancel,
+// watch, checkpoint and resume, build a Job:
+//
+//	job := selsync.NewJob(cfg, selsync.SelSyncPolicy{Delta: 0.05, Mode: selsync.ParamAgg},
+//		selsync.WithObserver(selsync.NewProgressObserver(os.Stderr)))
+//	res, err := job.Run(ctx) // honors ctx cancellation with a partial Result
+//	if errors.Is(err, context.Canceled) {
+//		ck, _ := job.Checkpoint()
+//		selsync.SaveCheckpoint("run.ckpt", ck) // resume later with WithResume
+//	}
+//
+// A resumed run (selsync.WithResume(ck) with an identically constructed
+// Config and policy) continues bit-identically to one that was never
+// interrupted. See examples/jobs for the full program.
+//
 // Distributed runs: setting Config.Fabric routes every synchronization
 // round (parameter/gradient aggregation, broadcast, the SelSync flags
 // allgather) through a communication backend instead of shared memory.
@@ -121,6 +136,56 @@ const (
 	ParamAgg = cluster.ParamAgg
 	// GradAgg averages gradients, leaving diverged replicas diverged.
 	GradAgg = cluster.GradAgg
+)
+
+// The Job API: context-cancellable runs, typed event streams and
+// bit-identical checkpoint/resume. NewJob is the primary entry point; the
+// Run* functions below are fire-and-forget shims over it.
+type (
+	// Job is a first-class training run: Run(ctx) once, observe, cancel,
+	// checkpoint, resume.
+	Job = train.Job
+	// JobOption configures NewJob (WithObserver, WithResume).
+	JobOption = train.Option
+	// Checkpoint is a complete run snapshot at a step boundary; a resumed
+	// run continues bit-identically to an uninterrupted one.
+	Checkpoint = train.Checkpoint
+	// Observer receives a Job's typed event stream.
+	Observer = train.Observer
+	// ObserverFunc adapts a function to Observer.
+	ObserverFunc = train.ObserverFunc
+	// Event is the sealed interface of all training events.
+	Event = train.Event
+	// StepEvent fires once per training step.
+	StepEvent = train.StepEvent
+	// SyncEvent fires for every synchronization round.
+	SyncEvent = train.SyncEvent
+	// EvalEvent fires after every test evaluation.
+	EvalEvent = train.EvalEvent
+	// PhaseSwitchEvent fires when a composite policy changes phase.
+	PhaseSwitchEvent = train.PhaseSwitchEvent
+	// CheckpointEvent fires when a checkpoint is captured.
+	CheckpointEvent = train.CheckpointEvent
+)
+
+var (
+	// NewJob builds a job over a config and a fresh policy value.
+	NewJob = train.NewJob
+	// WithObserver attaches an observer to the job's event stream.
+	WithObserver = train.WithObserver
+	// WithResume starts the run from a checkpoint.
+	WithResume = train.WithResume
+	// NewJSONLObserver writes one JSON object per event to a writer.
+	NewJSONLObserver = train.NewJSONLObserver
+	// NewProgressObserver renders live terminal progress.
+	NewProgressObserver = train.NewProgressObserver
+	// MultiObserver fans one event stream out to several observers.
+	MultiObserver = train.MultiObserver
+	// SaveCheckpoint / LoadCheckpoint are the checkpoint file helpers;
+	// DecodeCheckpoint reads the wire format from any reader.
+	SaveCheckpoint   = train.SaveCheckpoint
+	LoadCheckpoint   = train.LoadCheckpoint
+	DecodeCheckpoint = train.DecodeCheckpoint
 )
 
 // Training algorithms.

@@ -2,6 +2,8 @@ package selsync_test
 
 import (
 	"bytes"
+	"context"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -91,4 +93,83 @@ func TestFacadeZooAndSchemes(t *testing.T) {
 	if selsync.ParamAgg.String() != "ParamAgg" || selsync.GradAgg.String() != "GradAgg" {
 		t.Fatal("agg mode names wrong")
 	}
+}
+
+// The Example functions below double as documentation and as facade-level
+// tests: `go test` verifies their output, so the quickstart snippets in
+// README.md can never silently rot.
+
+func ExampleConfig_Validate() {
+	var cfg selsync.Config
+	fmt.Println(cfg.Validate())
+
+	wload := selsync.WorkloadForModel("resnet", 256, 128, 2)
+	cfg = selsync.Config{
+		Model: selsync.ResNetLite(10, 2), Workers: -3,
+		Train: wload.Train, Test: wload.Test,
+	}
+	fmt.Println(cfg.Validate())
+	// Output:
+	// train: Config.Train and Config.Test are required
+	// train: Config.Workers must be positive, got -3
+}
+
+func ExampleParseSchedule() {
+	mk := func(name string) (selsync.SyncPolicy, error) {
+		switch name {
+		case "bsp":
+			return selsync.BSPPolicy{}, nil
+		case "selsync":
+			return selsync.SelSyncPolicy{Delta: 0.1, Mode: selsync.ParamAgg}, nil
+		}
+		return nil, fmt.Errorf("unknown method %q", name)
+	}
+	policy, _ := selsync.ParseSchedule("bsp:200,selsync", mk)
+	fmt.Println(policy.Name())
+
+	_, err := selsync.ParseSchedule("bsp:200,", mk)
+	fmt.Println(err)
+	// Output:
+	// Schedule(BSP:200→SelSync(δ=0.1,ParamAgg))
+	// train: empty phase in schedule "bsp:200,"
+}
+
+func ExampleNewJob() {
+	wload := selsync.WorkloadForModel("resnet", 512, 256, 7)
+	cfg := selsync.Config{
+		Model: selsync.ResNetLite(10, 2), Workers: 4, Batch: 16, Seed: 7,
+		Train: wload.Train, Test: wload.Test, Scheme: selsync.SelDP,
+		MaxSteps: 20, EvalEvery: 10,
+	}
+	syncRounds := 0
+	job := selsync.NewJob(cfg, selsync.BSPPolicy{},
+		selsync.WithObserver(selsync.ObserverFunc(func(e selsync.Event) {
+			if _, ok := e.(selsync.SyncEvent); ok {
+				syncRounds++
+			}
+		})))
+	res, err := job.Run(context.Background())
+	fmt.Println(err, res.Steps, syncRounds)
+	// Output: <nil> 20 20
+}
+
+func ExampleJob_Checkpoint() {
+	wload := selsync.WorkloadForModel("resnet", 512, 256, 8)
+	cfg := selsync.Config{
+		Model: selsync.ResNetLite(10, 2), Workers: 4, Batch: 16, Seed: 8,
+		Train: wload.Train, Test: wload.Test, Scheme: selsync.SelDP,
+		MaxSteps: 20, EvalEvery: 10,
+	}
+	full, _ := selsync.NewJob(cfg, selsync.LocalSGDPolicy{}).Run(context.Background())
+
+	// Interrupt at half the budget, checkpoint, resume to the end.
+	halfCfg := cfg
+	halfCfg.MaxSteps = 10
+	halfJob := selsync.NewJob(halfCfg, selsync.LocalSGDPolicy{})
+	halfJob.Run(context.Background())
+	ck, _ := halfJob.Checkpoint()
+
+	resumed, _ := selsync.NewJob(cfg, selsync.LocalSGDPolicy{}, selsync.WithResume(ck)).Run(context.Background())
+	fmt.Println("resumed from step", ck.Step, "- bit-identical:", resumed.Digest() == full.Digest())
+	// Output: resumed from step 10 - bit-identical: true
 }
