@@ -95,7 +95,7 @@ func main() {
 			}
 		}
 		res, err := selsync.NewJob(cfg, policy).Run(ctx)
-		if errors.Is(err, context.Canceled) {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			fmt.Println("sweep interrupted; rows above are complete runs")
 			return
 		}

@@ -148,7 +148,9 @@ func main() {
 	}
 
 	res, err := job.Run(ctx)
-	interrupted := errors.Is(err, context.Canceled)
+	// A deadline behaves like Ctrl-C: Run still hands back a valid
+	// partial Result worth printing and checkpointing.
+	interrupted := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 	if err != nil && !interrupted {
 		fail("%v", err)
 	}
@@ -156,7 +158,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "\ninterrupted at step %d; result below is the partial run\n", res.Steps)
 	}
 	if *ckptPath != "" {
-		ck, err := job.Checkpoint()
+		ck, err := job.Checkpoint(context.Background())
 		if err != nil {
 			fail("checkpointing: %v", err)
 		}

@@ -71,7 +71,7 @@ func main() {
 	}
 	fmt.Printf("\n=== interrupted at step %d (partial, %d evals so far) ===\n",
 		partial.Steps, len(partial.History))
-	ck, err := job.Checkpoint()
+	ck, err := job.Checkpoint(context.Background())
 	if err != nil {
 		panic(err)
 	}

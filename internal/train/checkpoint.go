@@ -201,9 +201,6 @@ func captureCheckpoint(r *runner, policy SyncPolicy, step int) (*Checkpoint, err
 		st := r.diagTracker.State()
 		ck.DiagTracker = &st
 	}
-	if r.obs != nil {
-		r.obs.OnEvent(CheckpointEvent{Step: step, Workers: len(ck.Hosted)})
-	}
 	return ck, nil
 }
 

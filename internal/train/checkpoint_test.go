@@ -34,7 +34,7 @@ func resumeCase(t *testing.T, mkCfg func() Config, mkPolicy func() SyncPolicy, i
 	if _, err := shortJob.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	ck, err := shortJob.Checkpoint()
+	ck, err := shortJob.Checkpoint(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +179,7 @@ func TestCheckpointResumeAfterCancellation(t *testing.T) {
 	if _, err := job.Run(ctx); !errors.Is(err, context.Canceled) {
 		t.Fatalf("want cancellation, got %v", err)
 	}
-	ck, err := job.Checkpoint()
+	ck, err := job.Checkpoint(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -207,6 +207,8 @@ func TestCheckpointResumeAfterCancellation(t *testing.T) {
 
 // TestMidRunCheckpoint: Job.Checkpoint during a live run captures at a
 // step boundary, and resuming from it reproduces the rest of the run.
+// The Checkpoint goroutine is deliberately launched before Run is even
+// entered: Checkpoint waits for the run to start, so this races nothing.
 func TestMidRunCheckpoint(t *testing.T) {
 	mkCfg := func() Config {
 		cfg := smallConfig(91)
@@ -224,7 +226,7 @@ func TestMidRunCheckpoint(t *testing.T) {
 	var ckErr error
 	go func() {
 		defer close(done)
-		ck, ckErr = job.Checkpoint() // blocks until the run reaches a boundary
+		ck, ckErr = job.Checkpoint(context.Background()) // waits for the run, then a boundary
 	}()
 	res, err := job.Run(context.Background())
 	<-done
@@ -266,7 +268,7 @@ func TestCheckpointResumeTCP(t *testing.T) {
 		if _, err := shortJob.Run(context.Background()); err != nil {
 			panic(err)
 		}
-		ck, err := shortJob.Checkpoint()
+		ck, err := shortJob.Checkpoint(context.Background())
 		if err != nil {
 			panic(err)
 		}
@@ -292,7 +294,7 @@ func TestCheckpointMismatchErrors(t *testing.T) {
 	if _, err := job.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	ck, err := job.Checkpoint()
+	ck, err := job.Checkpoint(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,11 +328,71 @@ func TestCheckpointMismatchErrors(t *testing.T) {
 	}
 }
 
-// TestCheckpointBeforeRun errors instead of hanging.
+// TestCheckpointBeforeRun: Checkpoint waits for the run to start, and the
+// context bounds that wait — so a job that is never Run errors instead of
+// hanging.
 func TestCheckpointBeforeRun(t *testing.T) {
 	job := NewJob(smallConfig(95), BSPPolicy{})
-	if _, err := job.Checkpoint(); err == nil {
-		t.Fatal("checkpoint before Run must error")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := job.Checkpoint(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("checkpoint before Run with a dead ctx: want context.Canceled, got %v", err)
+	}
+}
+
+// TestCheckpointAfterFailedRun: a Run that failed — policy Init error,
+// resume mismatch — leaves nothing to checkpoint. Checkpoint must error
+// rather than dereference half-built policy state (FedAvg's pick RNG only
+// exists after a successful Init) or hand back a fresh step-0 snapshot a
+// CLI would happily save over a good checkpoint file.
+func TestCheckpointAfterFailedRun(t *testing.T) {
+	t.Run("init-error", func(t *testing.T) {
+		job := NewJob(smallConfig(98), &FedAvgPolicy{C: 0, E: 0.5})
+		if _, err := job.Run(context.Background()); err == nil {
+			t.Fatal("FedAvg C=0 must fail Init")
+		}
+		if _, err := job.Checkpoint(context.Background()); err == nil {
+			t.Fatal("checkpoint after a failed Run must error")
+		}
+	})
+	t.Run("resume-mismatch", func(t *testing.T) {
+		cfg := smallConfig(99)
+		cfg.MaxSteps, cfg.EvalEvery = 10, 5
+		src := NewJob(cfg, BSPPolicy{})
+		if _, err := src.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		ck, err := src.Checkpoint(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		job := NewJob(cfg, LocalSGDPolicy{}, WithResume(ck))
+		if _, err := job.Run(context.Background()); err == nil {
+			t.Fatal("mismatched resume must fail")
+		}
+		if _, err := job.Checkpoint(context.Background()); err == nil {
+			t.Fatal("checkpoint after a failed resume must error, not snapshot a fresh run")
+		}
+	})
+}
+
+// TestCheckpointExpiredCtxAfterRun: reusing the run's own expired context
+// post-run must still capture — a started/finished run wins over a
+// simultaneously-done ctx (select picks ready cases randomly, so any
+// regression here is a flake; the loop hunts it).
+func TestCheckpointExpiredCtxAfterRun(t *testing.T) {
+	cfg := smallConfig(97)
+	cfg.MaxSteps, cfg.EvalEvery = 10, 5
+	job := NewJob(cfg, BSPPolicy{})
+	if _, err := job.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i := 0; i < 50; i++ {
+		if _, err := job.Checkpoint(ctx); err != nil {
+			t.Fatalf("attempt %d: post-run checkpoint with a done ctx: %v", i, err)
+		}
 	}
 }
 
@@ -345,7 +407,7 @@ func TestResumeOfCompletedRunIsIdempotent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ck, err := job.Checkpoint()
+	ck, err := job.Checkpoint(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -124,10 +124,8 @@ func (e *engine) run(start int, j *Job) (next int, cancelled bool) {
 		if j != nil {
 			j.serviceCheckpoint(step)
 		}
-		select {
-		case <-e.r.done:
+		if e.r.cancelled() {
 			return step, true
-		default:
 		}
 		if e.step(step) {
 			return step + 1, false
@@ -165,6 +163,8 @@ func (e *engine) step(step int) bool {
 // hand-rolled per-method loops did.
 func (e *engine) execute(act Action, injCost float64) {
 	r := e.r
+	var syncCost float64
+	participants := r.cl.N()
 	switch act.Kind {
 	case ActSyncGrads:
 		// Push gradients, pull the mean, every worker applies the same
@@ -175,11 +175,7 @@ func (e *engine) execute(act Action, injCost float64) {
 			r.trackDelta(e.avg.Norm())
 		}
 		r.cl.Each(e.syncGradsFn)
-		cost := act.ExtraCost + r.cl.SyncCost() + injCost
-		r.cl.Barrier(cost)
-		if r.obs != nil {
-			r.obs.OnEvent(SyncEvent{Step: e.sig.Step, Kind: act.Kind, Participants: r.cl.N(), CostSeconds: cost})
-		}
+		syncCost = r.cl.SyncCost()
 	case ActSyncParams:
 		// Apply the local update first (Alg. 1 line 9), then push
 		// parameters and pull their average: one consistent global state
@@ -187,11 +183,7 @@ func (e *engine) execute(act Action, injCost float64) {
 		r.applyLocal(e.lr)
 		r.cl.AggregateParams()
 		r.cl.Each(e.countSyncFn)
-		cost := act.ExtraCost + r.cl.SyncCost() + injCost
-		r.cl.Barrier(cost)
-		if r.obs != nil {
-			r.obs.OnEvent(SyncEvent{Step: e.sig.Step, Kind: act.Kind, Participants: r.cl.N(), CostSeconds: cost})
-		}
+		syncCost = r.cl.SyncCost()
 	case ActRoundAverage:
 		// FedAvg's round boundary: everyone applies locally, the chosen
 		// participants' parameters average into the global model, everyone
@@ -204,18 +196,20 @@ func (e *engine) execute(act Action, injCost float64) {
 		r.cl.ReduceParamsSubset(ids)
 		r.cl.Broadcast()
 		r.cl.Each(e.countSyncFn)
-		syncCost := r.cl.Network.PSPush(r.spec.WireBytes, len(ids)) +
+		syncCost = r.cl.Network.PSPush(r.spec.WireBytes, len(ids)) +
 			r.cl.Network.PSPull(r.spec.WireBytes, r.cl.N())
-		cost := act.ExtraCost + syncCost + injCost
-		r.cl.Barrier(cost)
-		if r.obs != nil {
-			r.obs.OnEvent(SyncEvent{Step: e.sig.Step, Kind: act.Kind, Participants: len(ids), CostSeconds: cost})
-		}
+		participants = len(ids)
 	case ActLocal:
 		r.applyLocal(e.lr)
 		e.localExtra = act.ExtraCost + injCost
 		r.cl.Each(e.localFn)
+		return
 	default:
 		panic(fmt.Sprintf("train: unknown action kind %v", act.Kind))
+	}
+	cost := act.ExtraCost + syncCost + injCost
+	r.cl.Barrier(cost)
+	if r.obs != nil {
+		r.obs.OnEvent(SyncEvent{Step: e.sig.Step, Kind: act.Kind, Participants: participants, CostSeconds: cost})
 	}
 }

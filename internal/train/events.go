@@ -100,7 +100,10 @@ type PhaseSwitchEvent struct {
 // EventType implements Event.
 func (PhaseSwitchEvent) EventType() string { return "phase-switch" }
 
-// CheckpointEvent fires when a checkpoint is captured.
+// CheckpointEvent fires when a mid-run checkpoint is captured at a step
+// boundary. Post-run Checkpoint calls capture on the requester's
+// goroutine and emit no event, preserving the Observer single-goroutine
+// contract.
 type CheckpointEvent struct {
 	// Step is the step the checkpoint resumes from (the first step the
 	// restored run will execute).

@@ -21,10 +21,13 @@ type Job struct {
 	resume *Checkpoint
 
 	// ckptCh carries mid-run checkpoint requests to the engine loop;
-	// runDone closes when Run returns, releasing requesters to capture
-	// from the quiesced run directly.
-	ckptCh  chan chan ckptReply
-	runDone chan struct{}
+	// runStarted closes when Run is entered, so a Checkpoint launched
+	// concurrently with Run waits for it instead of racing; runDone
+	// closes when Run returns, releasing requesters to capture from the
+	// quiesced run directly.
+	ckptCh     chan chan ckptReply
+	runStarted chan struct{}
+	runDone    chan struct{}
 
 	mu       sync.Mutex
 	started  bool
@@ -70,10 +73,11 @@ func WithResume(ck *Checkpoint) Option {
 // policies carry per-run state.
 func NewJob(cfg Config, policy SyncPolicy, opts ...Option) *Job {
 	j := &Job{
-		cfg:     cfg,
-		policy:  policy,
-		ckptCh:  make(chan chan ckptReply),
-		runDone: make(chan struct{}),
+		cfg:        cfg,
+		policy:     policy,
+		ckptCh:     make(chan chan ckptReply),
+		runStarted: make(chan struct{}),
+		runDone:    make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(j)
@@ -107,6 +111,7 @@ func (j *Job) Run(ctx context.Context) (*Result, error) {
 	}
 	j.started = true
 	j.mu.Unlock()
+	close(j.runStarted)
 	defer close(j.runDone)
 
 	if err := j.cfg.Validate(); err != nil {
@@ -215,37 +220,83 @@ func (j *Job) Result() *Result {
 	return j.res
 }
 
-// Checkpoint snapshots the run at a step boundary. Called while Run is in
-// flight it blocks until the training goroutine reaches the next boundary
-// and captures there; called after Run returned (completed, cancelled, or
-// stopped early) it captures the final state, which a new Job can resume
-// with a larger step budget. It must not be called from an observer (the
-// training goroutine would wait on itself).
-func (j *Job) Checkpoint() (*Checkpoint, error) {
-	j.mu.Lock()
-	started := j.started
-	j.mu.Unlock()
-	if !started {
-		return nil, fmt.Errorf("train: checkpoint before Run started")
+// Checkpoint snapshots the run at a step boundary. It first waits for Run
+// to be entered, so launching Checkpoint from another goroutine before or
+// concurrently with Run is race-free. Called while the run is in flight
+// it then blocks until the training goroutine reaches the next boundary
+// and captures there (emitting a CheckpointEvent on that goroutine);
+// called after Run returned (completed, cancelled, or stopped early) it
+// captures the final state — without an event — which a new Job can
+// resume with a larger step budget.
+//
+// The context bounds the waiting: a done ctx releases a Checkpoint whose
+// Run never starts, or never reaches another boundary, with ctx.Err().
+// Under an event-loop policy (SSP replaces the step loop that services
+// requests) it fails immediately rather than blocking for the rest of the
+// run. It must not be called from an observer (the training goroutine
+// would wait on itself).
+func (j *Job) Checkpoint(ctx context.Context) (*Checkpoint, error) {
+	// j.policy is immutable after NewJob, so this fail-fast needs no lock.
+	if _, ok := j.policy.(eventLoopPolicy); ok {
+		return nil, fmt.Errorf("train: %s replaces the step loop and cannot be checkpointed", j.policy.Name())
+	}
+	// Progress beats a simultaneously-done ctx: select picks randomly
+	// among ready cases, so a started (or finished) run is checked
+	// non-blocking first. Reusing the run's own expired context —
+	// Run(ctx) returned DeadlineExceeded, then Checkpoint(ctx) — must
+	// capture the quiesced state, not flake on ctx.Err().
+	select {
+	case <-j.runStarted:
+	default:
+		select {
+		case <-j.runStarted:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("train: checkpoint abandoned before Run started: %w", ctx.Err())
+		}
+	}
+	select {
+	case <-j.runDone:
+		return j.checkpointFinal()
+	default:
 	}
 
 	reply := make(chan ckptReply, 1)
 	select {
 	case j.ckptCh <- reply:
-		res := <-reply
-		return res.ck, res.err
+		// The engine owns the request now and replies within one step —
+		// unless the run panics out from under it (observer or policy
+		// panic repanicking through Run), which closes runDone with the
+		// reply possibly never sent.
+		select {
+		case res := <-reply:
+			return res.ck, res.err
+		case <-j.runDone:
+			select {
+			case res := <-reply:
+				return res.ck, res.err
+			default:
+				return nil, fmt.Errorf("train: run ended before servicing the checkpoint request")
+			}
+		}
 	case <-j.runDone:
 		return j.checkpointFinal()
+	case <-ctx.Done():
+		return nil, ctx.Err()
 	}
 }
 
-// checkpointFinal captures from a run that has already returned.
+// checkpointFinal captures from a run that has already returned. Only a
+// run that produced a Result — completed, cancelled, or patience-stopped
+// — can be captured: a failed Run (construction, Init, resume mismatch)
+// or one that panicked out leaves no consistent state, and capturing it
+// would at best snapshot a fresh step-0 run and at worst dereference a
+// half-built policy.
 func (j *Job) checkpointFinal() (*Checkpoint, error) {
 	j.mu.Lock()
-	r, next := j.r, j.nextStep
+	r, next, res, finished := j.r, j.nextStep, j.res, j.finished
 	j.mu.Unlock()
-	if r == nil {
-		return nil, fmt.Errorf("train: nothing to checkpoint (the run failed during construction)")
+	if !finished || r == nil || res == nil {
+		return nil, fmt.Errorf("train: nothing to checkpoint (the run failed)")
 	}
 	return captureCheckpoint(r, j.policy, next)
 }
@@ -256,8 +307,17 @@ func (j *Job) checkpointFinal() (*Checkpoint, error) {
 func (j *Job) serviceCheckpoint(step int) {
 	select {
 	case reply := <-j.ckptCh:
-		ck, err := captureCheckpoint(j.r0(), j.policy, step)
+		r := j.r0()
+		ck, err := captureCheckpoint(r, j.policy, step)
+		// Reply before the event so a panicking observer cannot strand a
+		// successfully captured checkpoint.
 		reply <- ckptReply{ck, err}
+		if err == nil && r.obs != nil {
+			// Only mid-run captures emit an event: this runs on the
+			// training goroutine, keeping the Observer single-goroutine
+			// contract (post-run captures run on the requester's).
+			r.obs.OnEvent(CheckpointEvent{Step: step, Workers: len(ck.Hosted)})
+		}
 	default:
 	}
 }

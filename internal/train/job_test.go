@@ -256,6 +256,12 @@ func TestSSPJobCancellation(t *testing.T) {
 			}
 		}
 	})))
+	// The event-loop never services checkpoint requests, so Checkpoint
+	// must fail fast — before, during, or after the run — instead of
+	// parking until the run ends (this call would hang otherwise).
+	if _, err := job.Checkpoint(context.Background()); err == nil {
+		t.Fatal("SSP checkpoint must be unsupported")
+	}
 	res, err := job.Run(ctx)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("want context.Canceled, got %v", err)
@@ -263,7 +269,7 @@ func TestSSPJobCancellation(t *testing.T) {
 	if res.LSSR != -1 || res.Steps == 0 {
 		t.Fatalf("partial SSP result inconsistent: %+v", res)
 	}
-	if _, err := job.Checkpoint(); err == nil {
+	if _, err := job.Checkpoint(context.Background()); err == nil {
 		t.Fatal("SSP checkpoint must be unsupported")
 	}
 }

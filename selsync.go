@@ -48,7 +48,7 @@
 //		selsync.WithObserver(selsync.NewProgressObserver(os.Stderr)))
 //	res, err := job.Run(ctx) // honors ctx cancellation with a partial Result
 //	if errors.Is(err, context.Canceled) {
-//		ck, _ := job.Checkpoint()
+//		ck, _ := job.Checkpoint(context.Background())
 //		selsync.SaveCheckpoint("run.ckpt", ck) // resume later with WithResume
 //	}
 //
@@ -164,7 +164,7 @@ type (
 	EvalEvent = train.EvalEvent
 	// PhaseSwitchEvent fires when a composite policy changes phase.
 	PhaseSwitchEvent = train.PhaseSwitchEvent
-	// CheckpointEvent fires when a checkpoint is captured.
+	// CheckpointEvent fires when a mid-run checkpoint is captured.
 	CheckpointEvent = train.CheckpointEvent
 )
 

@@ -167,7 +167,7 @@ func ExampleJob_Checkpoint() {
 	halfCfg.MaxSteps = 10
 	halfJob := selsync.NewJob(halfCfg, selsync.LocalSGDPolicy{})
 	halfJob.Run(context.Background())
-	ck, _ := halfJob.Checkpoint()
+	ck, _ := halfJob.Checkpoint(context.Background())
 
 	resumed, _ := selsync.NewJob(cfg, selsync.LocalSGDPolicy{}, selsync.WithResume(ck)).Run(context.Background())
 	fmt.Println("resumed from step", ck.Step, "- bit-identical:", resumed.Digest() == full.Digest())
