@@ -14,6 +14,18 @@
 // Or let rank -launch spawn the whole job as real OS processes:
 //
 //	selsync-node -launch 4 -model resnet -method selsync -workers 4 -steps 100
+//
+// Fault tolerance: with -supervise (plus -checkpoint and -ckpt-every) the
+// launcher babysits the gang — a rank that dies from a fabric fault or an
+// injected crash triggers a gang restart of every rank from the newest
+// auto-checkpoint step all ranks persisted, reproducing the uninterrupted
+// run bit for bit:
+//
+//	selsync-node -launch 4 -supervise -checkpoint /tmp/ck -ckpt-every 25 \
+//	    -crash-rank 2 -crash-at-step 100 -digest ...
+//
+// Exit codes: 0 success, 2 configuration or I/O failure, 3 fabric fault
+// (typed comm error; partial result salvaged), 7 injected rank crash.
 package main
 
 import (
@@ -25,11 +37,19 @@ import (
 	"os"
 	"os/exec"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 
+	"selsync/internal/comm"
 	"selsync/internal/experiments"
 	"selsync/internal/train"
+)
+
+const (
+	exitFail  = 2 // configuration or I/O failure
+	exitFault = 3 // fabric fault: typed comm error, partial result salvaged
+	exitCrash = 7 // whole-rank crash (chaos schedule or -crash-at-step)
 )
 
 func main() {
@@ -56,12 +76,31 @@ func main() {
 	progress := flag.Bool("progress", false, "stream live evaluation progress to stderr (rank 0)")
 	ckptPath := flag.String("checkpoint", "", "save the run's final (or interrupted) state; on a mesh every rank writes <path>.rank<r>")
 	resumePath := flag.String("resume", "", "resume from a checkpoint; on a mesh every rank reads <path>.rank<r>")
+	ckptEvery := flag.Int("ckpt-every", 0, "also auto-save a checkpoint every N steps to <checkpoint>.rank<r>.s<step> (requires -checkpoint)")
+	supervise := flag.Bool("supervise", false, "with -launch: gang-restart the job from its auto-checkpoints when a rank dies (requires -checkpoint and -ckpt-every)")
+	maxRestarts := flag.Int("max-restarts", 2, "with -supervise: gang restarts before giving up")
+	chaos := flag.String("chaos", "", "deterministic fault-plan script injected in front of the TCP endpoint, e.g. \"seed=7;delay=100us..1ms;drop=0.01\"")
+	opTimeout := flag.Duration("op-timeout", 0, "bound every collective receive (0 = unbounded); a rank blocked on a dead peer fails instead of hanging")
+	crashAtStep := flag.Int("crash-at-step", 0, "fault injection: exit(7) when -crash-rank completes this 0-based step")
+	crashRank := flag.Int("crash-rank", 0, "the rank -crash-at-step kills")
+	digest := flag.Bool("digest", false, "print the run's result digest (rank 0) for bit-identity checks")
 	flag.Parse()
 
 	switch *mode {
 	case "param", "grad":
 	default:
 		fail("unknown -agg %q (want param or grad)", *mode)
+	}
+	if *ckptEvery > 0 && *ckptPath == "" {
+		fail("-ckpt-every requires -checkpoint")
+	}
+	if *supervise {
+		if *launch <= 0 {
+			fail("-supervise requires -launch")
+		}
+		if *ckptPath == "" || *ckptEvery <= 0 {
+			fail("-supervise requires -checkpoint and -ckpt-every (the gang-restart source)")
+		}
 	}
 
 	spec := experiments.RunSpec{
@@ -83,10 +122,23 @@ func main() {
 		if *workers%*launch != 0 {
 			fail("-workers (%d) must be divisible by -launch (%d)", *workers, *launch)
 		}
+		if *supervise {
+			os.Exit(superviseJob(*launch, flag.CommandLine, *ckptPath, *maxRestarts))
+		}
 		os.Exit(launchJob(*launch, flag.CommandLine))
 	}
 
-	fabric, report, err := experiments.ParseTransport(*transport, *rank, *peers, *workers)
+	fabric, report, err := experiments.ParseTransportOpts(*transport, *rank, *peers, *workers,
+		experiments.TransportOptions{
+			Chaos:     *chaos,
+			OpTimeout: *opTimeout,
+			OnCrash: func() {
+				// A scheduled whole-rank crash: die the way a killed process
+				// does — no goodbye to the peers, no checkpoint.
+				fmt.Fprintf(os.Stderr, "rank %d: scheduled chaos crash\n", *rank)
+				os.Exit(exitCrash)
+			},
+		})
 	if err != nil {
 		fail("%v", err)
 	}
@@ -115,7 +167,25 @@ func main() {
 		if err != nil {
 			fail("loading -resume checkpoint: %v", err)
 		}
+		fmt.Fprintf(os.Stderr, "resuming from checkpoint step %d (%s)\n", ck.Step, rankPath(*resumePath))
 		opts = append(opts, train.WithResume(ck))
+	}
+	if *ckptEvery > 0 {
+		base := rankPath(*ckptPath)
+		opts = append(opts, train.WithAutoCheckpoint(*ckptEvery, func(step int, ck *train.Checkpoint) error {
+			if ck.Dirty {
+				return nil // emergency snapshots are not restart sources
+			}
+			return train.SaveCheckpoint(fmt.Sprintf("%s.s%d", base, step), ck)
+		}))
+	}
+	if *crashAtStep > 0 && *rank == *crashRank {
+		opts = append(opts, train.WithObserver(train.ObserverFunc(func(ev train.Event) {
+			if se, ok := ev.(train.StepEvent); ok && se.Step >= *crashAtStep {
+				fmt.Fprintf(os.Stderr, "rank %d: injected crash at step %d\n", *rank, se.Step)
+				os.Exit(exitCrash)
+			}
+		})))
 	}
 
 	job, wl, err := experiments.JobFor(spec, opts...)
@@ -143,6 +213,28 @@ func main() {
 	// A deadline behaves like Ctrl-C: Run still hands back a valid
 	// partial Result worth printing and checkpointing.
 	interrupted := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	var pe *comm.PeerError
+	if err != nil && !interrupted && errors.As(err, &pe) {
+		// The hardened fabric path: a peer failure surfaced as a typed
+		// error with a partial Result. Salvage what we can and exit with
+		// the recoverable code so a supervisor gang-restarts the job.
+		step := 0
+		if res != nil {
+			step = res.Steps
+		}
+		fmt.Fprintf(os.Stderr, "rank %d: fabric fault at step %d: %v\n", *rank, step, err)
+		if *ckptPath != "" {
+			if ck := job.EmergencyCheckpoint(); ck != nil {
+				path := rankPath(*ckptPath) + ".emergency"
+				if serr := train.SaveCheckpoint(path, ck); serr != nil {
+					fmt.Fprintf(os.Stderr, "saving emergency checkpoint: %v\n", serr)
+				} else {
+					fmt.Fprintf(os.Stderr, "emergency checkpoint saved to %s\n", path)
+				}
+			}
+		}
+		os.Exit(exitFault)
+	}
 	if err != nil && !interrupted {
 		fail("%v", err)
 	}
@@ -163,6 +255,9 @@ func main() {
 		fmt.Println(res)
 		fmt.Printf("sync steps: %d, local steps: %d, comm reduction vs BSP: %.1fx\n",
 			res.SyncSteps, res.LocalSteps, res.CommReduction())
+		if *digest {
+			fmt.Printf("digest: %s\n", res.Digest())
+		}
 	} else {
 		fmt.Printf("rank %d done\n", *rank)
 	}
@@ -171,26 +266,109 @@ func main() {
 // launchJob reserves one localhost port per rank, spawns every rank as a
 // child process of this same binary, and waits. Returns the exit code.
 func launchJob(ranks int, fs *flag.FlagSet) int {
+	codes, ok := runGang(ranks, fs, nil)
+	if !ok {
+		return 1
+	}
+	code := 0
+	for r, c := range codes {
+		if c != 0 {
+			fmt.Fprintf(os.Stderr, "rank %d exited with code %d\n", r, c)
+			code = 1
+		}
+	}
+	return code
+}
+
+// superviseJob is launchJob with a babysitter: when ranks die with a
+// recoverable code — an injected crash (7) or a fabric fault (3) — it
+// computes the newest auto-checkpoint step every rank persisted, stages
+// those files as the gang's resume source, and relaunches all ranks from it
+// with the crash injection disabled (the scripted fault fires once). Any
+// other nonzero exit, or running out of restarts, gives up.
+func superviseJob(ranks int, fs *flag.FlagSet, ckptBase string, maxRestarts int) int {
+	for attempt := 0; ; attempt++ {
+		var overrides map[string]string
+		if attempt > 0 {
+			step, err := latestCommonStep(ckptBase, ranks)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "supervisor: %v\n", err)
+				return 1
+			}
+			resumeBase := fmt.Sprintf("%s.recover%d", ckptBase, attempt)
+			for r := 0; r < ranks; r++ {
+				src := fmt.Sprintf("%s.rank%d.s%d", ckptBase, r, step)
+				if err := copyFile(src, fmt.Sprintf("%s.rank%d", resumeBase, r)); err != nil {
+					fmt.Fprintf(os.Stderr, "supervisor: staging restart checkpoint: %v\n", err)
+					return 1
+				}
+			}
+			fmt.Printf("supervisor: gang restart %d/%d from step %d\n", attempt, maxRestarts, step)
+			overrides = map[string]string{
+				"resume":        resumeBase,
+				"crash-at-step": "0",
+				"chaos":         "",
+			}
+		}
+		codes, ok := runGang(ranks, fs, overrides)
+		if !ok {
+			return 1
+		}
+		recoverable, code := false, 0
+		for r, c := range codes {
+			switch c {
+			case 0:
+			case exitFault, exitCrash:
+				fmt.Fprintf(os.Stderr, "supervisor: rank %d exited with recoverable code %d\n", r, c)
+				recoverable = true
+				if code == 0 {
+					code = c
+				}
+			default:
+				fmt.Fprintf(os.Stderr, "supervisor: rank %d exited with unrecoverable code %d\n", r, c)
+				return c
+			}
+		}
+		if !recoverable {
+			if attempt > 0 {
+				fmt.Printf("supervisor: job recovered after %d restart(s)\n", attempt)
+			}
+			return 0
+		}
+		if attempt >= maxRestarts {
+			fmt.Fprintf(os.Stderr, "supervisor: giving up after %d restart(s)\n", attempt)
+			return code
+		}
+	}
+}
+
+// runGang spawns every rank as a child of this same binary on freshly
+// reserved localhost ports, forwarding every training flag (as set or
+// defaulted, with overrides applied) minus the launcher-only ones, and
+// waits for all of them. Returns each rank's exit code.
+func runGang(ranks int, fs *flag.FlagSet, overrides map[string]string) ([]int, bool) {
 	peers, err := reservePorts(ranks)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "reserving ports: %v\n", err)
-		return 1
+		return nil, false
 	}
 	self, err := os.Executable()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "locating binary: %v\n", err)
-		return 1
+		return nil, false
 	}
 
-	// Forward every training flag as explicitly set or defaulted, minus
-	// the launcher-only ones.
 	var common []string
 	fs.VisitAll(func(f *flag.Flag) {
 		switch f.Name {
-		case "launch", "rank", "peers":
+		case "launch", "supervise", "max-restarts", "rank", "peers":
 			return
 		}
-		common = append(common, "-"+f.Name+"="+f.Value.String())
+		v := f.Value.String()
+		if ov, ok := overrides[f.Name]; ok {
+			v = ov
+		}
+		common = append(common, "-"+f.Name+"="+v)
 	})
 
 	fmt.Printf("launching %d ranks: %s\n", ranks, strings.Join(peers, " "))
@@ -208,18 +386,66 @@ func launchJob(ranks int, fs *flag.FlagSet) int {
 			for _, running := range cmds[:r] {
 				running.Process.Kill()
 			}
-			return 1
+			return nil, false
 		}
 		cmds[r] = cmd
 	}
-	code := 0
+	codes := make([]int, ranks)
 	for r, cmd := range cmds {
 		if err := cmd.Wait(); err != nil {
-			fmt.Fprintf(os.Stderr, "rank %d: %v\n", r, err)
-			code = 1
+			var xe *exec.ExitError
+			if errors.As(err, &xe) {
+				codes[r] = xe.ExitCode()
+			} else {
+				fmt.Fprintf(os.Stderr, "rank %d: %v\n", r, err)
+				codes[r] = 1
+			}
 		}
 	}
-	return code
+	return codes, true
+}
+
+// latestCommonStep scans every rank's auto-checkpoint files
+// (<base>.rank<r>.s<step>) and returns the newest step all ranks persisted
+// — the gang-restart line: resuming anywhere later would leave some rank
+// without a matching checkpoint.
+func latestCommonStep(base string, ranks int) (int, error) {
+	count := make(map[int]int)
+	for r := 0; r < ranks; r++ {
+		matches, err := filepath.Glob(fmt.Sprintf("%s.rank%d.s*", base, r))
+		if err != nil {
+			return 0, err
+		}
+		seen := make(map[int]bool)
+		for _, m := range matches {
+			step, err := strconv.Atoi(m[strings.LastIndex(m, ".s")+2:])
+			if err != nil {
+				continue // not a step file (e.g. an .emergency sibling)
+			}
+			if !seen[step] {
+				seen[step] = true
+				count[step]++
+			}
+		}
+	}
+	best := -1
+	for step, n := range count {
+		if n == ranks && step > best {
+			best = step
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("no auto-checkpoint step common to all %d ranks under %s", ranks, base)
+	}
+	return best, nil
+}
+
+func copyFile(src, dst string) error {
+	b, err := os.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(dst, b, 0o644)
 }
 
 // reservePorts finds n free localhost ports by binding and releasing them.
@@ -244,5 +470,5 @@ func reservePorts(n int) ([]string, error) {
 
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, format+"\n", args...)
-	os.Exit(2)
+	os.Exit(exitFail)
 }

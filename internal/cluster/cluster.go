@@ -415,41 +415,52 @@ func (c *Cluster) Broadcast() {
 
 // AggregateParams averages the replicas' parameters into the PS global
 // state and broadcasts the result — one full parameter-aggregation round
-// (push all, pull all) through the fabric.
-func (c *Cluster) AggregateParams() {
-	c.fabric.ReduceMean(c.PS.Global, c.allIDs, c.paramView)
+// (push all, pull all) through the fabric. A transport failure surfaces as
+// the fabric's typed error (comm.ErrPeerDown / comm.ErrTimeout wrapped in
+// a *comm.PeerError), leaving the fabric broken.
+func (c *Cluster) AggregateParams() error {
+	if err := c.fabric.ReduceMean(c.PS.Global, c.allIDs, c.paramView); err != nil {
+		return fmt.Errorf("cluster: aggregate params: %w", err)
+	}
 	c.fabric.AccountPush(c.N(), c.dim)
 	c.Broadcast()
+	return nil
 }
 
 // AggregateGrads averages the replicas' gradients into dst (one
 // gradient-aggregation round: push gradients, pull the mean; the mean is
 // left on every rank by the fabric). Callers apply dst through each
 // worker's optimizer.
-func (c *Cluster) AggregateGrads(dst tensor.Vector) {
-	c.fabric.ReduceMean(dst, c.allIDs, c.gradView)
+func (c *Cluster) AggregateGrads(dst tensor.Vector) error {
+	if err := c.fabric.ReduceMean(dst, c.allIDs, c.gradView); err != nil {
+		return fmt.Errorf("cluster: aggregate grads: %w", err)
+	}
 	c.fabric.AccountPush(c.N(), c.dim)
 	c.fabric.AccountPull(c.N(), c.dim)
+	return nil
 }
 
 // ReduceParamsSubset averages the parameters of the given workers into the
 // PS global state (FedAvg's partial participation: only ids push).
-func (c *Cluster) ReduceParamsSubset(ids []int) {
-	c.fabric.ReduceMean(c.PS.Global, ids, c.paramView)
+func (c *Cluster) ReduceParamsSubset(ids []int) error {
+	if err := c.fabric.ReduceMean(c.PS.Global, ids, c.paramView); err != nil {
+		return fmt.Errorf("cluster: reduce params subset: %w", err)
+	}
 	c.fabric.AccountPush(len(ids), c.dim)
+	return nil
 }
 
 // AverageParamsInto writes the across-replica mean parameter vector into
 // dst on every rank — a diagnostic read (evaluation, snapshots), not PS
 // traffic, so it leaves the ledger untouched.
-func (c *Cluster) AverageParamsInto(dst tensor.Vector) {
-	c.fabric.ReduceMean(dst, c.allIDs, c.paramView)
+func (c *Cluster) AverageParamsInto(dst tensor.Vector) error {
+	return c.fabric.ReduceMean(dst, c.allIDs, c.paramView)
 }
 
 // AverageGradsInto writes the across-replica mean gradient vector into dst
 // on every rank without touching the ledger.
-func (c *Cluster) AverageGradsInto(dst tensor.Vector) {
-	c.fabric.ReduceMean(dst, c.allIDs, c.gradView)
+func (c *Cluster) AverageGradsInto(dst tensor.Vector) error {
+	return c.fabric.ReduceMean(dst, c.allIDs, c.gradView)
 }
 
 // AccountPush records n worker→PS model-sized messages that bypassed the
@@ -463,38 +474,55 @@ func (c *Cluster) AccountPull(n int) { c.fabric.AccountPull(n, c.dim) }
 // fabric: on entry flags[id] is set for hosted ids, on return every
 // worker's vote is present on every rank. It reports whether any worker
 // voted to synchronize.
-func (c *Cluster) ExchangeFlags(flags []bool) bool {
-	c.fabric.AllGatherFlags(flags)
+func (c *Cluster) ExchangeFlags(flags []bool) (bool, error) {
+	if err := c.fabric.AllGatherFlags(flags); err != nil {
+		return false, fmt.Errorf("cluster: exchange flags: %w", err)
+	}
 	for _, f := range flags {
 		if f {
-			return true
+			return true, nil
 		}
 	}
-	return false
+	return false, nil
 }
 
-// MaxClock returns the latest worker clock across all ranks — the
-// cluster's wall time, since a run ends when its slowest worker does. On a
-// multi-process fabric this is a collective and must be called by every
-// rank at the same point.
-func (c *Cluster) MaxClock() float64 {
+// LocalMaxClock returns the latest hosted worker clock on this rank only —
+// no collective, so it stays usable after a fabric failure.
+func (c *Cluster) LocalMaxClock() float64 {
 	var m float64
 	for _, w := range c.Workers {
 		if w.Clock > m {
 			m = w.Clock
 		}
 	}
-	return c.fabric.MaxFloat(m)
+	return m
+}
+
+// MaxClock returns the latest worker clock across all ranks — the
+// cluster's wall time, since a run ends when its slowest worker does. On a
+// multi-process fabric this is a collective and must be called by every
+// rank at the same point.
+func (c *Cluster) MaxClock() (float64, error) {
+	m, err := c.fabric.MaxFloat(c.LocalMaxClock())
+	if err != nil {
+		return 0, fmt.Errorf("cluster: max clock: %w", err)
+	}
+	return m, nil
 }
 
 // Barrier advances every worker's clock to the cluster-wide maximum (the
 // blocking wait of BSP-style synchronization) and then adds extra seconds
 // of shared synchronization cost.
-func (c *Cluster) Barrier(extra float64) {
-	m := c.MaxClock() + extra
+func (c *Cluster) Barrier(extra float64) error {
+	m, err := c.MaxClock()
+	if err != nil {
+		return err
+	}
+	m += extra
 	for _, w := range c.Workers {
 		w.Clock = m
 	}
+	return nil
 }
 
 // SyncCost returns the virtual cost of one full synchronization round for

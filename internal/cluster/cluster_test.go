@@ -142,8 +142,8 @@ func TestBarrierAndClocks(t *testing.T) {
 	c.Workers[0].Clock = 1
 	c.Workers[1].Clock = 5
 	c.Workers[2].Clock = 3
-	if c.MaxClock() != 5 {
-		t.Fatalf("MaxClock: %v", c.MaxClock())
+	if m, err := c.MaxClock(); err != nil || m != 5 {
+		t.Fatalf("MaxClock: %v (err %v)", m, err)
 	}
 	c.Barrier(0.5)
 	for _, w := range c.Workers {
@@ -372,7 +372,12 @@ func TestMeshClusterFlagsAndBarrier(t *testing.T) {
 		for _, w := range c.Workers {
 			flags[w.ID] = w.ID == 3 // only worker 3 votes
 		}
-		if !c.ExchangeFlags(flags) {
+		any, err := c.ExchangeFlags(flags)
+		if err != nil {
+			t.Errorf("ExchangeFlags: %v", err)
+			return
+		}
+		if !any {
 			t.Error("vote lost in allgather")
 			return
 		}

@@ -52,6 +52,12 @@ type Stats struct {
 // Collective calls (ReduceMean, FanOut, AllGatherFlags, MaxFloat) must be
 // made by every rank of the fabric with matching arguments, in the same
 // order — the SPMD contract of every collective library.
+//
+// Collectives report transport failures as typed errors (wrapping
+// ErrPeerDown / ErrTimeout / ErrCrashed, with peer context in *PeerError)
+// instead of panicking. A collective that returned a non-nil error leaves
+// the fabric broken: the SPMD ranks are no longer aligned, and the only
+// safe operations afterwards are rank-local reads and Close.
 type Fabric interface {
 	// Rank is this process's rank; Procs the process count.
 	Rank() int
@@ -71,19 +77,20 @@ type Fabric interface {
 	// caller decides whether the round was PS traffic (AccountPush) or a
 	// diagnostic read (evaluation means), keeping the logical ledger
 	// identical across backends either way.
-	ReduceMean(dst tensor.Vector, ids []int, view func(worker int) tensor.Vector)
+	ReduceMean(dst tensor.Vector, ids []int, view func(worker int) tensor.Vector) error
 	// FanOut copies src into every locally hosted destination (the PS
 	// pull). src must already be rank-identical — in the cluster protocol
 	// it always is, because it is either the initial snapshot or a
-	// ReduceMean result. No ledger entry (see ReduceMean).
+	// ReduceMean result. No ledger entry (see ReduceMean). Purely local on
+	// both backends, hence no error.
 	FanOut(dsts []tensor.Vector, src tensor.Vector)
 	// AllGatherFlags exchanges the one-bit significance votes: on entry
 	// each rank has filled flags[id] for its hosted ids; on return flags
 	// holds every worker's vote on every rank.
-	AllGatherFlags(flags []bool)
+	AllGatherFlags(flags []bool) error
 	// MaxFloat returns the global maximum of x across ranks (virtual-clock
 	// reduction).
-	MaxFloat(x float64) float64
+	MaxFloat(x float64) (float64, error)
 
 	// AccountPush / AccountPull record n point-to-point PS messages of dim
 	// elements that bypassed the collective entry points (SSP's push/pull
@@ -137,13 +144,15 @@ func (l *Loopback) Hosts(worker int) bool { return worker >= 0 && worker < l.wor
 // LocalWorkers implements Fabric.
 func (l *Loopback) LocalWorkers() []int { return l.locals }
 
-// ReduceMean implements Fabric.
-func (l *Loopback) ReduceMean(dst tensor.Vector, ids []int, view func(worker int) tensor.Vector) {
+// ReduceMean implements Fabric. In one process the reduction is a direct
+// shared-memory fold; it cannot fail.
+func (l *Loopback) ReduceMean(dst tensor.Vector, ids []int, view func(worker int) tensor.Vector) error {
 	l.slots = l.slots[:0]
 	for _, id := range ids {
 		l.slots = append(l.slots, view(id))
 	}
 	tensor.Average(dst, l.slots)
+	return nil
 }
 
 // FanOut implements Fabric.
@@ -153,13 +162,14 @@ func (l *Loopback) FanOut(dsts []tensor.Vector, src tensor.Vector) {
 
 // AllGatherFlags implements Fabric: in one process the votes are already
 // all present; only the ledger moves.
-func (l *Loopback) AllGatherFlags(flags []bool) {
+func (l *Loopback) AllGatherFlags(flags []bool) error {
 	l.stats.FlagRounds++
 	l.stats.FlagBytes += FlagsWireBytes(l.workers)
+	return nil
 }
 
 // MaxFloat implements Fabric.
-func (l *Loopback) MaxFloat(x float64) float64 { return x }
+func (l *Loopback) MaxFloat(x float64) (float64, error) { return x, nil }
 
 // AccountPush implements Fabric.
 func (l *Loopback) AccountPush(n, dim int) {

@@ -284,7 +284,9 @@ func TestMeshReduceMeanMatchesLoopbackBitwise(t *testing.T) {
 
 	lb := NewLoopback(workers)
 	want := tensor.NewVector(dim)
-	lb.ReduceMean(want, ids, view)
+	if err := lb.ReduceMean(want, ids, view); err != nil {
+		t.Fatalf("loopback ReduceMean: %v", err)
+	}
 
 	for _, procs := range []int{2, 4} {
 		t.Run(fmt.Sprintf("procs=%d", procs), func(t *testing.T) {
@@ -295,7 +297,9 @@ func TestMeshReduceMeanMatchesLoopbackBitwise(t *testing.T) {
 			parallelRanks(t, eps, func(ep Endpoint) error {
 				m := ms[ep.Rank()]
 				dst := tensor.NewVector(dim)
-				m.ReduceMean(dst, ids, view)
+				if err := m.ReduceMean(dst, ids, view); err != nil {
+					return err
+				}
 				results[ep.Rank()] = dst
 				return nil
 			})
@@ -339,13 +343,19 @@ func TestMeshFlagsAndClock(t *testing.T) {
 			for _, id := range m.LocalWorkers() {
 				flags[id] = want[id]
 			}
-			m.AllGatherFlags(flags)
+			if err := m.AllGatherFlags(flags); err != nil {
+				return err
+			}
 			for i := range flags {
 				if flags[i] != want[i] {
 					return fmt.Errorf("rank %d: flag %d wrong", ep.Rank(), i)
 				}
 			}
-			if got := m.MaxFloat(clocks[ep.Rank()]); got != 9.25 {
+			got, err := m.MaxFloat(clocks[ep.Rank()])
+			if err != nil {
+				return err
+			}
+			if got != 9.25 {
 				return fmt.Errorf("rank %d: MaxFloat=%v", ep.Rank(), got)
 			}
 			return nil

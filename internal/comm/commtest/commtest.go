@@ -5,12 +5,34 @@
 package commtest
 
 import (
+	"fmt"
 	"net"
+	"runtime/debug"
 	"sync"
 	"testing"
+	"time"
 
 	"selsync/internal/comm"
 )
+
+// Options tunes the rank harness beyond RunRanks's defaults. The zero
+// value reproduces RunRanks exactly: real TCP endpoints with default
+// transport options, no decoration, unbounded collective waits.
+type Options struct {
+	// Loopback runs the ranks over in-process channel endpoints instead of
+	// TCP sockets. Same framing and collective code paths, no kernel.
+	Loopback bool
+	// TCP overrides transport tuning for TCP runs (nil = defaults).
+	TCP *comm.TCPOptions
+	// Wrap decorates each rank's endpoint before the mesh is layered on
+	// top — the hook chaos tests use to interpose comm.WithFaults. Nil is
+	// the identity.
+	Wrap func(rank int, ep comm.Endpoint) comm.Endpoint
+	// OpTimeout bounds every collective receive on each rank's mesh, so a
+	// rank blocked on a crashed peer fails with comm.ErrTimeout instead of
+	// deadlocking the test.
+	OpTimeout time.Duration
+}
 
 // RunRanks executes fn SPMD across procs ranks, each on its own real TCP
 // endpoint on 127.0.0.1 with its own full-mesh fabric over `workers` global
@@ -21,15 +43,48 @@ import (
 // the fabric closes), and fails the test if any rank panics.
 func RunRanks[T any](t testing.TB, procs, workers int, fn func(rank int, fabric comm.Fabric) T) ([]T, *comm.Stats) {
 	t.Helper()
-	lns := make([]net.Listener, procs)
-	peers := make([]string, procs)
-	for r := range lns {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			t.Fatal(err)
+	return RunRanksOpts(t, procs, workers, Options{}, fn)
+}
+
+// RunRanksOpts is RunRanks with harness options: loopback or TCP transport,
+// transport tuning, per-rank endpoint decoration (fault injection), and a
+// collective op timeout. Ranks whose endpoints die mid-run must surface
+// that as a value of T (e.g. an error field) rather than panicking.
+func RunRanksOpts[T any](t testing.TB, procs, workers int, o Options, fn func(rank int, fabric comm.Fabric) T) ([]T, *comm.Stats) {
+	t.Helper()
+	eps := make([]comm.Endpoint, procs)
+	if o.Loopback {
+		copy(eps, comm.NewLoopbackEndpoints(procs))
+	} else {
+		lns := make([]net.Listener, procs)
+		peers := make([]string, procs)
+		for r := range lns {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			lns[r] = ln
+			peers[r] = ln.Addr().String()
 		}
-		lns[r] = ln
-		peers[r] = ln.Addr().String()
+		opts := comm.DefaultTCPOptions()
+		if o.TCP != nil {
+			opts = *o.TCP
+		}
+		var dialWG sync.WaitGroup
+		dialErrs := make([]error, procs)
+		for r := 0; r < procs; r++ {
+			dialWG.Add(1)
+			go func(r int) {
+				defer dialWG.Done()
+				eps[r], dialErrs[r] = comm.DialTCPWithListenerOpts(r, peers, lns[r], opts)
+			}(r)
+		}
+		dialWG.Wait()
+		for r, err := range dialErrs {
+			if err != nil {
+				t.Fatalf("rank %d dial: %v", r, err)
+			}
+		}
 	}
 	results := make([]T, procs)
 	var stats0 comm.Stats
@@ -39,14 +94,21 @@ func RunRanks[T any](t testing.TB, procs, workers int, fn func(rank int, fabric 
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			defer func() { errs[r] = recover() }()
-			ep, err := comm.DialTCPWithListener(r, peers, lns[r])
-			if err != nil {
-				panic(err)
+			defer func() {
+				if p := recover(); p != nil {
+					errs[r] = fmt.Sprintf("%v\n%s", p, debug.Stack())
+				}
+			}()
+			ep := eps[r]
+			if o.Wrap != nil {
+				ep = o.Wrap(r, ep)
 			}
 			mesh, err := comm.NewMesh(ep, workers)
 			if err != nil {
 				panic(err)
+			}
+			if o.OpTimeout > 0 {
+				mesh.SetOpTimeout(o.OpTimeout)
 			}
 			defer mesh.Close()
 			results[r] = fn(r, mesh)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Endpoint is one rank's port into a frame transport: ordered, reliable
@@ -116,7 +117,7 @@ func (e *chanEndpoint) Send(to int, f *Frame) error {
 	case <-e.closed:
 		return ErrClosed
 	case <-peer.closed:
-		return ErrClosed
+		return fmt.Errorf("comm: send to rank %d: %w", to, ErrPeerDown)
 	case peer.inbox[e.rank] <- g:
 		e.net.countSend(f)
 		peer.net.countRecv(f)
@@ -125,12 +126,30 @@ func (e *chanEndpoint) Send(to int, f *Frame) error {
 }
 
 func (e *chanEndpoint) Recv(from int) (*Frame, error) {
+	return e.recv(from, nil)
+}
+
+// RecvTimeout implements DeadlineRecver: Recv bounded by d, so a
+// collective blocked on a dead or partitioned peer gives up with a typed
+// ErrTimeout instead of hanging the loopback process forever.
+func (e *chanEndpoint) RecvTimeout(from int, d time.Duration) (*Frame, error) {
+	if d <= 0 {
+		return e.recv(from, nil)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	return e.recv(from, t.C)
+}
+
+func (e *chanEndpoint) recv(from int, timeout <-chan time.Time) (*Frame, error) {
 	if from < 0 || from >= e.procs || from == e.rank {
 		return nil, fmt.Errorf("comm: rank %d cannot recv from %d", e.rank, from)
 	}
 	select {
 	case f := <-e.inbox[from]:
 		return f, nil
+	case <-timeout:
+		return nil, fmt.Errorf("comm: recv from rank %d: %w", from, ErrTimeout)
 	case <-e.closed:
 		// Drain anything already delivered before reporting closure.
 		select {
@@ -138,6 +157,15 @@ func (e *chanEndpoint) Recv(from int) (*Frame, error) {
 			return f, nil
 		default:
 			return nil, ErrClosed
+		}
+	case <-e.peers[from].closed:
+		// The peer hung up (crashed, or its fault plan killed it). Anything
+		// it sent before dying is still deliverable.
+		select {
+		case f := <-e.inbox[from]:
+			return f, nil
+		default:
+			return nil, fmt.Errorf("comm: recv from rank %d: %w", from, ErrPeerDown)
 		}
 	}
 }

@@ -1,0 +1,87 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"syscall"
+)
+
+// Typed fault taxonomy. Every I/O failure a Fabric surfaces is wrapped so
+// callers can dispatch with errors.Is:
+//
+//   - ErrPeerDown: the peer's endpoint is gone — its process exited, its
+//     socket reset, or bounded reconnection gave up. The collective round
+//     cannot complete and the fabric must be considered broken.
+//   - ErrTimeout: an operation exceeded its deadline (a per-op read/write
+//     deadline on the TCP endpoint, or the mesh's collective-recv timeout).
+//     The peer may still be alive but too slow or partitioned.
+//   - ErrCrashed: this endpoint was crashed on purpose by a fault plan
+//     (WithFaults CrashAtFrame) — the injected-fault analogue of the
+//     process dying.
+//
+// Fabric collectives additionally wrap these in a *PeerError carrying the
+// peer rank and the operation name, so a training run can report exactly
+// which link failed.
+var (
+	ErrPeerDown = errors.New("comm: peer down")
+	ErrTimeout  = errors.New("comm: operation timed out")
+	ErrCrashed  = errors.New("comm: endpoint crashed by fault plan")
+)
+
+// PeerError ties a transport failure to the peer rank and the collective
+// operation that hit it. It wraps the underlying (classified) error, so
+// errors.Is(err, ErrPeerDown) and friends see through it.
+type PeerError struct {
+	Rank int    // peer rank the operation was talking to
+	Op   string // collective op ("reduce gather", "flags push", ...)
+	Err  error
+}
+
+// Error implements error.
+func (e *PeerError) Error() string {
+	return fmt.Sprintf("comm: %s (peer rank %d): %v", e.Op, e.Rank, e.Err)
+}
+
+// Unwrap exposes the classified transport error.
+func (e *PeerError) Unwrap() error { return e.Err }
+
+// peerErr classifies a raw transport error and wraps it with peer/op
+// context. An error already wrapped at a lower layer (the endpoint's own
+// PeerError) is collapsed so the outermost — collective-level — context
+// wins and messages don't nest. Allocates only on the failure path.
+func peerErr(op string, rank int, err error) error {
+	var pe *PeerError
+	if errors.As(err, &pe) {
+		err = pe.Err
+	}
+	return &PeerError{Rank: rank, Op: op, Err: classify(err)}
+}
+
+// classify maps raw transport errors onto the typed taxonomy: timeouts to
+// ErrTimeout, connection death (EOF, reset, refused, broken pipe, closed
+// socket) to ErrPeerDown. Errors already carrying a typed cause — and
+// ErrClosed, which means *this* endpoint closed deliberately — pass
+// through unchanged, as do protocol errors (bad frame type, truncated
+// payload), which are bugs rather than faults.
+func classify(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, ErrPeerDown) || errors.Is(err, ErrTimeout) ||
+		errors.Is(err, ErrCrashed) || errors.Is(err, ErrClosed) {
+		return err
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return fmt.Errorf("%w: %v", ErrTimeout, err)
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.EPIPE) {
+		return fmt.Errorf("%w: %v", ErrPeerDown, err)
+	}
+	return err
+}

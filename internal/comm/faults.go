@@ -1,0 +1,451 @@
+package comm
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Chaos injection: WithFaults decorates any Endpoint with a seeded,
+// reproducible fault injector, so the failure scenarios the robustness
+// layer must survive — slow links, lossy links, transient partitions,
+// whole-rank crashes — can be scripted deterministically under both the
+// loopback and TCP transports.
+//
+// Faults are injected on the send side, before the frame reaches the inner
+// endpoint, and the injector models a *reliable* transport under faults
+// (TCP semantics): a "dropped" frame is recorded and charged its
+// retransmit delay but still delivered exactly once, a "duplicated" frame
+// is recorded but not actually replayed, and a partition stalls every
+// frame in its window. Fault injection therefore perturbs timing and
+// liveness — never the delivered byte stream — which is what makes the
+// delay-only bit-identity guarantee (and the digest checks of the recovery
+// suite) possible. A scheduled crash is the exception: it closes the inner
+// endpoint for good, exactly what a killed process looks like to peers.
+//
+// Determinism: each link (this rank → peer) owns a SplitMix64 stream
+// seeded from the plan seed and the link's rank pair, plus a per-link
+// frame counter. Fault decisions depend only on (seed, link, frame index),
+// never on wall-clock time or cross-link interleaving, so the same plan
+// over the same traffic yields a byte-identical fault trace.
+
+// Window is a half-open interval [Start, End) of per-link frame indices
+// (1-based: the first frame a link carries is frame 1). The zero Window is
+// empty.
+type Window struct{ Start, End int }
+
+func (w Window) contains(i int) bool { return i >= w.Start && i < w.End }
+
+// DelayDist is a uniform send-delay distribution over [Min, Max]. The zero
+// value injects no delay.
+type DelayDist struct{ Min, Max time.Duration }
+
+// LinkFault scripts the faults on matching links. From/To are ranks; -1
+// matches any rank. The first LinkFault in a plan that matches a link
+// governs it — later entries are shadowed.
+type LinkFault struct {
+	From, To int
+
+	// Delay adds a uniform per-frame send delay.
+	Delay DelayDist
+	// Drop is the per-frame probability of a modeled drop: the frame is
+	// charged RetransmitDelay (defaultRetransmitDelay when zero) and then
+	// delivered — reliable-transport retransmission, not message loss.
+	Drop float64
+	// RetransmitDelay is the cost of one modeled drop.
+	RetransmitDelay time.Duration
+	// Dup is the per-frame probability of a modeled duplicate: recorded in
+	// the trace and stats, suppressed on the wire (a reliable transport
+	// deduplicates).
+	Dup float64
+	// Partition stalls every frame whose per-link index falls in the
+	// window by PartitionStall (defaultPartitionStall when zero) — a
+	// transient outage bridged by transport buffering and retransmits.
+	Partition      Window
+	PartitionStall time.Duration
+}
+
+func (lf *LinkFault) matches(from, to int) bool {
+	return (lf.From < 0 || lf.From == from) && (lf.To < 0 || lf.To == to)
+}
+
+func (lf *LinkFault) active() bool {
+	return lf.Delay.Max > 0 || lf.Drop > 0 || lf.Dup > 0 || lf.Partition.End > lf.Partition.Start
+}
+
+const (
+	defaultRetransmitDelay = 2 * time.Millisecond
+	defaultPartitionStall  = 5 * time.Millisecond
+)
+
+// FaultPlan is one endpoint's complete fault script.
+type FaultPlan struct {
+	// Seed drives every probabilistic decision; the same seed over the
+	// same traffic reproduces the same fault sequence byte for byte.
+	Seed uint64
+	// Links are the per-link fault scripts (first match governs a link).
+	Links []LinkFault
+	// CrashAtFrame schedules a whole-rank crash: when this endpoint's
+	// total send count reaches the value, the inner endpoint closes and
+	// every subsequent operation fails with ErrCrashed. 0 = never.
+	CrashAtFrame int
+	// OnCrash, when set, runs once at the scheduled crash (after the inner
+	// endpoint closed) — the hook tests and the node CLI use to exit the
+	// process.
+	OnCrash func()
+}
+
+// FaultRecord is one injected fault in an endpoint's trace.
+type FaultRecord struct {
+	From, To int
+	Frame    int // per-link frame index (1-based); 0 for crash records
+	Kind     string
+	Delay    time.Duration
+}
+
+// String renders one trace line in a stable format.
+func (r FaultRecord) String() string {
+	return fmt.Sprintf("%d>%d f%06d %s %v", r.From, r.To, r.Frame, r.Kind, r.Delay)
+}
+
+// TraceString renders a fault trace one record per line — the form the
+// determinism tests compare byte for byte.
+func TraceString(recs []FaultRecord) string {
+	var b strings.Builder
+	for _, r := range recs {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FaultStats summarizes an endpoint's injected faults.
+type FaultStats struct {
+	Delays, Drops, Dups, Stalls int
+	Crashed                     bool
+}
+
+type linkState struct {
+	rng    uint64
+	frames int
+	fault  *LinkFault // first matching plan entry; nil when unfaulted
+}
+
+// FaultyEndpoint is an Endpoint with a fault injector in front of it. It
+// forwards the DeadlineRecver capability, so a mesh op timeout still works
+// through the decorator.
+type FaultyEndpoint struct {
+	inner Endpoint
+	plan  FaultPlan
+
+	mu      sync.Mutex
+	links   map[int]*linkState
+	sent    int // total send ops, drives CrashAtFrame
+	crashed bool
+	trace   []FaultRecord
+	stats   FaultStats
+}
+
+// WithFaults decorates ep with the plan's fault injector.
+func WithFaults(ep Endpoint, plan FaultPlan) *FaultyEndpoint {
+	return &FaultyEndpoint{inner: ep, plan: plan, links: make(map[int]*linkState)}
+}
+
+// Inner returns the decorated endpoint.
+func (e *FaultyEndpoint) Inner() Endpoint { return e.inner }
+
+// Rank implements Endpoint.
+func (e *FaultyEndpoint) Rank() int { return e.inner.Rank() }
+
+// Procs implements Endpoint.
+func (e *FaultyEndpoint) Procs() int { return e.inner.Procs() }
+
+// NetStats implements Endpoint.
+func (e *FaultyEndpoint) NetStats() EndpointStats { return e.inner.NetStats() }
+
+// Close implements Endpoint.
+func (e *FaultyEndpoint) Close() error { return e.inner.Close() }
+
+func (e *FaultyEndpoint) link(to int) *linkState {
+	ls, ok := e.links[to]
+	if !ok {
+		ls = &linkState{
+			rng: e.plan.Seed ^ (uint64(e.Rank()+1) * 0x9E3779B97F4A7C15) ^
+				(uint64(to+1) * 0xBF58476D1CE4E5B9),
+		}
+		for i := range e.plan.Links {
+			if e.plan.Links[i].matches(e.Rank(), to) {
+				ls.fault = &e.plan.Links[i]
+				break
+			}
+		}
+		e.links[to] = ls
+	}
+	return ls
+}
+
+func (e *FaultyEndpoint) record(r FaultRecord) {
+	e.trace = append(e.trace, r)
+	switch r.Kind {
+	case "delay":
+		e.stats.Delays++
+	case "drop":
+		e.stats.Drops++
+	case "dup":
+		e.stats.Dups++
+	case "partition":
+		e.stats.Stalls++
+	}
+}
+
+// Send implements Endpoint: apply the link's scripted faults (delay the
+// frame, charge modeled drops and partition stalls, record duplicates),
+// crash the endpoint when the schedule says so, then forward.
+func (e *FaultyEndpoint) Send(to int, f *Frame) error {
+	e.mu.Lock()
+	if e.crashed {
+		e.mu.Unlock()
+		return fmt.Errorf("comm: send to rank %d: %w", to, ErrCrashed)
+	}
+	e.sent++
+	if e.plan.CrashAtFrame > 0 && e.sent >= e.plan.CrashAtFrame {
+		e.crashed = true
+		e.stats.Crashed = true
+		e.record(FaultRecord{From: e.Rank(), To: to, Kind: "crash"})
+		e.mu.Unlock()
+		e.inner.Close()
+		if e.plan.OnCrash != nil {
+			e.plan.OnCrash()
+		}
+		return fmt.Errorf("comm: send to rank %d: %w", to, ErrCrashed)
+	}
+	var sleep time.Duration
+	ls := e.link(to)
+	ls.frames++
+	if lf := ls.fault; lf != nil {
+		frame := ls.frames
+		if lf.Partition.contains(frame) {
+			stall := lf.PartitionStall
+			if stall <= 0 {
+				stall = defaultPartitionStall
+			}
+			e.record(FaultRecord{From: e.Rank(), To: to, Frame: frame, Kind: "partition", Delay: stall})
+			sleep += stall
+		}
+		// Draw in a fixed order per frame so the stream depends only on
+		// (seed, link, frame index).
+		if lf.Drop > 0 && unitFloat(splitmix64(&ls.rng)) < lf.Drop {
+			retrans := lf.RetransmitDelay
+			if retrans <= 0 {
+				retrans = defaultRetransmitDelay
+			}
+			e.record(FaultRecord{From: e.Rank(), To: to, Frame: frame, Kind: "drop", Delay: retrans})
+			sleep += retrans
+		}
+		if lf.Dup > 0 && unitFloat(splitmix64(&ls.rng)) < lf.Dup {
+			e.record(FaultRecord{From: e.Rank(), To: to, Frame: frame, Kind: "dup"})
+		}
+		if lf.Delay.Max > 0 {
+			d := lf.Delay.Min
+			if lf.Delay.Max > lf.Delay.Min {
+				d += time.Duration(unitFloat(splitmix64(&ls.rng)) * float64(lf.Delay.Max-lf.Delay.Min))
+			}
+			e.record(FaultRecord{From: e.Rank(), To: to, Frame: frame, Kind: "delay", Delay: d})
+			sleep += d
+		}
+	}
+	e.mu.Unlock()
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	return e.inner.Send(to, f)
+}
+
+// Recv implements Endpoint.
+func (e *FaultyEndpoint) Recv(from int) (*Frame, error) {
+	if e.isCrashed() {
+		return nil, fmt.Errorf("comm: recv from rank %d: %w", from, ErrCrashed)
+	}
+	return e.inner.Recv(from)
+}
+
+// RecvTimeout implements DeadlineRecver by forwarding to the inner
+// endpoint's capability (both built-in transports have it).
+func (e *FaultyEndpoint) RecvTimeout(from int, d time.Duration) (*Frame, error) {
+	if e.isCrashed() {
+		return nil, fmt.Errorf("comm: recv from rank %d: %w", from, ErrCrashed)
+	}
+	if dr, ok := e.inner.(DeadlineRecver); ok {
+		return dr.RecvTimeout(from, d)
+	}
+	return e.inner.Recv(from)
+}
+
+func (e *FaultyEndpoint) isCrashed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.crashed
+}
+
+// Trace returns the injected-fault trace, sorted by (From, To, Frame) so
+// it is deterministic regardless of goroutine interleaving across links.
+func (e *FaultyEndpoint) Trace() []FaultRecord {
+	e.mu.Lock()
+	out := append([]FaultRecord(nil), e.trace...)
+	e.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		if a.Frame != b.Frame {
+			return a.Frame < b.Frame
+		}
+		return a.Kind < b.Kind
+	})
+	return out
+}
+
+// FaultStats returns the injected-fault summary so far.
+func (e *FaultyEndpoint) FaultStats() FaultStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+var _ Endpoint = (*FaultyEndpoint)(nil)
+var _ DeadlineRecver = (*FaultyEndpoint)(nil)
+
+// ParseFaultPlan parses the CLI fault-plan grammar: semicolon-separated
+// key=value directives.
+//
+//	seed=7; delay=100us..1ms; drop=0.01; dup=0.01; partition=200..400; crash=5000
+//
+// Directives before any link= apply to every link (a wildcard LinkFault);
+// link=F>T (ranks, or * for either side) starts a new scoped LinkFault
+// that subsequent directives populate. Keys: seed (uint), crash (total
+// send-frame count), delay (duration or min..max), drop / dup
+// (probability in [0,1]), retrans / stall (durations), partition
+// (frameA..frameB window).
+func ParseFaultPlan(s string) (FaultPlan, error) {
+	var plan FaultPlan
+	cur := &LinkFault{From: -1, To: -1}
+	var scoped []*LinkFault
+	scoped = append(scoped, cur)
+
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return plan, fmt.Errorf("comm: fault plan: %q is not key=value", part)
+		}
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		var err error
+		switch k {
+		case "seed":
+			plan.Seed, err = strconv.ParseUint(v, 10, 64)
+		case "crash":
+			plan.CrashAtFrame, err = strconv.Atoi(v)
+		case "link":
+			f, t, ok := strings.Cut(v, ">")
+			if !ok {
+				return plan, fmt.Errorf("comm: fault plan: link=%q wants F>T", v)
+			}
+			cur = &LinkFault{From: -1, To: -1}
+			if cur.From, err = parseRank(f); err == nil {
+				cur.To, err = parseRank(t)
+			}
+			scoped = append(scoped, cur)
+		case "delay":
+			cur.Delay, err = parseDelay(v)
+		case "drop":
+			cur.Drop, err = parseProb(v)
+		case "dup":
+			cur.Dup, err = parseProb(v)
+		case "retrans":
+			cur.RetransmitDelay, err = time.ParseDuration(v)
+		case "stall":
+			cur.PartitionStall, err = time.ParseDuration(v)
+		case "partition":
+			cur.Partition, err = parseWindow(v)
+		default:
+			return plan, fmt.Errorf("comm: fault plan: unknown key %q", k)
+		}
+		if err != nil {
+			return plan, fmt.Errorf("comm: fault plan: %s=%s: %w", k, v, err)
+		}
+	}
+	for _, lf := range scoped {
+		if lf.active() {
+			plan.Links = append(plan.Links, *lf)
+		}
+	}
+	return plan, nil
+}
+
+func parseRank(s string) (int, error) {
+	s = strings.TrimSpace(s)
+	if s == "*" {
+		return -1, nil
+	}
+	return strconv.Atoi(s)
+}
+
+func parseProb(s string) (float64, error) {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("probability %v outside [0,1]", p)
+	}
+	return p, nil
+}
+
+func parseDelay(s string) (DelayDist, error) {
+	lo, hi, ok := strings.Cut(s, "..")
+	if !ok {
+		d, err := time.ParseDuration(s)
+		return DelayDist{Min: d, Max: d}, err
+	}
+	min, err := time.ParseDuration(lo)
+	if err != nil {
+		return DelayDist{}, err
+	}
+	max, err := time.ParseDuration(hi)
+	if err != nil {
+		return DelayDist{}, err
+	}
+	if max < min {
+		return DelayDist{}, fmt.Errorf("delay range %v..%v inverted", min, max)
+	}
+	return DelayDist{Min: min, Max: max}, nil
+}
+
+func parseWindow(s string) (Window, error) {
+	lo, hi, ok := strings.Cut(s, "..")
+	if !ok {
+		return Window{}, fmt.Errorf("window %q wants A..B", s)
+	}
+	a, err := strconv.Atoi(strings.TrimSpace(lo))
+	if err != nil {
+		return Window{}, err
+	}
+	b, err := strconv.Atoi(strings.TrimSpace(hi))
+	if err != nil {
+		return Window{}, err
+	}
+	if b < a {
+		return Window{}, fmt.Errorf("window %d..%d inverted", a, b)
+	}
+	return Window{Start: a, End: b}, nil
+}

@@ -2,6 +2,7 @@ package comm
 
 import (
 	"fmt"
+	"time"
 
 	"selsync/internal/tensor"
 )
@@ -16,7 +17,12 @@ import (
 // Global workers are block-distributed: with W workers over P processes
 // (P must divide W), rank r hosts workers [r·W/P, (r+1)·W/P).
 type Mesh struct {
-	ep      Endpoint
+	ep Endpoint
+	// rx is the receive-side view of ep: identical to ep without an op
+	// timeout, a deadline-applying wrapper with one (SetOpTimeout). Sends
+	// always go straight to ep — write-side deadlines belong to the
+	// transport (TCPOptions.WriteTimeout).
+	rx      Endpoint
 	workers int
 	nlocal  int
 	locals  []int
@@ -26,6 +32,56 @@ type Mesh struct {
 	recvBufs map[int]tensor.Vector
 	scratch  []byte
 	ctl      []byte
+
+	// broken latches after the first transport failure: the SPMD ranks are
+	// misaligned, so Close skips the drain barrier (which would block on
+	// the dead peer) and tears the endpoint down directly.
+	broken bool
+}
+
+// fault latches the broken state and wraps a transport error with peer and
+// operation context. Allocates only on the failure path.
+func (m *Mesh) fault(op string, rank int, err error) error {
+	m.broken = true
+	return peerErr(op, rank, err)
+}
+
+// Broken reports whether a collective on this mesh has failed.
+func (m *Mesh) Broken() bool { return m.broken }
+
+// DeadlineRecver is the optional Endpoint capability the mesh's op timeout
+// rides on: RecvTimeout behaves like Recv but gives up after d, returning
+// an error wrapping ErrTimeout. Both built-in endpoints implement it.
+type DeadlineRecver interface {
+	RecvTimeout(from int, d time.Duration) (*Frame, error)
+}
+
+// deadlineEP adapts a DeadlineRecver-capable endpoint so every Recv
+// carries the configured timeout. Only the receive path is used.
+type deadlineEP struct {
+	Endpoint
+	d time.Duration
+}
+
+func (e *deadlineEP) Recv(from int) (*Frame, error) {
+	return e.Endpoint.(DeadlineRecver).RecvTimeout(from, e.d)
+}
+
+// SetOpTimeout bounds every collective receive on this mesh: a rank stuck
+// waiting on a dead or partitioned peer for longer than d gets a typed
+// ErrTimeout instead of blocking forever. A non-positive d restores
+// unbounded waits. No-op (returning false) when the underlying endpoint
+// cannot apply deadlines.
+func (m *Mesh) SetOpTimeout(d time.Duration) bool {
+	if d <= 0 {
+		m.rx = m.ep
+		return true
+	}
+	if _, ok := m.ep.(DeadlineRecver); !ok {
+		return false
+	}
+	m.rx = &deadlineEP{Endpoint: m.ep, d: d}
+	return true
 }
 
 // NewMesh layers the fabric over an endpoint for the given global worker
@@ -37,7 +93,7 @@ func NewMesh(ep Endpoint, workers int) (*Mesh, error) {
 	}
 	nlocal := workers / procs
 	m := &Mesh{
-		ep: ep, workers: workers, nlocal: nlocal,
+		ep: ep, rx: ep, workers: workers, nlocal: nlocal,
 		recvBufs: make(map[int]tensor.Vector),
 		scratch:  make([]byte, 0, ChunkElems*8),
 		ctl:      make([]byte, 0, 17),
@@ -91,8 +147,9 @@ func (m *Mesh) OwnerOf(worker int) int {
 
 // ReduceMean implements Fabric. Contributions flow to rank 0, which
 // reduces them in ids order and broadcasts the mean; every rank returns
-// with bit-identical dst.
-func (m *Mesh) ReduceMean(dst tensor.Vector, ids []int, view func(worker int) tensor.Vector) {
+// with bit-identical dst. Transport failures surface as typed *PeerError
+// values naming the peer and phase of the round.
+func (m *Mesh) ReduceMean(dst tensor.Vector, ids []int, view func(worker int) tensor.Vector) error {
 	if m.Rank() == 0 {
 		m.slots = m.slots[:0]
 		for _, id := range ids {
@@ -101,29 +158,34 @@ func (m *Mesh) ReduceMean(dst tensor.Vector, ids []int, view func(worker int) te
 				continue
 			}
 			buf := m.recvBuf(id, len(dst))
-			if err := m.RecvTensorInto(m.OwnerOf(id), id, buf); err != nil {
-				panic(fmt.Sprintf("comm: reduce gather worker %d: %v", id, err))
+			if err := recvTensorEP(m.rx, m.OwnerOf(id), id, buf); err != nil {
+				return m.fault("reduce gather", m.OwnerOf(id), err)
 			}
 			m.slots = append(m.slots, buf)
 		}
 		tensor.Average(dst, m.slots)
 		for r := 1; r < m.Procs(); r++ {
-			if err := m.SendTensor(r, -1, dst); err != nil {
-				panic(fmt.Sprintf("comm: reduce broadcast to rank %d: %v", r, err))
+			scratch, err := sendTensorEP(m.ep, r, -1, dst, m.scratch)
+			m.scratch = scratch
+			if err != nil {
+				return m.fault("reduce broadcast", r, err)
 			}
 		}
-	} else {
-		for _, id := range ids {
-			if m.Hosts(id) {
-				if err := m.SendTensor(0, id, view(id)); err != nil {
-					panic(fmt.Sprintf("comm: reduce push worker %d: %v", id, err))
-				}
+		return nil
+	}
+	for _, id := range ids {
+		if m.Hosts(id) {
+			scratch, err := sendTensorEP(m.ep, 0, id, view(id), m.scratch)
+			m.scratch = scratch
+			if err != nil {
+				return m.fault("reduce push", 0, err)
 			}
-		}
-		if err := m.RecvTensorInto(0, -1, dst); err != nil {
-			panic(fmt.Sprintf("comm: reduce pull: %v", err))
 		}
 	}
+	if err := recvTensorEP(m.rx, 0, -1, dst); err != nil {
+		return m.fault("reduce pull", 0, err)
+	}
+	return nil
 }
 
 func (m *Mesh) recvBuf(worker, dim int) tensor.Vector {
@@ -143,8 +205,9 @@ func (m *Mesh) FanOut(dsts []tensor.Vector, src tensor.Vector) {
 }
 
 // AllGatherFlags implements Fabric: local votes ride to rank 0 as packed
-// bits, the full vote vector rides back.
-func (m *Mesh) AllGatherFlags(flags []bool) {
+// bits, the full vote vector rides back. A mis-sized flags slice is a
+// caller bug and still panics; transport failures return typed errors.
+func (m *Mesh) AllGatherFlags(flags []bool) error {
 	if len(flags) != m.workers {
 		panic(fmt.Sprintf("comm: flags length %d, want %d", len(flags), m.workers))
 	}
@@ -152,47 +215,48 @@ func (m *Mesh) AllGatherFlags(flags []bool) {
 		for r := 1; r < m.Procs(); r++ {
 			f, err := m.recvTyped(r, MsgFlags)
 			if err != nil {
-				panic(fmt.Sprintf("comm: flags gather from rank %d: %v", r, err))
+				return m.fault("flags gather", r, err)
 			}
 			if err := unpackBits(flags[r*m.nlocal:(r+1)*m.nlocal], f.Payload); err != nil {
-				panic(err)
+				return m.fault("flags decode", r, err)
 			}
 		}
 		payload := packBits(m.scratch[:0], flags)
 		for r := 1; r < m.Procs(); r++ {
 			if err := m.ep.Send(r, &Frame{Type: MsgFlags, Worker: -1, Payload: payload}); err != nil {
-				panic(fmt.Sprintf("comm: flags broadcast to rank %d: %v", r, err))
+				return m.fault("flags broadcast", r, err)
 			}
 		}
 	} else {
 		lo := m.Rank() * m.nlocal
 		payload := packBits(m.scratch[:0], flags[lo:lo+m.nlocal])
 		if err := m.ep.Send(0, &Frame{Type: MsgFlags, Worker: int32(lo), Payload: payload}); err != nil {
-			panic(fmt.Sprintf("comm: flags push: %v", err))
+			return m.fault("flags push", 0, err)
 		}
 		f, err := m.recvTyped(0, MsgFlags)
 		if err != nil {
-			panic(fmt.Sprintf("comm: flags pull: %v", err))
+			return m.fault("flags pull", 0, err)
 		}
 		if err := unpackBits(flags, f.Payload); err != nil {
-			panic(err)
+			return m.fault("flags decode", 0, err)
 		}
 	}
 	m.stats.FlagRounds++
 	m.stats.FlagBytes += FlagsWireBytes(m.workers)
+	return nil
 }
 
 // MaxFloat implements Fabric.
-func (m *Mesh) MaxFloat(x float64) float64 {
+func (m *Mesh) MaxFloat(x float64) (float64, error) {
 	if m.Rank() == 0 {
 		for r := 1; r < m.Procs(); r++ {
 			f, err := m.recvTyped(r, MsgScalar)
 			if err != nil {
-				panic(fmt.Sprintf("comm: clock gather from rank %d: %v", r, err))
+				return 0, m.fault("clock gather", r, err)
 			}
 			v, err := getScalar(f.Payload)
 			if err != nil {
-				panic(err)
+				return 0, m.fault("clock decode", r, err)
 			}
 			if v > x {
 				x = v
@@ -200,27 +264,27 @@ func (m *Mesh) MaxFloat(x float64) float64 {
 		}
 		for r := 1; r < m.Procs(); r++ {
 			if err := m.ep.Send(r, &Frame{Type: MsgScalar, Worker: -1, Payload: putScalar(m.scratch[:0], x)}); err != nil {
-				panic(fmt.Sprintf("comm: clock broadcast to rank %d: %v", r, err))
+				return 0, m.fault("clock broadcast", r, err)
 			}
 		}
-		return x
+		return x, nil
 	}
 	if err := m.ep.Send(0, &Frame{Type: MsgScalar, Worker: -1, Payload: putScalar(m.scratch[:0], x)}); err != nil {
-		panic(fmt.Sprintf("comm: clock push: %v", err))
+		return 0, m.fault("clock push", 0, err)
 	}
 	f, err := m.recvTyped(0, MsgScalar)
 	if err != nil {
-		panic(fmt.Sprintf("comm: clock pull: %v", err))
+		return 0, m.fault("clock pull", 0, err)
 	}
 	v, err := getScalar(f.Payload)
 	if err != nil {
-		panic(err)
+		return 0, m.fault("clock decode", 0, err)
 	}
-	return v
+	return v, nil
 }
 
 func (m *Mesh) recvTyped(from int, t MsgType) (*Frame, error) {
-	f, err := m.ep.Recv(from)
+	f, err := m.rx.Recv(from)
 	if err != nil {
 		return nil, err
 	}
@@ -247,20 +311,23 @@ func (m *Mesh) Stats() *Stats { return &m.stats }
 
 // Close implements Fabric: a bye/ack drain barrier through rank 0 ensures
 // every peer has consumed all data frames before any socket is torn down,
-// then the endpoint closes. Barrier errors are ignored — by then the run
-// is over and teardown must proceed.
+// then the endpoint closes. A broken mesh skips the barrier — at least one
+// peer is gone, so waiting on it would hang teardown; survivors tear their
+// endpoints down directly. A failure during the barrier itself likewise
+// abandons it (the fault latch trips inside the control ops).
 func (m *Mesh) Close() error {
-	if m.Procs() > 1 {
+	if m.Procs() > 1 && !m.broken {
 		if m.Rank() == 0 {
-			for r := 1; r < m.Procs(); r++ {
+			for r := 1; r < m.Procs() && !m.broken; r++ {
 				m.RecvControl(r)
 			}
-			for r := 1; r < m.Procs(); r++ {
+			for r := 1; r < m.Procs() && !m.broken; r++ {
 				m.SendControl(r, ctlByeAck, -1, 0, 0)
 			}
 		} else {
-			m.SendControl(0, ctlBye, -1, 0, 0)
-			m.RecvControl(0)
+			if err := m.SendControl(0, ctlBye, -1, 0, 0); err == nil {
+				m.RecvControl(0)
+			}
 		}
 	}
 	return m.ep.Close()
@@ -271,14 +338,20 @@ func (m *Mesh) Close() error {
 func (m *Mesh) SendTensor(to, worker int, v tensor.Vector) error {
 	scratch, err := sendTensorEP(m.ep, to, worker, v, m.scratch)
 	m.scratch = scratch
-	return err
+	if err != nil {
+		return m.fault("send tensor", to, err)
+	}
+	return nil
 }
 
 // RecvTensorInto implements PeerLink: reassembles a chunked tensor stream
 // from one peer into dst, validating worker tag (when non-negative),
 // chunk sequence and total size.
 func (m *Mesh) RecvTensorInto(from, worker int, dst tensor.Vector) error {
-	return recvTensorEP(m.ep, from, worker, dst)
+	if err := recvTensorEP(m.rx, from, worker, dst); err != nil {
+		return m.fault("recv tensor", from, err)
+	}
+	return nil
 }
 
 // CtlMsg is one decoded control message.
@@ -304,14 +377,17 @@ func (m *Mesh) SendControl(to int, op uint8, worker int, a, b float64) error {
 	payload := append(m.ctl[:0], op)
 	payload = putScalar(payload, a)
 	payload = putScalar(payload, b)
-	return m.ep.Send(to, &Frame{Type: MsgControl, Worker: int32(worker), Payload: payload})
+	if err := m.ep.Send(to, &Frame{Type: MsgControl, Worker: int32(worker), Payload: payload}); err != nil {
+		return m.fault("send control", to, err)
+	}
+	return nil
 }
 
 // RecvControl implements PeerLink.
 func (m *Mesh) RecvControl(from int) (CtlMsg, error) {
 	f, err := m.recvTyped(from, MsgControl)
 	if err != nil {
-		return CtlMsg{}, err
+		return CtlMsg{}, m.fault("recv control", from, err)
 	}
 	if len(f.Payload) != 17 {
 		return CtlMsg{}, fmt.Errorf("comm: control payload is %d bytes, want 17", len(f.Payload))

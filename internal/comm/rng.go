@@ -1,0 +1,20 @@
+package comm
+
+// splitmix64 advances *s and returns the next output of the SplitMix64
+// generator (Steele et al., the seeding PRNG of the xoshiro family). It is
+// the package's deterministic randomness source — retry jitter and the
+// fault injector both draw from it — chosen because its whole state is one
+// uint64, so per-link streams are cheap and a seed fully determines every
+// draw.
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// unitFloat maps one splitmix64 draw to [0,1).
+func unitFloat(u uint64) float64 {
+	return float64(u>>11) / float64(1<<53)
+}

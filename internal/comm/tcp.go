@@ -9,6 +9,99 @@ import (
 	"time"
 )
 
+// TCPOptions configures the TCP endpoint's setup budgets and runtime
+// hardening. The zero value of a duration disables that knob except for
+// the setup budgets (DialTimeout, DialRetry, AcceptTimeout, BindRetry),
+// which fall back to the legacy defaults — an endpoint cannot be built
+// without them. DefaultTCPOptions returns the hardened default set.
+type TCPOptions struct {
+	// DialTimeout is the total budget for reaching one lower-rank peer
+	// during setup; DialRetry is the base pause between attempts (jittered
+	// to 50–150% so simultaneously starting ranks don't retry in
+	// lock-step).
+	DialTimeout time.Duration
+	DialRetry   time.Duration
+	// AcceptTimeout bounds the wait for the inbound half of the mesh (and
+	// each inbound handshake read).
+	AcceptTimeout time.Duration
+	// BindRetry is the window in which binding the listen address is
+	// retried (launchers reserve ports by bind-and-release, so the old
+	// socket may still be draining).
+	BindRetry time.Duration
+
+	// WriteTimeout is the per-frame write deadline: a peer that stops
+	// draining its socket fails the send with ErrTimeout instead of
+	// blocking the collective forever.
+	WriteTimeout time.Duration
+	// ReadStallTimeout bounds the payload read of one frame. The header
+	// wait is deliberately unbounded — an idle link is normal between
+	// collectives — but a peer that dies mid-frame leaves a truncated
+	// payload, which this deadline surfaces as ErrTimeout.
+	ReadStallTimeout time.Duration
+	// KeepAlive enables TCP keepalive probing at this period, the
+	// lightweight peer-liveness detector: a silently vanished peer (power
+	// loss, network drop) fails the connection within a few periods
+	// instead of never.
+	KeepAlive time.Duration
+
+	// RedialAttempts bounds reconnection after a mid-run connection
+	// failure: the dialing side of the broken pair re-dials the peer's
+	// listener up to this many times with exponential backoff (RedialBackoff
+	// doubling up to RedialBackoffMax, jittered to 50–150%). 0 disables
+	// reconnection.
+	RedialAttempts   int
+	RedialBackoff    time.Duration
+	RedialBackoffMax time.Duration
+	// ReconnectWait is how long Recv (and the accepting side of Send)
+	// waits for a failed link to heal — via the peer re-dialing us, or our
+	// own redial — before reporting ErrPeerDown.
+	ReconnectWait time.Duration
+
+	// OpTimeout is forwarded to Mesh.SetOpTimeout by DialTCPMeshOpts: the
+	// per-collective-receive deadline. 0 leaves collective waits unbounded.
+	OpTimeout time.Duration
+
+	// Seed drives the retry-jitter stream (deterministic per rank when
+	// set; rank-derived otherwise).
+	Seed uint64
+}
+
+// DefaultTCPOptions returns the hardened defaults: legacy setup budgets,
+// 30s write and mid-frame read deadlines, 15s keepalive probing, and three
+// reconnect attempts backing off 100ms → 2s.
+func DefaultTCPOptions() TCPOptions {
+	return TCPOptions{
+		DialTimeout:      20 * time.Second,
+		DialRetry:        50 * time.Millisecond,
+		AcceptTimeout:    30 * time.Second,
+		BindRetry:        2 * time.Second,
+		WriteTimeout:     30 * time.Second,
+		ReadStallTimeout: 30 * time.Second,
+		KeepAlive:        15 * time.Second,
+		RedialAttempts:   3,
+		RedialBackoff:    100 * time.Millisecond,
+		RedialBackoffMax: 2 * time.Second,
+		ReconnectWait:    5 * time.Second,
+	}
+}
+
+// normalize fills the setup budgets an endpoint cannot run without.
+func (o TCPOptions) normalize() TCPOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 20 * time.Second
+	}
+	if o.DialRetry <= 0 {
+		o.DialRetry = 50 * time.Millisecond
+	}
+	if o.AcceptTimeout <= 0 {
+		o.AcceptTimeout = 30 * time.Second
+	}
+	if o.BindRetry < 0 {
+		o.BindRetry = 0
+	}
+	return o
+}
+
 // TCPEndpoint is the cross-process frame transport: a full mesh of
 // persistent TCP connections, one per rank pair, established once and
 // reused for every frame of the run. Rank j dials every rank i < j (the
@@ -17,59 +110,127 @@ import (
 // connection demultiplexes incoming frames into per-peer inboxes, so a
 // send never blocks on an unrelated receive — collectives can gather from
 // many peers in a fixed order while frames arrive in any order.
+//
+// A connection that dies mid-run can heal: the side that originally
+// dialed re-dials the peer's listener (bounded exponential backoff with
+// jitter), the accepting side keeps its listener open for replacement
+// connections, and the per-peer inbox re-arms so in-flight Recv calls ride
+// through the repair. When the reconnect budget is exhausted the failure
+// surfaces as a typed ErrPeerDown.
 type TCPEndpoint struct {
 	rank  int
 	procs int
+	opts  TCPOptions
+	peers []string // listen addresses, for re-dialing
 	ln    net.Listener
 	conns []*tcpConn // indexed by peer rank; nil at self
 	in    []*peerIn
 	done  chan struct{}
 	once  sync.Once
 	net   netCounters
+
+	jmu  sync.Mutex
+	jrng uint64 // splitmix64 state for retry jitter
 }
 
+// tcpConn is one live pair connection. The mutex serializes writers and
+// guards replacement on reconnect; gen identifies the connection epoch so
+// a stale readLoop cannot poison a re-armed inbox.
 type tcpConn struct {
-	mu sync.Mutex
-	c  net.Conn
-	w  *bufio.Writer
+	mu  sync.Mutex
+	c   net.Conn
+	w   *bufio.Writer
+	gen int
 }
 
+func (tc *tcpConn) replace(c net.Conn) int {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if tc.c != nil {
+		tc.c.Close()
+	}
+	tc.c = c
+	tc.w = bufio.NewWriter(c)
+	tc.gen++
+	return tc.gen
+}
+
+// peerIn is one peer's demux inbox. failed closes when the link breaks
+// (with the cause in err); rearm replaces it after a reconnect, bumping
+// gen and signalling rearmed so blocked receivers re-check.
 type peerIn struct {
-	ch     chan *Frame
-	failed chan struct{}
-	err    error
-	once   sync.Once
+	mu      sync.Mutex
+	ch      chan *Frame
+	failed  chan struct{}
+	rearmed chan struct{}
+	err     error
+	gen     int
 }
 
-func (p *peerIn) fail(err error) {
-	p.once.Do(func() {
+func newPeerIn() *peerIn {
+	return &peerIn{
+		ch:      make(chan *Frame, inboxSize),
+		failed:  make(chan struct{}),
+		rearmed: make(chan struct{}),
+	}
+}
+
+func (p *peerIn) fail(gen int, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if gen != p.gen {
+		return // a stale readLoop from before a reconnect
+	}
+	select {
+	case <-p.failed:
+	default:
 		p.err = err
 		close(p.failed)
-	})
+	}
 }
 
-// tcp setup budgets: ranks may start in any order (a launcher spawns them
-// as independent OS processes), so dialing retries until the peer's
-// listener is up.
-const (
-	tcpDialTimeout   = 20 * time.Second
-	tcpDialRetry     = 50 * time.Millisecond
-	tcpAcceptTimeout = 30 * time.Second
-)
+// rearm resets the failure state after a reconnect and returns the new
+// connection generation for the replacement readLoop.
+func (p *peerIn) rearm() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.gen++
+	select {
+	case <-p.failed:
+		p.failed = make(chan struct{})
+		p.err = nil
+	default:
+	}
+	close(p.rearmed)
+	p.rearmed = make(chan struct{})
+	return p.gen
+}
+
+func (p *peerIn) state() (failed, rearmed chan struct{}, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.failed, p.rearmed, p.err
+}
 
 // DialTCP builds the full-mesh endpoint for rank over the peer addresses
-// (peers[rank] is this rank's listen address). It blocks until every pair
-// connection is established. Binding retries briefly: launchers that
-// reserve ports by bind-and-release (selsync-node -launch) hand the
-// address over with a small window in which the old socket may still be
-// draining.
+// (peers[rank] is this rank's listen address) with default options. It
+// blocks until every pair connection is established.
 func DialTCP(rank int, peers []string) (*TCPEndpoint, error) {
+	return DialTCPOpts(rank, peers, DefaultTCPOptions())
+}
+
+// DialTCPOpts is DialTCP under explicit options. Binding retries for the
+// BindRetry window: launchers that reserve ports by bind-and-release
+// (selsync-node -launch) hand the address over with a small window in
+// which the old socket may still be draining.
+func DialTCPOpts(rank int, peers []string, opts TCPOptions) (*TCPEndpoint, error) {
+	opts = opts.normalize()
 	if rank < 0 || rank >= len(peers) {
 		return nil, fmt.Errorf("comm: rank %d out of range for %d peers", rank, len(peers))
 	}
 	var ln net.Listener
 	var err error
-	deadline := time.Now().Add(2 * time.Second)
+	deadline := time.Now().Add(opts.BindRetry)
 	for {
 		ln, err = net.Listen("tcp", peers[rank])
 		if err == nil {
@@ -78,30 +239,41 @@ func DialTCP(rank int, peers []string) (*TCPEndpoint, error) {
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("comm: rank %d cannot listen on %s: %w", rank, peers[rank], err)
 		}
-		time.Sleep(tcpDialRetry)
+		time.Sleep(opts.DialRetry)
 	}
-	return DialTCPWithListener(rank, peers, ln)
+	return DialTCPWithListenerOpts(rank, peers, ln, opts)
 }
 
 // DialTCPWithListener is DialTCP over a caller-provided listener — tests
 // reserve ports race-free by listening on 127.0.0.1:0 first and building
 // the peers list from the bound addresses.
 func DialTCPWithListener(rank int, peers []string, ln net.Listener) (*TCPEndpoint, error) {
+	return DialTCPWithListenerOpts(rank, peers, ln, DefaultTCPOptions())
+}
+
+// DialTCPWithListenerOpts is DialTCPWithListener under explicit options.
+func DialTCPWithListenerOpts(rank int, peers []string, ln net.Listener, opts TCPOptions) (*TCPEndpoint, error) {
+	opts = opts.normalize()
 	procs := len(peers)
 	e := &TCPEndpoint{
-		rank: rank, procs: procs, ln: ln,
+		rank: rank, procs: procs, opts: opts,
+		peers: append([]string(nil), peers...),
+		ln:    ln,
 		conns: make([]*tcpConn, procs),
 		in:    make([]*peerIn, procs),
 		done:  make(chan struct{}),
+		jrng:  opts.Seed ^ (0x9E3779B97F4A7C15 + uint64(rank)),
 	}
 	for r := range e.in {
 		if r != rank {
-			e.in[r] = &peerIn{ch: make(chan *Frame, inboxSize), failed: make(chan struct{})}
+			e.in[r] = &peerIn{}
+			*e.in[r] = *newPeerIn()
 		}
 	}
 
 	// Accept connections from every higher rank; each introduces itself
-	// with a Hello frame.
+	// with a Hello frame. Once the mesh is complete the same goroutine
+	// keeps accepting — replacement connections from reconnecting peers.
 	expect := procs - 1 - rank
 	acceptErr := make(chan error, 1)
 	go func() {
@@ -111,24 +283,27 @@ func DialTCPWithListener(rank int, peers []string, ln net.Listener) (*TCPEndpoin
 				acceptErr <- err
 				return
 			}
-			from, err := readHello(c)
+			from, err := readHello(c, opts.AcceptTimeout)
 			if err != nil || from <= rank || from >= procs || e.conns[from] != nil {
 				c.Close()
 				acceptErr <- fmt.Errorf("comm: rank %d bad handshake (peer %d): %v", rank, from, err)
 				return
 			}
+			e.tuneConn(c)
 			e.conns[from] = &tcpConn{c: c, w: bufio.NewWriter(c)}
 		}
 		acceptErr <- nil
+		e.acceptReplacements()
 	}()
 
 	// Dial every lower rank, retrying while its listener comes up.
 	for to := 0; to < rank; to++ {
-		c, err := dialRetry(peers[to])
+		c, err := e.dialRetry(peers[to])
 		if err != nil {
 			e.teardown()
 			return nil, fmt.Errorf("comm: rank %d cannot reach rank %d at %s: %w", rank, to, peers[to], err)
 		}
+		e.tuneConn(c)
 		tc := &tcpConn{c: c, w: bufio.NewWriter(c)}
 		e.conns[to] = tc
 		hello := &Frame{Type: MsgHello, Worker: int32(rank)}
@@ -144,7 +319,7 @@ func DialTCPWithListener(rank int, peers []string, ln net.Listener) (*TCPEndpoin
 			e.teardown()
 			return nil, err
 		}
-	case <-time.After(tcpAcceptTimeout):
+	case <-time.After(opts.AcceptTimeout):
 		// Stop the accept goroutine (closing the listener fails its
 		// Accept) and wait for it to report before teardown touches
 		// e.conns — the accept goroutine writes slots until it exits.
@@ -156,24 +331,74 @@ func DialTCPWithListener(rank int, peers []string, ln net.Listener) (*TCPEndpoin
 
 	for from, tc := range e.conns {
 		if tc != nil {
-			go e.readLoop(from, tc.c)
+			go e.readLoop(from, tc.c, tc.gen)
 		}
 	}
 	return e, nil
 }
 
-func dialRetry(addr string) (net.Conn, error) {
-	deadline := time.Now().Add(tcpDialTimeout)
+// tuneConn applies keepalive probing to a fresh connection.
+func (e *TCPEndpoint) tuneConn(c net.Conn) {
+	if e.opts.KeepAlive <= 0 {
+		return
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetKeepAlive(true)
+		tc.SetKeepAlivePeriod(e.opts.KeepAlive)
+	}
+}
+
+// jitter scales d to 50–150% with the endpoint's deterministic jitter
+// stream, so simultaneously retrying ranks spread out.
+func (e *TCPEndpoint) jitter(d time.Duration) time.Duration {
+	e.jmu.Lock()
+	u := splitmix64(&e.jrng)
+	e.jmu.Unlock()
+	return time.Duration(float64(d) * (0.5 + unitFloat(u)))
+}
+
+func (e *TCPEndpoint) dialRetry(addr string) (net.Conn, error) {
+	deadline := time.Now().Add(e.opts.DialTimeout)
 	for {
-		c, err := net.DialTimeout("tcp", addr, tcpDialRetry*10)
+		c, err := net.DialTimeout("tcp", addr, e.opts.DialRetry*10)
 		if err == nil {
 			return c, nil
 		}
 		if time.Now().After(deadline) {
 			return nil, err
 		}
-		time.Sleep(tcpDialRetry)
+		time.Sleep(e.jitter(e.opts.DialRetry))
 	}
+}
+
+// acceptReplacements runs after mesh setup: a reconnecting peer (any rank,
+// not just the original dialers — the repair protocol is symmetric on the
+// wire) re-introduces itself with a Hello, and the pair connection swaps
+// under its lock while the inbox re-arms.
+func (e *TCPEndpoint) acceptReplacements() {
+	for {
+		c, err := e.ln.Accept()
+		if err != nil {
+			return // listener closed by teardown
+		}
+		go func(c net.Conn) {
+			from, err := readHello(c, e.opts.AcceptTimeout)
+			if err != nil || from < 0 || from >= e.procs || from == e.rank || e.conns[from] == nil {
+				c.Close()
+				return
+			}
+			e.tuneConn(c)
+			e.adoptConn(from, c)
+		}(c)
+	}
+}
+
+// adoptConn installs a replacement connection for a peer: swap the pair
+// connection, re-arm the inbox, and start the new epoch's readLoop.
+func (e *TCPEndpoint) adoptConn(from int, c net.Conn) {
+	e.conns[from].replace(c)
+	gen := e.in[from].rearm()
+	go e.readLoop(from, c, gen)
 }
 
 // readHello reads the handshake straight off the raw connection — no
@@ -181,8 +406,8 @@ func dialRetry(addr string) (net.Conn, error) {
 // its hello can be consumed and lost before readLoop takes over. (Hello
 // frames carry no payload, so readFrame performs exactly one 20-byte
 // ReadFull here.)
-func readHello(c net.Conn) (int, error) {
-	c.SetReadDeadline(time.Now().Add(tcpAcceptTimeout))
+func readHello(c net.Conn, timeout time.Duration) (int, error) {
+	c.SetReadDeadline(time.Now().Add(timeout))
 	defer c.SetReadDeadline(time.Time{})
 	f, err := readFrame(c)
 	if err != nil {
@@ -216,17 +441,45 @@ func readFrame(r io.Reader) (*Frame, error) {
 	return &f, nil
 }
 
-func (e *TCPEndpoint) readLoop(from int, c net.Conn) {
+// readFrameStall is readFrame with the per-op read deadline: the header
+// wait is unbounded (idle links are normal), the payload read — already
+// promised by the header — must complete within stall.
+func readFrameStall(br *bufio.Reader, c net.Conn, stall time.Duration) (*Frame, error) {
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	f, n, err := parseHeader(hdr[:])
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		if stall > 0 {
+			c.SetReadDeadline(time.Now().Add(stall))
+		}
+		f.Payload = make([]byte, n)
+		_, err := io.ReadFull(br, f.Payload)
+		if stall > 0 {
+			c.SetReadDeadline(time.Time{})
+		}
+		if err != nil {
+			return nil, fmt.Errorf("comm: truncated payload: %w", err)
+		}
+	}
+	return &f, nil
+}
+
+func (e *TCPEndpoint) readLoop(from int, c net.Conn, gen int) {
 	br := bufio.NewReaderSize(c, 1<<16)
 	p := e.in[from]
 	for {
-		f, err := readFrame(br)
+		f, err := readFrameStall(br, c, e.opts.ReadStallTimeout)
 		if err != nil {
 			select {
 			case <-e.done:
-				p.fail(ErrClosed)
+				p.fail(gen, ErrClosed)
 			default:
-				p.fail(fmt.Errorf("comm: read from rank %d: %w", from, err))
+				p.fail(gen, peerErr("read", from, err))
 			}
 			return
 		}
@@ -234,7 +487,7 @@ func (e *TCPEndpoint) readLoop(from int, c net.Conn) {
 		select {
 		case p.ch <- f:
 		case <-e.done:
-			p.fail(ErrClosed)
+			p.fail(gen, ErrClosed)
 			return
 		}
 	}
@@ -246,8 +499,29 @@ func (e *TCPEndpoint) Rank() int { return e.rank }
 // Procs implements Endpoint.
 func (e *TCPEndpoint) Procs() int { return e.procs }
 
+// Alive reports whether the link to a peer is currently believed healthy:
+// its readLoop has not failed (keepalive probing turns silent peer death
+// into a read failure within a few periods).
+func (e *TCPEndpoint) Alive(peer int) bool {
+	if peer == e.rank {
+		return true
+	}
+	if peer < 0 || peer >= e.procs {
+		return false
+	}
+	failed, _, _ := e.in[peer].state()
+	select {
+	case <-failed:
+		return false
+	default:
+		return true
+	}
+}
+
 // Send implements Endpoint. Frames to one peer are serialized under the
 // connection lock; the persistent connection is reused for the whole run.
+// A write failure triggers the bounded reconnect protocol before
+// reporting a typed error.
 func (e *TCPEndpoint) Send(to int, f *Frame) error {
 	if to < 0 || to >= e.procs || to == e.rank || e.conns[to] == nil {
 		return fmt.Errorf("comm: rank %d cannot send to %d", e.rank, to)
@@ -257,11 +531,90 @@ func (e *TCPEndpoint) Send(to int, f *Frame) error {
 		return ErrClosed
 	default:
 	}
-	if err := e.writeFrame(e.conns[to], f); err != nil {
-		return err
+	err := e.writeFrame(e.conns[to], f)
+	if err != nil {
+		err = e.sendRepair(to, f, err)
+	}
+	if err != nil {
+		return peerErr("send", to, err)
 	}
 	e.net.countSend(f)
 	return nil
+}
+
+// sendRepair attempts to heal a broken pair connection and retry the
+// write. The side that originally dialed (rank > to) re-dials the peer's
+// listener with exponential backoff + jitter; the accepting side waits for
+// the peer to re-dial us. Returns nil when the retried write succeeded.
+func (e *TCPEndpoint) sendRepair(to int, f *Frame, cause error) error {
+	if e.opts.RedialAttempts <= 0 {
+		return cause
+	}
+	if to < e.rank {
+		return e.redial(to, f, cause)
+	}
+	// Accepting side: the peer owns the redial. Wait for the inbox to
+	// re-arm (adoptConn swapped the connection) and retry once.
+	_, rearmed, _ := e.in[to].state()
+	wait := e.opts.ReconnectWait
+	if wait <= 0 {
+		return cause
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-rearmed:
+		return e.writeFrame(e.conns[to], f)
+	case <-e.done:
+		return ErrClosed
+	case <-t.C:
+		return cause
+	}
+}
+
+// redial re-establishes the dialed connection to a lower rank: bounded
+// attempts, exponential backoff with jitter, a fresh Hello, then the
+// retried write.
+func (e *TCPEndpoint) redial(to int, f *Frame, cause error) error {
+	backoff := e.opts.RedialBackoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	max := e.opts.RedialBackoffMax
+	if max < backoff {
+		max = backoff
+	}
+	var lastErr = cause
+	for attempt := 0; attempt < e.opts.RedialAttempts; attempt++ {
+		select {
+		case <-e.done:
+			return ErrClosed
+		case <-time.After(e.jitter(backoff)):
+		}
+		if backoff *= 2; backoff > max {
+			backoff = max
+		}
+		c, err := net.DialTimeout("tcp", e.peers[to], e.opts.DialTimeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		e.tuneConn(c)
+		tc := &tcpConn{c: c, w: bufio.NewWriter(c)}
+		hello := &Frame{Type: MsgHello, Worker: int32(e.rank)}
+		if err := e.writeFrame(tc, hello); err != nil {
+			c.Close()
+			lastErr = err
+			continue
+		}
+		e.adoptConn(to, c)
+		if err := e.writeFrame(e.conns[to], f); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return lastErr
 }
 
 func (e *TCPEndpoint) writeFrame(tc *tcpConn, f *Frame) error {
@@ -269,6 +622,10 @@ func (e *TCPEndpoint) writeFrame(tc *tcpConn, f *Frame) error {
 	putHeader(hdr[:], f, len(f.Payload))
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
+	if e.opts.WriteTimeout > 0 {
+		tc.c.SetWriteDeadline(time.Now().Add(e.opts.WriteTimeout))
+		defer tc.c.SetWriteDeadline(time.Time{})
+	}
 	if _, err := tc.w.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -282,26 +639,72 @@ func (e *TCPEndpoint) writeFrame(tc *tcpConn, f *Frame) error {
 
 // Recv implements Endpoint.
 func (e *TCPEndpoint) Recv(from int) (*Frame, error) {
+	return e.recv(from, 0)
+}
+
+// RecvTimeout implements DeadlineRecver: Recv bounded by d, failing with a
+// typed ErrTimeout so a collective stuck on a dead peer can give up.
+func (e *TCPEndpoint) RecvTimeout(from int, d time.Duration) (*Frame, error) {
+	return e.recv(from, d)
+}
+
+func (e *TCPEndpoint) recv(from int, timeout time.Duration) (*Frame, error) {
 	if from < 0 || from >= e.procs || from == e.rank {
 		return nil, fmt.Errorf("comm: rank %d cannot recv from %d", e.rank, from)
 	}
 	p := e.in[from]
-	select {
-	case f := <-p.ch:
-		return f, nil
-	case <-p.failed:
+	var tch <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		tch = t.C
+	}
+	for {
+		failed, rearmed, ferr := p.state()
 		select {
 		case f := <-p.ch:
 			return f, nil
-		default:
-			return nil, p.err
-		}
-	case <-e.done:
-		select {
-		case f := <-p.ch:
-			return f, nil
-		default:
-			return nil, ErrClosed
+		case <-tch:
+			return nil, fmt.Errorf("comm: recv from rank %d: %w", from, ErrTimeout)
+		case <-e.done:
+			select {
+			case f := <-p.ch:
+				return f, nil
+			default:
+				return nil, ErrClosed
+			}
+		case <-failed:
+			// Re-read the cause: the state() snapshot above may predate the
+			// failure, leaving ferr stale (nil).
+			_, _, ferr = p.state()
+			// Drain anything delivered before the link broke.
+			select {
+			case f := <-p.ch:
+				return f, nil
+			default:
+			}
+			if e.opts.ReconnectWait <= 0 || e.opts.RedialAttempts <= 0 {
+				return nil, ferr
+			}
+			// Give the repair protocol a window: the peer may re-dial us
+			// (or our own Send-path redial may land) and re-arm the inbox.
+			grace := time.NewTimer(e.opts.ReconnectWait)
+			select {
+			case f := <-p.ch:
+				grace.Stop()
+				return f, nil
+			case <-rearmed:
+				grace.Stop()
+				continue
+			case <-tch:
+				grace.Stop()
+				return nil, fmt.Errorf("comm: recv from rank %d: %w", from, ErrTimeout)
+			case <-e.done:
+				grace.Stop()
+				return nil, ErrClosed
+			case <-grace.C:
+				return nil, ferr
+			}
 		}
 	}
 }
@@ -323,7 +726,11 @@ func (e *TCPEndpoint) teardown() {
 		}
 		for _, tc := range e.conns {
 			if tc != nil {
-				tc.c.Close()
+				tc.mu.Lock()
+				if tc.c != nil {
+					tc.c.Close()
+				}
+				tc.mu.Unlock()
 			}
 		}
 	})

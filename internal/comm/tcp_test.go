@@ -1,0 +1,155 @@
+package comm
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// tcpPair builds a 2-rank TCP mesh on 127.0.0.1 under explicit options.
+func tcpPair(t *testing.T, opts TCPOptions) (*TCPEndpoint, *TCPEndpoint) {
+	t.Helper()
+	lns := make([]net.Listener, 2)
+	peers := make([]string, 2)
+	for r := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[r] = ln
+		peers[r] = ln.Addr().String()
+	}
+	eps := make([]*TCPEndpoint, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			eps[r], errs[r] = DialTCPWithListenerOpts(r, peers, lns[r], opts)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d dial: %v", r, err)
+		}
+	}
+	t.Cleanup(func() { eps[0].Close(); eps[1].Close() })
+	return eps[0], eps[1]
+}
+
+func exchange(t *testing.T, from, to *TCPEndpoint, seq uint32) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() {
+		f, err := to.Recv(from.Rank())
+		if err == nil && f.Seq != seq {
+			err = errors.New("wrong frame")
+		}
+		done <- err
+	}()
+	if err := from.Send(to.Rank(), &Frame{Type: MsgControl, Seq: seq}); err != nil {
+		t.Fatalf("send rank %d -> %d: %v", from.Rank(), to.Rank(), err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("recv at rank %d: %v", to.Rank(), err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("recv at rank %d timed out", to.Rank())
+	}
+}
+
+// Killing the pair connection mid-run must heal through the bounded-redial
+// protocol: the dialing side re-dials the peer's listener, the accepting
+// side adopts the replacement, Alive flips back, and frames flow again in
+// both directions.
+func TestTCPReconnectHealsKilledConnection(t *testing.T) {
+	opts := DefaultTCPOptions()
+	opts.RedialBackoff = 5 * time.Millisecond
+	opts.RedialBackoffMax = 50 * time.Millisecond
+	opts.ReconnectWait = 5 * time.Second
+	ep0, ep1 := tcpPair(t, opts)
+
+	exchange(t, ep1, ep0, 1)
+	exchange(t, ep0, ep1, 2)
+
+	// Sever the socket out from under both ranks (rank 1 dialed rank 0).
+	tc := ep1.conns[0]
+	tc.mu.Lock()
+	tc.c.Close()
+	tc.mu.Unlock()
+
+	// Liveness detection: rank 1's readLoop fails the link.
+	deadline := time.Now().Add(5 * time.Second)
+	for ep1.Alive(0) {
+		if time.Now().After(deadline) {
+			t.Fatal("rank 1 never noticed the dead link")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The dialer-side send triggers the redial; the frame must arrive at
+	// rank 0 through the replacement connection.
+	exchange(t, ep1, ep0, 3)
+	// By the time rank 0 delivered that frame it adopted the new
+	// connection, so the reverse direction works too.
+	exchange(t, ep0, ep1, 4)
+
+	if !ep1.Alive(0) || !ep0.Alive(1) {
+		t.Fatalf("links not re-armed after repair: ep1.Alive(0)=%v ep0.Alive(1)=%v",
+			ep1.Alive(0), ep0.Alive(1))
+	}
+}
+
+// With reconnection disabled a dead link surfaces as a typed *PeerError
+// instead of healing (and instead of panicking).
+func TestTCPDeadLinkWithoutReconnectIsTypedError(t *testing.T) {
+	opts := DefaultTCPOptions()
+	opts.RedialAttempts = 0
+	opts.ReconnectWait = 0
+	ep0, ep1 := tcpPair(t, opts)
+	exchange(t, ep1, ep0, 1)
+
+	tc := ep1.conns[0]
+	tc.mu.Lock()
+	tc.c.Close()
+	tc.mu.Unlock()
+
+	var err error
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err = ep1.Send(0, &Frame{Type: MsgControl})
+		if err != nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var pe *PeerError
+	if !errors.As(err, &pe) {
+		t.Fatalf("send on dead link: got %v, want a *PeerError", err)
+	}
+	if pe.Rank != 0 || pe.Op != "send" {
+		t.Fatalf("peer error context wrong: %+v", pe)
+	}
+	if _, rerr := ep1.RecvTimeout(0, 50*time.Millisecond); rerr == nil {
+		t.Fatal("recv on dead link succeeded")
+	}
+}
+
+// RecvTimeout on an idle healthy link gives up with ErrTimeout.
+func TestTCPRecvTimeout(t *testing.T) {
+	_, ep1 := tcpPair(t, DefaultTCPOptions())
+	start := time.Now()
+	_, err := ep1.RecvTimeout(0, 30*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("got %v, want ErrTimeout", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("timeout did not bound the wait")
+	}
+}

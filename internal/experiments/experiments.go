@@ -45,6 +45,12 @@ func Registry() map[string]Runner {
 		// Beyond the paper: the Sync-Switch-style hybrid the policy engine
 		// enables (BSP warmup → SelSync steady-state vs the pure policies).
 		"switch": wrapFT(SwitchCompare),
+		// Failure/straggler scenario suite (scenarios.go): pass/fail
+		// assertions over the fault-tolerant fabric's guarantees.
+		"scenario-crash":     ScenarioCrash,
+		"scenario-partition": ScenarioPartition,
+		"scenario-flaky":     ScenarioFlaky,
+		"scenario-straggler": ScenarioStraggler,
 	}
 }
 

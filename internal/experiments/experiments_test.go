@@ -13,6 +13,8 @@ func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 		"fig1a", "fig1b", "fig2a", "fig2b", "fig3", "fig4", "fig5",
 		"fig8a", "fig8b", "fig9", "fig10", "fig11", "fig12", "table1",
 		"ablation-topology", "ablation-straggler", "switch",
+		"scenario-crash", "scenario-partition", "scenario-flaky",
+		"scenario-straggler",
 	}
 	reg := Registry()
 	if len(reg) != len(want) {
@@ -34,6 +36,28 @@ func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := Run("nope", Tiny, io.Discard); err == nil {
 		t.Fatal("unknown id must error")
+	}
+}
+
+// Every registered failure scenario must pass at Tiny scale — these runners
+// carry their own pass/fail assertions, so running them IS the test.
+func TestScenarioSuitePasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	for _, id := range []string{
+		"scenario-crash", "scenario-partition", "scenario-flaky", "scenario-straggler",
+	} {
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			var buf bytes.Buffer
+			if err := Run(id, Tiny, &buf); err != nil {
+				t.Fatalf("%v\nreport so far:\n%s", err, buf.String())
+			}
+			if !strings.Contains(buf.String(), "PASS") {
+				t.Fatalf("runner printed no PASS line:\n%s", buf.String())
+			}
+		})
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"selsync/internal/cluster"
 	"selsync/internal/comm"
@@ -49,6 +50,30 @@ type RunSpec struct {
 // whether this process should print the run report (rank 0 holds it on a
 // mesh). The caller owns Close on a non-nil fabric.
 func ParseTransport(transport string, rank int, peers string, workers int) (fabric comm.Fabric, report bool, err error) {
+	return ParseTransportOpts(transport, rank, peers, workers, TransportOptions{})
+}
+
+// TransportOptions extends ParseTransport with the fault-tolerance CLI
+// surface: deterministic chaos injection in front of the endpoint,
+// transport tuning, and a bound on collective receives. The zero value is
+// ParseTransport exactly.
+type TransportOptions struct {
+	// Chaos is a fault-plan script (see comm.ParseFaultPlan) wrapped around
+	// the TCP endpoint; "" injects nothing. Only meaningful on the tcp
+	// transport — the loopback run has no fabric to fault.
+	Chaos string
+	// TCP overrides the transport tuning (nil = comm.DefaultTCPOptions).
+	TCP *comm.TCPOptions
+	// OpTimeout bounds every collective receive on the mesh, so a rank
+	// blocked on a dead peer fails with comm.ErrTimeout (0 = unbounded).
+	OpTimeout time.Duration
+	// OnCrash runs when the chaos plan's scheduled crash fires (the node
+	// CLI exits the process, faithfully simulating a killed rank).
+	OnCrash func()
+}
+
+// ParseTransportOpts is ParseTransport with options.
+func ParseTransportOpts(transport string, rank int, peers string, workers int, o TransportOptions) (fabric comm.Fabric, report bool, err error) {
 	switch transport {
 	case "loopback":
 		// -rank/-peers only mean something on the TCP transport; reject
@@ -58,6 +83,9 @@ func ParseTransport(transport string, rank int, peers string, workers int) (fabr
 		}
 		if peers != "" {
 			return nil, false, fmt.Errorf("-peers is only valid with -transport tcp")
+		}
+		if o.Chaos != "" {
+			return nil, false, fmt.Errorf("-chaos requires -transport tcp (the loopback run has no fabric to fault)")
 		}
 		return nil, true, nil
 	case "tcp":
@@ -71,11 +99,34 @@ func ParseTransport(transport string, rank int, peers string, workers int) (fabr
 		if workers%len(list) != 0 {
 			return nil, false, fmt.Errorf("-workers (%d) must be divisible by the number of peers (%d)", workers, len(list))
 		}
-		fabric, err := comm.DialTCPMesh(rank, list, workers)
+		var plan comm.FaultPlan
+		if o.Chaos != "" {
+			if plan, err = comm.ParseFaultPlan(o.Chaos); err != nil {
+				return nil, false, fmt.Errorf("-chaos: %w", err)
+			}
+			plan.OnCrash = o.OnCrash
+		}
+		tcpOpts := comm.DefaultTCPOptions()
+		if o.TCP != nil {
+			tcpOpts = *o.TCP
+		}
+		ep, err := comm.DialTCPOpts(rank, list, tcpOpts)
 		if err != nil {
 			return nil, false, fmt.Errorf("tcp transport: %w", err)
 		}
-		return fabric, rank == 0, nil
+		var endpoint comm.Endpoint = ep
+		if o.Chaos != "" {
+			endpoint = comm.WithFaults(endpoint, plan)
+		}
+		mesh, err := comm.NewMesh(endpoint, workers)
+		if err != nil {
+			endpoint.Close()
+			return nil, false, fmt.Errorf("tcp transport: %w", err)
+		}
+		if o.OpTimeout > 0 {
+			mesh.SetOpTimeout(o.OpTimeout)
+		}
+		return mesh, rank == 0, nil
 	default:
 		return nil, false, fmt.Errorf("unknown -transport %q (want loopback or tcp)", transport)
 	}

@@ -1,0 +1,348 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"selsync/internal/cluster"
+	"selsync/internal/comm"
+	"selsync/internal/simnet"
+	"selsync/internal/train"
+)
+
+// The scenario suite: registered failure/straggler experiments that assert
+// the robustness guarantees of the fault-tolerant fabric instead of
+// reproducing a paper figure. Each runner prints PASS lines on success and
+// returns an error (the pass/fail assertion) when a guarantee is violated,
+// so `selsync-bench -run scenario-...` doubles as an acceptance check.
+
+// scenarioRanks runs fn SPMD across procs in-process ranks, each over its
+// own loopback endpoint (decorated by wrap when non-nil) with a full mesh
+// on top — the experiments-package counterpart of the commtest harness,
+// which is out of reach here because it requires a testing.TB. A rank that
+// panics fails the scenario; ranks that merely error must surface that
+// through T.
+func scenarioRanks[T any](procs, workers int, opTimeout time.Duration,
+	wrap func(rank int, ep comm.Endpoint) comm.Endpoint,
+	fn func(rank int, fabric comm.Fabric) T) ([]T, error) {
+	eps := comm.NewLoopbackEndpoints(procs)
+	results := make([]T, procs)
+	panics := make([]error, procs)
+	var wg sync.WaitGroup
+	for r := 0; r < procs; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[r] = fmt.Errorf("rank %d panicked: %v", r, p)
+				}
+			}()
+			ep := eps[r]
+			if wrap != nil {
+				ep = wrap(r, ep)
+			}
+			mesh, err := comm.NewMesh(ep, workers)
+			if err != nil {
+				panics[r] = fmt.Errorf("rank %d mesh: %w", r, err)
+				return
+			}
+			if opTimeout > 0 {
+				mesh.SetOpTimeout(opTimeout)
+			}
+			defer mesh.Close()
+			results[r] = fn(r, mesh)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range panics {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// scenarioRun is one rank's outcome in a faulted scenario.
+type scenarioRun struct {
+	res *train.Result
+	err error
+}
+
+// ScenarioCrash is the crash/restart scenario: a 4-rank SelSync run loses
+// one rank mid-flight. Every rank must fail with a typed comm error and a
+// partial-but-valid Result, and a gang restart of all ranks from the newest
+// auto-checkpoint step every rank persisted must reproduce the
+// uninterrupted run's Result.Digest() exactly.
+func ScenarioCrash(scale Scale, w io.Writer) error {
+	const procs, crashRank, seed = 4, 2, 223
+	p := ParamsFor(scale)
+	wl := SetupWorkload("vgg", p, seed)
+	policy := train.SelSyncPolicy{Delta: wl.DeltaLow, Mode: cluster.ParamAgg}
+	mkCfg := func() train.Config { return BaseConfig(wl, p, seed) }
+	autoEvery := max(1, p.EvalEvery/2)
+
+	want, err := train.NewJob(mkCfg(), policy).Run(context.Background())
+	if err != nil {
+		return fmt.Errorf("scenario-crash: uninterrupted run: %w", err)
+	}
+
+	// Probe a quarter-length clean multi-rank run to learn how many frames
+	// the doomed rank sends per step (SelSync is lock-step, so the count is
+	// deterministic), then schedule the crash at the full run's midpoint.
+	probe, err := scenarioRanks(procs, p.Workers, 0, nil, func(rank int, fabric comm.Fabric) int64 {
+		cfg := mkCfg()
+		cfg.MaxSteps = max(1, p.MaxSteps/4)
+		cfg.Fabric = fabric
+		if _, err := train.NewJob(cfg, policy).Run(context.Background()); err != nil {
+			panic(err)
+		}
+		return fabric.(*comm.Mesh).Endpoint().NetStats().FramesSent
+	})
+	if err != nil {
+		return fmt.Errorf("scenario-crash: probe run: %w", err)
+	}
+	crashFrame := int(probe[crashRank]) * 2
+	if crashFrame < 1 {
+		return fmt.Errorf("scenario-crash: implausible probe: rank %d sent %d frames", crashRank, probe[crashRank])
+	}
+
+	// The faulted run: every rank auto-checkpoints into its own sink, rank 2
+	// crashes at the scheduled frame count.
+	sinks := make([]map[int]*train.Checkpoint, procs)
+	for r := range sinks {
+		sinks[r] = make(map[int]*train.Checkpoint)
+	}
+	crashed, err := scenarioRanks(procs, p.Workers, 10*time.Second,
+		func(rank int, ep comm.Endpoint) comm.Endpoint {
+			if rank != crashRank {
+				return ep
+			}
+			return comm.WithFaults(ep, comm.FaultPlan{CrashAtFrame: crashFrame})
+		},
+		func(rank int, fabric comm.Fabric) scenarioRun {
+			cfg := mkCfg()
+			cfg.Fabric = fabric
+			var out scenarioRun
+			out.res, out.err = train.NewJob(cfg, policy,
+				train.WithAutoCheckpoint(autoEvery, func(step int, ck *train.Checkpoint) error {
+					if !ck.Dirty {
+						sinks[rank][step] = ck
+					}
+					return nil
+				})).Run(context.Background())
+			return out
+		})
+	if err != nil {
+		return fmt.Errorf("scenario-crash: faulted run: %w", err)
+	}
+	for rank, got := range crashed {
+		if got.err == nil {
+			return fmt.Errorf("scenario-crash: FAIL: rank %d completed despite the crash at frame %d", rank, crashFrame)
+		}
+		var pe *comm.PeerError
+		if !errors.As(got.err, &pe) {
+			return fmt.Errorf("scenario-crash: FAIL: rank %d error is not a typed *comm.PeerError: %v", rank, got.err)
+		}
+		if rank == crashRank && !errors.Is(got.err, comm.ErrCrashed) {
+			return fmt.Errorf("scenario-crash: FAIL: crashed rank error does not wrap ErrCrashed: %v", got.err)
+		}
+		if got.res == nil {
+			return fmt.Errorf("scenario-crash: FAIL: rank %d returned no partial Result", rank)
+		}
+	}
+
+	// Gang-restart line: the newest step every rank persisted.
+	common := -1
+	for step := range sinks[0] {
+		ok := true
+		for r := 1; r < procs; r++ {
+			if _, have := sinks[r][step]; !have {
+				ok = false
+				break
+			}
+		}
+		if ok && step > common {
+			common = step
+		}
+	}
+	if common < autoEvery {
+		return fmt.Errorf("scenario-crash: FAIL: no common auto-checkpoint step across ranks (crash frame %d)", crashFrame)
+	}
+	fmt.Fprintf(w, "scenario-crash: rank %d crashed at frame %d; typed errors and partial Results on all %d ranks\n",
+		crashRank, crashFrame, procs)
+
+	// Gang restart — including the crashed rank — from the common step.
+	resumed, err := scenarioRanks(procs, p.Workers, 0, nil, func(rank int, fabric comm.Fabric) scenarioRun {
+		cfg := mkCfg()
+		cfg.Fabric = fabric
+		var out scenarioRun
+		out.res, out.err = train.NewJob(cfg, policy, train.WithResume(sinks[rank][common])).Run(context.Background())
+		return out
+	})
+	if err != nil {
+		return fmt.Errorf("scenario-crash: recovery run: %w", err)
+	}
+	for rank, got := range resumed {
+		if got.err != nil {
+			return fmt.Errorf("scenario-crash: FAIL: rank %d recovery run: %w", rank, got.err)
+		}
+		if got.res.Digest() != want.Digest() {
+			return fmt.Errorf("scenario-crash: FAIL: rank %d recovered digest %s != uninterrupted %s (resumed from step %d)",
+				rank, got.res.Digest(), want.Digest(), common)
+		}
+	}
+	fmt.Fprintf(w, "scenario-crash: gang restart from step %d reproduced digest %s: PASS\n", common, want.Digest())
+	return nil
+}
+
+// chaosDigestScenario runs the shared body of the partition and flaky-link
+// scenarios: a 2-rank run under the plan must complete and stay
+// bit-identical to the clean run (the injector models a reliable transport:
+// timing changes, bytes do not), and the plan must demonstrably have fired
+// (checked by the caller against the aggregated FaultStats).
+func chaosDigestScenario(name string, scale Scale, w io.Writer, seed uint64, plan comm.FaultPlan) (comm.FaultStats, error) {
+	const procs = 2
+	p := ParamsFor(scale)
+	wl := SetupWorkload("vgg", p, seed)
+	policy := train.SelSyncPolicy{Delta: wl.DeltaLow, Mode: cluster.ParamAgg}
+	mkCfg := func() train.Config { return BaseConfig(wl, p, seed) }
+
+	want, err := train.NewJob(mkCfg(), policy).Run(context.Background())
+	if err != nil {
+		return comm.FaultStats{}, fmt.Errorf("%s: clean run: %w", name, err)
+	}
+
+	faulted := make([]*comm.FaultyEndpoint, procs)
+	results, err := scenarioRanks(procs, p.Workers, 0,
+		func(rank int, ep comm.Endpoint) comm.Endpoint {
+			fe := comm.WithFaults(ep, plan)
+			faulted[rank] = fe
+			return fe
+		},
+		func(rank int, fabric comm.Fabric) scenarioRun {
+			cfg := mkCfg()
+			cfg.Fabric = fabric
+			var out scenarioRun
+			out.res, out.err = train.NewJob(cfg, policy).Run(context.Background())
+			return out
+		})
+	if err != nil {
+		return comm.FaultStats{}, fmt.Errorf("%s: chaos run: %w", name, err)
+	}
+	var total comm.FaultStats
+	for _, fe := range faulted {
+		st := fe.FaultStats()
+		total.Delays += st.Delays
+		total.Drops += st.Drops
+		total.Dups += st.Dups
+		total.Stalls += st.Stalls
+	}
+	for rank, got := range results {
+		if got.err != nil {
+			return total, fmt.Errorf("%s: FAIL: rank %d did not survive the chaos plan: %w", name, rank, got.err)
+		}
+		if got.res.Digest() != want.Digest() {
+			return total, fmt.Errorf("%s: FAIL: rank %d digest %s diverged from clean %s under chaos",
+				name, rank, got.res.Digest(), want.Digest())
+		}
+	}
+	fmt.Fprintf(w, "%s: run completed under chaos, digest %s bit-identical to clean: PASS\n", name, want.Digest())
+	return total, nil
+}
+
+// ScenarioPartition is the transient-partition scenario: every link stalls
+// through a mid-run frame window. The run must ride out the outage and stay
+// bit-identical to the clean run.
+func ScenarioPartition(scale Scale, w io.Writer) error {
+	stats, err := chaosDigestScenario("scenario-partition", scale, w, 227, comm.FaultPlan{
+		Seed: 1,
+		Links: []comm.LinkFault{{
+			From: -1, To: -1,
+			Partition:      comm.Window{Start: 20, End: 60},
+			PartitionStall: 200 * time.Microsecond,
+		}},
+	})
+	if err != nil {
+		return err
+	}
+	if stats.Stalls == 0 {
+		return fmt.Errorf("scenario-partition: FAIL: the partition window never fired")
+	}
+	fmt.Fprintf(w, "scenario-partition: %d frames stalled in the partition window\n", stats.Stalls)
+	return nil
+}
+
+// ScenarioFlaky is the lossy-link scenario: every link sees modeled drops
+// (charged their retransmit delay) and duplicates plus jittered delays. The
+// reliable transport under the injector must deliver every byte anyway.
+func ScenarioFlaky(scale Scale, w io.Writer) error {
+	stats, err := chaosDigestScenario("scenario-flaky", scale, w, 233, comm.FaultPlan{
+		Seed: 2,
+		Links: []comm.LinkFault{{
+			From: -1, To: -1,
+			Delay:           comm.DelayDist{Min: time.Microsecond, Max: 20 * time.Microsecond},
+			Drop:            0.05,
+			RetransmitDelay: 50 * time.Microsecond,
+			Dup:             0.05,
+		}},
+	})
+	if err != nil {
+		return err
+	}
+	if stats.Drops == 0 || stats.Dups == 0 || stats.Delays == 0 {
+		return fmt.Errorf("scenario-flaky: FAIL: flaky plan fired incompletely: %+v", stats)
+	}
+	fmt.Fprintf(w, "scenario-flaky: %d drops, %d dups, %d delays injected\n", stats.Drops, stats.Dups, stats.Delays)
+	return nil
+}
+
+// ScenarioStraggler is the adversarial-skew scenario: one worker runs 4×
+// slower than the fleet. The straggler must visibly cost both methods
+// (slowdown > 1), and SelSync — which pays the barrier only on its
+// synchronous fraction of steps — must keep its absolute simulated time
+// strictly below BSP's on the degraded fleet. (The *relative* slowdown
+// ratio is not the right assertion: SelSync's homogeneous baseline is so
+// much faster that the same absolute straggler tax inflates its ratio.)
+func ScenarioStraggler(scale Scale, w io.Writer) error {
+	const seed = 229
+	p := ParamsFor(scale)
+	wl := SetupWorkload("resnet", p, seed)
+	// BSP and SelSync, each on a homogeneous fleet and a straggler fleet.
+	results := make([]*train.Result, 4)
+	parallelDo(len(results), func(ctx context.Context, j int) {
+		cfg := BaseConfig(wl, p, seed)
+		if j%2 == 1 {
+			cfg.Device = func(id int) *simnet.Device {
+				d := simnet.NewV100(seed ^ uint64(id))
+				if id == 0 {
+					d.Straggle = 4
+				}
+				return d
+			}
+		}
+		if j/2 == 0 {
+			results[j] = runPolicy(ctx, cfg, train.BSPPolicy{})
+		} else {
+			results[j] = runPolicy(ctx, cfg, train.SelSyncPolicy{Delta: wl.DeltaLow, Mode: cluster.ParamAgg})
+		}
+	})
+	bspSlow := results[1].SimTime / results[0].SimTime
+	selSlow := results[3].SimTime / results[2].SimTime
+	fmt.Fprintf(w, "scenario-straggler: 4x straggler slowdown: BSP %.2fx, SelSync %.2fx\n", bspSlow, selSlow)
+	fmt.Fprintf(w, "scenario-straggler: degraded-fleet simtime: BSP %.1fs, SelSync %.1fs\n",
+		results[1].SimTime, results[3].SimTime)
+	if bspSlow <= 1 || selSlow <= 1 {
+		return fmt.Errorf("scenario-straggler: FAIL: the straggler cost nothing (BSP %.2fx, SelSync %.2fx)", bspSlow, selSlow)
+	}
+	if results[3].SimTime >= results[1].SimTime {
+		return fmt.Errorf("scenario-straggler: FAIL: SelSync (%.1fs) not faster than BSP (%.1fs) on the degraded fleet",
+			results[3].SimTime, results[1].SimTime)
+	}
+	fmt.Fprintln(w, "scenario-straggler: SelSync stays ahead of BSP under adversarial skew: PASS")
+	return nil
+}

@@ -74,6 +74,13 @@ type Checkpoint struct {
 
 	// Policy is the synchronization policy's mutable state tree.
 	Policy PolicyState
+
+	// Dirty marks an emergency checkpoint captured after a fabric failure
+	// tore a step mid-collective: samplers and RNG streams have advanced
+	// past the last consistent boundary, so a bit-identical resume is
+	// impossible and restore refuses it. Salvage/forensics only. (A new
+	// gob field: absent in old checkpoints, decoding as false.)
+	Dirty bool
 }
 
 const checkpointVersion = 1
@@ -213,6 +220,9 @@ func restoreCheckpoint(r *runner, policy SyncPolicy, ck *Checkpoint) (int, error
 	}
 	if ck.Version != checkpointVersion {
 		return 0, fmt.Errorf("train: checkpoint version %d, this build reads %d", ck.Version, checkpointVersion)
+	}
+	if ck.Dirty {
+		return 0, fmt.Errorf("train: refusing to resume a dirty emergency checkpoint (captured mid-step after a fabric failure; resume from the last clean auto-checkpoint instead)")
 	}
 	switch {
 	case ck.Method != policy.Name():

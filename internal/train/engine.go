@@ -111,39 +111,55 @@ func newEngine(r *runner, policy SyncPolicy) *engine {
 
 // run executes steps from `start` until the budget or patience stops the
 // run, servicing checkpoint requests and observing cancellation at every
-// step boundary. It returns the next unexecuted step and whether the run
-// was cancelled. Both boundary checks are non-blocking and allocation-free
-// (r.done is nil under an uncancellable context and never fires).
-func (e *engine) run(start int, j *Job) (next int, cancelled bool) {
+// step boundary. It returns the next unexecuted step, whether the run was
+// cancelled, and the fabric error that interrupted it (nil on a clean
+// stop). Both boundary checks are non-blocking and allocation-free (r.done
+// is nil under an uncancellable context and never fires; auto-checkpoints
+// cost nothing unless configured).
+func (e *engine) run(start int, j *Job) (next int, cancelled bool, err error) {
 	for step := start; ; step++ {
 		if e.r.stop || step >= e.r.cfg.MaxSteps {
 			// Resuming a run that had already stopped (budget exhausted,
 			// patience fired) must not train further steps.
-			return step, false
+			return step, false, nil
 		}
 		if j != nil {
-			j.serviceCheckpoint(step)
+			if err := j.serviceCheckpoint(step); err != nil {
+				return step, false, err
+			}
 		}
 		if e.r.cancelled() {
-			return step, true
+			return step, true, nil
 		}
-		if e.step(step) {
-			return step + 1, false
+		stop, err := e.step(step)
+		if err != nil {
+			return step, false, err
+		}
+		if stop {
+			return step + 1, false, nil
 		}
 	}
 }
 
 // step executes one training step: draw batches, compute gradients, ask the
 // policy, execute its action, evaluate on cadence. Reports true when the
-// run should stop.
-func (e *engine) step(step int) bool {
+// run should stop. A fabric failure anywhere in the step — the policy's
+// vote exchange, the synchronization round, the evaluation reduction —
+// aborts the step and surfaces the typed error.
+func (e *engine) step(step int) (stop bool, err error) {
 	r := e.r
 	e.lr = r.lr(step)
 	injCost := r.nextBatches()
 	r.computeGrads()
 	e.sig.Step = step
+	e.sig.err = nil
 	act := e.policy.Decide(step, &e.sig)
-	e.execute(act, injCost)
+	if e.sig.err != nil {
+		return false, e.fail(step, e.sig.err)
+	}
+	if err := e.execute(act, injCost); err != nil {
+		return false, e.fail(step, err)
+	}
 	if r.obs != nil {
 		// Events are built only behind this nil-check: without an
 		// observer the step allocates nothing (alloc_test.go).
@@ -155,13 +171,27 @@ func (e *engine) step(step int) bool {
 			SimTime:  r.hostedMaxClock(),
 		})
 	}
-	return r.maybeEval(step)
+	stop, err = r.maybeEval(step)
+	if err != nil {
+		return false, e.fail(step, err)
+	}
+	return stop, nil
+}
+
+// fail marks the runner broken (clock reads fall back to rank-local state)
+// and emits the FaultEvent, nil-check guarded like every event.
+func (e *engine) fail(step int, err error) error {
+	e.r.setBroken(err)
+	if e.r.obs != nil {
+		e.r.obs.OnEvent(FaultEvent{Step: step, Err: err})
+	}
+	return err
 }
 
 // execute carries out one synchronization action through the cluster's
 // fabric, advancing step counters and virtual clocks exactly as the
 // hand-rolled per-method loops did.
-func (e *engine) execute(act Action, injCost float64) {
+func (e *engine) execute(act Action, injCost float64) error {
 	r := e.r
 	var syncCost float64
 	participants := r.cl.N()
@@ -170,7 +200,9 @@ func (e *engine) execute(act Action, injCost float64) {
 		// Push gradients, pull the mean, every worker applies the same
 		// averaged update. Replicas that diverged during earlier local
 		// phases stay diverged — the inconsistency §III-C warns about.
-		r.cl.AggregateGrads(e.avg)
+		if err := r.cl.AggregateGrads(e.avg); err != nil {
+			return err
+		}
 		if act.TrackMeanGradDelta && r.cfg.TrackDeltas {
 			r.trackDelta(e.avg.Norm())
 		}
@@ -181,7 +213,9 @@ func (e *engine) execute(act Action, injCost float64) {
 		// parameters and pull their average: one consistent global state
 		// for every replica.
 		r.applyLocal(e.lr)
-		r.cl.AggregateParams()
+		if err := r.cl.AggregateParams(); err != nil {
+			return err
+		}
 		r.cl.Each(e.countSyncFn)
 		syncCost = r.cl.SyncCost()
 	case ActRoundAverage:
@@ -193,7 +227,9 @@ func (e *engine) execute(act Action, injCost float64) {
 		if ids == nil {
 			ids = r.cl.AllWorkerIDs()
 		}
-		r.cl.ReduceParamsSubset(ids)
+		if err := r.cl.ReduceParamsSubset(ids); err != nil {
+			return err
+		}
 		r.cl.Broadcast()
 		r.cl.Each(e.countSyncFn)
 		syncCost = r.cl.Network.PSPush(r.spec.WireBytes, len(ids)) +
@@ -203,13 +239,16 @@ func (e *engine) execute(act Action, injCost float64) {
 		r.applyLocal(e.lr)
 		e.localExtra = act.ExtraCost + injCost
 		r.cl.Each(e.localFn)
-		return
+		return nil
 	default:
 		panic(fmt.Sprintf("train: unknown action kind %v", act.Kind))
 	}
 	cost := act.ExtraCost + syncCost + injCost
-	r.cl.Barrier(cost)
+	if err := r.cl.Barrier(cost); err != nil {
+		return err
+	}
 	if r.obs != nil {
 		r.obs.OnEvent(SyncEvent{Step: e.sig.Step, Kind: act.Kind, Participants: participants, CostSeconds: cost})
 	}
+	return nil
 }

@@ -115,6 +115,34 @@ type CheckpointEvent struct {
 // EventType implements Event.
 func (CheckpointEvent) EventType() string { return "checkpoint" }
 
+// FaultEvent fires when a training step hits a fabric failure — a typed
+// comm error (comm.ErrPeerDown, comm.ErrTimeout, comm.ErrCrashed wrapped
+// in a *comm.PeerError) that broke a collective. It is delivered once, on
+// the training goroutine, immediately before Job.Run returns the partial
+// Result and the same error.
+type FaultEvent struct {
+	// Step is the 0-based step the failure interrupted.
+	Step int
+	// Err is the typed fabric error (dispatch with errors.Is).
+	Err error
+}
+
+// EventType implements Event.
+func (FaultEvent) EventType() string { return "fault" }
+
+// RecoveryEvent fires when a Job successfully restores from a checkpoint
+// (WithResume), immediately before the first restored step executes — the
+// observable moment a supervised rank rejoins a run after a crash.
+type RecoveryEvent struct {
+	// Step is the first step the restored run will execute.
+	Step int
+	// Workers is how many hosted workers the checkpoint carried.
+	Workers int
+}
+
+// EventType implements Event.
+func (RecoveryEvent) EventType() string { return "recovery" }
+
 // Observer receives the event stream of a Job. OnEvent is called
 // synchronously on the training goroutine in event order; implementations
 // must be fast and must not call back into the Job (Job.Checkpoint from an

@@ -29,12 +29,20 @@ type Job struct {
 	runStarted chan struct{}
 	runDone    chan struct{}
 
+	// Auto-checkpoint configuration (WithAutoCheckpoint): every autoEvery
+	// steps the training goroutine captures a checkpoint and hands it to
+	// autoSink. Zero/nil means off — serviceCheckpoint's hot path stays
+	// allocation-free.
+	autoEvery int
+	autoSink  func(step int, ck *Checkpoint) error
+
 	mu       sync.Mutex
 	started  bool
 	finished bool
 	r        *runner
 	nextStep int
 	res      *Result
+	emerg    *Checkpoint
 }
 
 type ckptReply struct {
@@ -56,6 +64,21 @@ func WithObserver(o Observer) Option {
 		} else {
 			j.obs = MultiObserver(j.obs, o)
 		}
+	}
+}
+
+// WithAutoCheckpoint captures a checkpoint every `every` steps on the
+// training goroutine and hands it to sink (which typically saves it to
+// disk — SaveCheckpoint). The same cadence on every rank of an SPMD run
+// yields a consistent recovery line: after a crash, all ranks resume from
+// the latest step every rank's sink persisted and the run reproduces the
+// uninterrupted digest. A sink error stops the run (a recovery line that
+// silently stopped advancing is worse than a loud failure). A CheckpointEvent
+// is emitted per capture when an observer is attached.
+func WithAutoCheckpoint(every int, sink func(step int, ck *Checkpoint) error) Option {
+	return func(j *Job) {
+		j.autoEvery = every
+		j.autoSink = sink
 	}
 }
 
@@ -190,15 +213,62 @@ func (j *Job) Run(ctx context.Context) (*Result, error) {
 			j.finish(r, 0, nil)
 			return nil, rerr
 		}
+		if r.obs != nil {
+			r.obs.OnEvent(RecoveryEvent{Step: start, Workers: len(j.resume.Hosted)})
+		}
 	}
 
-	next, cancelled := e.run(start, j)
+	next, cancelled, runErr := e.run(start, j)
+	if runErr != nil {
+		// Fault path: a collective died mid-run (peer crash, timeout,
+		// partition). Salvage what this rank still has — an emergency
+		// checkpoint marked Dirty (resume-refused; for state forensics and
+		// the supervisor's restart decision) and a partial-but-valid
+		// Result assembled from rank-local state — then surface the typed
+		// error.
+		j.emergencyCheckpoint(next)
+		res := r.finish()
+		j.finish(r, next, res)
+		return res, runErr
+	}
 	res := r.finish()
 	j.finish(r, next, res)
 	if cancelled {
 		return res, ctx.Err()
 	}
 	return res, nil
+}
+
+// emergencyCheckpoint best-effort captures the run's state after a fabric
+// failure. The checkpoint is marked Dirty: the failing step was torn mid-
+// collective, so samplers and RNG streams have advanced past the last
+// consistent boundary and a bit-identical resume is impossible — restore
+// refuses it. It is retained on the Job (EmergencyCheckpoint) and handed
+// to the auto-checkpoint sink when one is configured; capture or sink
+// errors are swallowed — the typed fabric error must win.
+func (j *Job) emergencyCheckpoint(step int) {
+	r := j.r0()
+	ck, err := captureCheckpoint(r, j.policy, step)
+	if err != nil {
+		return
+	}
+	ck.Dirty = true
+	j.mu.Lock()
+	j.emerg = ck
+	j.mu.Unlock()
+	if j.autoSink != nil {
+		j.autoSink(step, ck)
+	}
+}
+
+// EmergencyCheckpoint returns the Dirty checkpoint captured when the run
+// died on a fabric failure (nil otherwise). It cannot be resumed — restore
+// refuses Dirty checkpoints — but records the salvaged state for
+// diagnosis.
+func (j *Job) EmergencyCheckpoint() *Checkpoint {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.emerg
 }
 
 // finish records the post-run state Checkpoint and Result read (under
@@ -302,9 +372,12 @@ func (j *Job) checkpointFinal() (*Checkpoint, error) {
 }
 
 // serviceCheckpoint hands the engine loop any pending mid-run checkpoint
-// request at the boundary before `step`. Non-blocking and allocation-free
-// when nobody is asking.
-func (j *Job) serviceCheckpoint(step int) {
+// request at the boundary before `step`, and captures the periodic
+// auto-checkpoint when one is configured. Non-blocking and
+// allocation-free when nobody is asking and auto-checkpointing is off.
+// The returned error is non-nil only when the auto-checkpoint capture or
+// sink failed — which stops the run.
+func (j *Job) serviceCheckpoint(step int) error {
 	select {
 	case reply := <-j.ckptCh:
 		r := j.r0()
@@ -320,6 +393,22 @@ func (j *Job) serviceCheckpoint(step int) {
 		}
 	default:
 	}
+	if j.autoEvery > 0 && step > 0 && step%j.autoEvery == 0 {
+		r := j.r0()
+		ck, err := captureCheckpoint(r, j.policy, step)
+		if err != nil {
+			return fmt.Errorf("train: auto-checkpoint at step %d: %w", step, err)
+		}
+		if j.autoSink != nil {
+			if err := j.autoSink(step, ck); err != nil {
+				return fmt.Errorf("train: auto-checkpoint sink at step %d: %w", step, err)
+			}
+		}
+		if r.obs != nil {
+			r.obs.OnEvent(CheckpointEvent{Step: step, Workers: len(ck.Hosted)})
+		}
+	}
+	return nil
 }
 
 // r0 returns the runner during an in-flight run.

@@ -124,6 +124,11 @@ type Signals struct {
 
 	r     *runner
 	flags []bool
+	// err records the first fabric failure a signal accessor hit this
+	// step. The engine checks it after Decide returns, so a policy whose
+	// vote exchange died surfaces the typed error instead of training on a
+	// broken fabric. Reset at every step boundary.
+	err error
 }
 
 // UpdateTrackers feeds every hosted worker's current gradient norm into its
@@ -138,12 +143,22 @@ func (s *Signals) UpdateTrackers() {
 // VoteAny runs the one-bit significance allgather: vote is evaluated for
 // every hosted worker, the bits cross the fabric, and VoteAny reports
 // whether any of the N workers voted true — the same answer on every rank.
-// The virtual cost of the exchange is FlagsCost.
+// The virtual cost of the exchange is FlagsCost. If the exchange fails the
+// typed error is recorded for the engine (which aborts the step) and
+// VoteAny returns false — the policy's decision for the doomed step is
+// never executed.
 func (s *Signals) VoteAny(vote func(w *cluster.Worker) bool) bool {
 	for _, w := range s.r.cl.Workers {
 		s.flags[w.ID] = vote(w)
 	}
-	return s.r.cl.ExchangeFlags(s.flags)
+	any, err := s.r.cl.ExchangeFlags(s.flags)
+	if err != nil {
+		if s.err == nil {
+			s.err = err
+		}
+		return false
+	}
+	return any
 }
 
 // FlagsCost returns the virtual seconds one VoteAny exchange costs.

@@ -28,9 +28,10 @@ type runner struct {
 	cl   *cluster.Cluster
 	spec nn.ModelSpec
 	res  *Result
-	// clock returns the run's current virtual time; cluster.MaxClock by
-	// default, overridden by the distributed SSP coordinator which tracks
-	// remote workers' clocks itself.
+	// clock returns the run's current virtual time; defaultClock (the
+	// MaxClock collective, falling back to rank-local state once the
+	// fabric is broken) by default, overridden by the distributed SSP
+	// coordinator which tracks remote workers' clocks itself.
 	clock func() float64
 
 	samplers []*data.Sampler
@@ -87,6 +88,19 @@ type runner struct {
 	// boundaries.
 	obs  Observer
 	done <-chan struct{}
+
+	// ferr is the first fabric error the run hit. Once set, the runner is
+	// broken: collective reads (the run clock) fall back to rank-local
+	// state so finish() can still assemble a partial Result without
+	// touching the dead fabric.
+	ferr error
+}
+
+// setBroken records the run's first fabric error.
+func (r *runner) setBroken(err error) {
+	if r.ferr == nil {
+		r.ferr = err
+	}
 }
 
 func newRunner(cfg Config, method string) *runner {
@@ -126,7 +140,7 @@ func newRunner(cfg Config, method string) *runner {
 		gradFlat: tensor.NewVector(cl.Dim()),
 		losses:   make([]float64, cfg.Workers),
 	}
-	r.clock = r.cl.MaxClock
+	r.clock = r.defaultClock
 	if ab, ok := r.evalNet.(nn.ArenaBacked); ok {
 		r.evalArena = ab.Arena()
 	}
@@ -223,31 +237,59 @@ func (r *runner) applyLocal(lr float64) {
 	r.cl.Each(r.applyFn)
 }
 
+// defaultClock returns the run's current virtual time: the MaxClock
+// collective on a healthy fabric, the rank-local maximum once the run is
+// broken (a dead fabric must never be touched again — finish() reads the
+// clock while assembling the partial Result).
+func (r *runner) defaultClock() float64 {
+	if r.ferr != nil {
+		return r.hostedMaxClock()
+	}
+	m, err := r.cl.MaxClock()
+	if err != nil {
+		r.setBroken(err)
+		return r.hostedMaxClock()
+	}
+	return m
+}
+
 // meanParams writes the across-replica mean parameter vector into
 // r.evalFlat and returns it. The reduction runs through the cluster's
 // fabric (a zero-copy pointer walk plus tensor.Average on loopback, a
 // gather on a mesh) and is bit-identical across backends.
-func (r *runner) meanParams() tensor.Vector {
-	r.cl.AverageParamsInto(r.evalFlat)
-	return r.evalFlat
+func (r *runner) meanParams() (tensor.Vector, error) {
+	if err := r.cl.AverageParamsInto(r.evalFlat); err != nil {
+		return nil, err
+	}
+	return r.evalFlat, nil
 }
 
 // meanGrads writes the across-replica mean gradient vector into r.gradFlat
 // and returns it.
-func (r *runner) meanGrads() tensor.Vector {
-	r.cl.AverageGradsInto(r.gradFlat)
-	return r.gradFlat
+func (r *runner) meanGrads() (tensor.Vector, error) {
+	if err := r.cl.AverageGradsInto(r.gradFlat); err != nil {
+		return nil, err
+	}
+	return r.gradFlat, nil
 }
 
 // maybeSnapshot records global params and mean gradient at configured
 // steps.
-func (r *runner) maybeSnapshot(step int) {
+func (r *runner) maybeSnapshot(step int) error {
 	if !r.snapSteps[step] {
-		return
+		return nil
 	}
-	params := append([]float64(nil), r.meanParams()...)
-	grads := append([]float64(nil), r.meanGrads()...)
-	r.res.Snapshots[step] = Snapshot{Step: step, Params: params, Grads: grads}
+	mean, err := r.meanParams()
+	if err != nil {
+		return err
+	}
+	params := append([]float64(nil), mean...)
+	grads, err := r.meanGrads()
+	if err != nil {
+		return err
+	}
+	r.res.Snapshots[step] = Snapshot{Step: step, Params: params, Grads: append([]float64(nil), grads...)}
+	return nil
 }
 
 // evalParams evaluates an arbitrary flat parameter vector on the test set,
@@ -265,14 +307,20 @@ func (r *runner) evalParams(v tensor.Vector) (loss, metric float64) {
 // when the run should stop (patience exhausted or MaxSteps reached).
 // The evaluated model is the across-replica mean — the state the PS would
 // serve after a parameter aggregation.
-func (r *runner) maybeEval(step int) bool {
-	r.maybeSnapshot(step)
+func (r *runner) maybeEval(step int) (bool, error) {
+	if err := r.maybeSnapshot(step); err != nil {
+		return false, err
+	}
 	final := step+1 >= r.cfg.MaxSteps
 	if (step+1)%r.cfg.EvalEvery == 0 || final {
-		loss, metric := r.evalParams(r.meanParams())
+		mean, err := r.meanParams()
+		if err != nil {
+			return false, err
+		}
+		loss, metric := r.evalParams(mean)
 		r.record(step, loss, metric)
 	}
-	return final || r.stop
+	return final || r.stop, nil
 }
 
 func (r *runner) record(step int, loss, metric float64) {

@@ -84,10 +84,10 @@ func runSSPCoordinator(r *runner, opts SSPOptions, link comm.PeerLink) {
 		}
 		owner := link.OwnerOf(w)
 		if err := link.SendControl(owner, comm.CtlSSPStart, w, now, 0); err != nil {
-			panic(fmt.Sprintf("train: ssp start for worker %d: %v", w, err))
+			panic(fmt.Errorf("train: ssp start for worker %d: %w", w, err))
 		}
 		if err := link.SendTensor(owner, w, global); err != nil {
-			panic(fmt.Sprintf("train: ssp params for worker %d: %v", w, err))
+			panic(fmt.Errorf("train: ssp params for worker %d: %w", w, err))
 		}
 		outQ[owner] = append(outQ[owner], w)
 	}
@@ -103,13 +103,13 @@ func runSSPCoordinator(r *runner, opts SSPOptions, link comm.PeerLink) {
 				outQ[p] = outQ[p][1:]
 				msg, err := link.RecvControl(p)
 				if err != nil {
-					panic(fmt.Sprintf("train: ssp reply from rank %d: %v", p, err))
+					panic(fmt.Errorf("train: ssp reply from rank %d: %w", p, err))
 				}
 				if msg.Op != comm.CtlSSPGrad || msg.Worker != w {
 					panic(fmt.Sprintf("train: ssp reply mismatch: got op %d worker %d, want worker %d", msg.Op, msg.Worker, w))
 				}
 				if err := link.RecvTensorInto(p, w, pending[w]); err != nil {
-					panic(fmt.Sprintf("train: ssp gradient for worker %d: %v", w, err))
+					panic(fmt.Errorf("train: ssp gradient for worker %d: %w", w, err))
 				}
 				r.losses[w] = msg.A
 				completion[w] = startAt[w] + msg.B + commCost
@@ -198,7 +198,7 @@ func runSSPCoordinator(r *runner, opts SSPOptions, link comm.PeerLink) {
 	collect()
 	for p := 1; p < procs; p++ {
 		if err := link.SendControl(p, comm.CtlStop, -1, 0, 0); err != nil {
-			panic(fmt.Sprintf("train: ssp stop to rank %d: %v", p, err))
+			panic(fmt.Errorf("train: ssp stop to rank %d: %w", p, err))
 		}
 	}
 	total := 0
@@ -219,7 +219,7 @@ func runSSPServe(r *runner, link comm.PeerLink) {
 	for {
 		msg, err := link.RecvControl(0)
 		if err != nil {
-			panic(fmt.Sprintf("train: ssp serve recv: %v", err))
+			panic(fmt.Errorf("train: ssp serve recv: %w", err))
 		}
 		switch msg.Op {
 		case comm.CtlStop:
@@ -230,7 +230,7 @@ func runSSPServe(r *runner, link comm.PeerLink) {
 				panic(fmt.Sprintf("train: ssp request for worker %d not hosted here", msg.Worker))
 			}
 			if err := link.RecvTensorInto(0, msg.Worker, buf); err != nil {
-				panic(fmt.Sprintf("train: ssp params recv: %v", err))
+				panic(fmt.Errorf("train: ssp params recv: %w", err))
 			}
 			w.SetParams(buf)
 			batch := r.samplers[msg.Worker].Next()
@@ -238,10 +238,10 @@ func runSSPServe(r *runner, link comm.PeerLink) {
 			loss, _ := w.Model.ComputeGradients(x, labels)
 			tc := w.Device.ComputeTime(stepFlopsFor(r, len(batch)))
 			if err := link.SendControl(0, comm.CtlSSPGrad, msg.Worker, loss, tc); err != nil {
-				panic(fmt.Sprintf("train: ssp reply send: %v", err))
+				panic(fmt.Errorf("train: ssp reply send: %w", err))
 			}
 			if err := link.SendTensor(0, msg.Worker, w.FlatGrads()); err != nil {
-				panic(fmt.Sprintf("train: ssp gradient send: %v", err))
+				panic(fmt.Errorf("train: ssp gradient send: %w", err))
 			}
 		default:
 			panic(fmt.Sprintf("train: ssp serve: unexpected control op %d", msg.Op))
