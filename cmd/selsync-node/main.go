@@ -24,8 +24,19 @@
 //	selsync-node -launch 4 -supervise -checkpoint /tmp/ck -ckpt-every 25 \
 //	    -crash-rank 2 -crash-at-step 100 -digest ...
 //
+// Elastic membership: with -membership the ranks execute a scripted
+// leave/join plan at step boundaries. A rank whose leave fires exits with
+// code 4; relaunching it with -join dials back into the running mesh,
+// receives the live state transfer from rank 0, and re-enters at the
+// plan's join boundary. Under -supervise an exit-4 rank is relaunched
+// alone with -join instead of gang-restarting the whole job:
+//
+//	selsync-node -launch 4 -supervise -membership "leave=2@40;join=2@80" \
+//	    -checkpoint /tmp/ck -ckpt-every 25 -digest ...
+//
 // Exit codes: 0 success, 2 configuration or I/O failure, 3 fabric fault
-// (typed comm error; partial result salvaged), 7 injected rank crash.
+// (typed comm error; partial result salvaged), 4 planned membership
+// departure (relaunch with -join to re-enter), 7 injected rank crash.
 package main
 
 import (
@@ -40,6 +51,7 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 
 	"selsync/internal/comm"
 	"selsync/internal/experiments"
@@ -49,6 +61,7 @@ import (
 const (
 	exitFail  = 2 // configuration or I/O failure
 	exitFault = 3 // fabric fault: typed comm error, partial result salvaged
+	exitLeft  = 4 // planned membership departure: relaunch with -join to re-enter
 	exitCrash = 7 // whole-rank crash (chaos schedule or -crash-at-step)
 )
 
@@ -84,6 +97,11 @@ func main() {
 	crashAtStep := flag.Int("crash-at-step", 0, "fault injection: exit(7) when -crash-rank completes this 0-based step")
 	crashRank := flag.Int("crash-rank", 0, "the rank -crash-at-step kills")
 	digest := flag.Bool("digest", false, "print the run's result digest (rank 0) for bit-identity checks")
+	membership := flag.String("membership", "", "elastic-membership plan, e.g. \"leave=2@40;join=2@80\" (see train.ParseMembershipPlan)")
+	quorum := flag.Int("quorum", 0, "live-rank continuation threshold (0 = plan or default ⌈N/2⌉+1)")
+	join := flag.Bool("join", false, "rejoin a running mesh as -rank: dial back in, receive rank 0's state transfer, re-enter at the plan's join boundary")
+	heartbeat := flag.Duration("heartbeat", 0, "liveness beacon interval; silence past 4 intervals marks a peer suspect (0 = off)")
+	netStats := flag.Bool("net-stats", false, "print per-rank transport counters (frames/bytes, redials, timeouts per peer) at end of run")
 	flag.Parse()
 
 	switch *mode {
@@ -102,6 +120,14 @@ func main() {
 			fail("-supervise requires -checkpoint and -ckpt-every (the gang-restart source)")
 		}
 	}
+	if *join {
+		if *membership == "" {
+			fail("-join requires -membership (the plan names the join boundary to re-enter at)")
+		}
+		if *launch > 0 {
+			fail("-join re-enters one rank; it cannot be combined with -launch")
+		}
+	}
 
 	spec := experiments.RunSpec{
 		Model: *model, Method: *method, Scheme: *scheme,
@@ -110,6 +136,7 @@ func main() {
 		Delta: *delta, GradAgg: *mode == "grad",
 		C: *c, E: *e, Staleness: *staleness,
 		LabelsPerWorker: *labelsPerWorker, Alpha: *alpha, Beta: *beta,
+		Membership: *membership, Quorum: *quorum,
 	}
 
 	if *launch > 0 {
@@ -132,6 +159,8 @@ func main() {
 		experiments.TransportOptions{
 			Chaos:     *chaos,
 			OpTimeout: *opTimeout,
+			Heartbeat: *heartbeat,
+			Rejoin:    *join,
 			OnCrash: func() {
 				// A scheduled whole-rank crash: die the way a killed process
 				// does — no goodbye to the peers, no checkpoint.
@@ -157,6 +186,11 @@ func main() {
 	}
 
 	var opts []train.Option
+	if *join {
+		// A rejoining rank skips initial training: it blocks on rank 0's
+		// live state transfer and re-enters at the plan's join boundary.
+		opts = append(opts, train.WithLateJoin())
+	}
 	var prog *train.ProgressObserver
 	if *progress && report {
 		prog = train.NewProgressObserver(os.Stderr)
@@ -210,6 +244,18 @@ func main() {
 	}()
 
 	res, err := job.Run(ctx)
+	if errors.Is(err, train.ErrRankLeft) {
+		// The membership plan removed this rank: its workers were adopted by
+		// rank 0, so there is no state to salvage here. Exit with the
+		// departure code; the supervisor relaunches the rank with -join.
+		step := 0
+		if res != nil {
+			step = res.Steps
+		}
+		printNetStats(fabric, *rank, *netStats)
+		fmt.Fprintf(os.Stderr, "rank %d: left the mesh at step %d per the membership plan\n", *rank, step)
+		os.Exit(exitLeft)
+	}
 	// A deadline behaves like Ctrl-C: Run still hands back a valid
 	// partial Result worth printing and checkpointing.
 	interrupted := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
@@ -251,6 +297,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "checkpoint saved to %s\n", rankPath(*ckptPath))
 	}
+	printNetStats(fabric, *rank, *netStats)
 	if report {
 		fmt.Println(res)
 		fmt.Printf("sync steps: %d, local steps: %d, comm reduction vs BSP: %.1fx\n",
@@ -263,10 +310,33 @@ func main() {
 	}
 }
 
+// printNetStats reports the rank's physical transport counters — including
+// the fault-path ones (reconnect attempts, deadline expiries) that make a
+// degraded run diagnosable — when -net-stats asks for them, or
+// unconditionally once any redial/timeout fired.
+func printNetStats(fabric comm.Fabric, rank int, always bool) {
+	m, ok := fabric.(*comm.Mesh)
+	if !ok {
+		return
+	}
+	ns := m.Endpoint().NetStats()
+	if !always && ns.Redials == 0 && ns.Timeouts == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "rank %d net: sent %d frames/%d B, recv %d frames/%d B, redials %d, timeouts %d\n",
+		rank, ns.FramesSent, ns.BytesSent, ns.FramesRecv, ns.BytesRecv, ns.Redials, ns.Timeouts)
+	for peer, p := range ns.PerPeer {
+		if p.Redials > 0 || p.Timeouts > 0 {
+			fmt.Fprintf(os.Stderr, "rank %d net: peer %d: redials %d, timeouts %d\n",
+				rank, peer, p.Redials, p.Timeouts)
+		}
+	}
+}
+
 // launchJob reserves one localhost port per rank, spawns every rank as a
 // child process of this same binary, and waits. Returns the exit code.
 func launchJob(ranks int, fs *flag.FlagSet) int {
-	codes, ok := runGang(ranks, fs, nil)
+	codes, ok := runGang(ranks, fs, nil, false)
 	if !ok {
 		return 1
 	}
@@ -310,7 +380,10 @@ func superviseJob(ranks int, fs *flag.FlagSet, ckptBase string, maxRestarts int)
 				"chaos":         "",
 			}
 		}
-		codes, ok := runGang(ranks, fs, overrides)
+		// Elastic membership first: a rank that exits with the departure
+		// code is relaunched alone with -join inside runGang — far cheaper
+		// than tearing down the survivors for a gang restart.
+		codes, ok := runGang(ranks, fs, overrides, true)
 		if !ok {
 			return 1
 		}
@@ -346,7 +419,13 @@ func superviseJob(ranks int, fs *flag.FlagSet, ckptBase string, maxRestarts int)
 // reserved localhost ports, forwarding every training flag (as set or
 // defaulted, with overrides applied) minus the launcher-only ones, and
 // waits for all of them. Returns each rank's exit code.
-func runGang(ranks int, fs *flag.FlagSet, overrides map[string]string) ([]int, bool) {
+//
+// With rejoin, a rank exiting with the planned-departure code (4) is
+// relaunched alone with -join while the survivors keep training: the
+// replacement dials back into the still-running mesh and catches rank 0's
+// state transfer at the plan's join boundary. Its exit code replaces the
+// departed rank's.
+func runGang(ranks int, fs *flag.FlagSet, overrides map[string]string, rejoin bool) ([]int, bool) {
 	peers, err := reservePorts(ranks)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "reserving ports: %v\n", err)
@@ -361,7 +440,7 @@ func runGang(ranks int, fs *flag.FlagSet, overrides map[string]string) ([]int, b
 	var common []string
 	fs.VisitAll(func(f *flag.Flag) {
 		switch f.Name {
-		case "launch", "supervise", "max-restarts", "rank", "peers":
+		case "launch", "supervise", "max-restarts", "rank", "peers", "join":
 			return
 		}
 		v := f.Value.String()
@@ -370,18 +449,34 @@ func runGang(ranks int, fs *flag.FlagSet, overrides map[string]string) ([]int, b
 		}
 		common = append(common, "-"+f.Name+"="+v)
 	})
-
-	fmt.Printf("launching %d ranks: %s\n", ranks, strings.Join(peers, " "))
-	cmds := make([]*exec.Cmd, ranks)
-	for r := 0; r < ranks; r++ {
+	spawn := func(r int, extra ...string) (*exec.Cmd, error) {
 		args := append([]string{
 			"-rank=" + strconv.Itoa(r),
 			"-peers=" + strings.Join(peers, ","),
 		}, common...)
+		args = append(args, extra...)
 		cmd := exec.Command(self, args...)
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr
-		if err := cmd.Start(); err != nil {
+		return cmd, cmd.Start()
+	}
+	wait := func(r int, cmd *exec.Cmd) int {
+		if err := cmd.Wait(); err != nil {
+			var xe *exec.ExitError
+			if errors.As(err, &xe) {
+				return xe.ExitCode()
+			}
+			fmt.Fprintf(os.Stderr, "rank %d: %v\n", r, err)
+			return 1
+		}
+		return 0
+	}
+
+	fmt.Printf("launching %d ranks: %s\n", ranks, strings.Join(peers, " "))
+	cmds := make([]*exec.Cmd, ranks)
+	for r := 0; r < ranks; r++ {
+		cmd, err := spawn(r)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "starting rank %d: %v\n", r, err)
 			for _, running := range cmds[:r] {
 				running.Process.Kill()
@@ -391,17 +486,28 @@ func runGang(ranks int, fs *flag.FlagSet, overrides map[string]string) ([]int, b
 		cmds[r] = cmd
 	}
 	codes := make([]int, ranks)
+	var wg sync.WaitGroup
 	for r, cmd := range cmds {
-		if err := cmd.Wait(); err != nil {
-			var xe *exec.ExitError
-			if errors.As(err, &xe) {
-				codes[r] = xe.ExitCode()
-			} else {
-				fmt.Fprintf(os.Stderr, "rank %d: %v\n", r, err)
-				codes[r] = 1
+		wg.Add(1)
+		go func(r int, cmd *exec.Cmd) {
+			defer wg.Done()
+			code := wait(r, cmd)
+			if rejoin && code == exitLeft {
+				// The survivors are still running toward the plan's join
+				// boundary; put the departed rank back before they get there.
+				fmt.Printf("supervisor: rank %d left the mesh; relaunching it with -join\n", r)
+				rc, err := spawn(r, "-join=true")
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "supervisor: relaunching rank %d: %v\n", r, err)
+					codes[r] = 1
+					return
+				}
+				code = wait(r, rc)
 			}
-		}
+			codes[r] = code
+		}(r, cmd)
 	}
+	wg.Wait()
 	return codes, true
 }
 

@@ -219,6 +219,15 @@ type Cluster struct {
 	dim       int
 	scratch   tensor.Vector
 	allIDs    []int
+	// cfg and deviceFor are retained so elastic membership can re-derive
+	// replicas deterministically (AdoptWorkers / ResetWorkers).
+	cfg       Config
+	deviceFor func(id int) *simnet.Device
+	// nbase is the size of the static hosted block; adopted replicas (a
+	// dead rank's workers re-materialized on rank 0) live past it in
+	// Workers and in the adopted map.
+	nbase   int
+	adopted map[int]*Worker
 	// Stored view closures and per-local-worker arena slots keep the
 	// steady-state sync round allocation-free.
 	paramView  func(id int) tensor.Vector
@@ -296,6 +305,9 @@ func New(cfg Config) *Cluster {
 		}
 		c.Workers = append(c.Workers, w)
 	}
+	c.cfg = cfg
+	c.deviceFor = deviceFor
+	c.nbase = len(c.Workers)
 	c.dim = nn.ParamCount(c.Workers[0].Model.Params())
 	c.scratch = tensor.NewVector(c.dim)
 	c.allIDs = make([]int, cfg.Workers)
@@ -315,8 +327,14 @@ func New(cfg Config) *Cluster {
 	return c
 }
 
-// workerByID maps a hosted global worker id to its replica.
-func (c *Cluster) workerByID(id int) *Worker { return c.Workers[id-c.firstID] }
+// workerByID maps a hosted global worker id to its replica: the static
+// block by offset, adopted orphans through the overlay map.
+func (c *Cluster) workerByID(id int) *Worker {
+	if i := id - c.firstID; i >= 0 && i < c.nbase {
+		return c.Workers[i]
+	}
+	return c.adopted[id]
+}
 
 // LocalWorker returns the replica for a global worker id, or nil when this
 // rank does not host it.
@@ -398,6 +416,137 @@ func (c *Cluster) Close() {
 			c.fabric.Close()
 		}
 	})
+}
+
+// stopPool drains the persistent worker goroutines before the hosted
+// worker set changes shape; startPool relaunches over the new set.
+func (c *Cluster) stopPool() {
+	for _, ch := range c.eachCh {
+		close(ch)
+	}
+	c.eachCh = nil
+}
+
+// refreshSlots rebuilds the fan-out arena slots (and the all-arena flag)
+// after the hosted worker set changed.
+func (c *Cluster) refreshSlots() {
+	c.allArena = true
+	for _, w := range c.Workers {
+		if w.arena == nil {
+			c.allArena = false
+			break
+		}
+	}
+	if !c.allArena {
+		c.paramSlots = nil
+		return
+	}
+	c.paramSlots = c.paramSlots[:0]
+	for _, w := range c.Workers {
+		c.paramSlots = append(c.paramSlots, w.arena.Data)
+	}
+}
+
+// rejoinRNG derives the RNG stream of a re-materialized replica. The
+// stream is keyed by (seed, id, view epoch) alone, so rank 0's adoption
+// and the loopback fabric's in-place reset — and any repeat of the same
+// scripted membership plan — draw bit-identical randomness.
+func rejoinRNG(seed uint64, id int, epoch uint64) *tensor.RNG {
+	return tensor.NewRNG(seed ^ 0x9E3779B97F4A7C15 ^ (uint64(id)+1)<<32 ^ epoch)
+}
+
+// rebuildWorker constructs a fresh replica for a global worker id under
+// the deterministic reconstruction recipe: parameters from the PS global
+// state (the last synchronized model — the only rank-invariant snapshot),
+// fresh optimizer and tracker state, the same device the id always gets,
+// an epoch-keyed RNG stream, and step counters copied from worker 0 (the
+// first hosted worker on rank 0 and loopback, the only places this runs).
+// Clock starts at zero; the caller's post-transition barrier aligns it.
+func (c *Cluster) rebuildWorker(id int, epoch uint64) *Worker {
+	model := c.cfg.Model.New(c.cfg.Seed)
+	w := &Worker{
+		ID:        id,
+		Model:     model,
+		Optimizer: c.cfg.Opt(model.Params()),
+		Device:    c.deviceFor(id),
+		Tracker:   gradstat.NewConfiguredTracker(c.cfg.TrackerAlpha, c.cfg.TrackerWindow, c.N()),
+		RNG:       rejoinRNG(c.cfg.Seed, id, epoch),
+	}
+	if ab, ok := w.Model.(nn.ArenaBacked); ok {
+		w.arena = ab.Arena()
+	} else {
+		w.flat = tensor.NewVector(nn.ParamCount(w.Model.Params()))
+	}
+	w.SetParams(c.PS.Global)
+	ref := c.Workers[0]
+	w.Steps, w.LocalSteps, w.SyncSteps = ref.Steps, ref.LocalSteps, ref.SyncSteps
+	return w
+}
+
+// AdoptWorkers materializes replicas for a dead rank's orphaned worker
+// ids on this rank (rank 0 is the adopter by protocol). Ids already
+// adopted are left alone. The worker pool and fan-out slots re-form over
+// the grown set.
+func (c *Cluster) AdoptWorkers(ids []int, epoch uint64) {
+	if len(ids) == 0 {
+		return
+	}
+	c.stopPool()
+	if c.adopted == nil {
+		c.adopted = make(map[int]*Worker)
+	}
+	for _, id := range ids {
+		if _, ok := c.adopted[id]; ok {
+			continue
+		}
+		w := c.rebuildWorker(id, epoch)
+		c.adopted[id] = w
+		c.Workers = append(c.Workers, w)
+	}
+	c.refreshSlots()
+	c.startPool()
+}
+
+// ReleaseWorkers drops previously adopted replicas — their home rank
+// rejoined and hosts them again after the state transfer.
+func (c *Cluster) ReleaseWorkers(ids []int) {
+	if len(ids) == 0 || c.adopted == nil {
+		return
+	}
+	c.stopPool()
+	for _, id := range ids {
+		delete(c.adopted, id)
+	}
+	kept := c.Workers[:c.nbase]
+	for _, w := range c.Workers[c.nbase:] {
+		if _, ok := c.adopted[w.ID]; ok {
+			kept = append(kept, w)
+		}
+	}
+	c.Workers = kept
+	c.refreshSlots()
+	c.startPool()
+}
+
+// ResetWorkers rebuilds hosted replicas in place with the reconstruction
+// recipe — the loopback fabric's mirror of a planned departure, where the
+// "dead" rank's workers live in this same process: destroying and
+// re-deriving them keeps the arithmetic bit-identical to a distributed
+// run in which rank 0 adopts them.
+func (c *Cluster) ResetWorkers(ids []int, epoch uint64) {
+	if len(ids) == 0 {
+		return
+	}
+	c.stopPool()
+	for _, id := range ids {
+		i := id - c.firstID
+		if i < 0 || i >= c.nbase {
+			continue
+		}
+		c.Workers[i] = c.rebuildWorker(id, epoch)
+	}
+	c.refreshSlots()
+	c.startPool()
 }
 
 // Broadcast overwrites every replica's parameters with the PS global state

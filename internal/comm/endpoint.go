@@ -26,22 +26,69 @@ type Endpoint interface {
 	Close() error
 }
 
-// EndpointStats counts physical transport traffic at one endpoint.
+// EndpointStats counts physical transport traffic at one endpoint, plus
+// the fault-path counters that make a degraded run diagnosable without
+// logs: how many reconnect attempts the endpoint made and how many typed
+// ErrTimeout deadline expiries its receives hit, in total and per peer.
 type EndpointStats struct {
 	FramesSent, FramesRecv int64
 	BytesSent, BytesRecv   int64
+	Redials, Timeouts      int64
+	// PerPeer is indexed by peer rank (the self slot stays zero). Nil on
+	// endpoints built before the first snapshot of a peerless transport.
+	PerPeer []PeerNetStats
+}
+
+// PeerNetStats is the per-peer slice of the fault-path counters.
+type PeerNetStats struct {
+	Redials, Timeouts int64
 }
 
 type netCounters struct {
 	framesSent, framesRecv atomic.Int64
 	bytesSent, bytesRecv   atomic.Int64
+	redials, timeouts      atomic.Int64
+	perPeer                []peerCounters
+}
+
+type peerCounters struct {
+	redials, timeouts atomic.Int64
+}
+
+// initPeers sizes the per-peer counter table; safe to skip for
+// single-rank transports.
+func (c *netCounters) initPeers(procs int) { c.perPeer = make([]peerCounters, procs) }
+
+func (c *netCounters) countRedial(peer int) {
+	c.redials.Add(1)
+	if peer >= 0 && peer < len(c.perPeer) {
+		c.perPeer[peer].redials.Add(1)
+	}
+}
+
+func (c *netCounters) countTimeout(peer int) {
+	c.timeouts.Add(1)
+	if peer >= 0 && peer < len(c.perPeer) {
+		c.perPeer[peer].timeouts.Add(1)
+	}
 }
 
 func (c *netCounters) snapshot() EndpointStats {
-	return EndpointStats{
+	s := EndpointStats{
 		FramesSent: c.framesSent.Load(), FramesRecv: c.framesRecv.Load(),
 		BytesSent: c.bytesSent.Load(), BytesRecv: c.bytesRecv.Load(),
+		Redials: c.redials.Load(), Timeouts: c.timeouts.Load(),
 	}
+	if len(c.perPeer) > 0 {
+		s.PerPeer = make([]PeerNetStats, len(c.perPeer))
+		for i := range c.perPeer {
+			s.PerPeer[i] = PeerNetStats{
+				Redials:  c.perPeer[i].redials.Load(),
+				Timeouts: c.perPeer[i].timeouts.Load(),
+			}
+		}
+	}
+	return s
 }
 
 func (c *netCounters) countSend(f *Frame) {
@@ -75,6 +122,9 @@ type chanEndpoint struct {
 	closed chan struct{}
 	once   sync.Once
 	net    netCounters
+	// heard[from] is the unix-nano arrival time of the last frame from
+	// that peer (heartbeats included) — the HeartbeatSource surface.
+	heard []atomic.Int64
 }
 
 // NewLoopbackEndpoints builds n fully connected in-process endpoints, one
@@ -90,6 +140,8 @@ func NewLoopbackEndpoints(n int) []Endpoint {
 		for from := range ep.inbox {
 			ep.inbox[from] = make(chan *Frame, inboxSize)
 		}
+		ep.heard = make([]atomic.Int64, n)
+		ep.net.initPeers(n)
 		eps[r] = ep
 	}
 	out := make([]Endpoint, n)
@@ -107,12 +159,27 @@ func (e *chanEndpoint) Send(to int, f *Frame) error {
 	if to < 0 || to >= e.procs || to == e.rank {
 		return fmt.Errorf("comm: rank %d cannot send to %d", e.rank, to)
 	}
+	peer := e.peers[to]
+	// Heartbeats refresh the peer's last-heard clock and are consumed at
+	// the transport: they must never surface from a collective receive.
+	if f.Type == MsgHeartbeat {
+		select {
+		case <-e.closed:
+			return ErrClosed
+		case <-peer.closed:
+			return fmt.Errorf("comm: send to rank %d: %w", to, ErrPeerDown)
+		default:
+		}
+		e.net.countSend(f)
+		peer.net.countRecv(f)
+		peer.heard[e.rank].Store(time.Now().UnixNano())
+		return nil
+	}
 	// Deep-copy the frame: the caller owns (and will reuse) f.Payload.
 	g := &Frame{Type: f.Type, Flags: f.Flags, Worker: f.Worker, Seq: f.Seq}
 	if len(f.Payload) > 0 {
 		g.Payload = append([]byte(nil), f.Payload...)
 	}
-	peer := e.peers[to]
 	select {
 	case <-e.closed:
 		return ErrClosed
@@ -121,8 +188,21 @@ func (e *chanEndpoint) Send(to int, f *Frame) error {
 	case peer.inbox[e.rank] <- g:
 		e.net.countSend(f)
 		peer.net.countRecv(f)
+		peer.heard[e.rank].Store(time.Now().UnixNano())
 		return nil
 	}
+}
+
+// LastHeard implements HeartbeatSource: when the peer last sent anything.
+func (e *chanEndpoint) LastHeard(from int) time.Time {
+	if from < 0 || from >= e.procs {
+		return time.Time{}
+	}
+	ns := e.heard[from].Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
 }
 
 func (e *chanEndpoint) Recv(from int) (*Frame, error) {
@@ -149,6 +229,7 @@ func (e *chanEndpoint) recv(from int, timeout <-chan time.Time) (*Frame, error) 
 	case f := <-e.inbox[from]:
 		return f, nil
 	case <-timeout:
+		e.net.countTimeout(from)
 		return nil, fmt.Errorf("comm: recv from rank %d: %w", from, ErrTimeout)
 	case <-e.closed:
 		// Drain anything already delivered before reporting closure.

@@ -28,6 +28,10 @@ var (
 	ErrPeerDown = errors.New("comm: peer down")
 	ErrTimeout  = errors.New("comm: operation timed out")
 	ErrCrashed  = errors.New("comm: endpoint crashed by fault plan")
+	// ErrQuorumLost means an elastic mesh dropped below its configured
+	// quorum of live ranks: degraded-mode continuation is no longer safe
+	// and the run must fall back to the emergency-checkpoint path.
+	ErrQuorumLost = errors.New("comm: membership quorum lost")
 )
 
 // PeerError ties a transport failure to the peer rank and the collective
@@ -70,7 +74,8 @@ func classify(err error) error {
 		return nil
 	}
 	if errors.Is(err, ErrPeerDown) || errors.Is(err, ErrTimeout) ||
-		errors.Is(err, ErrCrashed) || errors.Is(err, ErrClosed) {
+		errors.Is(err, ErrCrashed) || errors.Is(err, ErrClosed) ||
+		errors.Is(err, ErrQuorumLost) {
 		return err
 	}
 	var nerr net.Error

@@ -1,0 +1,161 @@
+package comm
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"selsync/internal/tensor"
+)
+
+// Satellite contract: every collective — the bare-endpoint building blocks
+// and the mesh ops — must surface a dead peer as a *PeerError carrying the
+// peer's rank, unwrapping to the typed taxonomy via errors.Is, on both
+// transports. Callers (the engine's fault path, the supervisor's exit-code
+// mapping) branch on exactly these round-trips.
+
+// checkPeerError asserts the errors.As/errors.Is round-trip.
+func checkPeerError(t *testing.T, err error, wantRank int, wantIs error) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("collective against a dead peer must fail")
+	}
+	var pe *PeerError
+	if !errors.As(err, &pe) {
+		t.Fatalf("errors.As(*PeerError) failed on %v", err)
+	}
+	if pe.Rank != wantRank {
+		t.Fatalf("PeerError.Rank = %d, want %d (err: %v)", pe.Rank, wantRank, err)
+	}
+	if pe.Op == "" {
+		t.Fatalf("PeerError.Op empty: %v", err)
+	}
+	if !errors.Is(err, wantIs) {
+		t.Fatalf("errors.Is(%v) failed on %v", wantIs, err)
+	}
+}
+
+// roundTripCollectives runs every collective on the surviving endpoint of
+// a 2-rank pair whose peer is gone, asserting the typed round-trip. The
+// survivor acts as non-root/ring-member so each op hits a deterministic
+// receive failure (a send into a dead socket can land in an OS buffer; a
+// receive cannot succeed).
+func roundTripCollectives(t *testing.T, ep Endpoint, deadRank int) {
+	t.Helper()
+	dim := 8
+	v := tensor.NewVector(dim)
+
+	err := BroadcastTensor(ep, deadRank, v)
+	checkPeerError(t, err, deadRank, ErrPeerDown)
+
+	dst := tensor.NewVector(dim)
+	err = PushPullMean(ep, deadRank, dst, v)
+	checkPeerError(t, err, deadRank, ErrPeerDown)
+
+	err = RingAllReduceMean(ep, v)
+	checkPeerError(t, err, deadRank, ErrPeerDown)
+
+	m, merr := NewMesh(ep, ep.Procs())
+	if merr != nil {
+		t.Fatal(merr)
+	}
+	flags := make([]bool, ep.Procs())
+	err = m.AllGatherFlags(flags)
+	checkPeerError(t, err, deadRank, ErrPeerDown)
+	m.Close() // broken mesh: skips the bye barrier, closes ep
+}
+
+func TestPeerErrorRoundTripLoopback(t *testing.T) {
+	eps := NewLoopbackEndpoints(2)
+	eps[0].Close()
+	roundTripCollectives(t, eps[1], 0)
+
+	// Root side: the gather receive in the PS round fails the same way.
+	eps = NewLoopbackEndpoints(2)
+	eps[1].Close()
+	dim := 8
+	// (Send-side ops are not asserted here: a send to a dead peer may land
+	// in the transport buffer before the closure is observed, on loopback
+	// and TCP alike. The receive side is where death is deterministic.)
+	err := PushPullMean(eps[0], 0, tensor.NewVector(dim), tensor.NewVector(dim))
+	checkPeerError(t, err, 1, ErrPeerDown)
+	eps[0].Close()
+}
+
+func TestPeerErrorRoundTripTCP(t *testing.T) {
+	opts := DefaultTCPOptions()
+	opts.RedialAttempts = 0 // dead peer stays dead: no repair window
+	opts.ReconnectWait = 0
+	ep0, ep1 := tcpPair(t, opts)
+	exchange(t, ep1, ep0, 1) // mesh is live before the kill
+	ep0.Close()
+	roundTripCollectives(t, ep1, 0)
+}
+
+// TestTimeoutRoundTripThroughMesh: a silent (but alive) peer under an op
+// timeout surfaces as *PeerError wrapping ErrTimeout, and the expiry is
+// counted in the endpoint's NetStats.
+func TestTimeoutRoundTripThroughMesh(t *testing.T) {
+	eps := NewLoopbackEndpoints(2)
+	defer eps[0].Close()
+	defer eps[1].Close()
+	m, err := NewMesh(eps[0], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.SetOpTimeout(30 * time.Millisecond) {
+		t.Fatal("loopback endpoint must support deadlines")
+	}
+	gerr := m.AllGatherFlags(make([]bool, 2)) // rank 1 never answers
+	checkPeerError(t, gerr, 1, ErrTimeout)
+	ns := eps[0].NetStats()
+	if ns.Timeouts < 1 {
+		t.Fatalf("Timeouts = %d, want ≥ 1", ns.Timeouts)
+	}
+	if len(ns.PerPeer) != 2 || ns.PerPeer[1].Timeouts < 1 {
+		t.Fatalf("PerPeer timeout counters wrong: %+v", ns.PerPeer)
+	}
+	if ns.PerPeer[0].Timeouts != 0 {
+		t.Fatalf("self slot must stay zero: %+v", ns.PerPeer)
+	}
+}
+
+// TestRedialCountersSurfaceInNetStats: a dialing rank that exhausts its
+// redial budget against a gone peer reports every attempt in NetStats,
+// in total and in the peer's slot.
+func TestRedialCountersSurfaceInNetStats(t *testing.T) {
+	opts := DefaultTCPOptions()
+	opts.RedialAttempts = 2
+	opts.RedialBackoff = 2 * time.Millisecond
+	opts.RedialBackoffMax = 10 * time.Millisecond
+	opts.ReconnectWait = 20 * time.Millisecond
+	ep0, ep1 := tcpPair(t, opts)
+	exchange(t, ep1, ep0, 1)
+	ep0.Close() // listener gone too: redials cannot land
+
+	// Rank 1 dialed rank 0, so its send path owns the redial. The first
+	// writes may land in the OS buffer before the reset arrives — keep
+	// sending until the failure surfaces.
+	f := Frame{Type: MsgControl}
+	deadline := time.Now().Add(10 * time.Second)
+	var serr error
+	for serr == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("send to a dead peer never failed")
+		}
+		serr = ep1.Send(0, &f)
+		if serr == nil {
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	if !errors.Is(serr, ErrPeerDown) && !errors.Is(serr, ErrTimeout) {
+		t.Fatalf("send error not in the typed taxonomy: %v", serr)
+	}
+	ns := ep1.NetStats()
+	if ns.Redials < int64(opts.RedialAttempts) {
+		t.Fatalf("Redials = %d, want ≥ %d", ns.Redials, opts.RedialAttempts)
+	}
+	if len(ns.PerPeer) != 2 || ns.PerPeer[0].Redials != ns.Redials {
+		t.Fatalf("per-peer redials %+v, want all %d attributed to rank 0", ns.PerPeer, ns.Redials)
+	}
+}

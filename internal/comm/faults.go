@@ -378,7 +378,7 @@ func ParseFaultPlan(s string) (FaultPlan, error) {
 		case "partition":
 			cur.Partition, err = parseWindow(v)
 		default:
-			return plan, fmt.Errorf("comm: fault plan: unknown key %q", k)
+			return plan, fmt.Errorf("comm: fault plan: unknown key %q in token %q (known: seed, crash, link, delay, drop, dup, retrans, stall, partition)", k, part)
 		}
 		if err != nil {
 			return plan, fmt.Errorf("comm: fault plan: %s=%s: %w", k, v, err)
@@ -397,7 +397,16 @@ func parseRank(s string) (int, error) {
 	if s == "*" {
 		return -1, nil
 	}
-	return strconv.Atoi(s)
+	r, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, err
+	}
+	if r < 0 {
+		// -1 is the internal wildcard encoding; accepting negative ranks
+		// here would silently turn a typo into "match every rank".
+		return 0, fmt.Errorf("rank %q is negative (use * for a wildcard)", s)
+	}
+	return r, nil
 }
 
 func parseProb(s string) (float64, error) {

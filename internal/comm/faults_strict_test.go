@@ -1,0 +1,47 @@
+package comm
+
+import (
+	"strings"
+	"testing"
+)
+
+// The plan grammar is strict: an unknown key must be rejected with an error
+// naming both the key and the full offending token, so a typo in a long
+// plan string is findable without bisecting it.
+func TestParseFaultPlanNamesUnknownKeyAndToken(t *testing.T) {
+	_, err := ParseFaultPlan("seed=1; jitter=5ms; drop=0.1")
+	if err == nil {
+		t.Fatal("unknown key must be rejected")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"jitter"`) || !strings.Contains(msg, `"jitter=5ms"`) {
+		t.Fatalf("error must name the key and the token: %v", err)
+	}
+	// The known-key list in the message keeps the fix one read away.
+	if !strings.Contains(msg, "seed") || !strings.Contains(msg, "partition") {
+		t.Fatalf("error should list the known keys: %v", err)
+	}
+}
+
+// Negative ranks must be rejected loudly: -1 is the internal wildcard
+// encoding, so a silently accepted "-2" would alias onto "match
+// everything" instead of failing.
+func TestParseFaultPlanRejectsNegativeRanks(t *testing.T) {
+	for _, bad := range []string{"link=-2>1", "link=1>-3", "link=-1>0"} {
+		_, err := ParseFaultPlan(bad)
+		if err == nil {
+			t.Fatalf("ParseFaultPlan(%q) accepted a negative rank", bad)
+		}
+		if !strings.Contains(err.Error(), "negative") {
+			t.Fatalf("ParseFaultPlan(%q) error should say negative: %v", bad, err)
+		}
+	}
+	// The explicit wildcard spelling still works on either side.
+	plan, err := ParseFaultPlan("link=*>1; drop=0.5; link=0>*; dup=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Links) != 2 || plan.Links[0].From != -1 || plan.Links[1].To != -1 {
+		t.Fatalf("wildcard links parsed wrong: %+v", plan.Links)
+	}
+}

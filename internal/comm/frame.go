@@ -50,9 +50,23 @@ const (
 	MsgScalar MsgType = 4
 	// MsgControl carries a control op plus two float64 arguments.
 	MsgControl MsgType = 5
+	// MsgHeartbeat is a liveness beacon; the worker field carries the
+	// sender's rank. Transports consume heartbeats at the read loop (they
+	// refresh the peer's last-heard clock) and never deliver them to
+	// collective receives.
+	MsgHeartbeat MsgType = 6
+	// MsgView carries an epoch-numbered membership view (see View): 8
+	// bytes of epoch followed by packed per-rank alive bits. Rank 0
+	// piggybacks it in front of collective broadcasts; receivers absorb it
+	// before the data frame.
+	MsgView MsgType = 7
+	// MsgBlob carries one chunk of an opaque byte stream (the hot-rejoin
+	// state transfer: a checkpoint encoded by the train layer's codec),
+	// with the same Seq/FlagLast chunking as tensor streams.
+	MsgBlob MsgType = 8
 )
 
-func (t MsgType) valid() bool { return t >= MsgHello && t <= MsgControl }
+func (t MsgType) valid() bool { return t >= MsgHello && t <= MsgBlob }
 
 // FlagLast marks the final chunk of a tensor stream.
 const FlagLast uint16 = 1

@@ -1,0 +1,216 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Elastic membership: rank-0-led, epoch-numbered views over the mesh's
+// ranks. A view names which ranks are live; rank 0 (the collective root —
+// its death is fatal by protocol) promotes peers suspect→dead from missed
+// heartbeats or transport failures inside a collective, bumps the view
+// epoch, and piggybacks the new view as a MsgView frame in front of its
+// next collective broadcast. Survivor ranks absorb views on the receive
+// path, so the whole cluster converges on the membership without a
+// dedicated exchange round. The train layer reads the view at step
+// boundaries and re-forms the worker assignment (orphaned workers are
+// adopted by rank 0) while quorum holds.
+
+// View is one epoch of mesh membership.
+type View struct {
+	Epoch uint64
+	Alive []bool // indexed by rank
+}
+
+// LiveRanks returns how many ranks the view counts as alive.
+func (v View) LiveRanks() int {
+	n := 0
+	for _, a := range v.Alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// DefaultQuorum is the default continuation threshold over p ranks:
+// ⌈p/2⌉+1 — a strict majority plus one, so a degraded run always keeps
+// more than half the original gradient contributions.
+func DefaultQuorum(p int) int {
+	q := (p+1)/2 + 1
+	if q > p {
+		q = p
+	}
+	return q
+}
+
+// appendView encodes a view as a MsgView payload: 8 bytes of epoch
+// followed by packed alive bits.
+func appendView(dst []byte, v View) []byte {
+	var e [8]byte
+	binary.LittleEndian.PutUint64(e[:], v.Epoch)
+	dst = append(dst, e[:]...)
+	return packBits(dst, v.Alive)
+}
+
+// decodeView decodes a MsgView payload for a p-rank mesh.
+func decodeView(b []byte, p int) (View, error) {
+	if len(b) < 8 {
+		return View{}, fmt.Errorf("comm: view payload %d bytes, want ≥8", len(b))
+	}
+	v := View{Epoch: binary.LittleEndian.Uint64(b[:8]), Alive: make([]bool, p)}
+	if err := unpackBits(v.Alive, b[8:]); err != nil {
+		return View{}, err
+	}
+	return v, nil
+}
+
+// meshView is a mesh's mutable membership state. It is mutated only from
+// the rank's training goroutine (collectives and boundary transitions are
+// single-threaded per rank); the mutex guards the heartbeat monitor's
+// read-side and the suspect queue.
+type meshView struct {
+	mu       sync.Mutex
+	epoch    uint64
+	alive    []bool
+	quorum   int
+	dirty    bool  // rank 0: view must be broadcast before the next data frame
+	suspects []int // ranks the heartbeat monitor wants promoted to dead
+}
+
+func newMeshView(procs, quorum int) *meshView {
+	if quorum <= 0 {
+		quorum = DefaultQuorum(procs)
+	}
+	v := &meshView{alive: make([]bool, procs), quorum: quorum}
+	for i := range v.alive {
+		v.alive[i] = true
+	}
+	return v
+}
+
+func (v *meshView) snapshot() View {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return View{Epoch: v.epoch, Alive: append([]bool(nil), v.alive...)}
+}
+
+func (v *meshView) isAlive(rank int) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return rank >= 0 && rank < len(v.alive) && v.alive[rank]
+}
+
+// set flips a rank's liveness without queuing a broadcast — the *planned*
+// transition, executed SPMD by every rank at the same step boundary, so
+// everyone already knows.
+func (v *meshView) set(rank int, alive bool) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if rank < 0 || rank >= len(v.alive) || v.alive[rank] == alive {
+		return false
+	}
+	v.alive[rank] = alive
+	v.epoch++
+	return true
+}
+
+// setAnnounced flips a rank's liveness AND queues the new view for
+// piggybacked broadcast — the *unplanned* transition, decided by rank 0
+// alone (heartbeat silence or a mid-collective transport fault), so the
+// survivors must be told.
+func (v *meshView) setAnnounced(rank int, alive bool) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if rank < 0 || rank >= len(v.alive) || v.alive[rank] == alive {
+		return false
+	}
+	v.alive[rank] = alive
+	v.epoch++
+	v.dirty = true
+	return true
+}
+
+// adopt installs a view received from rank 0, keeping the local epoch
+// monotone (a stale piggybacked view never rolls membership back).
+func (v *meshView) adopt(nv View) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if nv.Epoch <= v.epoch {
+		return false
+	}
+	v.epoch = nv.Epoch
+	copy(v.alive, nv.Alive)
+	return true
+}
+
+func (v *meshView) live() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	n := 0
+	for _, a := range v.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+func (v *meshView) suspect(rank int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if !v.alive[rank] {
+		return
+	}
+	for _, s := range v.suspects {
+		if s == rank {
+			return
+		}
+	}
+	v.suspects = append(v.suspects, rank)
+}
+
+func (v *meshView) takeSuspects() []int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	s := v.suspects
+	v.suspects = nil
+	return s
+}
+
+// takeDirty returns and clears the pending-broadcast flag along with the
+// view to broadcast.
+func (v *meshView) takeDirty() (View, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if !v.dirty {
+		return View{}, false
+	}
+	v.dirty = false
+	return View{Epoch: v.epoch, Alive: append([]bool(nil), v.alive...)}, true
+}
+
+// HeartbeatSource is the optional transport capability the liveness
+// monitor reads: the last time any frame (heartbeat or data) arrived from
+// a peer. Both built-in endpoints implement it.
+type HeartbeatSource interface {
+	LastHeard(from int) time.Time
+}
+
+// heartbeatSource unwraps endpoint decorators (fault injectors, deadline
+// wrappers) down to a transport that tracks per-peer liveness.
+func heartbeatSource(ep Endpoint) HeartbeatSource {
+	for ep != nil {
+		if hs, ok := ep.(HeartbeatSource); ok {
+			return hs
+		}
+		if u, ok := ep.(interface{ Inner() Endpoint }); ok {
+			ep = u.Inner()
+			continue
+		}
+		return nil
+	}
+	return nil
+}

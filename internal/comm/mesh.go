@@ -1,7 +1,9 @@
 package comm
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"selsync/internal/tensor"
@@ -37,6 +39,17 @@ type Mesh struct {
 	// misaligned, so Close skips the drain barrier (which would block on
 	// the dead peer) and tears the endpoint down directly.
 	broken bool
+
+	// view is the elastic membership state; nil on a static mesh (every
+	// collective then behaves exactly as before elasticity existed).
+	view *meshView
+	// adopted[r] (rank 0's routing overlay) means dead rank r's workers
+	// are now hosted by rank 0, so their collective contributions are
+	// local reads instead of wire receives.
+	adopted []bool
+
+	hbStop chan struct{}
+	hbWG   sync.WaitGroup
 }
 
 // fault latches the broken state and wraps a transport error with peer and
@@ -137,12 +150,266 @@ func (m *Mesh) Hosts(worker int) bool { return m.OwnerOf(worker) == m.Rank() }
 // LocalWorkers implements Fabric.
 func (m *Mesh) LocalWorkers() []int { return m.locals }
 
-// OwnerOf returns the rank hosting a global worker id.
+// OwnerOf returns the rank hosting a global worker id. On an elastic mesh
+// the static block owner is overlaid by the membership view: a dead rank's
+// workers belong to rank 0 once adopted (AdoptRank), and to nobody in the
+// window between death and adoption.
 func (m *Mesh) OwnerOf(worker int) int {
 	if worker < 0 || worker >= m.workers {
 		return -1
 	}
-	return worker / m.nlocal
+	r := worker / m.nlocal
+	if m.view != nil && !m.view.isAlive(r) {
+		if m.adopted[r] {
+			return 0
+		}
+		return -1
+	}
+	return r
+}
+
+// EnableElastic switches the mesh into elastic-membership mode with the
+// given quorum (≤0 selects DefaultQuorum). Must be called before the
+// first collective, on every rank, with the same quorum.
+func (m *Mesh) EnableElastic(quorum int) {
+	if m.view == nil {
+		m.view = newMeshView(m.Procs(), quorum)
+		m.adopted = make([]bool, m.Procs())
+	}
+}
+
+// Elastic reports whether elastic membership is enabled.
+func (m *Mesh) Elastic() bool { return m.view != nil }
+
+// Quorum returns the continuation threshold (0 on a static mesh).
+func (m *Mesh) Quorum() int {
+	if m.view == nil {
+		return 0
+	}
+	return m.view.quorum
+}
+
+// CurrentView snapshots the membership view. The zero View is returned on
+// a static mesh.
+func (m *Mesh) CurrentView() View {
+	if m.view == nil {
+		return View{}
+	}
+	return m.view.snapshot()
+}
+
+// ViewEpoch returns the current view epoch (0 on a static mesh).
+func (m *Mesh) ViewEpoch() uint64 {
+	if m.view == nil {
+		return 0
+	}
+	v := m.view.snapshot()
+	return v.Epoch
+}
+
+// LiveRanks counts the ranks the view believes alive (Procs on a static
+// mesh).
+func (m *Mesh) LiveRanks() int {
+	if m.view == nil {
+		return m.Procs()
+	}
+	return m.view.live()
+}
+
+// RankAlive reports the view's belief about one rank (always true on a
+// static mesh).
+func (m *Mesh) RankAlive(r int) bool {
+	if m.view == nil {
+		return r >= 0 && r < m.Procs()
+	}
+	return m.view.isAlive(r)
+}
+
+// MarkDead removes a rank from the view — the *planned* transition, called
+// SPMD by every surviving rank at the same step boundary, so no view
+// broadcast is needed. Returns false when the rank was already dead.
+func (m *Mesh) MarkDead(rank int) bool {
+	m.EnableElastic(0)
+	return m.view.set(rank, false)
+}
+
+// MarkAlive re-admits a rank (the rejoin transition, again SPMD) and
+// clears its adoption overlay: its workers route to it again.
+func (m *Mesh) MarkAlive(rank int) bool {
+	m.EnableElastic(0)
+	if !m.view.set(rank, true) {
+		return false
+	}
+	m.adopted[rank] = false
+	return true
+}
+
+// AdoptRank routes a dead rank's workers to rank 0: their collective
+// contributions become rank-0 local reads. The train layer calls it (on
+// every rank, SPMD) after materializing the orphaned replicas on rank 0.
+func (m *Mesh) AdoptRank(rank int) {
+	m.EnableElastic(0)
+	if !m.view.isAlive(rank) {
+		m.adopted[rank] = true
+	}
+}
+
+// MarkDeadAnnounced removes a rank from the view as an *unplanned*
+// transition: rank 0 decided alone (heartbeat silence, transport fault),
+// so the epoch bump is marked dirty and piggybacks on the next broadcast.
+// Returns false when the rank was already dead.
+func (m *Mesh) MarkDeadAnnounced(rank int) bool {
+	m.EnableElastic(0)
+	return m.view.setAnnounced(rank, false)
+}
+
+// TakeSuspects drains the ranks the heartbeat monitor wants promoted to
+// dead (rank 0 only; always empty elsewhere and on static meshes).
+func (m *Mesh) TakeSuspects() []int {
+	if m.view == nil {
+		return nil
+	}
+	return m.view.takeSuspects()
+}
+
+// StartHeartbeats begins the liveness protocol: worker ranks beacon
+// MsgHeartbeat frames to rank 0 every interval; rank 0 monitors per-peer
+// last-heard clocks (any frame counts, so a busy link never needs
+// beacons) and queues a peer as suspect once it has been silent past
+// timeout. Suspects are drained by TakeSuspects at step boundaries.
+// Implies EnableElastic. No-op on a single-rank mesh or when the
+// transport cannot track liveness.
+func (m *Mesh) StartHeartbeats(interval, timeout time.Duration) {
+	if m.Procs() == 1 || m.hbStop != nil || interval <= 0 {
+		return
+	}
+	m.EnableElastic(0)
+	m.hbStop = make(chan struct{})
+	if m.Rank() != 0 {
+		m.hbWG.Add(1)
+		go func() {
+			defer m.hbWG.Done()
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			hb := Frame{Type: MsgHeartbeat, Worker: int32(m.Rank())}
+			for {
+				select {
+				case <-m.hbStop:
+					return
+				case <-t.C:
+					m.ep.Send(0, &hb) // loss shows up as silence at rank 0
+				}
+			}
+		}()
+		return
+	}
+	src := heartbeatSource(m.ep)
+	if src == nil {
+		return
+	}
+	m.hbWG.Add(1)
+	go func() {
+		defer m.hbWG.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		start := time.Now()
+		for {
+			select {
+			case <-m.hbStop:
+				return
+			case <-t.C:
+				for r := 1; r < m.Procs(); r++ {
+					if !m.view.isAlive(r) {
+						continue
+					}
+					last := src.LastHeard(r)
+					if last.IsZero() {
+						// Nothing heard yet: measure from monitor start so a
+						// rank that never connects still gets promoted.
+						last = start
+					}
+					if time.Since(last) > timeout {
+						m.view.suspect(r)
+					}
+				}
+			}
+		}
+	}()
+}
+
+// stopHeartbeats ends both liveness goroutines (idempotent).
+func (m *Mesh) stopHeartbeats() {
+	if m.hbStop != nil {
+		close(m.hbStop)
+		m.hbWG.Wait()
+		m.hbStop = nil
+	}
+}
+
+// recvAbsorb receives from ep, absorbing piggybacked membership views,
+// which apply immediately and never surface as data.
+func (m *Mesh) recvAbsorb(ep Endpoint, from int) (*Frame, error) {
+	for {
+		f, err := ep.Recv(from)
+		if err != nil || f.Type != MsgView {
+			return f, err
+		}
+		if m.view != nil {
+			if nv, derr := decodeView(f.Payload, m.Procs()); derr == nil {
+				m.view.adopt(nv)
+			}
+		}
+	}
+}
+
+// recvFrom is the mesh's receive primitive: the deadline-wrapped rx path
+// plus view absorption.
+func (m *Mesh) recvFrom(from int) (*Frame, error) {
+	return m.recvAbsorb(m.rx, from)
+}
+
+// meshRx adapts recvFrom to the receiver interface the tensor-stream
+// helpers take. Single-pointer struct: stored directly in the interface,
+// no per-call allocation.
+type meshRx struct{ m *Mesh }
+
+func (r meshRx) Recv(from int) (*Frame, error) { return r.m.recvFrom(from) }
+
+// elasticSkip handles a gather failure on an elastic mesh: a typed
+// transport fault from a non-root peer promotes that peer to dead
+// (announced — the epoch bump piggybacks on the next broadcast) and the
+// collective continues over the survivors. Returns false when the mesh is
+// static or the error is not a peer fault, in which case the caller
+// fails the collective as before.
+func (m *Mesh) elasticSkip(rank int, err error) bool {
+	if m.view == nil || rank == 0 {
+		return false
+	}
+	if !errors.Is(err, ErrPeerDown) && !errors.Is(err, ErrTimeout) && !errors.Is(err, ErrCrashed) {
+		return false
+	}
+	m.view.setAnnounced(rank, false)
+	return true
+}
+
+// pushView piggybacks a pending (announced) view change in front of the
+// next broadcast: one MsgView frame per live peer, absorbed by recvFrom
+// on the other side before any data frame.
+func (m *Mesh) pushView() {
+	if m.view == nil {
+		return
+	}
+	v, ok := m.view.takeDirty()
+	if !ok {
+		return
+	}
+	payload := appendView(m.scratch[:0], v)
+	for r := 1; r < m.Procs(); r++ {
+		if !m.view.isAlive(r) {
+			continue
+		}
+		m.ep.Send(r, &Frame{Type: MsgView, Worker: -1, Payload: payload}) // best-effort
+	}
 }
 
 // ReduceMean implements Fabric. Contributions flow to rank 0, which
@@ -153,21 +420,37 @@ func (m *Mesh) ReduceMean(dst tensor.Vector, ids []int, view func(worker int) te
 	if m.Rank() == 0 {
 		m.slots = m.slots[:0]
 		for _, id := range ids {
-			if m.Hosts(id) {
+			owner := m.OwnerOf(id)
+			if owner == 0 {
 				m.slots = append(m.slots, view(id))
 				continue
 			}
+			if owner < 0 {
+				// Dead rank's worker, not yet adopted: the mean re-forms over
+				// the survivors' contributions.
+				continue
+			}
 			buf := m.recvBuf(id, len(dst))
-			if err := recvTensorEP(m.rx, m.OwnerOf(id), id, buf); err != nil {
-				return m.fault("reduce gather", m.OwnerOf(id), err)
+			if err := recvTensorEP(meshRx{m}, owner, id, buf); err != nil {
+				if m.elasticSkip(owner, err) {
+					continue
+				}
+				return m.fault("reduce gather", owner, err)
 			}
 			m.slots = append(m.slots, buf)
 		}
 		tensor.Average(dst, m.slots)
+		m.pushView()
 		for r := 1; r < m.Procs(); r++ {
+			if !m.RankAlive(r) {
+				continue
+			}
 			scratch, err := sendTensorEP(m.ep, r, -1, dst, m.scratch)
 			m.scratch = scratch
 			if err != nil {
+				if m.elasticSkip(r, err) {
+					continue
+				}
 				return m.fault("reduce broadcast", r, err)
 			}
 		}
@@ -182,7 +465,7 @@ func (m *Mesh) ReduceMean(dst tensor.Vector, ids []int, view func(worker int) te
 			}
 		}
 	}
-	if err := recvTensorEP(m.rx, 0, -1, dst); err != nil {
+	if err := recvTensorEP(meshRx{m}, 0, -1, dst); err != nil {
 		return m.fault("reduce pull", 0, err)
 	}
 	return nil
@@ -213,17 +496,36 @@ func (m *Mesh) AllGatherFlags(flags []bool) error {
 	}
 	if m.Rank() == 0 {
 		for r := 1; r < m.Procs(); r++ {
+			if !m.RankAlive(r) {
+				// Adopted blocks were filled by rank 0's own hosted votes;
+				// an unadopted dead rank's block reads as unanimous "no".
+				if !m.adopted[r] {
+					clear(flags[r*m.nlocal : (r+1)*m.nlocal])
+				}
+				continue
+			}
 			f, err := m.recvTyped(r, MsgFlags)
 			if err != nil {
+				if m.elasticSkip(r, err) {
+					clear(flags[r*m.nlocal : (r+1)*m.nlocal])
+					continue
+				}
 				return m.fault("flags gather", r, err)
 			}
 			if err := unpackBits(flags[r*m.nlocal:(r+1)*m.nlocal], f.Payload); err != nil {
 				return m.fault("flags decode", r, err)
 			}
 		}
+		m.pushView()
 		payload := packBits(m.scratch[:0], flags)
 		for r := 1; r < m.Procs(); r++ {
+			if !m.RankAlive(r) {
+				continue
+			}
 			if err := m.ep.Send(r, &Frame{Type: MsgFlags, Worker: -1, Payload: payload}); err != nil {
+				if m.elasticSkip(r, err) {
+					continue
+				}
 				return m.fault("flags broadcast", r, err)
 			}
 		}
@@ -250,8 +552,14 @@ func (m *Mesh) AllGatherFlags(flags []bool) error {
 func (m *Mesh) MaxFloat(x float64) (float64, error) {
 	if m.Rank() == 0 {
 		for r := 1; r < m.Procs(); r++ {
+			if !m.RankAlive(r) {
+				continue
+			}
 			f, err := m.recvTyped(r, MsgScalar)
 			if err != nil {
+				if m.elasticSkip(r, err) {
+					continue
+				}
 				return 0, m.fault("clock gather", r, err)
 			}
 			v, err := getScalar(f.Payload)
@@ -262,8 +570,15 @@ func (m *Mesh) MaxFloat(x float64) (float64, error) {
 				x = v
 			}
 		}
+		m.pushView()
 		for r := 1; r < m.Procs(); r++ {
+			if !m.RankAlive(r) {
+				continue
+			}
 			if err := m.ep.Send(r, &Frame{Type: MsgScalar, Worker: -1, Payload: putScalar(m.scratch[:0], x)}); err != nil {
+				if m.elasticSkip(r, err) {
+					continue
+				}
 				return 0, m.fault("clock broadcast", r, err)
 			}
 		}
@@ -284,7 +599,7 @@ func (m *Mesh) MaxFloat(x float64) (float64, error) {
 }
 
 func (m *Mesh) recvTyped(from int, t MsgType) (*Frame, error) {
-	f, err := m.rx.Recv(from)
+	f, err := m.recvFrom(from)
 	if err != nil {
 		return nil, err
 	}
@@ -316,21 +631,83 @@ func (m *Mesh) Stats() *Stats { return &m.stats }
 // endpoints down directly. A failure during the barrier itself likewise
 // abandons it (the fault latch trips inside the control ops).
 func (m *Mesh) Close() error {
+	m.stopHeartbeats()
 	if m.Procs() > 1 && !m.broken {
 		if m.Rank() == 0 {
 			for r := 1; r < m.Procs() && !m.broken; r++ {
+				if !m.RankAlive(r) {
+					continue
+				}
 				m.RecvControl(r)
 			}
 			for r := 1; r < m.Procs() && !m.broken; r++ {
+				if !m.RankAlive(r) {
+					continue
+				}
 				m.SendControl(r, ctlByeAck, -1, 0, 0)
 			}
-		} else {
+		} else if m.RankAlive(m.Rank()) {
+			// A rank the view evicted skips the barrier: rank 0 is no longer
+			// listening for its bye.
 			if err := m.SendControl(0, ctlBye, -1, 0, 0); err == nil {
 				m.RecvControl(0)
 			}
 		}
 	}
 	return m.ep.Close()
+}
+
+// blobChunk bounds one MsgBlob payload, comfortably under MaxPayload.
+const blobChunk = MaxPayload / 2
+
+// SendBlob streams an opaque byte blob to a peer as chunked MsgBlob
+// frames — the hot-rejoin state transfer (an encoded checkpoint rides
+// from rank 0 to the rejoining rank).
+func (m *Mesh) SendBlob(to int, b []byte) error {
+	seq := uint32(0)
+	for off := 0; ; off += blobChunk {
+		end := off + blobChunk
+		last := false
+		if end >= len(b) {
+			end = len(b)
+			last = true
+		}
+		f := Frame{Type: MsgBlob, Worker: -1, Seq: seq, Payload: b[off:end]}
+		if last {
+			f.Flags |= FlagLast
+		}
+		if err := m.ep.Send(to, &f); err != nil {
+			return m.fault("send blob", to, err)
+		}
+		if last {
+			return nil
+		}
+		seq++
+	}
+}
+
+// RecvBlob receives one chunked blob from a peer, validating chunk
+// sequence, and returns the reassembled bytes. The wait is unbounded
+// (the op timeout does not apply): a rejoining rank legitimately blocks
+// here for many training steps until rank 0 reaches the join boundary.
+func (m *Mesh) RecvBlob(from int) ([]byte, error) {
+	var out []byte
+	for seq := uint32(0); ; seq++ {
+		f, err := m.recvAbsorb(m.ep, from)
+		if err != nil {
+			return nil, m.fault("recv blob", from, err)
+		}
+		if f.Type != MsgBlob {
+			return nil, fmt.Errorf("comm: expected blob chunk from rank %d, got type %d", from, f.Type)
+		}
+		if f.Seq != seq {
+			return nil, fmt.Errorf("comm: blob chunk seq %d from rank %d, want %d", f.Seq, from, seq)
+		}
+		out = append(out, f.Payload...)
+		if f.Flags&FlagLast != 0 {
+			return out, nil
+		}
+	}
 }
 
 // SendTensor implements PeerLink: chunked streaming of v tagged with a

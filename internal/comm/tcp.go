@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -128,6 +129,9 @@ type TCPEndpoint struct {
 	done  chan struct{}
 	once  sync.Once
 	net   netCounters
+	// heard[from] is the unix-nano arrival time of the last frame read
+	// from that peer — heartbeats included, which never reach the inbox.
+	heard []atomic.Int64
 
 	jmu  sync.Mutex
 	jrng uint64 // splitmix64 state for retry jitter
@@ -255,21 +259,7 @@ func DialTCPWithListener(rank int, peers []string, ln net.Listener) (*TCPEndpoin
 func DialTCPWithListenerOpts(rank int, peers []string, ln net.Listener, opts TCPOptions) (*TCPEndpoint, error) {
 	opts = opts.normalize()
 	procs := len(peers)
-	e := &TCPEndpoint{
-		rank: rank, procs: procs, opts: opts,
-		peers: append([]string(nil), peers...),
-		ln:    ln,
-		conns: make([]*tcpConn, procs),
-		in:    make([]*peerIn, procs),
-		done:  make(chan struct{}),
-		jrng:  opts.Seed ^ (0x9E3779B97F4A7C15 + uint64(rank)),
-	}
-	for r := range e.in {
-		if r != rank {
-			e.in[r] = &peerIn{}
-			*e.in[r] = *newPeerIn()
-		}
-	}
+	e := newTCPEndpoint(rank, peers, ln, opts)
 
 	// Accept connections from every higher rank; each introduces itself
 	// with a Hello frame. Once the mesh is complete the same goroutine
@@ -333,6 +323,83 @@ func DialTCPWithListenerOpts(rank int, peers []string, ln net.Listener, opts TCP
 		if tc != nil {
 			go e.readLoop(from, tc.c, tc.gen)
 		}
+	}
+	return e, nil
+}
+
+// newTCPEndpoint allocates the endpoint shell shared by the full-mesh
+// dial and the rejoin path.
+func newTCPEndpoint(rank int, peers []string, ln net.Listener, opts TCPOptions) *TCPEndpoint {
+	procs := len(peers)
+	e := &TCPEndpoint{
+		rank: rank, procs: procs, opts: opts,
+		peers: append([]string(nil), peers...),
+		ln:    ln,
+		conns: make([]*tcpConn, procs),
+		in:    make([]*peerIn, procs),
+		done:  make(chan struct{}),
+		heard: make([]atomic.Int64, procs),
+		jrng:  opts.Seed ^ (0x9E3779B97F4A7C15 + uint64(rank)),
+	}
+	e.net.initPeers(procs)
+	for r := range e.in {
+		if r != rank {
+			e.in[r] = newPeerIn()
+		}
+	}
+	return e
+}
+
+// RejoinTCP builds the endpoint for a rank re-entering a running mesh
+// (selsync-node -join): it rebinds the rank's listen address, dials every
+// lower rank — whose endpoints adopt the replacement connection exactly as
+// the mid-run reconnect protocol does — and starts accepting, without
+// waiting for higher ranks to connect. In the rank-0-rooted collective
+// star only the links toward lower ranks carry traffic, so the mesh is
+// usable as soon as those dials land; a higher rank that does need the
+// link re-establishes it through its own redial path.
+func RejoinTCP(rank int, peers []string, opts TCPOptions) (*TCPEndpoint, error) {
+	opts = opts.normalize()
+	if rank < 0 || rank >= len(peers) {
+		return nil, fmt.Errorf("comm: rank %d out of range for %d peers", rank, len(peers))
+	}
+	var ln net.Listener
+	var err error
+	deadline := time.Now().Add(opts.BindRetry)
+	for {
+		ln, err = net.Listen("tcp", peers[rank])
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("comm: rejoining rank %d cannot listen on %s: %w", rank, peers[rank], err)
+		}
+		time.Sleep(opts.DialRetry)
+	}
+	e := newTCPEndpoint(rank, peers, ln, opts)
+	// Every peer slot gets an (empty) connection shell so replacement
+	// adoption — from our dials below or from higher ranks dialing us
+	// later — follows the one repair path.
+	for r := range e.conns {
+		if r != rank {
+			e.conns[r] = &tcpConn{}
+		}
+	}
+	go e.acceptReplacements()
+	for to := 0; to < rank; to++ {
+		c, err := e.dialRetry(peers[to])
+		if err != nil {
+			e.teardown()
+			return nil, fmt.Errorf("comm: rejoining rank %d cannot reach rank %d at %s: %w", rank, to, peers[to], err)
+		}
+		e.tuneConn(c)
+		tc := &tcpConn{c: c, w: bufio.NewWriter(c)}
+		hello := &Frame{Type: MsgHello, Worker: int32(rank)}
+		if err := e.writeFrame(tc, hello); err != nil {
+			e.teardown()
+			return nil, fmt.Errorf("comm: rejoining rank %d hello to rank %d: %w", rank, to, err)
+		}
+		e.adoptConn(to, c)
 	}
 	return e, nil
 }
@@ -484,6 +551,10 @@ func (e *TCPEndpoint) readLoop(from int, c net.Conn, gen int) {
 			return
 		}
 		e.net.countRecv(f)
+		e.heard[from].Store(time.Now().UnixNano())
+		if f.Type == MsgHeartbeat {
+			continue // liveness beacon: refresh the clock, never deliver
+		}
 		select {
 		case p.ch <- f:
 		case <-e.done:
@@ -491,6 +562,19 @@ func (e *TCPEndpoint) readLoop(from int, c net.Conn, gen int) {
 			return
 		}
 	}
+}
+
+// LastHeard implements HeartbeatSource: when the peer's socket last
+// delivered a frame (heartbeat or data).
+func (e *TCPEndpoint) LastHeard(from int) time.Time {
+	if from < 0 || from >= e.procs {
+		return time.Time{}
+	}
+	ns := e.heard[from].Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
 }
 
 // Rank implements Endpoint.
@@ -586,6 +670,7 @@ func (e *TCPEndpoint) redial(to int, f *Frame, cause error) error {
 	}
 	var lastErr = cause
 	for attempt := 0; attempt < e.opts.RedialAttempts; attempt++ {
+		e.net.countRedial(to)
 		select {
 		case <-e.done:
 			return ErrClosed
@@ -622,6 +707,11 @@ func (e *TCPEndpoint) writeFrame(tc *tcpConn, f *Frame) error {
 	putHeader(hdr[:], f, len(f.Payload))
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
+	if tc.c == nil {
+		// A rejoin endpoint's link to a higher rank that has not connected
+		// back yet.
+		return fmt.Errorf("comm: no connection established: %w", ErrPeerDown)
+	}
 	if e.opts.WriteTimeout > 0 {
 		tc.c.SetWriteDeadline(time.Now().Add(e.opts.WriteTimeout))
 		defer tc.c.SetWriteDeadline(time.Time{})
@@ -665,6 +755,7 @@ func (e *TCPEndpoint) recv(from int, timeout time.Duration) (*Frame, error) {
 		case f := <-p.ch:
 			return f, nil
 		case <-tch:
+			e.net.countTimeout(from)
 			return nil, fmt.Errorf("comm: recv from rank %d: %w", from, ErrTimeout)
 		case <-e.done:
 			select {
@@ -698,6 +789,7 @@ func (e *TCPEndpoint) recv(from int, timeout time.Duration) (*Frame, error) {
 				continue
 			case <-tch:
 				grace.Stop()
+				e.net.countTimeout(from)
 				return nil, fmt.Errorf("comm: recv from rank %d: %w", from, ErrTimeout)
 			case <-e.done:
 				grace.Stop()

@@ -132,6 +132,17 @@ func (s *Sampler) NextInto(dst []int) []int {
 	return dst
 }
 
+// Skip advances the cursor past one mini-batch without materializing the
+// indices — how non-hosting ranks keep every worker's batch stream
+// current so an elastic re-assignment resumes at the right position.
+func (s *Sampler) Skip() {
+	s.pos += s.batch
+	for s.pos >= len(s.indices) {
+		s.pos -= len(s.indices)
+		s.epochs++
+	}
+}
+
 // Epochs returns how many full passes over the index list have completed.
 func (s *Sampler) Epochs() int { return s.epochs }
 

@@ -51,6 +51,7 @@ func Registry() map[string]Runner {
 		"scenario-partition": ScenarioPartition,
 		"scenario-flaky":     ScenarioFlaky,
 		"scenario-straggler": ScenarioStraggler,
+		"scenario-churn":     ScenarioChurn,
 	}
 }
 

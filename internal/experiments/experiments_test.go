@@ -14,7 +14,7 @@ func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 		"fig8a", "fig8b", "fig9", "fig10", "fig11", "fig12", "table1",
 		"ablation-topology", "ablation-straggler", "switch",
 		"scenario-crash", "scenario-partition", "scenario-flaky",
-		"scenario-straggler",
+		"scenario-straggler", "scenario-churn",
 	}
 	reg := Registry()
 	if len(reg) != len(want) {
@@ -47,6 +47,7 @@ func TestScenarioSuitePasses(t *testing.T) {
 	}
 	for _, id := range []string{
 		"scenario-crash", "scenario-partition", "scenario-flaky", "scenario-straggler",
+		"scenario-churn",
 	} {
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()

@@ -40,6 +40,12 @@ type RunSpec struct {
 	LabelsPerWorker int     // non-IID labels per worker (0 = IID)
 	Alpha, Beta     float64 // data-injection parameters (Alpha 0 = off)
 
+	// Membership is an elastic-membership plan (train.ParseMembershipPlan
+	// grammar: "leave=R@S;join=R@S2[;quorum=K][;procs=P]"); "" = static.
+	Membership string
+	// Quorum overrides the continuation threshold (0 = plan/default).
+	Quorum int
+
 	// Fabric is the communication backend; nil = in-process loopback.
 	Fabric comm.Fabric
 }
@@ -70,6 +76,14 @@ type TransportOptions struct {
 	// OnCrash runs when the chaos plan's scheduled crash fires (the node
 	// CLI exits the process, faithfully simulating a killed rank).
 	OnCrash func()
+	// Heartbeat starts the mesh liveness protocol with this beacon
+	// interval (silence past 4 intervals marks a peer suspect); 0 = off.
+	Heartbeat time.Duration
+	// Rejoin dials back into a *running* mesh (selsync-node -join) instead
+	// of performing the full-mesh startup handshake: the rank rebinds its
+	// listen address and reconnects toward rank 0 through the mid-run
+	// replacement-connection path.
+	Rejoin bool
 }
 
 // ParseTransportOpts is ParseTransport with options.
@@ -86,6 +100,20 @@ func ParseTransportOpts(transport string, rank int, peers string, workers int, o
 		}
 		if o.Chaos != "" {
 			return nil, false, fmt.Errorf("-chaos requires -transport tcp (the loopback run has no fabric to fault)")
+		}
+		// The remaining options tune the TCP endpoint or bound mesh
+		// receives; accepting them here would silently do nothing.
+		if o.TCP != nil {
+			return nil, false, fmt.Errorf("TCP transport tuning is only valid with -transport tcp")
+		}
+		if o.OpTimeout > 0 {
+			return nil, false, fmt.Errorf("-op-timeout requires -transport tcp (the loopback run has no collective receives to bound)")
+		}
+		if o.Heartbeat > 0 {
+			return nil, false, fmt.Errorf("-heartbeat requires -transport tcp (the loopback run has no peers to monitor)")
+		}
+		if o.Rejoin {
+			return nil, false, fmt.Errorf("-join requires -transport tcp (there is no running mesh to rejoin)")
 		}
 		return nil, true, nil
 	case "tcp":
@@ -110,7 +138,12 @@ func ParseTransportOpts(transport string, rank int, peers string, workers int, o
 		if o.TCP != nil {
 			tcpOpts = *o.TCP
 		}
-		ep, err := comm.DialTCPOpts(rank, list, tcpOpts)
+		var ep *comm.TCPEndpoint
+		if o.Rejoin {
+			ep, err = comm.RejoinTCP(rank, list, tcpOpts)
+		} else {
+			ep, err = comm.DialTCPOpts(rank, list, tcpOpts)
+		}
 		if err != nil {
 			return nil, false, fmt.Errorf("tcp transport: %w", err)
 		}
@@ -125,6 +158,9 @@ func ParseTransportOpts(transport string, rank int, peers string, workers int, o
 		}
 		if o.OpTimeout > 0 {
 			mesh.SetOpTimeout(o.OpTimeout)
+		}
+		if o.Heartbeat > 0 {
+			mesh.StartHeartbeats(o.Heartbeat, 4*o.Heartbeat)
 		}
 		return mesh, rank == 0, nil
 	default:
@@ -184,6 +220,8 @@ func JobFor(spec RunSpec, opts ...train.Option) (*train.Job, Workload, error) {
 		}
 		cfg.NonIID = non
 	}
+	cfg.Membership = spec.Membership
+	cfg.Quorum = spec.Quorum
 	if err := cfg.Validate(); err != nil {
 		return nil, Workload{}, err
 	}

@@ -301,6 +301,82 @@ func ScenarioFlaky(scale Scale, w io.Writer) error {
 	return nil
 }
 
+// ScenarioChurn is the elastic-membership scenario: a 4-rank SelSync run
+// executes a scripted leave/join plan — rank 2 departs at the quarter
+// mark (its workers adopted by rank 0, collectives re-formed over the
+// survivors) and hot-rejoins at the midpoint via rank 0's live state
+// transfer. The degraded run must stay bit-identical to the loopback run
+// under the same plan (the determinism contract), the survivors must
+// observe both view changes, and pushing departures past the quorum must
+// fail with the typed comm.ErrQuorumLost.
+func ScenarioChurn(scale Scale, w io.Writer) error {
+	const procs, churnRank, seed = 4, 2, 239
+	p := ParamsFor(scale)
+	wl := SetupWorkload("vgg", p, seed)
+	policy := func() train.SyncPolicy {
+		return train.SelSyncPolicy{Delta: wl.DeltaLow, Mode: cluster.ParamAgg}
+	}
+	leaveAt, joinAt := p.MaxSteps/4, p.MaxSteps/2
+	plan := fmt.Sprintf("leave=%d@%d;join=%d@%d;procs=%d", churnRank, leaveAt, churnRank, joinAt, procs)
+	mkCfg := func() train.Config {
+		cfg := BaseConfig(wl, p, seed)
+		cfg.Membership = plan
+		return cfg
+	}
+
+	want, err := train.NewJob(mkCfg(), policy()).Run(context.Background())
+	if err != nil {
+		return fmt.Errorf("scenario-churn: loopback degraded run: %w", err)
+	}
+
+	views := make([][]train.ViewChangeEvent, procs)
+	results, err := scenarioRanks(procs, p.Workers, 0, nil, func(rank int, fabric comm.Fabric) scenarioRun {
+		cfg := mkCfg()
+		cfg.Fabric = fabric
+		opts := []train.Option{train.WithObserver(train.ObserverFunc(func(e train.Event) {
+			if ve, ok := e.(train.ViewChangeEvent); ok {
+				views[rank] = append(views[rank], ve)
+			}
+		}))}
+		if rank == churnRank {
+			opts = append(opts, train.WithRejoin())
+		}
+		var out scenarioRun
+		out.res, out.err = train.NewJob(cfg, policy(), opts...).Run(context.Background())
+		return out
+	})
+	if err != nil {
+		return fmt.Errorf("scenario-churn: churn run: %w", err)
+	}
+	for rank, got := range results {
+		if got.err != nil {
+			return fmt.Errorf("scenario-churn: FAIL: rank %d did not survive the churn plan: %w", rank, got.err)
+		}
+		if got.res.Digest() != want.Digest() {
+			return fmt.Errorf("scenario-churn: FAIL: rank %d digest %s diverged from the loopback run's %s under churn",
+				rank, got.res.Digest(), want.Digest())
+		}
+	}
+	for _, rank := range []int{0, 1, 3} {
+		vs := views[rank]
+		if len(vs) != 2 || vs[0].Join || !vs[1].Join || vs[0].Rank != churnRank || vs[1].Rank != churnRank {
+			return fmt.Errorf("scenario-churn: FAIL: rank %d saw view changes %+v, want rank-%d leave then join", rank, vs, churnRank)
+		}
+	}
+	fmt.Fprintf(w, "scenario-churn: rank %d left at step %d and hot-rejoined at step %d; digest %s bit-identical to loopback: PASS\n",
+		churnRank, leaveAt, joinAt, want.Digest())
+
+	// The quorum guard: three planned departures from four ranks under the
+	// default quorum (⌈4/2⌉+1 = 3) must fail typed, not deadlock.
+	cfg := BaseConfig(wl, p, seed)
+	cfg.Membership = fmt.Sprintf("leave=1@%d;leave=2@%d;procs=%d;quorum=3", leaveAt, joinAt, procs)
+	if _, err := train.NewJob(cfg, policy()).Run(context.Background()); !errors.Is(err, comm.ErrQuorumLost) {
+		return fmt.Errorf("scenario-churn: FAIL: quorum breach returned %v, want comm.ErrQuorumLost", err)
+	}
+	fmt.Fprintln(w, "scenario-churn: quorum breach fails with typed comm.ErrQuorumLost: PASS")
+	return nil
+}
+
 // ScenarioStraggler is the adversarial-skew scenario: one worker runs 4×
 // slower than the fleet. The straggler must visibly cost both methods
 // (slowdown > 1), and SelSync — which pays the barrier only on its

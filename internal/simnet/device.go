@@ -152,6 +152,18 @@ func (n *Network) AllGatherBits(workers int) float64 {
 	return rounds * n.Latency
 }
 
+// ViewChange returns the virtual cost of an elastic membership
+// transition: the survivors agree on the new view (a latency-dominated
+// gossip with the same log₂N round shape as the bit allgather) and
+// re-form their collectives.
+func (n *Network) ViewChange(workers int) float64 {
+	if workers <= 1 {
+		return n.Latency
+	}
+	rounds := math.Ceil(math.Log2(float64(workers))) + 1
+	return rounds * n.Latency
+}
+
 // P2P returns the cost of a point-to-point transfer of `bytes` (used by
 // randomized data-injection).
 func (n *Network) P2P(bytes float64) float64 {

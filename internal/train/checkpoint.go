@@ -61,6 +61,14 @@ type Checkpoint struct {
 	// (nil otherwise).
 	DiagTracker *gradstat.TrackerState
 
+	// SamplerCursors freezes every global worker's batch-stream position,
+	// in worker-id order — captured only under elastic membership, where
+	// every rank advances all N streams (hosted or not) so a mid-run
+	// re-assignment resumes each stream where an undisturbed run would be.
+	// Empty on non-elastic checkpoints (the Hosted entries carry the
+	// hosted cursors there).
+	SamplerCursors []SamplerCursor
+
 	// Partial is the Result accumulated so far (history, deltas,
 	// snapshots); aggregate fields are recomputed when the resumed run
 	// finishes.
@@ -88,6 +96,13 @@ const checkpointVersion = 1
 // checkpointMagic guards against feeding arbitrary files to the gob
 // decoder.
 var checkpointMagic = []byte("selsync-checkpoint\n")
+
+// SamplerCursor is one worker's batch-stream position (data.Sampler
+// cursor).
+type SamplerCursor struct {
+	Pos    int
+	Epochs int
+}
 
 // WorkerCheckpoint freezes one hosted replica.
 type WorkerCheckpoint struct {
@@ -208,6 +223,80 @@ func captureCheckpoint(r *runner, policy SyncPolicy, step int) (*Checkpoint, err
 		st := r.diagTracker.State()
 		ck.DiagTracker = &st
 	}
+	if r.memb != nil {
+		ck.SamplerCursors = captureSamplerCursors(r)
+	}
+	return ck, nil
+}
+
+// captureSamplerCursors snapshots every global worker's batch-stream
+// position in id order.
+func captureSamplerCursors(r *runner) []SamplerCursor {
+	out := make([]SamplerCursor, len(r.samplers))
+	for i, s := range r.samplers {
+		out[i].Pos, out[i].Epochs = s.Cursor()
+	}
+	return out
+}
+
+// captureRejoinCheckpoint assembles the hot-rejoin state transfer on rank
+// 0: a Checkpoint whose identity names the *rejoining* rank and whose
+// Hosted entries are the adopted replicas of that rank's worker block —
+// exactly what restoreCheckpoint on the rejoiner expects. Rank-invariant
+// state (PS global, policy, history, early stopping, injection, all-N
+// sampler cursors) rides along; the diagnostics tracker does not (the
+// rejoiner never hosts worker 0).
+func captureRejoinCheckpoint(r *runner, policy SyncPolicy, step, rank int, ids []int) (*Checkpoint, error) {
+	ck := &Checkpoint{
+		Version:  checkpointVersion,
+		Step:     step,
+		Method:   policy.Name(),
+		Model:    r.spec.Name,
+		Seed:     r.cfg.Seed,
+		Workers:  r.cl.N(),
+		Dim:      r.cl.Dim(),
+		Rank:     rank,
+		Procs:    r.cl.Procs(),
+		PSGlobal: append([]float64(nil), r.cl.PS.Global...),
+		Policy:   capturePolicyState(policy),
+
+		BestMetric: r.bestMetric,
+		HaveBest:   r.haveBest,
+		BestStep:   r.bestStep,
+		SinceBest:  r.sinceBest,
+		Stopped:    r.stop,
+		Partial:    cloneResult(r.res),
+	}
+	for _, id := range ids {
+		w := r.cl.LocalWorker(id)
+		if w == nil {
+			return nil, fmt.Errorf("train: rejoin transfer: worker %d is not hosted on this rank", id)
+		}
+		co, ok := w.Optimizer.(opt.Checkpointable)
+		if !ok {
+			return nil, fmt.Errorf("train: worker %d's optimizer (%T) does not implement opt.Checkpointable", w.ID, w.Optimizer)
+		}
+		pos, ep := r.samplers[id].Cursor()
+		ck.Hosted = append(ck.Hosted, WorkerCheckpoint{
+			ID:         id,
+			Params:     append([]float64(nil), w.FlatParams()...),
+			Opt:        co.State(),
+			Tracker:    w.Tracker.State(),
+			Clock:      w.Clock,
+			Steps:      w.Steps,
+			LocalSteps: w.LocalSteps,
+			SyncSteps:  w.SyncSteps,
+			DeviceRNG:  w.Device.RNGState(),
+			WorkerRNG:  w.RNG.State(),
+			SamplerPos: pos,
+			SamplerEp:  ep,
+		})
+	}
+	if r.inj != nil {
+		ck.InjCursors = append([]int(nil), r.injCursors...)
+		ck.InjRNG = r.injRNG.State()
+	}
+	ck.SamplerCursors = captureSamplerCursors(r)
 	return ck, nil
 }
 
@@ -271,6 +360,16 @@ func restoreCheckpoint(r *runner, policy SyncPolicy, ck *Checkpoint) (int, error
 		w.RNG.SetState(wc.WorkerRNG)
 	}
 	r.cl.PS.Global.CopyFrom(ck.PSGlobal)
+	if len(ck.SamplerCursors) > 0 {
+		if len(ck.SamplerCursors) != len(r.samplers) {
+			return 0, fmt.Errorf("train: checkpoint carries %d sampler cursors, want %d", len(ck.SamplerCursors), len(r.samplers))
+		}
+		for i, c := range ck.SamplerCursors {
+			if err := r.samplers[i].SetCursor(c.Pos, c.Epochs); err != nil {
+				return 0, fmt.Errorf("train: worker %d sampler: %w", i, err)
+			}
+		}
+	}
 	if r.inj != nil {
 		if len(ck.InjCursors) != len(r.injCursors) {
 			return 0, fmt.Errorf("train: checkpoint has %d injection cursors, want %d", len(ck.InjCursors), len(r.injCursors))

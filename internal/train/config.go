@@ -64,6 +64,18 @@ type Config struct {
 	// coordinates the event loop and holds the authoritative Result.
 	Fabric comm.Fabric
 
+	// Membership scripts planned elastic-membership transitions (the
+	// ParseMembershipPlan grammar: "leave=R@S;join=R@S2[;quorum=K][;procs=P]").
+	// Empty disables planned transitions; an elastic mesh fabric still
+	// absorbs unplanned ones. Every rank of an SPMD run must carry the
+	// identical plan — that is what makes a degraded run's digest
+	// bit-identical across loopback and TCP and across repeats.
+	Membership string
+	// Quorum is the minimum live-rank count the run continues under
+	// (0 selects ⌈P/2⌉+1). Below it the run fails with comm.ErrQuorumLost
+	// and takes the emergency-checkpoint path.
+	Quorum int
+
 	MaxSteps  int // hard bound on training steps (per worker); default 2000
 	EvalEvery int // steps between test evaluations; default 50
 	EvalChunk int // examples per evaluation forward pass; default 256
@@ -116,6 +128,12 @@ func (c Config) Validate() error {
 	}
 	if d.TrackerAlpha < 0 {
 		return fmt.Errorf("train: Config.TrackerAlpha must be non-negative, got %g", d.TrackerAlpha)
+	}
+	if d.Quorum < 0 {
+		return fmt.Errorf("train: Config.Quorum must be non-negative, got %d", d.Quorum)
+	}
+	if _, err := ParseMembershipPlan(d.Membership); err != nil {
+		return err
 	}
 	if d.Fabric != nil && d.Fabric.Workers() != d.Workers {
 		return fmt.Errorf("train: Config.Workers=%d but the fabric carries %d workers",

@@ -2,6 +2,7 @@ package train
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"selsync/internal/cluster"
@@ -122,6 +123,16 @@ func (e *engine) run(start int, j *Job) (next int, cancelled bool, err error) {
 			// Resuming a run that had already stopped (budget exhausted,
 			// patience fired) must not train further steps.
 			return step, false, nil
+		}
+		if e.r.memb != nil {
+			if merr := e.r.serviceMembership(step, e.policy); merr != nil {
+				if errors.Is(merr, ErrRankLeft) {
+					// A planned departure, not a fault: no FaultEvent, the
+					// runner stays healthy for the rejoin flow.
+					return step, false, merr
+				}
+				return step, false, e.fail(step, merr)
+			}
 		}
 		if j != nil {
 			if err := j.serviceCheckpoint(step); err != nil {

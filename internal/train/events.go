@@ -130,6 +130,27 @@ type FaultEvent struct {
 // EventType implements Event.
 func (FaultEvent) EventType() string { return "fault" }
 
+// ViewChangeEvent fires when the run's elastic membership changes at a
+// step boundary: a rank departed (planned or detected) or rejoined. The
+// engine keeps stepping over the survivors while the quorum holds.
+type ViewChangeEvent struct {
+	// Step is the 0-based step whose boundary applied the transition.
+	Step int
+	// Epoch is the membership view epoch after the transition.
+	Epoch uint64
+	// Rank is the rank that left or rejoined.
+	Rank int
+	// Join is true for a readmission, false for a departure.
+	Join bool
+	// Live is the number of live ranks after the transition.
+	Live int
+	// Quorum is the run's continuation threshold.
+	Quorum int
+}
+
+// EventType implements Event.
+func (ViewChangeEvent) EventType() string { return "view-change" }
+
 // RecoveryEvent fires when a Job successfully restores from a checkpoint
 // (WithResume), immediately before the first restored step executes — the
 // observable moment a supervised rank rejoins a run after a crash.

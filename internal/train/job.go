@@ -1,7 +1,9 @@
 package train
 
 import (
+	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 )
@@ -19,6 +21,14 @@ type Job struct {
 	policy SyncPolicy
 	obs    Observer
 	resume *Checkpoint
+
+	// rejoin keeps a rank that departs at a planned membership boundary
+	// in-process: Run blocks on the rank-0 state transfer and re-enters
+	// the step loop at the rank's join boundary. lateJoin additionally
+	// skips the initial training entirely — the process missed the start
+	// of the run (relaunched with -join) and begins at the transfer.
+	rejoin   bool
+	lateJoin bool
 
 	// ckptCh carries mid-run checkpoint requests to the engine loop;
 	// runStarted closes when Run is entered, so a Checkpoint launched
@@ -89,6 +99,23 @@ func WithAutoCheckpoint(every int, sink func(step int, ck *Checkpoint) error) Op
 // bit-identically to one that was never interrupted.
 func WithResume(ck *Checkpoint) Option {
 	return func(j *Job) { j.resume = ck }
+}
+
+// WithRejoin keeps this rank in the run across a planned departure: when
+// the membership plan makes it leave, Run waits in-process for the rank's
+// next join event, restores the state rank 0 streams over the fabric, and
+// continues — instead of returning the partial Result with ErrRankLeft.
+func WithRejoin() Option {
+	return func(j *Job) { j.rejoin = true }
+}
+
+// WithLateJoin marks this process as a hot-rejoining rank that missed the
+// start of the run (selsync-node -join): Run skips the initial training
+// entirely, blocks on the rank-0 state transfer for this rank's join
+// event, and enters the step loop there. Implies WithRejoin for any later
+// leave/join cycles in the plan.
+func WithLateJoin() Option {
+	return func(j *Job) { j.rejoin = true; j.lateJoin = true }
 }
 
 // NewJob builds a job over a config and a synchronization policy. Like
@@ -186,6 +213,11 @@ func (j *Job) Run(ctx context.Context) (*Result, error) {
 			j.finish(r, 0, nil)
 			return nil, fmt.Errorf("train: %s replaces the step loop and cannot resume from a checkpoint", j.policy.Name())
 		}
+		if r.memb != nil {
+			r.cl.Close()
+			j.finish(r, 0, nil)
+			return nil, fmt.Errorf("train: %s replaces the step loop and cannot run under elastic membership", j.policy.Name())
+		}
 		if err := capturePanic(func() {
 			defer func() {
 				if p := recover(); p != nil {
@@ -206,6 +238,10 @@ func (j *Job) Run(ctx context.Context) (*Result, error) {
 
 	start := 0
 	if j.resume != nil {
+		// An elastic resume must rebuild the membership topology — plan
+		// cursor, view, rank-0's adopted replicas — before the restore
+		// overwrites worker state against it.
+		r.replayStructural(j.resume.Step)
 		var rerr error
 		start, rerr = restoreCheckpoint(r, j.policy, j.resume)
 		if rerr != nil {
@@ -217,8 +253,49 @@ func (j *Job) Run(ctx context.Context) (*Result, error) {
 			r.obs.OnEvent(RecoveryEvent{Step: start, Workers: len(j.resume.Hosted)})
 		}
 	}
+	if j.lateJoin {
+		st, ok, jerr := j.awaitRejoin(r)
+		if jerr != nil {
+			r.cl.Close()
+			j.finish(r, 0, nil)
+			return nil, jerr
+		}
+		if !ok {
+			r.cl.Close()
+			j.finish(r, 0, nil)
+			return nil, fmt.Errorf("train: late join requested but the membership plan has no pending join for this rank")
+		}
+		start = st
+	}
 
 	next, cancelled, runErr := e.run(start, j)
+	for runErr != nil && errors.Is(runErr, ErrRankLeft) {
+		if !j.rejoin {
+			// A planned departure without a rejoin mandate: a clean exit
+			// with the partial Result. No emergency checkpoint — nothing
+			// broke; the supervisor maps ErrRankLeft to the -join relaunch.
+			// The runner must stop touching collectives (the survivors no
+			// longer include this rank), so clock reads go rank-local.
+			r.setBroken(runErr)
+			res := r.finish()
+			j.finish(r, next, res)
+			return res, runErr
+		}
+		st, ok, jerr := j.awaitRejoin(r)
+		if jerr != nil {
+			r.setBroken(jerr)
+			runErr = jerr
+			break
+		}
+		if !ok {
+			// The plan never readmits this rank: permanent departure, a
+			// clean partial result assembled from rank-local state.
+			r.setBroken(runErr)
+			runErr = nil
+			break
+		}
+		next, cancelled, runErr = e.run(st, j)
+	}
 	if runErr != nil {
 		// Fault path: a collective died mid-run (peer crash, timeout,
 		// partition). Salvage what this rank still has — an emergency
@@ -409,6 +486,67 @@ func (j *Job) serviceCheckpoint(step int) error {
 		}
 	}
 	return nil
+}
+
+// awaitRejoin blocks until rank 0 streams this rank's state transfer for
+// its next scripted join event, restores it, and aligns with the
+// survivors at the join barrier. It returns the step to re-enter the
+// loop at, ok=false when the plan holds no pending join for this rank
+// (permanent departure), or the first transfer/restore error.
+//
+// The wait is unbounded by design: the join boundary may be many steps
+// away. While waiting, the rank's heartbeat beacon (if started) keeps
+// running, so rank 0's liveness monitor does not promote it to suspect.
+func (j *Job) awaitRejoin(r *runner) (start int, ok bool, err error) {
+	m := r.memb
+	if m == nil || m.mesh == nil || m.plan == nil {
+		return 0, false, nil
+	}
+	self := m.mesh.Rank()
+	joinIdx := -1
+	for i := m.idx; i < len(m.plan.Events); i++ {
+		if m.plan.Events[i].Join && m.plan.Events[i].Rank == self {
+			joinIdx = i
+			break
+		}
+	}
+	if joinIdx < 0 {
+		return 0, false, nil
+	}
+	blob, berr := m.mesh.RecvBlob(0)
+	if berr != nil {
+		return 0, false, berr
+	}
+	ck, derr := DecodeCheckpoint(bytes.NewReader(blob))
+	if derr != nil {
+		return 0, false, derr
+	}
+	// Replay the transitions this rank missed — other ranks' departures
+	// and readmissions, and its own readmission — so its view and
+	// adoption overlay agree with the survivors' before the barrier.
+	for m.idx <= joinIdx {
+		ev := m.plan.Events[m.idx]
+		m.idx++
+		m.epoch = uint64(m.idx)
+		m.alive[ev.Rank] = ev.Join
+		if ev.Join {
+			m.mesh.MarkAlive(ev.Rank)
+		} else {
+			m.mesh.MarkDead(ev.Rank)
+			m.mesh.AdoptRank(ev.Rank)
+		}
+	}
+	start, rerr := restoreCheckpoint(r, j.policy, ck)
+	if rerr != nil {
+		return 0, false, rerr
+	}
+	if r.obs != nil {
+		r.obs.OnEvent(RecoveryEvent{Step: start, Workers: len(ck.Hosted)})
+	}
+	if berr := r.cl.Barrier(r.viewCost()); berr != nil {
+		return 0, false, berr
+	}
+	return start, true, nil
 }
 
 // r0 returns the runner during an in-flight run.

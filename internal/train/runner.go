@@ -74,6 +74,10 @@ type runner struct {
 	// TrackDeltas is off or this rank does not host worker 0.
 	diagTracker *gradstat.Tracker
 
+	// memb is the run's elastic-membership state; nil on a non-elastic
+	// run, where every membership hook is skipped at zero cost.
+	memb *membState
+
 	// sspSteps, when non-nil, is the per-worker mean step count computed
 	// by the distributed SSP coordinator, whose remote workers are not
 	// visible through r.cl.Workers.
@@ -169,11 +173,20 @@ func newRunner(cfg Config, method string) *runner {
 	for w := 0; w < cfg.Workers; w++ {
 		r.samplers = append(r.samplers, data.NewSampler(r.parts[w], r.perBatch))
 	}
+	r.memb = newMembState(cfg, cl)
 
 	r.batches = make([][]int, cfg.Workers)
 	r.batchIdx = make([][]int, cfg.Workers)
-	for _, w := range r.cl.Workers {
-		r.batchIdx[w.ID] = make([]int, 0, r.perBatch)
+	if r.memb != nil {
+		// Elastic runs re-assign worker blocks mid-flight: every id may
+		// become hosted here, so every id gets an index buffer up front.
+		for id := range r.batchIdx {
+			r.batchIdx[id] = make([]int, 0, r.perBatch)
+		}
+	} else {
+		for _, w := range r.cl.Workers {
+			r.batchIdx[w.ID] = make([]int, 0, r.perBatch)
+		}
 	}
 	r.batchX = make([]*tensor.Matrix, cfg.Workers)
 	r.batchLabels = make([][]int, cfg.Workers)
@@ -209,8 +222,22 @@ func (r *runner) lr(step int) float64 { return r.cfg.Schedule.LR(step) }
 // every partition) is rebuilt identically on every rank from the shared
 // injection RNG.
 func (r *runner) nextBatches() (injCost float64) {
-	for _, w := range r.cl.Workers {
-		r.batches[w.ID] = r.samplers[w.ID].NextInto(r.batchIdx[w.ID])
+	if r.memb != nil {
+		// Elastic runs advance every worker's batch stream on every rank —
+		// hosted workers materialize indices, the rest skip — so a mid-run
+		// re-assignment (adoption, rejoin transfer) resumes each stream at
+		// the position an undisturbed run would be at.
+		for id, s := range r.samplers {
+			if r.cl.LocalWorker(id) != nil {
+				r.batches[id] = s.NextInto(r.batchIdx[id])
+			} else {
+				s.Skip()
+			}
+		}
+	} else {
+		for _, w := range r.cl.Workers {
+			r.batches[w.ID] = r.samplers[w.ID].NextInto(r.batchIdx[w.ID])
+		}
 	}
 	if r.inj != nil {
 		pool := r.inj.BuildPool(r.parts, r.injCursors, r.perBatch, r.injRNG)
