@@ -26,6 +26,7 @@ import (
 
 	"selsync"
 	"selsync/internal/cluster"
+	"selsync/internal/comm"
 	"selsync/internal/nn"
 	"selsync/internal/opt"
 	"selsync/internal/tensor"
@@ -97,6 +98,10 @@ type stepBenchResult struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	Iterations  int     `json:"iterations"`
+	// WireBytesPerOp is the logical bytes-on-wire one operation moves
+	// through the parameter server (push + pull, exact codec framing);
+	// only the codec sync-round rows report it.
+	WireBytesPerOp int64 `json:"wire_bytes_per_op,omitempty"`
 }
 
 type stepBenchReport struct {
@@ -177,6 +182,54 @@ func runStepBenchmarks(outPath string) error {
 			cl.AggregateGrads(gradDst)
 		}
 	}))
+
+	// Codec sync-round microbenches: one gradient round per payload codec
+	// on the same 8-worker ResNetLite cluster, with the exact bytes-on-wire
+	// that round moves through the PS alongside ns/op — the wire-efficiency
+	// trajectory of the compressed collectives. "none" takes the dense
+	// fast path and doubles as the uncompressed baseline.
+	for _, spec := range []string{"none", "topk:0.01", "topk:0.1", "q8", "q16", "partial:0.25"} {
+		codec, err := comm.ParseCodec(spec)
+		if err != nil {
+			return fmt.Errorf("selsync-bench: codec %q: %w", spec, err)
+		}
+		ccl := cluster.New(cluster.Config{
+			Workers: 8,
+			Model:   factory,
+			Opt: func(ps []*nn.Param) opt.Optimizer {
+				return opt.NewSGD(ps, 0.9, 4e-4)
+			},
+			Seed:  7,
+			Codec: codec,
+		})
+		dst := tensor.NewVector(ccl.Dim())
+		ccl.AggregateGrads(dst) // warm the codec state off the measured rounds
+		recvBefore, sentBefore := ccl.PS.BytesRecv(), ccl.PS.BytesSent()
+		rounds := 0
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ccl.AggregateGrads(dst)
+				rounds++
+			}
+		})
+		wire := int64(0)
+		if rounds > 0 {
+			wire = (ccl.PS.BytesRecv() - recvBefore + ccl.PS.BytesSent() - sentBefore) / int64(rounds)
+		}
+		res := stepBenchResult{
+			Name:           "BenchmarkSyncRoundCodec/" + spec,
+			Model:          factory.Spec.Name,
+			NsPerOp:        float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:     r.AllocedBytesPerOp(),
+			AllocsPerOp:    r.AllocsPerOp(),
+			Iterations:     r.N,
+			WireBytesPerOp: wire,
+		}
+		report.Benchmarks = append(report.Benchmarks, res)
+		fmt.Printf("%-30s %12.0f ns/op %8d B/op %6d allocs/op %10d wire B/op (%d iters)\n",
+			res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.WireBytesPerOp, res.Iterations)
+	}
 
 	// Optimizer-step microbenches: one fused whole-arena update per
 	// optimizer family over a ResNetLite replica.

@@ -109,6 +109,19 @@ type Config struct {
 	// only the fabric's local worker block; Workers must then equal the
 	// fabric's global worker count.
 	Fabric comm.Fabric
+	// Codec selects the wire payload codec for synchronization rounds
+	// (top-k sparsification, linear quantization, partial-parameter
+	// sharing). The zero value is the identity codec: rounds run the
+	// historical dense path, bit-identical to every prior release. A
+	// non-identity codec (or Overlap) routes aggregation through the
+	// fabric's compressed collectives with per-worker error feedback.
+	Codec comm.Codec
+	// Overlap enables the bucketed aggregation entry point
+	// (AggregateGradsOverlapped) even under the identity codec, so
+	// comm/compute overlap can stream buckets as the backward pass
+	// produces them. Identity-codec buckets average each bucket densely —
+	// element-wise identical to the unbucketed round.
+	Overlap bool
 }
 
 // Worker is one training replica hosted by this process.
@@ -219,6 +232,12 @@ type Cluster struct {
 	dim       int
 	scratch   tensor.Vector
 	allIDs    []int
+	// cfabric is non-nil when a payload codec (or overlap) is active:
+	// aggregation then runs through the compressed collectives, with
+	// refBuf holding the pre-round global state the parameter path
+	// encodes deltas against.
+	cfabric comm.CodecFabric
+	refBuf  tensor.Vector
 	// cfg and deviceFor are retained so elastic membership can re-derive
 	// replicas deterministically (AdoptWorkers / ResetWorkers).
 	cfg       Config
@@ -323,8 +342,56 @@ func New(cfg Config) *Cluster {
 		}
 	}
 	c.PS = &ParameterServer{Global: c.Workers[0].FlatParams().Clone(), stats: fabric.Stats()}
+	if cfg.Overlap || !cfg.Codec.Nop() {
+		cf, ok := fabric.(comm.CodecFabric)
+		if !ok {
+			panic(fmt.Sprintf("cluster: codec %q needs a CodecFabric, fabric %T is not one", cfg.Codec, fabric))
+		}
+		// Negotiation failures (mismatched codecs across ranks, elastic
+		// membership) are configuration bugs of the same class as the
+		// worker-count mismatch above.
+		if err := cf.SetCodec(cfg.Codec); err != nil {
+			panic(fmt.Sprintf("cluster: %v", err))
+		}
+		c.cfabric = cf
+		c.refBuf = tensor.NewVector(c.dim)
+	}
 	c.startPool()
 	return c
+}
+
+// Codec returns the active payload codec (the identity codec when none was
+// configured).
+func (c *Cluster) Codec() comm.Codec { return c.cfg.Codec }
+
+// CodecActive reports whether synchronization rounds run through the
+// compressed collectives (a non-identity codec or overlap was configured).
+func (c *Cluster) CodecActive() bool { return c.cfabric != nil }
+
+// CodecSnapshot captures the codec's error-feedback state for this rank's
+// hosted workers (nil when no codec path is active) so a checkpoint resume
+// can continue bit-identically.
+func (c *Cluster) CodecSnapshot() *comm.CodecSnapshot {
+	if c.cfabric == nil {
+		return nil
+	}
+	return c.cfabric.CodecSnapshot()
+}
+
+// RestoreCodecSnapshot reinstates error-feedback state captured by
+// CodecSnapshot. A nil snapshot is a no-op (checkpoints from runs without a
+// codec).
+func (c *Cluster) RestoreCodecSnapshot(s *comm.CodecSnapshot) error {
+	if s == nil {
+		return nil
+	}
+	if c.cfabric == nil {
+		return fmt.Errorf("cluster: checkpoint carries codec state %q but no codec is configured", s.Spec)
+	}
+	if err := c.cfabric.RestoreCodecSnapshot(s); err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	return nil
 }
 
 // workerByID maps a hosted global worker id to its replica: the static
@@ -552,14 +619,18 @@ func (c *Cluster) ResetWorkers(ids []int, epoch uint64) {
 // Broadcast overwrites every replica's parameters with the PS global state
 // and counts one pull per worker. On the all-arena path this is the
 // fabric's fan-out (one chunk-parallel copy straight into the replicas'
-// live storage on loopback).
+// live storage on loopback). Under a codec the pull was already accounted
+// codec-exactly by the compressed reduce's down path, so only the local
+// copy happens here.
 func (c *Cluster) Broadcast() {
 	if c.allArena {
 		c.fabric.FanOut(c.paramSlots, c.PS.Global)
 	} else {
 		c.Each(func(w *Worker) { w.SetParams(c.PS.Global) })
 	}
-	c.fabric.AccountPull(c.N(), c.dim)
+	if c.cfabric == nil {
+		c.fabric.AccountPull(c.N(), c.dim)
+	}
 }
 
 // AggregateParams averages the replicas' parameters into the PS global
@@ -567,7 +638,20 @@ func (c *Cluster) Broadcast() {
 // (push all, pull all) through the fabric. A transport failure surfaces as
 // the fabric's typed error (comm.ErrPeerDown / comm.ErrTimeout wrapped in
 // a *comm.PeerError), leaving the fabric broken.
+//
+// Under a codec the round is the compressed collective on parameter deltas
+// against the pre-round global state: selective sharing and error feedback
+// operate on what changed since the last synchronization, and coordinates
+// the codec leaves out stay exactly at the old global value.
 func (c *Cluster) AggregateParams() error {
+	if c.cfabric != nil {
+		c.refBuf.CopyFrom(c.PS.Global)
+		if err := c.cfabric.ReduceMeanCodec(c.PS.Global, c.refBuf, c.allIDs, c.paramView); err != nil {
+			return fmt.Errorf("cluster: aggregate params: %w", err)
+		}
+		c.Broadcast()
+		return nil
+	}
 	if err := c.fabric.ReduceMean(c.PS.Global, c.allIDs, c.paramView); err != nil {
 		return fmt.Errorf("cluster: aggregate params: %w", err)
 	}
@@ -579,8 +663,16 @@ func (c *Cluster) AggregateParams() error {
 // AggregateGrads averages the replicas' gradients into dst (one
 // gradient-aggregation round: push gradients, pull the mean; the mean is
 // left on every rank by the fabric). Callers apply dst through each
-// worker's optimizer.
+// worker's optimizer. Under a codec the gradients themselves are
+// compressed (no reference vector — gradients are already deltas) and the
+// ledger records the codec-exact wire bytes.
 func (c *Cluster) AggregateGrads(dst tensor.Vector) error {
+	if c.cfabric != nil {
+		if err := c.cfabric.ReduceMeanCodec(dst, nil, c.allIDs, c.gradView); err != nil {
+			return fmt.Errorf("cluster: aggregate grads: %w", err)
+		}
+		return nil
+	}
 	if err := c.fabric.ReduceMean(dst, c.allIDs, c.gradView); err != nil {
 		return fmt.Errorf("cluster: aggregate grads: %w", err)
 	}
@@ -589,9 +681,36 @@ func (c *Cluster) AggregateGrads(dst tensor.Vector) error {
 	return nil
 }
 
+// AggregateGradsOverlapped is AggregateGrads with the collective split
+// into buckets that launch as the backward pass releases them: buckets
+// must tile [0, Dim) and wait(b) blocks until every hosted worker's
+// gradient for bucket b is fully written. Buckets are processed in
+// descending index order — the order backward passes produce layer
+// gradients. Requires the codec path (any codec including the identity;
+// see Config.Overlap).
+func (c *Cluster) AggregateGradsOverlapped(dst tensor.Vector, buckets [][2]int, wait func(bucket int)) error {
+	if c.cfabric == nil {
+		return fmt.Errorf("cluster: overlapped aggregation needs the codec path (Config.Overlap)")
+	}
+	if err := c.cfabric.ReduceMeanCodecBuckets(dst, nil, c.allIDs, c.gradView, buckets, wait); err != nil {
+		return fmt.Errorf("cluster: aggregate grads overlapped: %w", err)
+	}
+	return nil
+}
+
 // ReduceParamsSubset averages the parameters of the given workers into the
-// PS global state (FedAvg's partial participation: only ids push).
+// PS global state (FedAvg's partial participation: only ids push). The
+// codec path compresses the subset's deltas and, because the compressed
+// reduce's down path delivers (and accounts) the new global to every rank,
+// also records the pulls the dense path defers to Broadcast.
 func (c *Cluster) ReduceParamsSubset(ids []int) error {
+	if c.cfabric != nil {
+		c.refBuf.CopyFrom(c.PS.Global)
+		if err := c.cfabric.ReduceMeanCodec(c.PS.Global, c.refBuf, ids, c.paramView); err != nil {
+			return fmt.Errorf("cluster: reduce params subset: %w", err)
+		}
+		return nil
+	}
 	if err := c.fabric.ReduceMean(c.PS.Global, ids, c.paramView); err != nil {
 		return fmt.Errorf("cluster: reduce params subset: %w", err)
 	}

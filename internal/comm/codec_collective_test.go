@@ -1,0 +1,241 @@
+package comm_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"selsync/internal/comm"
+	"selsync/internal/comm/commtest"
+	"selsync/internal/tensor"
+)
+
+// workerVec builds a deterministic per-worker contribution for a round.
+func workerVec(id, dim, round int) tensor.Vector {
+	v := tensor.NewVector(dim)
+	for i := range v {
+		v[i] = math.Sin(float64(id*31+i)*0.7+float64(round)) * float64((i+id)%17)
+	}
+	return v
+}
+
+// runCodecRounds drives `rounds` codec reductions (with or without a ref
+// vector and buckets) on any CodecFabric and returns the concatenated dst
+// of every round plus the final logical ledger.
+func runCodecRounds(t testing.TB, f comm.Fabric, codec comm.Codec, dim, rounds int, withRef bool, buckets [][2]int) []float64 {
+	cf, ok := f.(comm.CodecFabric)
+	if !ok {
+		t.Fatalf("fabric %T does not implement CodecFabric", f)
+	}
+	if err := cf.SetCodec(codec); err != nil {
+		t.Fatalf("SetCodec: %v", err)
+	}
+	ids := make([]int, f.Workers())
+	for i := range ids {
+		ids[i] = i
+	}
+	vecs := map[int]tensor.Vector{}
+	dst := tensor.NewVector(dim)
+	var ref tensor.Vector
+	if withRef {
+		ref = tensor.NewVector(dim)
+		for i := range dst {
+			dst[i] = math.Cos(float64(i)) // the evolving "global" state
+		}
+	}
+	var out []float64
+	for r := 0; r < rounds; r++ {
+		for _, id := range f.LocalWorkers() {
+			vecs[id] = workerVec(id, dim, r)
+		}
+		view := func(id int) tensor.Vector { return vecs[id] }
+		var err error
+		if withRef {
+			ref.CopyFrom(dst)
+		}
+		if buckets != nil {
+			err = cf.ReduceMeanCodecBuckets(dst, ref, ids, view, buckets, nil)
+		} else if withRef {
+			err = cf.ReduceMeanCodec(dst, ref, ids, view)
+		} else {
+			err = cf.ReduceMeanCodec(dst, nil, ids, view)
+		}
+		if err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		out = append(out, dst...)
+	}
+	return out
+}
+
+// Every backend — the Loopback fabric, a mesh over in-process channels,
+// and a mesh over real TCP — must produce bit-identical reduction results
+// and identical logical ledgers for every codec, on both the gradient
+// (ref=nil) and parameter (delta-vs-ref) paths, bucketed and not.
+func TestCodecReduceBackendEquivalence(t *testing.T) {
+	const procs, workers, dim, rounds = 4, 8, 3000, 3
+	buckets := [][2]int{{0, 700}, {700, 1900}, {1900, dim}}
+	specs := []string{"none", "topk:0.05", "q8", "q16", "partial:0.5", "partial:0.4,0.9"}
+	for _, spec := range specs {
+		for _, withRef := range []bool{false, true} {
+			for _, bucketed := range []bool{false, true} {
+				name := fmt.Sprintf("%s/ref=%v/buckets=%v", spec, withRef, bucketed)
+				t.Run(name, func(t *testing.T) {
+					codec, err := comm.ParseCodec(spec)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var bk [][2]int
+					if bucketed {
+						bk = buckets
+					}
+					// Reference: the single-process Loopback fabric.
+					lb := comm.NewLoopback(workers)
+					want := runCodecRounds(t, lb, codec, dim, rounds, withRef, bk)
+					wantStats := *lb.Stats()
+
+					for _, loopbackEP := range []bool{true, false} {
+						results, stats := commtest.RunRanksOpts(t, procs, workers,
+							commtest.Options{Loopback: loopbackEP},
+							func(rank int, f comm.Fabric) []float64 {
+								return runCodecRounds(t, f, codec, dim, rounds, withRef, bk)
+							})
+						for r, got := range results {
+							if len(got) != len(want) {
+								t.Fatalf("ep-loopback=%v rank %d: %d values, want %d", loopbackEP, r, len(got), len(want))
+							}
+							for i := range got {
+								if got[i] != want[i] {
+									t.Fatalf("ep-loopback=%v rank %d: value %d = %v, loopback fabric %v", loopbackEP, r, i, got[i], want[i])
+								}
+							}
+						}
+						if *stats != wantStats {
+							t.Fatalf("ep-loopback=%v: mesh ledger %+v, loopback fabric ledger %+v", loopbackEP, *stats, wantStats)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// The ledger must reflect codec-exact byte counts: top-k at 1% on a large
+// vector must cut logical bytes by well over 4× vs the dense codec.
+func TestCodecLedgerReduction(t *testing.T) {
+	const workers, dim, rounds = 8, 200_000, 4
+	bytesFor := func(spec string) int64 {
+		codec, err := comm.ParseCodec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb := comm.NewLoopback(workers)
+		runCodecRounds(t, lb, codec, dim, rounds, false, nil)
+		s := lb.Stats()
+		return s.Bytes.Recv + s.Bytes.Sent
+	}
+	dense := bytesFor("none")
+	sparse := bytesFor("topk:0.01")
+	if sparse*4 >= dense {
+		t.Fatalf("topk:0.01 logical bytes %d not ≥4× below dense %d", sparse, dense)
+	}
+	q8 := bytesFor("q8")
+	if q8*4 >= dense {
+		t.Fatalf("q8 logical bytes %d not ≥4× below dense %d", q8, dense)
+	}
+}
+
+// SetCodec must reject mismatched codecs across ranks (negotiation) and
+// elastic membership.
+func TestCodecNegotiationMismatch(t *testing.T) {
+	results, _ := commtest.RunRanks(t, 2, 2, func(rank int, f comm.Fabric) error {
+		cf := f.(comm.CodecFabric)
+		spec := "q8"
+		if rank == 1 {
+			spec = "q16"
+		}
+		codec, _ := comm.ParseCodec(spec)
+		return cf.SetCodec(codec)
+	})
+	anyErr := false
+	for _, err := range results {
+		if err != nil {
+			anyErr = true
+		}
+	}
+	if !anyErr {
+		t.Fatal("mismatched codec negotiation succeeded on every rank")
+	}
+}
+
+func TestCodecRejectsElasticMesh(t *testing.T) {
+	results, _ := commtest.RunRanks(t, 2, 2, func(rank int, f comm.Fabric) error {
+		m := f.(*comm.Mesh)
+		m.EnableElastic(0)
+		codec, _ := comm.ParseCodec("q8")
+		return m.SetCodec(codec)
+	})
+	for r, err := range results {
+		if err == nil {
+			t.Fatalf("rank %d: SetCodec on elastic mesh succeeded", r)
+		}
+	}
+}
+
+// Snapshot/restore must reproduce the exact continuation: run 6 rounds
+// straight, vs snapshot after 3 and resume in a fresh fabric.
+func TestCodecSnapshotResumeBitIdentical(t *testing.T) {
+	const workers, dim = 4, 500
+	for _, spec := range []string{"topk:0.1", "q8", "partial:0.3"} {
+		codec, _ := comm.ParseCodec(spec)
+		full := comm.NewLoopback(workers)
+		want := runCodecRounds(t, full, codec, dim, 6, false, nil)
+
+		first := comm.NewLoopback(workers)
+		head := runCodecRounds(t, first, codec, dim, 3, false, nil)
+		snap := first.CodecSnapshot()
+		if snap == nil {
+			t.Fatalf("%s: nil snapshot", spec)
+		}
+
+		resumed := comm.NewLoopback(workers)
+		if err := resumed.SetCodec(codec); err != nil {
+			t.Fatal(err)
+		}
+		if err := resumed.RestoreCodecSnapshot(snap); err != nil {
+			t.Fatal(err)
+		}
+		got := append(append([]float64(nil), head...), runCodecRoundsFrom(t, resumed, dim, 3, 6)...)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d values, want %d", spec, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: resumed value %d = %v, uninterrupted %v", spec, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// runCodecRoundsFrom continues rounds [from, to) on an already-configured
+// fabric, regenerating the same per-round worker vectors.
+func runCodecRoundsFrom(t testing.TB, f comm.Fabric, dim, from, to int) []float64 {
+	cf := f.(comm.CodecFabric)
+	ids := make([]int, f.Workers())
+	for i := range ids {
+		ids[i] = i
+	}
+	vecs := map[int]tensor.Vector{}
+	dst := tensor.NewVector(dim)
+	var out []float64
+	for r := from; r < to; r++ {
+		for _, id := range f.LocalWorkers() {
+			vecs[id] = workerVec(id, dim, r)
+		}
+		if err := cf.ReduceMeanCodec(dst, nil, ids, func(id int) tensor.Vector { return vecs[id] }); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		out = append(out, dst...)
+	}
+	return out
+}

@@ -1,0 +1,351 @@
+package comm
+
+import (
+	"fmt"
+
+	"selsync/internal/tensor"
+)
+
+// CodecFabric implementations for both backends. The compressed reduce is
+// the same protocol as ReduceMean — gather per id in ids order, average
+// with tensor.Average, deliver the mean — with every message run through
+// the codec's encode→decode round trip on its producing rank, so the
+// values averaged and the values applied are exactly the values the wire
+// carried (or would carry, on loopback). That single invariant is what
+// makes the collective bit-identical across backends: loopback executes
+// the identical float64 arithmetic without the sockets.
+//
+// Bucketed variant: buckets tile [0, dim) and are processed in descending
+// index order on every rank — the order a backward pass produces layer
+// gradients — and the optional wait hook blocks until the local
+// contribution for a bucket is written. That is the comm/compute overlap
+// entry point: while rank 0 still computes bucket b, its peers' frames
+// for b queue in the endpoint inboxes, and while peers compute lower
+// buckets, rank 0 reduces and re-broadcasts the ones already in flight.
+
+// validateCodecArgs checks the bucket tiling and ref/dst aliasing rules
+// shared by both backends.
+func validateCodecArgs(dst, ref tensor.Vector, buckets [][2]int) error {
+	if ref != nil && len(ref) != len(dst) {
+		return fmt.Errorf("comm: codec reduce ref has %d elements, dst %d", len(ref), len(dst))
+	}
+	if ref != nil && &ref[0] == &dst[0] {
+		return fmt.Errorf("comm: codec reduce ref must not alias dst")
+	}
+	next := 0
+	for _, b := range buckets {
+		if b[0] != next || b[1] <= b[0] {
+			return fmt.Errorf("comm: codec buckets %v do not tile [0,%d)", buckets, len(dst))
+		}
+		next = b[1]
+	}
+	if next != len(dst) {
+		return fmt.Errorf("comm: codec buckets %v do not tile [0,%d)", buckets, len(dst))
+	}
+	return nil
+}
+
+// codecMsgSrc returns the message for one contribution window: the raw
+// values (gradient path) or the delta against ref written into delta
+// (parameter path).
+func codecMsgSrc(src, ref, delta tensor.Vector, lo, hi int) tensor.Vector {
+	s := src[lo:hi]
+	if ref == nil {
+		return s
+	}
+	d := delta[lo:hi]
+	for i := range d {
+		d[i] = s[i] - ref[lo+i]
+	}
+	return d
+}
+
+// applyCodecDown applies the decoded downlink window: dst = ref + delta
+// (parameter path — positions the codec left out stay exactly at ref) or
+// dst = decoded mean (gradient path).
+func applyCodecDown(dst, ref, dec tensor.Vector, lo, hi int) {
+	d := dst[lo:hi]
+	if ref == nil {
+		d.CopyFrom(dec[lo:hi])
+		return
+	}
+	for i := range d {
+		d[i] = ref[lo+i] + dec[lo+i]
+	}
+}
+
+// accountCodec writes the logical ledger for one compressed collective:
+// pushes pushes of the summed uplink bucket bytes, one pull per global
+// worker of the downlink bytes. Rank-invariant by construction (pure
+// function of codec, buckets and round), so every rank's ledger matches.
+func (cs *codecState) accountCodec(st *Stats, pushes, workers int, buckets [][2]int, round uint64) {
+	var upB, downB int64
+	up, down := cs.codec.up(), cs.codec.down()
+	for _, b := range buckets {
+		n := b[1] - b[0]
+		upB += up.wireBytes(n, round)
+		downB += down.wireBytes(n, round)
+	}
+	st.Pushes += pushes
+	st.Bytes.Recv += int64(pushes) * upB
+	st.Pulls += workers
+	st.Bytes.Sent += int64(workers) * downB
+}
+
+// --- Loopback ---
+
+// SetCodec implements CodecFabric: in one process there is nobody to
+// negotiate with, the codec is simply installed.
+func (l *Loopback) SetCodec(c Codec) error {
+	l.cs.codec = c
+	return nil
+}
+
+// Codec implements CodecFabric.
+func (l *Loopback) Codec() Codec { return l.cs.codec }
+
+// CodecSnapshot implements CodecFabric.
+func (l *Loopback) CodecSnapshot() *CodecSnapshot { return l.cs.snapshot() }
+
+// RestoreCodecSnapshot implements CodecFabric.
+func (l *Loopback) RestoreCodecSnapshot(s *CodecSnapshot) error { return l.cs.restore(s) }
+
+// ReduceMeanCodec implements CodecFabric.
+func (l *Loopback) ReduceMeanCodec(dst, ref tensor.Vector, ids []int, view func(worker int) tensor.Vector) error {
+	return l.ReduceMeanCodecBuckets(dst, ref, ids, view, [][2]int{{0, len(dst)}}, nil)
+}
+
+func (l *Loopback) ensureCodecBufs(dim int) {
+	if len(l.meanBuf) == dim {
+		return
+	}
+	l.meanBuf = tensor.NewVector(dim)
+	l.downDec = tensor.NewVector(dim)
+	l.deltaBuf = tensor.NewVector(dim)
+	l.decBufs = make(map[int]tensor.Vector)
+}
+
+func (l *Loopback) decBuf(worker, dim int) tensor.Vector {
+	buf, ok := l.decBufs[worker]
+	if !ok {
+		buf = tensor.NewVector(dim)
+		l.decBufs[worker] = buf
+	}
+	return buf
+}
+
+// ReduceMeanCodecBuckets implements CodecFabric: the full compressed
+// round — per-id encode/decode with uplink error feedback, ids-order
+// average, downlink encode/decode with its own error feedback — executed
+// in shared memory.
+func (l *Loopback) ReduceMeanCodecBuckets(dst, ref tensor.Vector, ids []int, view func(worker int) tensor.Vector, buckets [][2]int, wait func(bucket int)) error {
+	if err := validateCodecArgs(dst, ref, buckets); err != nil {
+		return err
+	}
+	dim := len(dst)
+	if err := l.cs.applyRestored(dim); err != nil {
+		return err
+	}
+	up, down := l.cs.codec.up(), l.cs.codec.down()
+	round := l.cs.round
+	l.ensureCodecBufs(dim)
+	for b := len(buckets) - 1; b >= 0; b-- {
+		if wait != nil {
+			wait(b)
+		}
+		lo, hi := buckets[b][0], buckets[b][1]
+		l.slots = l.slots[:0]
+		for _, id := range ids {
+			msgSrc := codecMsgSrc(view(id), ref, l.deltaBuf, lo, hi)
+			slot := l.decBuf(id, dim)[lo:hi]
+			l.cs.roundTrip(up, msgSrc, l.cs.residFor(id, dim)[lo:hi], slot, round, &l.cs.msg)
+			l.slots = append(l.slots, slot)
+		}
+		tensor.Average(l.meanBuf[lo:hi], l.slots)
+		l.cs.roundTrip(down, l.meanBuf[lo:hi], l.cs.downResid(dim)[lo:hi], l.downDec[lo:hi], round, &l.cs.msg)
+		applyCodecDown(dst, ref, l.downDec, lo, hi)
+	}
+	l.cs.round++
+	l.cs.accountCodec(&l.stats, len(ids), l.workers, buckets, round)
+	return nil
+}
+
+// --- Mesh ---
+
+// SetCodec implements CodecFabric: installs the codec and verifies every
+// rank negotiated the same one (fingerprints through rank 0). Elastic
+// membership and payload codecs are mutually exclusive — error-feedback
+// residuals cannot survive adoption handoffs.
+func (m *Mesh) SetCodec(c Codec) error {
+	if m.Elastic() {
+		return fmt.Errorf("comm: payload codec %q requires static membership (elastic mesh)", c)
+	}
+	m.cs.codec = c
+	if m.Procs() == 1 {
+		return nil
+	}
+	fp := float64(c.Fingerprint())
+	if m.Rank() == 0 {
+		// Gather every rank's fingerprint, then always ack with rank 0's own
+		// before reporting a mismatch — a silent error here would leave the
+		// peers blocked in their ack wait.
+		var mismatch error
+		for r := 1; r < m.Procs(); r++ {
+			cm, err := m.RecvControl(r)
+			if err != nil {
+				return err
+			}
+			if cm.Op != ctlCodec {
+				return fmt.Errorf("comm: codec negotiation: unexpected control op %d from rank %d", cm.Op, r)
+			}
+			if cm.A != fp && mismatch == nil {
+				mismatch = fmt.Errorf("comm: codec mismatch: rank %d negotiates fingerprint %.0f, rank 0 runs %q", r, cm.A, c)
+			}
+		}
+		for r := 1; r < m.Procs(); r++ {
+			if err := m.SendControl(r, ctlCodecAck, -1, fp, 0); err != nil {
+				return err
+			}
+		}
+		return mismatch
+	}
+	if err := m.SendControl(0, ctlCodec, -1, fp, 0); err != nil {
+		return err
+	}
+	cm, err := m.RecvControl(0)
+	if err != nil {
+		return err
+	}
+	if cm.Op != ctlCodecAck || cm.A != fp {
+		return fmt.Errorf("comm: codec mismatch: rank 0 acked fingerprint %.0f, rank %d runs %q", cm.A, m.Rank(), c)
+	}
+	return nil
+}
+
+// Codec implements CodecFabric.
+func (m *Mesh) Codec() Codec { return m.cs.codec }
+
+// CodecSnapshot implements CodecFabric.
+func (m *Mesh) CodecSnapshot() *CodecSnapshot { return m.cs.snapshot() }
+
+// RestoreCodecSnapshot implements CodecFabric.
+func (m *Mesh) RestoreCodecSnapshot(s *CodecSnapshot) error { return m.cs.restore(s) }
+
+// ReduceMeanCodec implements CodecFabric.
+func (m *Mesh) ReduceMeanCodec(dst, ref tensor.Vector, ids []int, view func(worker int) tensor.Vector) error {
+	return m.ReduceMeanCodecBuckets(dst, ref, ids, view, [][2]int{{0, len(dst)}}, nil)
+}
+
+func (m *Mesh) ensureCodecBufs(dim int) {
+	if len(m.downDec) == dim {
+		return
+	}
+	m.downDec = tensor.NewVector(dim)
+	m.deltaBuf = tensor.NewVector(dim)
+	if m.Rank() == 0 {
+		m.meanBuf = tensor.NewVector(dim)
+	} else {
+		m.encDec = tensor.NewVector(dim)
+	}
+}
+
+// sendCodecMsg streams the compact message the last roundTrip produced
+// (or the dense dec for the identity codec) to a peer.
+func (m *Mesh) sendCodecMsg(to, worker int, p profile, dec tensor.Vector) error {
+	var err error
+	if p.kind == CodecNone {
+		m.scratch, err = sendTensorEP(m.ep, to, worker, dec, m.scratch)
+	} else {
+		m.scratch, err = sendCompressedEP(m.ep, to, worker, &m.cs.msg, m.scratch)
+	}
+	return err
+}
+
+// recvCodecMsg reassembles one codec message into dst (dense).
+func (m *Mesh) recvCodecMsg(from, worker int, p profile, dst tensor.Vector) error {
+	if p.kind == CodecNone {
+		return recvTensorEP(meshRx{m}, from, worker, dst)
+	}
+	return recvCompressedEP(meshRx{m}, from, worker, p, dst)
+}
+
+// ReduceMeanCodecBuckets implements CodecFabric over the wire: worker
+// ranks compress and stream each bucket's contributions as wait releases
+// them, rank 0 gathers in ids order, averages, compresses the mean with
+// the downlink error feedback and streams it back per bucket. Descending
+// bucket order on every rank keeps the per-link frame sequences aligned
+// without per-bucket headers.
+func (m *Mesh) ReduceMeanCodecBuckets(dst, ref tensor.Vector, ids []int, view func(worker int) tensor.Vector, buckets [][2]int, wait func(bucket int)) error {
+	if err := validateCodecArgs(dst, ref, buckets); err != nil {
+		return err
+	}
+	if m.Elastic() {
+		return fmt.Errorf("comm: codec collectives require static membership")
+	}
+	dim := len(dst)
+	if err := m.cs.applyRestored(dim); err != nil {
+		return err
+	}
+	up, down := m.cs.codec.up(), m.cs.codec.down()
+	round := m.cs.round
+	m.ensureCodecBufs(dim)
+
+	if m.Rank() == 0 {
+		for b := len(buckets) - 1; b >= 0; b-- {
+			if wait != nil {
+				wait(b)
+			}
+			lo, hi := buckets[b][0], buckets[b][1]
+			m.slots = m.slots[:0]
+			for _, id := range ids {
+				owner := m.OwnerOf(id)
+				slot := m.recvBuf(id, dim)[lo:hi]
+				if owner == 0 {
+					msgSrc := codecMsgSrc(view(id), ref, m.deltaBuf, lo, hi)
+					m.cs.roundTrip(up, msgSrc, m.cs.residFor(id, dim)[lo:hi], slot, round, &m.cs.msg)
+				} else if err := m.recvCodecMsg(owner, id, up, slot); err != nil {
+					return m.fault("codec gather", owner, err)
+				}
+				m.slots = append(m.slots, slot)
+			}
+			tensor.Average(m.meanBuf[lo:hi], m.slots)
+			m.cs.roundTrip(down, m.meanBuf[lo:hi], m.cs.downResid(dim)[lo:hi], m.downDec[lo:hi], round, &m.cs.msg)
+			for r := 1; r < m.Procs(); r++ {
+				if err := m.sendCodecMsg(r, -1, down, m.downDec[lo:hi]); err != nil {
+					return m.fault("codec broadcast", r, err)
+				}
+			}
+			applyCodecDown(dst, ref, m.downDec, lo, hi)
+		}
+	} else {
+		for b := len(buckets) - 1; b >= 0; b-- {
+			if wait != nil {
+				wait(b)
+			}
+			lo, hi := buckets[b][0], buckets[b][1]
+			for _, id := range ids {
+				if !m.Hosts(id) {
+					continue
+				}
+				msgSrc := codecMsgSrc(view(id), ref, m.deltaBuf, lo, hi)
+				m.cs.roundTrip(up, msgSrc, m.cs.residFor(id, dim)[lo:hi], m.encDec[lo:hi], round, &m.cs.msg)
+				if err := m.sendCodecMsg(0, id, up, m.encDec[lo:hi]); err != nil {
+					return m.fault("codec push", 0, err)
+				}
+			}
+		}
+		for b := len(buckets) - 1; b >= 0; b-- {
+			lo, hi := buckets[b][0], buckets[b][1]
+			if err := m.recvCodecMsg(0, -1, down, m.downDec[lo:hi]); err != nil {
+				return m.fault("codec pull", 0, err)
+			}
+			applyCodecDown(dst, ref, m.downDec, lo, hi)
+		}
+	}
+	m.cs.round++
+	m.cs.accountCodec(&m.stats, len(ids), m.workers, buckets, round)
+	return nil
+}
+
+var _ CodecFabric = (*Loopback)(nil)
+var _ CodecFabric = (*Mesh)(nil)

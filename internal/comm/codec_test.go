@@ -1,0 +1,298 @@
+package comm
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"selsync/internal/tensor"
+)
+
+func TestParseCodecValid(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Codec
+	}{
+		{"", Codec{}},
+		{"none", Codec{}},
+		{" none ", Codec{}},
+		{"q8", Codec{Kind: CodecQuant, Bits: 8}},
+		{"q16", Codec{Kind: CodecQuant, Bits: 16}},
+		{"topk:0.01", Codec{Kind: CodecTopK, Frac: 0.01, Down: 0.01}},
+		{"topk:0.5", Codec{Kind: CodecTopK, Frac: 0.5, Down: 0.5}},
+		{"partial:0.25", Codec{Kind: CodecPartial, Frac: 0.25, Down: 0.25}},
+		{"partial:0.25,0.75", Codec{Kind: CodecPartial, Frac: 0.25, Down: 0.75}},
+		{"partial:1", Codec{Kind: CodecPartial, Frac: 1, Down: 1}},
+	}
+	for _, c := range cases {
+		got, err := ParseCodec(c.in)
+		if err != nil {
+			t.Fatalf("ParseCodec(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Fatalf("ParseCodec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+		// Canonical string re-parses to the same codec.
+		again, err := ParseCodec(got.String())
+		if err != nil || again != got {
+			t.Fatalf("ParseCodec(%q).String()=%q does not round-trip: %+v %v", c.in, got.String(), again, err)
+		}
+	}
+}
+
+func TestParseCodecErrorsNameToken(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantSub string
+	}{
+		{"gzip", `unknown codec "gzip"`},
+		{"q4", `unknown codec "q4"`},
+		{"q:8", `unknown codec "q:8"`},
+		{"topk", `unknown codec "topk"`},
+		{"topk:", `bad fraction ""`},
+		{"topk:x", `bad fraction "x"`},
+		{"topk:0", `must be in (0, 1)`},
+		{"topk:1", `must be in (0, 1)`},
+		{"topk:1.5", `must be in (0, 1)`},
+		{"partial:0", `must be in (0, 1]`},
+		{"partial:0.5,0", `must be in (0, 1]`},
+		{"partial:0.5,abc", `bad fraction "abc"`},
+		{"sparse:0.1", `unknown key "sparse"`},
+	}
+	for _, c := range cases {
+		_, err := ParseCodec(c.in)
+		if err == nil {
+			t.Fatalf("ParseCodec(%q): expected error", c.in)
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Fatalf("ParseCodec(%q) error %q does not mention %q", c.in, err, c.wantSub)
+		}
+		if !strings.Contains(err.Error(), "comm: codec:") {
+			t.Fatalf("ParseCodec(%q) error %q missing package prefix", c.in, err)
+		}
+	}
+}
+
+// captureEP records sent frames for byte accounting and replays them on
+// Recv — a one-rank wire loop for exactness tests.
+type captureEP struct {
+	frames []Frame
+	bytes  int64
+}
+
+func (c *captureEP) Rank() int  { return 0 }
+func (c *captureEP) Procs() int { return 2 }
+func (c *captureEP) Send(to int, f *Frame) error {
+	cp := *f
+	cp.Payload = append([]byte(nil), f.Payload...)
+	c.frames = append(c.frames, cp)
+	c.bytes += int64(HeaderSize + len(f.Payload))
+	return nil
+}
+func (c *captureEP) Recv(from int) (*Frame, error) {
+	if len(c.frames) == 0 {
+		return nil, fmt.Errorf("captureEP: no frames")
+	}
+	f := c.frames[0]
+	c.frames = c.frames[1:]
+	return &f, nil
+}
+func (c *captureEP) NetStats() EndpointStats { return EndpointStats{} }
+func (c *captureEP) Close() error            { return nil }
+
+// The ledger formula must equal the encoder's actual frame bytes, and a
+// receiver must reconstruct exactly the sender's local decode — for every
+// codec, at dims spanning chunk boundaries, across rounds (partial
+// sharing's window length varies by round).
+func TestCodecWireBytesExactAndRoundTrip(t *testing.T) {
+	specs := []string{"topk:0.01", "topk:0.37", "q8", "q16", "partial:0.25", "partial:0.3,0.7"}
+	dims := []int{5, 1000, ChunkElems + 7, 2*ChunkElems + 11}
+	for _, spec := range specs {
+		codec, err := ParseCodec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, dim := range dims {
+			src := tensor.NewVector(dim)
+			for i := range src {
+				src[i] = math.Sin(float64(i)*0.7) * float64(i%13)
+			}
+			cs := &codecState{codec: codec}
+			resid := tensor.NewVector(dim)
+			dec := tensor.NewVector(dim)
+			for round := uint64(0); round < 6; round++ {
+				p := codec.up()
+				cs.roundTrip(p, src, resid, dec, round, &cs.msg)
+				ep := &captureEP{}
+				if _, err := sendCompressedEP(ep, 1, 7, &cs.msg, nil); err != nil {
+					t.Fatalf("%s dim=%d round=%d: send: %v", spec, dim, round, err)
+				}
+				if want := p.wireBytes(dim, round); ep.bytes != want {
+					t.Fatalf("%s dim=%d round=%d: wire bytes %d, ledger formula %d", spec, dim, round, ep.bytes, want)
+				}
+				got := tensor.NewVector(dim)
+				got.Fill(999) // recv must zero it
+				if err := recvCompressedEP(ep, 1, 7, p, got); err != nil {
+					t.Fatalf("%s dim=%d round=%d: recv: %v", spec, dim, round, err)
+				}
+				for i := range got {
+					if got[i] != dec[i] {
+						t.Fatalf("%s dim=%d round=%d: decode mismatch at %d: wire %v, local %v", spec, dim, round, i, got[i], dec[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// Error feedback conserves mass: over R rounds of compressing the same
+// stream, sum(transmitted) + final residual = sum(inputs).
+func TestCodecErrorFeedbackConservation(t *testing.T) {
+	for _, spec := range []string{"topk:0.1", "q8", "partial:0.25"} {
+		codec, _ := ParseCodec(spec)
+		const dim = 257
+		src := tensor.NewVector(dim)
+		for i := range src {
+			src[i] = math.Cos(float64(i) * 1.3)
+		}
+		cs := &codecState{codec: codec}
+		resid := tensor.NewVector(dim)
+		dec := tensor.NewVector(dim)
+		sum := tensor.NewVector(dim)
+		const rounds = 12
+		for r := uint64(0); r < rounds; r++ {
+			cs.roundTrip(codec.up(), src, resid, dec, r, &cs.msg)
+			sum.Add(dec)
+		}
+		for i := range src {
+			want := float64(rounds) * src[i]
+			got := sum[i] + resid[i]
+			if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+				t.Fatalf("%s: coordinate %d: transmitted+residual %g, inputs sum %g", spec, i, got, want)
+			}
+		}
+	}
+}
+
+// Partial sharing must rotate through the whole vector: after one full
+// cycle every coordinate has been transmitted.
+func TestPartialWindowCoversVector(t *testing.T) {
+	p := profile{kind: CodecPartial, frac: 0.3}
+	for _, n := range []int{1, 7, 100, 1001} {
+		covered := make([]bool, n)
+		k := p.keepCount(n)
+		blocks := (n + k - 1) / k
+		for r := 0; r < blocks; r++ {
+			lo, hi := p.window(n, uint64(r))
+			for i := lo; i < hi; i++ {
+				covered[i] = true
+			}
+		}
+		for i, c := range covered {
+			if !c {
+				t.Fatalf("n=%d: coordinate %d never transmitted in a full cycle", n, i)
+			}
+		}
+	}
+}
+
+func TestDecodeSparseChunkRejectsCorrupt(t *testing.T) {
+	dst := tensor.NewVector(8)
+	mk := func(entries ...[2]interface{}) []byte {
+		var idx []uint32
+		var vals []float64
+		for _, e := range entries {
+			idx = append(idx, e[0].(uint32))
+			vals = append(vals, e[1].(float64))
+		}
+		return appendSparseChunk(nil, idx, vals)
+	}
+	last := -1
+	if _, err := decodeSparseChunk(dst, []byte{1, 2, 3}, &last); err == nil {
+		t.Fatal("accepted payload with bad length")
+	}
+	last = -1
+	if _, err := decodeSparseChunk(dst, mk([2]interface{}{uint32(3), 1.0}, [2]interface{}{uint32(3), 2.0}), &last); err == nil {
+		t.Fatal("accepted duplicate index")
+	}
+	last = -1
+	if _, err := decodeSparseChunk(dst, mk([2]interface{}{uint32(5), 1.0}, [2]interface{}{uint32(2), 2.0}), &last); err == nil {
+		t.Fatal("accepted descending indices")
+	}
+	last = -1
+	if _, err := decodeSparseChunk(dst, mk([2]interface{}{uint32(8), 1.0}), &last); err == nil {
+		t.Fatal("accepted out-of-range index")
+	}
+	last = -1
+	if n, err := decodeSparseChunk(dst, mk([2]interface{}{uint32(1), 4.0}, [2]interface{}{uint32(7), 5.0}), &last); err != nil || n != 2 {
+		t.Fatalf("rejected valid chunk: n=%d err=%v", n, err)
+	}
+	if dst[1] != 4 || dst[7] != 5 {
+		t.Fatalf("valid chunk mis-scattered: %v", dst)
+	}
+}
+
+func TestDecodeQuantChunkRejectsCorrupt(t *testing.T) {
+	dst := tensor.NewVector(8)
+	good := appendQuantChunk(nil, 8, 0.5, 0.25, []byte{0, 1, 2})
+	if n, err := decodeQuantChunk(dst, 0, 8, good); err != nil || n != 3 {
+		t.Fatalf("rejected valid chunk: n=%d err=%v", n, err)
+	}
+	if _, err := decodeQuantChunk(dst, 0, 8, good[:10]); err == nil {
+		t.Fatal("accepted truncated header")
+	}
+	if _, err := decodeQuantChunk(dst, 0, 16, good); err == nil {
+		t.Fatal("accepted width mismatch")
+	}
+	if _, err := decodeQuantChunk(dst, 6, 8, good); err == nil {
+		t.Fatal("accepted overflow past message dim")
+	}
+	nan := appendQuantChunk(nil, 8, 0.5, math.NaN(), []byte{0})
+	if _, err := decodeQuantChunk(dst, 0, 8, nan); err == nil {
+		t.Fatal("accepted NaN scale")
+	}
+	inf := appendQuantChunk(nil, 8, math.Inf(1), 0.25, []byte{0})
+	if _, err := decodeQuantChunk(dst, 0, 8, inf); err == nil {
+		t.Fatal("accepted infinite lo")
+	}
+	odd := appendQuantChunk(nil, 16, 0, 0.25, []byte{0, 1, 2})
+	if _, err := decodeQuantChunk(dst, 0, 16, odd); err == nil {
+		t.Fatal("accepted 16-bit levels with odd byte count")
+	}
+}
+
+func TestDecodeRangeChunkRejectsCorrupt(t *testing.T) {
+	dst := tensor.NewVector(8)
+	next := 0
+	if _, err := decodeRangeChunk(dst, []byte{1, 2}, &next); err == nil {
+		t.Fatal("accepted short payload")
+	}
+	next = 0
+	if _, err := decodeRangeChunk(dst, appendRangeChunk(nil, 6, []float64{1, 2, 3}), &next); err == nil {
+		t.Fatal("accepted out-of-range block")
+	}
+	next = 0
+	if _, err := decodeRangeChunk(dst, appendRangeChunk(nil, 2, []float64{1, 2}), &next); err != nil {
+		t.Fatal("rejected valid block")
+	}
+	if _, err := decodeRangeChunk(dst, appendRangeChunk(nil, 1, []float64{9}), &next); err == nil {
+		t.Fatal("accepted overlapping block")
+	}
+	if dst[2] != 1 || dst[3] != 2 {
+		t.Fatalf("valid block mis-written: %v", dst)
+	}
+}
+
+func TestCodecFingerprintDistinguishes(t *testing.T) {
+	specs := []string{"none", "topk:0.01", "topk:0.02", "q8", "q16", "partial:0.25", "partial:0.25,0.5"}
+	seen := map[uint32]string{}
+	for _, s := range specs {
+		c, _ := ParseCodec(s)
+		fp := c.Fingerprint()
+		if prev, ok := seen[fp]; ok {
+			t.Fatalf("fingerprint collision: %q and %q", prev, s)
+		}
+		seen[fp] = s
+	}
+}

@@ -1,0 +1,435 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"selsync/internal/tensor"
+)
+
+// Per-chunk payload layout overheads (beyond the frame header).
+const (
+	// quantChunkOverhead: [bits u8][lo f64][scale f64] before the levels.
+	quantChunkOverhead = 17
+	// rangeChunkOverhead: [start u32] before the dense values.
+	rangeChunkOverhead = 4
+	// sparseEntryBytes: one uint32 position + one float64 value.
+	sparseEntryBytes = 12
+)
+
+// compactMsg is the in-memory form of one compressed tensor message,
+// produced by codecState.roundTrip and streamed by sendCompressedEP. Its
+// slices are owned by the codecState and valid until the next roundTrip.
+type compactMsg struct {
+	kind CodecKind
+	dim  int
+	// Top-k: positions (ascending) and exact values.
+	idx  []uint32
+	vals []float64
+	// Quantized: width, levels for the whole message, and per-chunk
+	// (lo, scale) pairs in chunk order.
+	bits        int
+	q           []byte
+	los, scales []float64
+	// Partial: the block [start, start+len(vals)) with values in vals.
+	start int
+}
+
+// codecState is the per-fabric compression engine: the negotiated codec,
+// the shared round counter, and the error-feedback residuals (one
+// full-dimension accumulator per hosted worker for the uplink, one for
+// the downlink on the averaging rank). Both backends embed one.
+type codecState struct {
+	codec Codec
+	round uint64
+	// resid maps global worker id → uplink error-feedback accumulator.
+	resid map[int]tensor.Vector
+	// residDown is the downlink accumulator (averaging rank only).
+	residDown tensor.Vector
+	accBuf    tensor.Vector
+	selBuf    []float64
+	msg       compactMsg
+	// restored holds a snapshot installed before the model dimension is
+	// known; it is applied lazily at the first collective.
+	restored *CodecSnapshot
+}
+
+// residFor returns (allocating on first use) the uplink residual for a
+// worker id at the given model dimension.
+func (cs *codecState) residFor(id, dim int) tensor.Vector {
+	if cs.resid == nil {
+		cs.resid = make(map[int]tensor.Vector)
+	}
+	r, ok := cs.resid[id]
+	if !ok {
+		r = tensor.NewVector(dim)
+		cs.resid[id] = r
+	}
+	return r
+}
+
+func (cs *codecState) downResid(dim int) tensor.Vector {
+	if cs.residDown == nil {
+		cs.residDown = tensor.NewVector(dim)
+	}
+	return cs.residDown
+}
+
+// applyRestored installs a lazily held snapshot once dim is known,
+// validating residual lengths.
+func (cs *codecState) applyRestored(dim int) error {
+	s := cs.restored
+	if s == nil {
+		return nil
+	}
+	cs.restored = nil
+	cs.round = s.Round
+	for _, wr := range s.Residuals {
+		if len(wr.V) != dim {
+			return fmt.Errorf("comm: codec snapshot residual for worker %d has %d elements, want %d", wr.ID, len(wr.V), dim)
+		}
+		r := cs.residFor(wr.ID, dim)
+		copy(r, wr.V)
+	}
+	if s.Down != nil {
+		if len(s.Down) != dim {
+			return fmt.Errorf("comm: codec snapshot downlink residual has %d elements, want %d", len(s.Down), dim)
+		}
+		copy(cs.downResid(dim), s.Down)
+	}
+	return nil
+}
+
+// snapshot captures the error-feedback state (see CodecSnapshot).
+func (cs *codecState) snapshot() *CodecSnapshot {
+	if cs.codec.Nop() {
+		return nil
+	}
+	s := &CodecSnapshot{Spec: cs.codec.String(), Round: cs.round}
+	ids := make([]int, 0, len(cs.resid))
+	for id := range cs.resid {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ { // insertion sort: tiny n, no deps
+		for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
+			ids[j-1], ids[j] = ids[j], ids[j-1]
+		}
+	}
+	for _, id := range ids {
+		s.Residuals = append(s.Residuals, WorkerResidual{ID: id, V: append([]float64(nil), cs.resid[id]...)})
+	}
+	if cs.residDown != nil {
+		s.Down = append([]float64(nil), cs.residDown...)
+	}
+	return s
+}
+
+func (cs *codecState) restore(s *CodecSnapshot) error {
+	if s == nil {
+		return fmt.Errorf("comm: nil codec snapshot")
+	}
+	if got, want := s.Spec, cs.codec.String(); got != want {
+		return fmt.Errorf("comm: codec snapshot is for codec %q, run uses %q", got, want)
+	}
+	cs.restored = s
+	return nil
+}
+
+// roundTrip runs one error-feedback compression round over a message:
+// acc = src + residual, the profile's compact selection of acc is written
+// into m, its exact reconstruction (zeros at untransmitted positions)
+// into dec, and residual absorbs the remainder acc − dec. src, residual
+// and dec have equal length; dec must not alias src or residual.
+//
+// Every receiver of m reconstructs exactly dec — the wire carries the
+// full float64 bits of values and quantizer scalars — which is what makes
+// the collective bit-identical across backends.
+func (cs *codecState) roundTrip(p profile, src, residual, dec tensor.Vector, round uint64, m *compactMsg) {
+	n := len(src)
+	m.kind = p.kind
+	m.dim = n
+	m.bits = p.bits
+	m.idx = m.idx[:0]
+	m.vals = m.vals[:0]
+	m.los = m.los[:0]
+	m.scales = m.scales[:0]
+	m.start = 0
+
+	if p.kind == CodecNone {
+		// Identity: no error feedback, dec = src verbatim.
+		dec.CopyFrom(src)
+		return
+	}
+
+	if cap(cs.accBuf) < n {
+		cs.accBuf = tensor.NewVector(n)
+	}
+	acc := cs.accBuf[:n]
+	for i := range acc {
+		acc[i] = src[i] + residual[i]
+	}
+
+	switch p.kind {
+	case CodecTopK:
+		k := p.keepCount(n)
+		m.idx, cs.selBuf = tensor.TopKSelect(acc, k, m.idx, cs.selBuf)
+		residual.CopyFrom(acc)
+		dec.Zero()
+		for _, i := range m.idx {
+			v := acc[i]
+			m.vals = append(m.vals, v)
+			dec[i] = v
+			residual[i] = 0
+		}
+	case CodecQuant:
+		bytesPer := p.bits / 8
+		if cap(m.q) < n*bytesPer {
+			m.q = make([]byte, n*bytesPer)
+		}
+		m.q = m.q[:n*bytesPer]
+		for lo := 0; lo < n; lo += ChunkElems {
+			hi := min(lo+ChunkElems, n)
+			qlo, qscale := tensor.QuantizeChunk(acc[lo:hi], p.bits, m.q[lo*bytesPer:])
+			tensor.DequantizeChunk(dec[lo:hi], p.bits, m.q[lo*bytesPer:], qlo, qscale)
+			m.los = append(m.los, qlo)
+			m.scales = append(m.scales, qscale)
+		}
+		for i := range residual {
+			residual[i] = acc[i] - dec[i]
+		}
+	case CodecPartial:
+		lo, hi := p.window(n, round)
+		m.start = lo
+		m.vals = append(m.vals, acc[lo:hi]...)
+		residual.CopyFrom(acc)
+		dec.Zero()
+		copy(dec[lo:hi], acc[lo:hi])
+		residual[lo:hi].Zero()
+	default:
+		panic("comm: roundTrip: unknown codec kind")
+	}
+}
+
+// msgType returns the frame type a profile's chunks travel as.
+func (p profile) msgType() MsgType {
+	switch p.kind {
+	case CodecTopK:
+		return MsgSparseChunk
+	case CodecQuant:
+		return MsgQuantChunk
+	case CodecPartial:
+		return MsgRangeChunk
+	}
+	return MsgTensorChunk
+}
+
+// appendSparseChunk encodes entries [lo:hi) of a sparse message.
+func appendSparseChunk(dst []byte, idx []uint32, vals []float64) []byte {
+	for _, i := range idx {
+		dst = binary.LittleEndian.AppendUint32(dst, i)
+	}
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// decodeSparseChunk scatters one sparse chunk into dst, enforcing
+// strictly ascending positions (continuing from *last, initially -1) and
+// bounds. Returns the entry count. It never panics on corrupt payloads.
+func decodeSparseChunk(dst tensor.Vector, payload []byte, last *int) (int, error) {
+	if len(payload)%sparseEntryBytes != 0 {
+		return 0, fmt.Errorf("comm: sparse chunk payload %d bytes is not a multiple of %d", len(payload), sparseEntryBytes)
+	}
+	n := len(payload) / sparseEntryBytes
+	vals := payload[n*4:]
+	for i := 0; i < n; i++ {
+		pos := int(binary.LittleEndian.Uint32(payload[i*4:]))
+		if pos <= *last {
+			return 0, fmt.Errorf("comm: sparse chunk position %d not ascending (prev %d)", pos, *last)
+		}
+		if pos >= len(dst) {
+			return 0, fmt.Errorf("comm: sparse chunk position %d out of range for %d-element message", pos, len(dst))
+		}
+		dst[pos] = math.Float64frombits(binary.LittleEndian.Uint64(vals[i*8:]))
+		*last = pos
+	}
+	return n, nil
+}
+
+// appendQuantChunk encodes one quantized window: header scalars plus the
+// raw levels.
+func appendQuantChunk(dst []byte, bits int, lo, scale float64, levels []byte) []byte {
+	dst = append(dst, byte(bits))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(lo))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(scale))
+	return append(dst, levels...)
+}
+
+// decodeQuantChunk dequantizes one chunk into dst[off:], validating width,
+// finite scalars and bounds. Returns the element count.
+func decodeQuantChunk(dst tensor.Vector, off int, wantBits int, payload []byte) (int, error) {
+	if len(payload) < quantChunkOverhead {
+		return 0, fmt.Errorf("comm: quant chunk payload %d bytes shorter than header %d", len(payload), quantChunkOverhead)
+	}
+	bits := int(payload[0])
+	if bits != wantBits {
+		return 0, fmt.Errorf("comm: quant chunk width %d bits, codec uses %d", bits, wantBits)
+	}
+	lo := math.Float64frombits(binary.LittleEndian.Uint64(payload[1:]))
+	scale := math.Float64frombits(binary.LittleEndian.Uint64(payload[9:]))
+	if math.IsNaN(lo) || math.IsInf(lo, 0) || math.IsNaN(scale) || math.IsInf(scale, 0) {
+		return 0, fmt.Errorf("comm: quant chunk scalars out of range (lo=%v scale=%v)", lo, scale)
+	}
+	levels := payload[quantChunkOverhead:]
+	bytesPer := bits / 8
+	if len(levels)%bytesPer != 0 {
+		return 0, fmt.Errorf("comm: quant chunk levels %d bytes not a multiple of %d", len(levels), bytesPer)
+	}
+	n := len(levels) / bytesPer
+	if off+n > len(dst) {
+		return 0, fmt.Errorf("comm: quant stream overflows %d-element message at %d+%d", len(dst), off, n)
+	}
+	tensor.DequantizeChunk(dst[off:off+n], bits, levels, lo, scale)
+	return n, nil
+}
+
+// appendRangeChunk encodes one dense block starting at start.
+func appendRangeChunk(dst []byte, start int, vals []float64) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(start))
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// decodeRangeChunk writes one dense block into dst, enforcing
+// non-overlapping forward progress (blocks at or after *next) and bounds.
+func decodeRangeChunk(dst tensor.Vector, payload []byte, next *int) (int, error) {
+	if len(payload) < rangeChunkOverhead || (len(payload)-rangeChunkOverhead)%8 != 0 {
+		return 0, fmt.Errorf("comm: range chunk payload %d bytes malformed", len(payload))
+	}
+	start := int(binary.LittleEndian.Uint32(payload))
+	n := (len(payload) - rangeChunkOverhead) / 8
+	if start < *next {
+		return 0, fmt.Errorf("comm: range chunk start %d overlaps previous block end %d", start, *next)
+	}
+	if start+n > len(dst) {
+		return 0, fmt.Errorf("comm: range chunk [%d,%d) out of range for %d-element message", start, start+n, len(dst))
+	}
+	body := payload[rangeChunkOverhead:]
+	for i := 0; i < n; i++ {
+		dst[start+i] = math.Float64frombits(binary.LittleEndian.Uint64(body[i*8:]))
+	}
+	*next = start + n
+	return n, nil
+}
+
+// sendCompressedEP streams one compact message to a peer, chunked under
+// MaxPayload, reusing scratch. The dense (CodecNone) case is handled by
+// the caller via sendTensorEP.
+func sendCompressedEP(ep Endpoint, to, worker int, m *compactMsg, scratch []byte) ([]byte, error) {
+	send := func(t MsgType, seq uint32, last bool, payload []byte) error {
+		f := Frame{Type: t, Worker: int32(worker), Seq: seq, Payload: payload}
+		if last {
+			f.Flags |= FlagLast
+		}
+		return ep.Send(to, &f)
+	}
+	switch m.kind {
+	case CodecTopK:
+		seq := uint32(0)
+		for lo := 0; ; lo += ChunkElems {
+			hi := min(lo+ChunkElems, len(m.idx))
+			scratch = appendSparseChunk(scratch[:0], m.idx[lo:hi], m.vals[lo:hi])
+			last := hi == len(m.idx)
+			if err := send(MsgSparseChunk, seq, last, scratch); err != nil {
+				return scratch, err
+			}
+			if last {
+				return scratch, nil
+			}
+			seq++
+		}
+	case CodecQuant:
+		bytesPer := m.bits / 8
+		seq := uint32(0)
+		for lo := 0; ; lo += ChunkElems {
+			hi := min(lo+ChunkElems, m.dim)
+			c := int(seq)
+			scratch = appendQuantChunk(scratch[:0], m.bits, m.los[c], m.scales[c], m.q[lo*bytesPer:hi*bytesPer])
+			last := hi == m.dim
+			if err := send(MsgQuantChunk, seq, last, scratch); err != nil {
+				return scratch, err
+			}
+			if last {
+				return scratch, nil
+			}
+			seq++
+		}
+	case CodecPartial:
+		seq := uint32(0)
+		for lo := 0; ; lo += ChunkElems {
+			hi := min(lo+ChunkElems, len(m.vals))
+			scratch = appendRangeChunk(scratch[:0], m.start+lo, m.vals[lo:hi])
+			last := hi == len(m.vals)
+			if err := send(MsgRangeChunk, seq, last, scratch); err != nil {
+				return scratch, err
+			}
+			if last {
+				return scratch, nil
+			}
+			seq++
+		}
+	}
+	return scratch, fmt.Errorf("comm: sendCompressedEP: codec kind %d has no wire form", m.kind)
+}
+
+// recvCompressedEP reassembles one compressed message from a peer into
+// dst — dense, with untransmitted positions zeroed — validating frame
+// type, worker tag, sequence and every payload. The dense (CodecNone)
+// case is handled by the caller via recvTensorEP.
+func recvCompressedEP(rx recver, from, worker int, p profile, dst tensor.Vector) error {
+	dst.Zero()
+	want := p.msgType()
+	last := -1 // sparse ascending tracker
+	off := 0   // quant element cursor / range forward cursor
+	for seq := uint32(0); ; seq++ {
+		f, err := rx.Recv(from)
+		if err != nil {
+			return err
+		}
+		if f.Type != want {
+			return fmt.Errorf("comm: expected codec chunk type %d from rank %d, got type %d", want, from, f.Type)
+		}
+		if worker >= 0 && f.Worker != int32(worker) {
+			return fmt.Errorf("comm: codec chunk for worker %d, want %d", f.Worker, worker)
+		}
+		if f.Seq != seq {
+			return fmt.Errorf("comm: codec chunk seq %d, want %d", f.Seq, seq)
+		}
+		switch p.kind {
+		case CodecTopK:
+			if _, err := decodeSparseChunk(dst, f.Payload, &last); err != nil {
+				return err
+			}
+		case CodecQuant:
+			n, err := decodeQuantChunk(dst, off, p.bits, f.Payload)
+			if err != nil {
+				return err
+			}
+			off += n
+		case CodecPartial:
+			if _, err := decodeRangeChunk(dst, f.Payload, &off); err != nil {
+				return err
+			}
+		}
+		if f.Flags&FlagLast != 0 {
+			if p.kind == CodecQuant && off != len(dst) {
+				return fmt.Errorf("comm: quant stream ended at %d of %d elements", off, len(dst))
+			}
+			return nil
+		}
+	}
+}

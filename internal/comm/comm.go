@@ -115,6 +115,16 @@ type Loopback struct {
 	locals  []int
 	stats   Stats
 	slots   []tensor.Vector
+
+	// Codec path (codec_fabric.go): the compression engine plus the dense
+	// decode/mean buffers the compressed rounds need. Nothing here is
+	// touched — or allocated — unless a codec collective runs, so the
+	// zero-alloc dense path is unchanged.
+	cs       codecState
+	decBufs  map[int]tensor.Vector
+	meanBuf  tensor.Vector
+	downDec  tensor.Vector
+	deltaBuf tensor.Vector
 }
 
 // NewLoopback builds the in-process fabric over n workers.

@@ -64,9 +64,24 @@ const (
 	// state transfer: a checkpoint encoded by the train layer's codec),
 	// with the same Seq/FlagLast chunking as tensor streams.
 	MsgBlob MsgType = 8
+	// MsgSparseChunk carries one chunk of a top-k sparsified tensor
+	// message: n uint32 positions (strictly ascending within the whole
+	// message) followed by n float64 values, both little-endian. The
+	// positions are absolute indices into the message's vector.
+	MsgSparseChunk MsgType = 9
+	// MsgQuantChunk carries one chunk of a linearly quantized tensor
+	// message: [bits u8][lo f64][scale f64] then one level per element
+	// (1 byte for 8-bit, 2 little-endian bytes for 16-bit). Each chunk
+	// covers the next ChunkElems-sized window of the message and is
+	// quantized independently, so lo/scale adapt per chunk.
+	MsgQuantChunk MsgType = 10
+	// MsgRangeChunk carries one contiguous dense block of a partially
+	// shared tensor message: [start u32] then float64 values for positions
+	// start, start+1, … within the message's vector.
+	MsgRangeChunk MsgType = 11
 )
 
-func (t MsgType) valid() bool { return t >= MsgHello && t <= MsgBlob }
+func (t MsgType) valid() bool { return t >= MsgHello && t <= MsgRangeChunk }
 
 // FlagLast marks the final chunk of a tensor stream.
 const FlagLast uint16 = 1
@@ -86,6 +101,12 @@ const (
 	// its peers before any socket is torn down.
 	ctlBye    uint8 = 4
 	ctlByeAck uint8 = 5
+	// ctlCodec / ctlCodecAck negotiate the payload codec at SetCodec time:
+	// every rank sends its codec fingerprint (arg A) to rank 0, which
+	// verifies unanimity and acks with its own. A mismatch is a
+	// configuration error surfaced before any compressed collective runs.
+	ctlCodec    uint8 = 6
+	ctlCodecAck uint8 = 7
 )
 
 // Frame is one decoded wire message.

@@ -14,6 +14,9 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(AppendFrame(nil, &Frame{Type: MsgTensorChunk, Flags: FlagLast, Worker: 1, Seq: 9, Payload: putScalar(nil, 3.25)}))
 	f.Add(AppendFrame(nil, &Frame{Type: MsgFlags, Payload: []byte{0b1010}}))
 	f.Add(bytes.Repeat([]byte{0xFF}, HeaderSize+8))
+	f.Add(AppendFrame(nil, &Frame{Type: MsgSparseChunk, Flags: FlagLast, Worker: 2, Payload: appendSparseChunk(nil, []uint32{1, 5}, []float64{0.5, -2})}))
+	f.Add(AppendFrame(nil, &Frame{Type: MsgQuantChunk, Flags: FlagLast, Worker: 2, Payload: appendQuantChunk(nil, 8, -1, 0.25, []byte{0, 128, 255})}))
+	f.Add(AppendFrame(nil, &Frame{Type: MsgRangeChunk, Flags: FlagLast, Worker: 2, Payload: appendRangeChunk(nil, 3, []float64{1, 2})}))
 
 	f.Fuzz(func(t *testing.T, b []byte) {
 		frame, n, err := DecodeFrame(b)
@@ -27,6 +30,45 @@ func FuzzDecodeFrame(f *testing.F) {
 		// it was decoded from.
 		if re := AppendFrame(nil, &frame); !bytes.Equal(re, b[:n]) {
 			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", re, b[:n])
+		}
+	})
+}
+
+// FuzzDecodeCodecPayload holds the codec chunk decoders to the
+// DecodeFrame standard: arbitrary payload bytes — corrupt index lists,
+// out-of-range scales, truncated level streams — must decode or error,
+// never panic, and never write outside the destination vector.
+func FuzzDecodeCodecPayload(f *testing.F) {
+	f.Add(uint8(0), appendSparseChunk(nil, []uint32{0, 7, 31}, []float64{1, -2, 3}))
+	f.Add(uint8(0), appendSparseChunk(nil, []uint32{9, 2}, []float64{1, 1})) // descending: must error
+	f.Add(uint8(1), appendQuantChunk(nil, 8, -0.5, 0.01, bytes.Repeat([]byte{7}, 32)))
+	f.Add(uint8(1), appendQuantChunk(nil, 16, 0, 1e308, bytes.Repeat([]byte{1, 2}, 16)))
+	f.Add(uint8(2), appendRangeChunk(nil, 4, []float64{1, 2, 3}))
+	f.Add(uint8(2), appendRangeChunk(nil, 1<<30, []float64{1})) // out of range: must error
+
+	f.Fuzz(func(t *testing.T, kind uint8, payload []byte) {
+		const dim = 32
+		// Guard pages: the decoders get a window of a larger buffer; bytes
+		// outside the window must stay untouched no matter the input.
+		buf := make([]float64, dim+2)
+		for i := range buf {
+			buf[i] = 42
+		}
+		dst := buf[1 : dim+1]
+		switch kind % 3 {
+		case 0:
+			last := -1
+			decodeSparseChunk(dst, payload, &last)
+		case 1:
+			for _, bits := range []int{8, 16} {
+				decodeQuantChunk(dst, int(kind)%dim, bits, payload)
+			}
+		case 2:
+			next := 0
+			decodeRangeChunk(dst, payload, &next)
+		}
+		if buf[0] != 42 || buf[dim+1] != 42 {
+			t.Fatalf("decoder wrote outside destination window: %v %v", buf[0], buf[dim+1])
 		}
 	})
 }

@@ -35,6 +35,15 @@ type Mesh struct {
 	scratch  []byte
 	ctl      []byte
 
+	// Codec path (codec_fabric.go): compression engine + dense buffers for
+	// the compressed collectives. Untouched unless a codec run installs
+	// them.
+	cs       codecState
+	meanBuf  tensor.Vector
+	downDec  tensor.Vector
+	deltaBuf tensor.Vector
+	encDec   tensor.Vector
+
 	// broken latches after the first transport failure: the SPMD ranks are
 	// misaligned, so Close skips the drain barrier (which would block on
 	// the dead peer) and tears the endpoint down directly.

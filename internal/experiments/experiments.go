@@ -45,6 +45,9 @@ func Registry() map[string]Runner {
 		// Beyond the paper: the Sync-Switch-style hybrid the policy engine
 		// enables (BSP warmup → SelSync steady-state vs the pure policies).
 		"switch": wrapFT(SwitchCompare),
+		// Wire efficiency: payload codecs (top-k, quantization, partial
+		// sharing) and the comm/compute-overlapped collective vs dense BSP.
+		"compression": wrapT(Compression),
 		// Failure/straggler scenario suite (scenarios.go): pass/fail
 		// assertions over the fault-tolerant fabric's guarantees.
 		"scenario-crash":     ScenarioCrash,

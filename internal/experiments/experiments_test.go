@@ -12,7 +12,7 @@ func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 	want := []string{
 		"fig1a", "fig1b", "fig2a", "fig2b", "fig3", "fig4", "fig5",
 		"fig8a", "fig8b", "fig9", "fig10", "fig11", "fig12", "table1",
-		"ablation-topology", "ablation-straggler", "switch",
+		"ablation-topology", "ablation-straggler", "switch", "compression",
 		"scenario-crash", "scenario-partition", "scenario-flaky",
 		"scenario-straggler", "scenario-churn",
 	}
@@ -318,5 +318,49 @@ func TestSubsample(t *testing.T) {
 func TestBoolCell(t *testing.T) {
 	if boolCell(true) != "yes" || boolCell(false) != "no" {
 		t.Fatal("boolCell wrong")
+	}
+}
+
+// TestCompressionShape runs the wire-efficiency experiment at Tiny scale
+// and asserts the acceptance bar numerically: every lossless row is
+// bit-identical to the dense fast path, top-k 1% moves at least 4x fewer
+// bytes than dense, and the lossy rows' accuracy drift stays bounded.
+func TestCompressionShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	var buf bytes.Buffer
+	tab := Compression(Tiny, &buf)
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	reductions := make(map[string]float64)
+	for _, row := range tab.Rows {
+		label, red, drift, match := row[0], row[2], row[4], row[5]
+		f, err := strconv.ParseFloat(strings.TrimSuffix(red, "x"), 64)
+		if err != nil {
+			t.Fatalf("%s: reduction cell %q not a factor", label, red)
+		}
+		reductions[label] = f
+		switch label {
+		case "dense", "none", "none+overlap":
+			if match != "yes" {
+				t.Fatalf("%s must be bit-identical to dense, got %q", label, match)
+			}
+		default:
+			d, err := strconv.ParseFloat(drift, 64)
+			if err != nil || d > 6 {
+				t.Fatalf("%s: drift %q out of bounds", label, drift)
+			}
+		}
+	}
+	if reductions["topk:0.01"] < 4 {
+		t.Fatalf("topk:0.01 reduction %.2fx < 4x", reductions["topk:0.01"])
+	}
+	if reductions["q8"] < 4 {
+		t.Fatalf("q8 reduction %.2fx < 4x", reductions["q8"])
+	}
+	if !strings.Contains(buf.String(), "Wire efficiency") {
+		t.Fatal("report must be printed")
 	}
 }

@@ -46,6 +46,14 @@ type RunSpec struct {
 	// Quorum overrides the continuation threshold (0 = plan/default).
 	Quorum int
 
+	// Codec is the wire payload codec (comm.ParseCodec grammar: "none",
+	// "topk:F", "q8", "q16", "partial:U[,D]"); "" = none. Valid on both
+	// transports — loopback runs exercise the full encode/decode path.
+	Codec string
+	// Overlap launches each gradient bucket's collective as the backward
+	// pass finishes producing it (DDP sync-as-computed).
+	Overlap bool
+
 	// Fabric is the communication backend; nil = in-process loopback.
 	Fabric comm.Fabric
 }
@@ -222,6 +230,8 @@ func JobFor(spec RunSpec, opts ...train.Option) (*train.Job, Workload, error) {
 	}
 	cfg.Membership = spec.Membership
 	cfg.Quorum = spec.Quorum
+	cfg.Codec = spec.Codec
+	cfg.Overlap = spec.Overlap
 	if err := cfg.Validate(); err != nil {
 		return nil, Workload{}, err
 	}

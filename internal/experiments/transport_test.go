@@ -71,3 +71,40 @@ func TestParseTransportOptsTCPValidation(t *testing.T) {
 		})
 	}
 }
+
+// Codecs are transport-independent: the loopback run executes the full
+// encode/decode path in shared memory, so a RunSpec carrying a codec (and
+// overlap) must be ACCEPTED on the default nil-fabric loopback — unlike
+// the TCP-only transport flags above — while malformed codec specs fail
+// at config validation with the offending token named.
+func TestRunSpecCodecOnLoopback(t *testing.T) {
+	spec := RunSpec{
+		Model: "resnet", Method: "bsp", Workers: 4,
+		TrainN: 512, TestN: 256, MaxSteps: 8, Seed: 3,
+		Codec: "topk:0.1", Overlap: true,
+	}
+	res, err := RunOne(spec)
+	if err != nil {
+		t.Fatalf("loopback run must accept codecs: %v", err)
+	}
+	if res.Steps != 8 {
+		t.Fatalf("run did not complete: %+v", res)
+	}
+
+	for _, tc := range []struct {
+		codec string
+		want  string
+	}{
+		{"topk:nope", "nope"},
+		{"zstd", "zstd"},
+		{"partial:2", "partial"},
+	} {
+		bad := spec
+		bad.Codec = tc.codec
+		if _, _, err := JobFor(bad); err == nil {
+			t.Fatalf("JobFor accepted malformed codec %q", tc.codec)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("error for %q should name %q, got: %v", tc.codec, tc.want, err)
+		}
+	}
+}

@@ -49,6 +49,21 @@ type Network interface {
 	Spec() ModelSpec
 }
 
+// GradScheduler is implemented by networks that can report backward-pass
+// progress: SetGradHook installs a callback invoked after each layer's
+// backward step with the lowest arena offset whose gradient is final —
+// once the hook reports low, every gradient in [low, Dim) is fully
+// accumulated and safe to read concurrently (with the store/load ordering
+// the caller arranges). LayerSpans returns each layer's starting arena
+// offset in ascending order (first element 0), the natural cut points for
+// communication buckets. The comm/compute overlap path is built on this
+// pair: buckets of the flat gradient launch their collective as the
+// backward pass releases them.
+type GradScheduler interface {
+	SetGradHook(func(low int))
+	LayerSpans() []int
+}
+
 // FeedForwardNet is the concrete Network used by every zoo model: a
 // Sequential producing one logits row per prediction, trained with softmax
 // cross-entropy. For the language model the Sequential itself reshapes so
@@ -61,6 +76,12 @@ type FeedForwardNet struct {
 	params  []*Param
 	arena   *Arena
 	gradBuf *tensor.Matrix // reused loss-gradient buffer
+
+	// layerOffs[i] is the arena offset of layer i's first parameter;
+	// gradHook, when set, fires after each layer's backward with the
+	// layer's offset (see GradScheduler).
+	layerOffs []int
+	gradHook  func(low int)
 }
 
 // NewFeedForwardNet wraps a Sequential with its spec, caching the parameter
@@ -69,8 +90,22 @@ type FeedForwardNet struct {
 // cluster exchange path) sees the contiguous layout from the first step.
 func NewFeedForwardNet(seq *Sequential, spec ModelSpec) *FeedForwardNet {
 	params := seq.Params()
-	return &FeedForwardNet{Seq: seq, spec: spec, params: params, arena: BindArena(params)}
+	f := &FeedForwardNet{Seq: seq, spec: spec, params: params, arena: BindArena(params)}
+	f.layerOffs = make([]int, len(seq.Layers))
+	off := 0
+	for i, l := range seq.Layers {
+		f.layerOffs[i] = off
+		off += ParamCount(l.Params())
+	}
+	return f
 }
+
+// SetGradHook implements GradScheduler. A nil hook restores the plain
+// backward path. The hook runs on the goroutine calling ComputeGradients.
+func (f *FeedForwardNet) SetGradHook(h func(low int)) { f.gradHook = h }
+
+// LayerSpans implements GradScheduler.
+func (f *FeedForwardNet) LayerSpans() []int { return f.layerOffs }
 
 // Params returns the cached parameter list.
 func (f *FeedForwardNet) Params() []*Param { return f.params }
@@ -81,13 +116,26 @@ func (f *FeedForwardNet) Arena() *Arena { return f.arena }
 // Spec returns the model descriptor.
 func (f *FeedForwardNet) Spec() ModelSpec { return f.spec }
 
-// ComputeGradients runs forward and backward in training mode.
+// ComputeGradients runs forward and backward in training mode. With a grad
+// hook installed the backward chain runs layer by layer here — the same
+// calls in the same order as Sequential.Backward, so the arithmetic is
+// bit-identical — firing the hook after each layer with its arena offset:
+// no layer's backward ever touches another layer's gradients, so once
+// layer i finishes, everything at offset layerOffs[i] and above is final.
 func (f *FeedForwardNet) ComputeGradients(x *tensor.Matrix, labels []int) (float64, int) {
 	f.arena.ZeroGrad()
 	logits := f.Seq.Forward(x, true)
 	f.gradBuf = tensor.EnsureMatrix(f.gradBuf, logits.Rows, logits.Cols)
 	loss, correct := f.loss.LossInto(f.gradBuf, logits, labels)
-	f.Seq.Backward(f.gradBuf)
+	if f.gradHook == nil {
+		f.Seq.Backward(f.gradBuf)
+	} else {
+		grad := f.gradBuf
+		for i := len(f.Seq.Layers) - 1; i >= 0; i-- {
+			grad = f.Seq.Layers[i].Backward(grad)
+			f.gradHook(f.layerOffs[i])
+		}
+	}
 	return loss, correct
 }
 

@@ -1,0 +1,187 @@
+package tensor
+
+import "math"
+
+// Compression kernels for the wire codecs: deterministic top-k magnitude
+// selection and linear fixed-point quantization. These are the
+// platform-independent primitives internal/comm builds its SEL1 payload
+// codecs from; everything here is exact-arithmetic or round-to-nearest on
+// float64, so encode → decode is bit-identical across loopback and TCP
+// backends and across repeats — the property the digest contract leans on.
+
+// TopKSelect appends to idx the positions of the k largest-magnitude
+// elements of v, in ascending position order. scratch is reused for the
+// selection working set and returned (possibly grown). Ties at the
+// threshold magnitude resolve in ascending position order, so the selected
+// set is a pure function of (v, k) — no randomized pivots, no
+// platform-dependent sort order.
+func TopKSelect(v Vector, k int, idx []uint32, scratch []float64) ([]uint32, []float64) {
+	n := len(v)
+	if k >= n {
+		for i := 0; i < n; i++ {
+			idx = append(idx, uint32(i))
+		}
+		return idx, scratch
+	}
+	if k <= 0 {
+		return idx, scratch
+	}
+	if cap(scratch) < n {
+		scratch = make([]float64, n)
+	}
+	scratch = scratch[:n]
+	for i, x := range v {
+		scratch[i] = math.Abs(x)
+	}
+	thr := quickselectDesc(scratch, k)
+
+	// First pass: everything strictly above the threshold is in.
+	above := 0
+	for _, x := range v {
+		if math.Abs(x) > thr {
+			above++
+		}
+	}
+	// Second pass: emit in position order — strictly-above always, ties at
+	// the threshold until the budget is exhausted.
+	ties := k - above
+	for i, x := range v {
+		a := math.Abs(x)
+		if a > thr {
+			idx = append(idx, uint32(i))
+		} else if a == thr && ties > 0 {
+			idx = append(idx, uint32(i))
+			ties--
+		}
+	}
+	return idx, scratch
+}
+
+// quickselectDesc partially orders a (destructively) so that the k-th
+// largest value ends up at a[k-1], and returns it. Median-of-three pivots
+// keep it deterministic; the loop is iterative so adversarial inputs cost
+// time, not stack.
+func quickselectDesc(a []float64, k int) float64 {
+	lo, hi := 0, len(a)-1
+	target := k - 1
+	for lo < hi {
+		// Median-of-three pivot (descending order): guards the sorted and
+		// constant-input worst cases without randomness.
+		mid := lo + (hi-lo)/2
+		if a[mid] > a[lo] {
+			a[mid], a[lo] = a[lo], a[mid]
+		}
+		if a[hi] > a[lo] {
+			a[hi], a[lo] = a[lo], a[hi]
+		}
+		if a[hi] > a[mid] {
+			a[hi], a[mid] = a[mid], a[hi]
+		}
+		pivot := a[mid]
+		i, j := lo, hi
+		for i <= j {
+			for a[i] > pivot {
+				i++
+			}
+			for a[j] < pivot {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		if target <= j {
+			hi = j
+		} else if target >= i {
+			lo = i
+		} else {
+			return a[target]
+		}
+	}
+	return a[target]
+}
+
+// QuantLevels returns the number of representable steps for a linear
+// quantizer of the given width (8 or 16 bits).
+func QuantLevels(bits int) float64 {
+	return float64(uint64(1)<<uint(bits) - 1)
+}
+
+// QuantizeChunk maps src onto bits-wide fixed-point levels with the affine
+// code q = round((x−lo)/scale), lo = min(src), scale = (max−min)/levels,
+// and writes the levels little-endian into q (1 byte per element for 8
+// bits, 2 for 16). A constant chunk quantizes with scale 0: every level is
+// 0 and dequantization reproduces lo exactly. Returns (lo, scale) — the
+// two scalars the wire frame carries alongside the levels.
+func QuantizeChunk(src Vector, bits int, q []byte) (lo, scale float64) {
+	if len(src) == 0 {
+		return 0, 0
+	}
+	lo, hi := src[0], src[0]
+	for _, x := range src[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	levels := QuantLevels(bits)
+	scale = (hi - lo) / levels
+	if scale == 0 || math.IsInf(scale, 0) || math.IsNaN(scale) {
+		// Constant chunk (or garbage input): emit all-zero levels so the
+		// decode side reproduces lo for every element.
+		scale = 0
+		for i := range q[:len(src)*bits/8] {
+			q[i] = 0
+		}
+		return lo, scale
+	}
+	inv := 1 / scale
+	switch bits {
+	case 8:
+		for i, x := range src {
+			q[i] = byte(clampLevel((x-lo)*inv, levels))
+		}
+	case 16:
+		for i, x := range src {
+			l := clampLevel((x-lo)*inv, levels)
+			q[2*i] = byte(l)
+			q[2*i+1] = byte(l >> 8)
+		}
+	default:
+		panic("tensor: quantize width must be 8 or 16 bits")
+	}
+	return lo, scale
+}
+
+func clampLevel(x, levels float64) uint32 {
+	l := math.Floor(x + 0.5)
+	if l < 0 {
+		return 0
+	}
+	if l > levels {
+		return uint32(levels)
+	}
+	return uint32(l)
+}
+
+// DequantizeChunk inverts QuantizeChunk: dst[i] = lo + scale·level[i].
+// The reconstruction uses only the wire scalars, so the sender's local
+// dequantization (for error feedback) and every receiver's are bit-equal.
+func DequantizeChunk(dst Vector, bits int, q []byte, lo, scale float64) {
+	switch bits {
+	case 8:
+		for i := range dst {
+			dst[i] = lo + scale*float64(q[i])
+		}
+	case 16:
+		for i := range dst {
+			dst[i] = lo + scale*float64(uint32(q[2*i])|uint32(q[2*i+1])<<8)
+		}
+	default:
+		panic("tensor: dequantize width must be 8 or 16 bits")
+	}
+}

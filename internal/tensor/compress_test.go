@@ -1,0 +1,164 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestTopKSelectBasics(t *testing.T) {
+	v := Vector{0.1, -5, 3, -3, 0.2}
+	idx, _ := TopKSelect(v, 2, nil, nil)
+	want := []uint32{1, 2}
+	if len(idx) != len(want) {
+		t.Fatalf("topk = %v, want %v", idx, want)
+	}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("topk = %v, want %v", idx, want)
+		}
+	}
+}
+
+func TestTopKSelectTiesPreferLowIndex(t *testing.T) {
+	v := Vector{1, -1, 1, -1, 1}
+	idx, _ := TopKSelect(v, 3, nil, nil)
+	want := []uint32{0, 1, 2}
+	if len(idx) != 3 {
+		t.Fatalf("topk len = %d, want 3 (%v)", len(idx), idx)
+	}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("ties: topk = %v, want %v", idx, want)
+		}
+	}
+}
+
+func TestTopKSelectEdges(t *testing.T) {
+	v := Vector{3, 1, 2}
+	if idx, _ := TopKSelect(v, 0, nil, nil); len(idx) != 0 {
+		t.Fatalf("k=0: got %v", idx)
+	}
+	if idx, _ := TopKSelect(v, 3, nil, nil); len(idx) != 3 {
+		t.Fatalf("k=n: got %v", idx)
+	}
+	if idx, _ := TopKSelect(v, 10, nil, nil); len(idx) != 3 {
+		t.Fatalf("k>n: got %v", idx)
+	}
+}
+
+// The selection must agree with a reference sort-based selection and be
+// invariant across repeats (scratch reuse must not leak state).
+func TestTopKSelectMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var scratch []float64
+	var idx []uint32
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(400)
+		k := 1 + rng.Intn(n)
+		v := make(Vector, n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+			if rng.Intn(5) == 0 {
+				v[i] = math.Copysign(1.0, v[i]) // force magnitude ties
+			}
+		}
+		idx, scratch = TopKSelect(v, k, idx[:0], scratch)
+		if len(idx) != k {
+			t.Fatalf("trial %d: got %d indices, want %d", trial, len(idx), k)
+		}
+		if !sort.SliceIsSorted(idx, func(a, b int) bool { return idx[a] < idx[b] }) {
+			t.Fatalf("trial %d: indices not ascending: %v", trial, idx)
+		}
+		// Reference: stable sort by (-|v|, position), take first k.
+		ref := make([]int, n)
+		for i := range ref {
+			ref[i] = i
+		}
+		sort.SliceStable(ref, func(a, b int) bool {
+			aa, ab := math.Abs(v[ref[a]]), math.Abs(v[ref[b]])
+			if aa != ab {
+				return aa > ab
+			}
+			return ref[a] < ref[b]
+		})
+		want := append([]int(nil), ref[:k]...)
+		sort.Ints(want)
+		for i := range want {
+			if int(idx[i]) != want[i] {
+				t.Fatalf("trial %d (n=%d k=%d): selection %v, want %v", trial, n, k, idx, want)
+			}
+		}
+		// Repeat with dirty scratch: identical result.
+		idx2, _ := TopKSelect(v, k, nil, scratch)
+		for i := range idx {
+			if idx[i] != idx2[i] {
+				t.Fatalf("trial %d: repeat diverged: %v vs %v", trial, idx, idx2)
+			}
+		}
+	}
+}
+
+func TestQuantizeRoundTripBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, bits := range []int{8, 16} {
+		n := 333
+		src := make(Vector, n)
+		for i := range src {
+			src[i] = rng.NormFloat64() * 3
+		}
+		q := make([]byte, n*bits/8)
+		lo, scale := QuantizeChunk(src, bits, q)
+		dst := make(Vector, n)
+		DequantizeChunk(dst, bits, q, lo, scale)
+		for i := range src {
+			if err := math.Abs(dst[i] - src[i]); err > scale/2*(1+1e-9) {
+				t.Fatalf("bits=%d: elem %d error %g exceeds scale/2=%g", bits, i, err, scale/2)
+			}
+		}
+		// Determinism: re-encoding the decoded values reproduces them exactly.
+		q2 := make([]byte, len(q))
+		lo2, scale2 := QuantizeChunk(src, bits, q2)
+		if lo2 != lo || scale2 != scale {
+			t.Fatalf("bits=%d: repeat changed scalars", bits)
+		}
+		for i := range q {
+			if q[i] != q2[i] {
+				t.Fatalf("bits=%d: repeat changed level %d", bits, i)
+			}
+		}
+	}
+}
+
+func TestQuantizeConstantChunk(t *testing.T) {
+	src := Vector{2.5, 2.5, 2.5}
+	q := make([]byte, 3)
+	lo, scale := QuantizeChunk(src, 8, q)
+	if scale != 0 || lo != 2.5 {
+		t.Fatalf("constant chunk: lo=%g scale=%g", lo, scale)
+	}
+	dst := make(Vector, 3)
+	DequantizeChunk(dst, 8, q, lo, scale)
+	for _, x := range dst {
+		if x != 2.5 {
+			t.Fatalf("constant chunk decode = %v", dst)
+		}
+	}
+}
+
+func TestQuantizeExtremesExact(t *testing.T) {
+	// min and max of the chunk reconstruct to themselves up to one scale
+	// rounding; the min maps to level 0 → exactly lo.
+	src := Vector{-1, 0.25, 1}
+	q := make([]byte, 3)
+	lo, scale := QuantizeChunk(src, 8, q)
+	dst := make(Vector, 3)
+	DequantizeChunk(dst, 8, q, lo, scale)
+	if dst[0] != -1 {
+		t.Fatalf("min should decode exactly: got %g", dst[0])
+	}
+	if math.Abs(dst[2]-1) > scale/2 {
+		t.Fatalf("max decode error %g", math.Abs(dst[2]-1))
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 
+	"selsync/internal/comm"
 	"selsync/internal/gradstat"
 	"selsync/internal/opt"
 )
@@ -89,6 +90,13 @@ type Checkpoint struct {
 	// impossible and restore refuses it. Salvage/forensics only. (A new
 	// gob field: absent in old checkpoints, decoding as false.)
 	Dirty bool
+
+	// Codec is the payload codec's error-feedback state for this rank's
+	// hosted workers (nil when the run uses no lossy codec). Compressed
+	// runs resume bit-identically only with it: the residual accumulators
+	// are part of the training state. (A new gob field: absent in old
+	// checkpoints, decoding as nil.)
+	Codec *comm.CodecSnapshot
 }
 
 const checkpointVersion = 1
@@ -226,6 +234,7 @@ func captureCheckpoint(r *runner, policy SyncPolicy, step int) (*Checkpoint, err
 	if r.memb != nil {
 		ck.SamplerCursors = captureSamplerCursors(r)
 	}
+	ck.Codec = r.cl.CodecSnapshot()
 	return ck, nil
 }
 
@@ -386,6 +395,13 @@ func restoreCheckpoint(r *runner, policy SyncPolicy, ck *Checkpoint) (int, error
 		if err := r.diagTracker.Restore(*ck.DiagTracker); err != nil {
 			return 0, fmt.Errorf("train: diagnostics tracker: %w", err)
 		}
+	}
+	if ck.Codec != nil {
+		if err := r.cl.RestoreCodecSnapshot(ck.Codec); err != nil {
+			return 0, err
+		}
+	} else if r.cl.CodecActive() && !r.cl.Codec().Nop() {
+		return 0, fmt.Errorf("train: config uses codec %q but the checkpoint carries no codec state", r.cl.Codec())
 	}
 	if ck.Partial == nil {
 		return 0, fmt.Errorf("train: checkpoint carries no partial result")

@@ -1,0 +1,279 @@
+package train
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"selsync/internal/cluster"
+	"selsync/internal/comm"
+)
+
+// codecCfg is smallConfig shortened for codec runs, with the payload codec
+// and overlap knobs applied.
+func codecCfg(seed uint64, codec string, overlap bool) func() Config {
+	return func() Config {
+		cfg := smallConfig(seed)
+		cfg.MaxSteps = 24
+		cfg.EvalEvery = 8
+		cfg.Codec = codec
+		cfg.Overlap = overlap
+		return cfg
+	}
+}
+
+// TestCodecNoneBitIdenticalToDense: "-codec none" must never change a run.
+// The codec path is not even constructed (the config stays on the dense
+// fast path), so the Result digests match bit for bit — with and without
+// comm/compute overlap, whose bucketed collective averages the same spans
+// in the same order.
+func TestCodecNoneBitIdenticalToDense(t *testing.T) {
+	dense := RunBSP(codecCfg(31, "", false)())
+	for _, tc := range []struct {
+		name    string
+		codec   string
+		overlap bool
+	}{
+		{"explicit-none", "none", false},
+		{"overlap", "", true},
+		{"none-overlap", "none", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got := RunBSP(codecCfg(31, tc.codec, tc.overlap)())
+			if !reflect.DeepEqual(got, dense) {
+				t.Fatalf("Result diverged from dense run:\n got: %+v\nwant: %+v", got, dense)
+			}
+			if got.Digest() != dense.Digest() {
+				t.Fatal("digests disagree despite DeepEqual — digest bug")
+			}
+		})
+	}
+}
+
+// TestLossyCodecDeterministicAcrossBackends: every lossy codec must be a
+// deterministic function of (seed, codec) — repeated loopback runs and a
+// real 2-process TCP mesh all produce the same Result digest. The wire
+// carries exact float64 bits for the decoded values, so the reduction is
+// backend-invariant.
+func TestLossyCodecDeterministicAcrossBackends(t *testing.T) {
+	for _, codec := range []string{"topk:0.02", "q8", "q16", "partial:0.5"} {
+		t.Run(codec, func(t *testing.T) {
+			mkCfg := codecCfg(32, codec, false)
+			want := RunBSP(mkCfg())
+			if again := RunBSP(mkCfg()); again.Digest() != want.Digest() {
+				t.Fatalf("repeated loopback run diverged: %s vs %s", again.Digest(), want.Digest())
+			}
+			results, _ := runTCPRanks(t, 2, 4, mkCfg, RunBSP)
+			for r, got := range results {
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("rank %d Result diverged from loopback:\n tcp: %+v\n  lb: %+v", r, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestOverlapLossyCodecTCPMatchesLoopback combines the tentpole's two
+// halves: a compressed collective launched bucket-by-bucket as the
+// backward pass produces gradients, across a real TCP mesh, must still
+// reproduce the single-process loopback digest.
+func TestOverlapLossyCodecTCPMatchesLoopback(t *testing.T) {
+	mkCfg := codecCfg(33, "topk:0.05", true)
+	want := RunBSP(mkCfg())
+	results, _ := runTCPRanks(t, 2, 4, mkCfg, RunBSP)
+	for r, got := range results {
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("rank %d Result diverged from loopback:\n tcp: %+v\n  lb: %+v", r, got, want)
+		}
+	}
+}
+
+// TestLossyCodecBoundedDrift: error feedback keeps every lossy codec's
+// training trajectory near the uncompressed one — the run must still
+// converge, with the best metric within a few points of dense — while
+// moving at least 4x fewer bytes at the top-k 1% setting. The gradient
+// codecs run under BSP (one gradient collective per step); partial
+// sharing runs on the parameter path it is designed for (an always-sync
+// SelSync run, where unsent coordinates hold the previous global value
+// instead of dropping gradient mass).
+func TestLossyCodecBoundedDrift(t *testing.T) {
+	// Longer than the identity tests: partial sharing needs enough rounds
+	// for its coordinate rotation to cover the model a few times over.
+	mkCfg := func(codec string) Config {
+		cfg := codecCfg(34, codec, false)()
+		cfg.MaxSteps = 48
+		cfg.EvalEvery = 12
+		return cfg
+	}
+	paramAgg := func(cfg Config) *Result {
+		return RunSelSync(cfg, SelSyncOptions{Delta: 1e9, Mode: cluster.ParamAgg})
+	}
+	run := func(codec string, runner func(Config) *Result) (*Result, int64) {
+		lb := comm.NewLoopback(4)
+		cfg := mkCfg(codec)
+		cfg.Fabric = lb
+		res := runner(cfg)
+		return res, lb.Stats().Bytes.Recv + lb.Stats().Bytes.Sent
+	}
+	denseGrad, denseGradBytes := run("", RunBSP)
+	denseParam, denseParamBytes := run("", paramAgg)
+
+	for _, tc := range []struct {
+		codec        string
+		runner       func(Config) *Result
+		dense        *Result
+		denseBytes   int64
+		minReduction float64
+	}{
+		{"topk:0.01", RunBSP, denseGrad, denseGradBytes, 4},
+		{"q8", RunBSP, denseGrad, denseGradBytes, 4},
+		{"q16", RunBSP, denseGrad, denseGradBytes, 2},
+		{"partial:0.25", paramAgg, denseParam, denseParamBytes, 2},
+	} {
+		t.Run(tc.codec, func(t *testing.T) {
+			res, bytes := run(tc.codec, tc.runner)
+			if drift := math.Abs(res.BestMetric - tc.dense.BestMetric); drift > 6 {
+				t.Fatalf("best metric drifted %.2fpp from dense (%.2f vs %.2f)", drift, res.BestMetric, tc.dense.BestMetric)
+			}
+			if math.IsNaN(res.FinalMetric) || res.BestMetric < 50 {
+				t.Fatalf("compressed run failed to converge: %+v", res)
+			}
+			if reduction := float64(tc.denseBytes) / float64(bytes); reduction < tc.minReduction {
+				t.Fatalf("bytes-on-wire reduction %.2fx < %.1fx (dense %d B, %s %d B)",
+					reduction, tc.minReduction, tc.denseBytes, tc.codec, bytes)
+			}
+		})
+	}
+}
+
+// TestCodecCheckpointResumeBitIdentical: the error-feedback accumulators
+// are training state; a compressed run interrupted at a step boundary and
+// resumed from its checkpoint must reproduce the uninterrupted digest.
+func TestCodecCheckpointResumeBitIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		codec   string
+		overlap bool
+	}{
+		{"topk", "topk:0.02", false},
+		{"q8", "q8", false},
+		{"topk-overlap", "topk:0.02", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			// interruptAt must sit on the eval cadence: the short run's
+			// end-of-run evaluation otherwise adds a History point the
+			// uninterrupted run never sees.
+			resumeCase(t, codecCfg(35, tc.codec, tc.overlap), func() SyncPolicy { return BSPPolicy{} }, 16)
+		})
+	}
+}
+
+// TestCodecResumeRejectsMissingState: a config that expects a lossy codec
+// must refuse a checkpoint captured without one — silently starting the
+// residuals from zero would break bit-identical resume.
+func TestCodecResumeRejectsMissingState(t *testing.T) {
+	plain := NewJob(codecCfg(36, "", false)(), BSPPolicy{})
+	if _, err := plain.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := plain.Checkpoint(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := codecCfg(36, "q8", false)()
+	cfg.MaxSteps = 32
+	if _, err := NewJob(cfg, BSPPolicy{}, WithResume(ck)).Run(context.Background()); err == nil {
+		t.Fatal("resume with missing codec state must fail")
+	} else if !strings.Contains(err.Error(), "codec") {
+		t.Fatalf("error should name the codec mismatch, got: %v", err)
+	}
+}
+
+// TestCodecConfigValidation: malformed codec specs are rejected by
+// Config.Validate with the offending key and token named, and codecs are
+// mutually exclusive with elastic membership.
+func TestCodecConfigValidation(t *testing.T) {
+	for _, tc := range []struct {
+		codec string
+		want  []string
+	}{
+		{"topk", []string{"topk"}},
+		{"topk:zero", []string{"zero", "topk"}},
+		{"topk:1.5", []string{"1.5"}},
+		{"q12", []string{"q12"}},
+		{"partial:0", []string{"partial"}},
+		{"gzip:0.5", []string{"gzip"}},
+	} {
+		cfg := codecCfg(37, tc.codec, false)()
+		err := cfg.Validate()
+		if err == nil {
+			t.Fatalf("Validate accepted malformed codec %q", tc.codec)
+		}
+		for _, frag := range tc.want {
+			if !strings.Contains(err.Error(), frag) {
+				t.Fatalf("error for %q should name %q, got: %v", tc.codec, frag, err)
+			}
+		}
+	}
+
+	memb := codecCfg(38, "q8", false)()
+	memb.Membership = "leave=1@8;join=1@16"
+	if err := memb.Validate(); err == nil {
+		t.Fatal("Validate accepted codec + elastic membership")
+	}
+	overlapMemb := codecCfg(38, "", true)()
+	overlapMemb.Membership = "leave=1@8;join=1@16"
+	if err := overlapMemb.Validate(); err == nil {
+		t.Fatal("Validate accepted overlap + elastic membership")
+	}
+}
+
+// TestSSPRejectsCodecAndOverlap: SSP replaces the step loop with a
+// discrete-event simulation; the codec and overlap paths do not exist
+// there, so the Job must fail loudly instead of silently running dense.
+func TestSSPRejectsCodecAndOverlap(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		codec   string
+		overlap bool
+	}{
+		{"codec", "q8", false},
+		{"overlap", "", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := codecCfg(39, tc.codec, tc.overlap)()
+			_, err := NewJob(cfg, &SSPPolicy{Staleness: 4}).Run(context.Background())
+			if err == nil {
+				t.Fatal("SSP must reject codec/overlap configs")
+			}
+			if !strings.Contains(err.Error(), "SSP") {
+				t.Fatalf("error should name the policy, got: %v", err)
+			}
+		})
+	}
+}
+
+// TestSelSyncWithCodec: codecs apply to every step-loop policy, not just
+// BSP — a SelSync run (mixed param-aggregation sync and local phases)
+// under q8 is deterministic across repeats and both backends.
+func TestSelSyncWithCodec(t *testing.T) {
+	mkCfg := codecCfg(40, "q8", false)
+	run := func(cfg Config) *Result {
+		return RunSelSync(cfg, SelSyncOptions{Delta: 0.01, Mode: cluster.ParamAgg})
+	}
+	want := run(mkCfg())
+	if want.SyncSteps == 0 || want.LocalSteps == 0 {
+		t.Fatalf("test needs a mixed local/sync regime, got %+v", want)
+	}
+	if again := run(mkCfg()); again.Digest() != want.Digest() {
+		t.Fatal("repeated SelSync codec run diverged")
+	}
+	results, _ := runTCPRanks(t, 2, 4, mkCfg, run)
+	for r, got := range results {
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("rank %d Result diverged from loopback:\n tcp: %+v\n  lb: %+v", r, got, want)
+		}
+	}
+}

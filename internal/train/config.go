@@ -64,6 +64,24 @@ type Config struct {
 	// coordinates the event loop and holds the authoritative Result.
 	Fabric comm.Fabric
 
+	// Codec selects the wire payload codec for synchronization rounds,
+	// in the comm.ParseCodec grammar: "none" (default — the dense path,
+	// bit-identical to every prior release), "topk:<frac>" (top-k
+	// sparsification with error feedback), "q8" / "q16" (linear
+	// quantization with error feedback), "partial:<up>[,<down>]"
+	// (selective partial-parameter sharing). Mutually exclusive with
+	// Membership: error-feedback residuals cannot survive adoption
+	// handoffs.
+	Codec string
+	// Overlap buckets the flat gradient into layer-aligned chunks and
+	// launches each bucket's collective as the backward pass finishes
+	// producing it (comm/compute overlap). Takes effect on steps whose
+	// policy pre-commits to gradient aggregation (Preschedulable — BSP);
+	// other steps fall back to the sequential path. Arithmetic is
+	// bit-identical to the unoverlapped run. Mutually exclusive with
+	// Membership.
+	Overlap bool
+
 	// Membership scripts planned elastic-membership transitions (the
 	// ParseMembershipPlan grammar: "leave=R@S;join=R@S2[;quorum=K][;procs=P]").
 	// Empty disables planned transitions; an elastic mesh fabric still
@@ -134,6 +152,13 @@ func (c Config) Validate() error {
 	}
 	if _, err := ParseMembershipPlan(d.Membership); err != nil {
 		return err
+	}
+	codec, err := comm.ParseCodec(d.Codec)
+	if err != nil {
+		return err
+	}
+	if d.Membership != "" && (!codec.Nop() || d.Overlap) {
+		return fmt.Errorf("train: payload codecs and overlap require static membership (Config.Membership must be empty)")
 	}
 	if d.Fabric != nil && d.Fabric.Workers() != d.Workers {
 		return fmt.Errorf("train: Config.Workers=%d but the fabric carries %d workers",

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"selsync/internal/cluster"
 	"selsync/internal/tensor"
@@ -73,6 +74,16 @@ type engine struct {
 	syncGradsFn func(*cluster.Worker)
 	countSyncFn func(*cluster.Worker)
 	localFn     func(*cluster.Worker)
+
+	// Comm/compute overlap state (overlap.go); all zero without
+	// Config.Overlap. presched is the policy's gradient-independent step
+	// planner, buckets the layer-aligned tiling of the flat gradient, wm
+	// the per-hosted-worker backward-progress watermarks, waitFn the
+	// bucket gate (nil on a single process, where compute runs first).
+	presched Preschedulable
+	buckets  [][2]int
+	wm       []atomic.Int64
+	waitFn   func(bucket int)
 }
 
 // newEngine wires the loop state and runs the policy's Init hook.
@@ -103,6 +114,9 @@ func newEngine(r *runner, policy SyncPolicy) *engine {
 		w.Steps++
 		w.LocalSteps++
 		w.Clock += e.localExtra
+	}
+	if r.cfg.Overlap {
+		e.initOverlap()
 	}
 	if init, ok := policy.(PolicyInit); ok {
 		init.Init(&e.sig)
@@ -158,6 +172,14 @@ func (e *engine) run(start int, j *Job) (next int, cancelled bool, err error) {
 // vote exchange, the synchronization round, the evaluation reduction —
 // aborts the step and surfaces the typed error.
 func (e *engine) step(step int) (stop bool, err error) {
+	if e.presched != nil {
+		// Overlap runs only on steps the policy commits to gradient
+		// aggregation before gradients exist; everything else (SelSync
+		// votes, local phases) takes the sequential path below.
+		if act, ok := e.presched.PlanStep(step); ok && act.Kind == ActSyncGrads {
+			return e.stepOverlapped(step, act)
+		}
+	}
 	r := e.r
 	e.lr = r.lr(step)
 	injCost := r.nextBatches()

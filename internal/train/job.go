@@ -218,6 +218,11 @@ func (j *Job) Run(ctx context.Context) (*Result, error) {
 			j.finish(r, 0, nil)
 			return nil, fmt.Errorf("train: %s replaces the step loop and cannot run under elastic membership", j.policy.Name())
 		}
+		if j.cfg.Overlap || r.cl.CodecActive() {
+			r.cl.Close()
+			j.finish(r, 0, nil)
+			return nil, fmt.Errorf("train: %s replaces the step loop and supports neither payload codecs nor comm/compute overlap", j.policy.Name())
+		}
 		if err := capturePanic(func() {
 			defer func() {
 				if p := recover(); p != nil {

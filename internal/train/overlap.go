@@ -1,0 +1,152 @@
+package train
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"selsync/internal/nn"
+)
+
+// Comm/compute overlap (Config.Overlap): DDP-style sync-as-computed. The
+// flat gradient is tiled into layer-aligned buckets, and on steps whose
+// policy pre-commits to gradient aggregation (Preschedulable) the engine
+// starts the bucketed collective while the backward pass is still
+// producing gradients. Buckets are processed in descending index order —
+// the order the backward pass finalizes layers — and a per-worker atomic
+// watermark (the lowest arena offset whose gradient is final, maintained
+// by the nn.GradScheduler hook) gates each bucket's launch.
+//
+// On a single process the compute runs first and the bucketed collective
+// follows with no wait: shared memory has no transfer to overlap, and the
+// sequential order keeps the arithmetic trivially identical to the mesh
+// ranks', which interleave the same bucket operations with compute.
+
+// overlapBucketBytes is the coalescing target for communication buckets:
+// layer spans merge front-to-back until a bucket reaches ~256 KiB of
+// float64 gradient — small enough that several buckets exist to overlap,
+// large enough that per-bucket frame overhead stays negligible.
+const overlapBucketBytes = 256 << 10
+
+// initOverlap wires the overlap machinery: the policy's Preschedulable
+// view, the bucket tiling from the model's layer spans, and (on a mesh)
+// one watermark-updating grad hook per hosted worker.
+func (e *engine) initOverlap() {
+	r := e.r
+	e.presched, _ = e.policy.(Preschedulable)
+	gs, ok := r.cl.Workers[0].Model.(nn.GradScheduler)
+	if !ok {
+		panic(fmt.Sprintf("train: Config.Overlap requires a model implementing nn.GradScheduler; %T does not", r.cl.Workers[0].Model))
+	}
+	e.buckets = planBuckets(gs.LayerSpans(), r.cl.Dim(), overlapBucketBytes/8)
+	if r.cl.Procs() > 1 {
+		e.wm = make([]atomic.Int64, len(r.cl.Workers))
+		for i, w := range r.cl.Workers {
+			ws, ok := w.Model.(nn.GradScheduler)
+			if !ok {
+				panic(fmt.Sprintf("train: Config.Overlap requires a model implementing nn.GradScheduler; %T does not", w.Model))
+			}
+			wm := &e.wm[i]
+			ws.SetGradHook(func(low int) { wm.Store(int64(low)) })
+		}
+		e.waitFn = e.waitBucket
+	}
+}
+
+// planBuckets tiles [0, dim) with buckets cut at layer span boundaries,
+// coalescing consecutive layers until a bucket holds at least targetElems
+// elements; the last bucket absorbs the remainder.
+func planBuckets(spans []int, dim, targetElems int) [][2]int {
+	var out [][2]int
+	lo := 0
+	for _, s := range spans {
+		if s <= lo || s >= dim {
+			continue
+		}
+		if s-lo >= targetElems {
+			out = append(out, [2]int{lo, s})
+			lo = s
+		}
+	}
+	return append(out, [2]int{lo, dim})
+}
+
+// waitBucket blocks until every hosted worker's backward pass has
+// finalized bucket b — each watermark must have dropped to the bucket's
+// start. The hook's atomic store and this load form the happens-before
+// edge that makes the collective's gradient reads race-free.
+func (e *engine) waitBucket(b int) {
+	lo := int64(e.buckets[b][0])
+	for i := range e.wm {
+		for e.wm[i].Load() > lo {
+			runtime.Gosched()
+		}
+	}
+}
+
+// launchCompute starts the step's gradient computation. Single process:
+// inline, nil join channel, and the collective runs with a nil wait. Mesh:
+// watermarks reset to "nothing ready", compute departs on its own
+// goroutine, and the caller joins on the returned channel after the
+// collective — compute bookkeeping (losses, clocks) may still be running
+// when the last bucket's frames have already been reduced.
+func (e *engine) launchCompute() chan struct{} {
+	r := e.r
+	if e.waitFn == nil {
+		r.computeGrads()
+		return nil
+	}
+	dim := int64(r.cl.Dim())
+	for i := range e.wm {
+		e.wm[i].Store(dim)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r.computeGrads()
+	}()
+	return done
+}
+
+// stepOverlapped executes one pre-committed gradient-aggregation step with
+// the collective overlapping the backward pass. It mirrors step() +
+// execute(ActSyncGrads) exactly — same counters, costs, events, eval — so
+// the run's Result is bit-identical to the sequential path's.
+func (e *engine) stepOverlapped(step int, act Action) (stop bool, err error) {
+	r := e.r
+	e.lr = r.lr(step)
+	injCost := r.nextBatches()
+	e.sig.Step = step
+	e.sig.err = nil
+	done := e.launchCompute()
+	aerr := r.cl.AggregateGradsOverlapped(e.avg, e.buckets, e.waitFn)
+	if done != nil {
+		<-done
+	}
+	if aerr != nil {
+		return false, e.fail(step, aerr)
+	}
+	if act.TrackMeanGradDelta && r.cfg.TrackDeltas {
+		r.trackDelta(e.avg.Norm())
+	}
+	r.cl.Each(e.syncGradsFn)
+	cost := act.ExtraCost + r.cl.SyncCost() + injCost
+	if err := r.cl.Barrier(cost); err != nil {
+		return false, e.fail(step, err)
+	}
+	if r.obs != nil {
+		r.obs.OnEvent(SyncEvent{Step: step, Kind: act.Kind, Participants: r.cl.N(), CostSeconds: cost})
+		r.obs.OnEvent(StepEvent{
+			Step:     step,
+			Action:   act.Kind,
+			LR:       e.lr,
+			MeanLoss: r.hostedMeanLoss(),
+			SimTime:  r.hostedMaxClock(),
+		})
+	}
+	stop, err = r.maybeEval(step)
+	if err != nil {
+		return false, e.fail(step, err)
+	}
+	return stop, nil
+}

@@ -95,6 +95,18 @@ type PolicyInit interface {
 	Init(sig *Signals)
 }
 
+// Preschedulable is the optional SyncPolicy hook comm/compute overlap
+// builds on: a policy that can commit to a step's action before that
+// step's gradients exist lets the engine launch the bucketed collective
+// while the backward pass is still producing them. PlanStep returns the
+// step's action and true when the decision is gradient-independent; false
+// when it is not (SelSync's significance votes), in which case the engine
+// falls back to the sequential compute-then-communicate path for that
+// step.
+type Preschedulable interface {
+	PlanStep(step int) (Action, bool)
+}
+
 // eventLoopPolicy is the escape hatch for methods that cannot be expressed
 // as a per-step decision: SSP's discrete-event simulation replaces the
 // engine loop entirely. Internal on purpose — composite policies reject it,
@@ -208,6 +220,13 @@ func (BSPPolicy) Name() string { return "BSP" }
 // Decide implements SyncPolicy.
 func (BSPPolicy) Decide(step int, sig *Signals) Action {
 	return Action{Kind: ActSyncGrads, TrackMeanGradDelta: true}
+}
+
+// PlanStep implements Preschedulable: BSP's decision never depends on the
+// step's gradients, so every step can overlap its collective with the
+// backward pass.
+func (BSPPolicy) PlanStep(step int) (Action, bool) {
+	return Action{Kind: ActSyncGrads, TrackMeanGradDelta: true}, true
 }
 
 // LocalSGDPolicy never synchronizes after the initial broadcast — the δ ≥ M

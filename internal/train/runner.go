@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"selsync/internal/cluster"
+	"selsync/internal/comm"
 	"selsync/internal/data"
 	"selsync/internal/gradstat"
 	"selsync/internal/nn"
@@ -116,6 +117,13 @@ func newRunner(cfg Config, method string) *runner {
 		panic(fmt.Sprintf("train: Config.Workers=%d but the fabric carries %d workers",
 			cfg.Workers, cfg.Fabric.Workers()))
 	}
+	codec, err := comm.ParseCodec(cfg.Codec)
+	if err != nil {
+		panic(err)
+	}
+	if cfg.Membership != "" && (!codec.Nop() || cfg.Overlap) {
+		panic("train: payload codecs and overlap require static membership")
+	}
 	cl := cluster.New(cluster.Config{
 		Workers:       cfg.Workers,
 		Model:         cfg.Model,
@@ -127,6 +135,8 @@ func newRunner(cfg Config, method string) *runner {
 		TrackerAlpha:  cfg.TrackerAlpha,
 		Topology:      cfg.Topology,
 		Fabric:        cfg.Fabric,
+		Codec:         codec,
+		Overlap:       cfg.Overlap,
 	})
 	r := &runner{
 		cfg:  cfg,
