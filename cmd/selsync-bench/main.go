@@ -29,7 +29,9 @@ import (
 	"selsync/internal/comm"
 	"selsync/internal/nn"
 	"selsync/internal/opt"
+	"selsync/internal/serve"
 	"selsync/internal/tensor"
+	"selsync/internal/train"
 )
 
 func main() {
@@ -296,6 +298,102 @@ func runStepBenchmarks(outPath string) error {
 		selsync.WithObserver(selsync.ObserverFunc(func(selsync.Event) { eventCount++ }))))
 	recordPerStep("BenchmarkJobStep/jsonl-observer", benchJob(
 		selsync.WithObserver(selsync.NewJSONLObserver(io.Discard))))
+
+	// Scheduler microbenches: the serve daemon's control-plane costs.
+	// SubmitAdmit is one submit→admit round (validation, admission event,
+	// a schedule pass over ~1k live-or-final jobs, and the queued-cancel
+	// finalize that keeps the live set bounded) against a server whose
+	// single slot is pinned by a blocked job, so no training runs inside
+	// the timed loop. The server is rebuilt every 1024 iterations to keep
+	// the history scan deterministic.
+	benchSpec := serve.JobSpec{Tenant: "bench", Model: "resnet", Method: "bsp",
+		Workers: 1, TrainN: 8, TestN: 4, MaxSteps: 1}
+	release := make(chan struct{})
+	blocked := func(spec serve.JobSpec, opts ...train.Option) (serve.BuiltJob, error) {
+		<-release
+		return serve.BuiltJob{}, fmt.Errorf("bench slot released")
+	}
+	var benchServers []*serve.Server
+	var admSrv *serve.Server
+	resetAdm := func() {
+		admSrv = serve.NewServer(blocked, serve.Options{Slots: 1, QueueLimit: 1 << 20})
+		benchServers = append(benchServers, admSrv)
+		if _, err := admSrv.Submit(benchSpec); err != nil {
+			panic(err)
+		}
+	}
+	record("BenchmarkServeSubmitAdmit", "resnet", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if i%1024 == 0 {
+				b.StopTimer()
+				resetAdm()
+				b.StartTimer()
+			}
+			id, err := admSrv.Submit(benchSpec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := admSrv.Cancel(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	close(release)
+	for _, s := range benchServers {
+		s.Close()
+	}
+
+	// PreemptResume is one full preemption round-trip on a single-slot
+	// server running real jobs: a high-priority 1-step arrival forces the
+	// resident victim to checkpoint and park, runs to completion, and the
+	// victim resumes from its checkpoint — ns/op is park + preempter run
+	// + restore, the scheduling latency a high-priority tenant pays.
+	preSrv := serve.NewServer(selsync.NewStandardJobBuilder(), serve.Options{Slots: 1})
+	lis := serve.NewPipeListener()
+	go preSrv.Serve(lis)
+	victim := benchSpec
+	victim.Method, victim.MaxSteps, victim.Seed = "selsync", 1<<20, 5
+	victim.TrainN, victim.TestN, victim.Workers = 64, 32, 2
+	victimID, err := preSrv.Submit(victim)
+	if err != nil {
+		return err
+	}
+	conn, err := lis.Dial()
+	if err != nil {
+		return err
+	}
+	events := make(chan serve.WireEvent, 1<<16)
+	go func() {
+		cl := serve.NewClient(conn)
+		cl.Events(victimID, 0, func(ev serve.WireEvent) error {
+			events <- ev
+			return nil
+		})
+	}()
+	hi := benchSpec
+	hi.Tenant, hi.Priority, hi.Seed = "vip", 5, 9
+	awaitType := func(b *testing.B, want string) {
+		for ev := range events {
+			if ev.Type == want {
+				return
+			}
+			if ev.Final {
+				b.Fatalf("victim finalized (%s) mid-benchmark", ev.Type)
+			}
+		}
+	}
+	record("BenchmarkServePreemptResume", "resnet", testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := preSrv.Submit(hi); err != nil {
+				b.Fatal(err)
+			}
+			awaitType(b, serve.EvParked)
+			awaitType(b, "recovery")
+		}
+	}))
+	preSrv.Close()
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -189,10 +189,14 @@ func (p profile) window(n int, round uint64) (int, int) {
 	return lo, hi
 }
 
-// wireBytes is the exact wire footprint (headers + payload) of one
-// n-element message under this profile at the given round — the formula
-// the logical ledger uses, asserted equal to the encoder's actual output
-// by TestCodecWireBytesExact.
+// wireBytes is the wire footprint (headers + payload) of one n-element
+// message under this profile at the given round — the formula the logical
+// ledger uses. For every kind but top-k it equals the encoder's actual
+// output bit for bit (asserted by TestCodecWireBytesExactAndRoundTrip);
+// for top-k it charges the canonical 12-byte index+value entries, a pure
+// function of codec and dimension, while the packed encoding's actual
+// (data-dependent) bytes are tracked separately on the loopback fabric
+// (CodecPackedWire) and in NetStats on TCP.
 func (p profile) wireBytes(n int, round uint64) int64 {
 	chunksFor := func(elems, per int) int64 {
 		if elems <= 0 {
@@ -205,7 +209,7 @@ func (p profile) wireBytes(n int, round uint64) int64 {
 		return TensorWireBytes(n)
 	case CodecTopK:
 		k := p.keepCount(n)
-		return chunksFor(k, ChunkElems)*HeaderSize + int64(k)*12
+		return chunksFor(k, ChunkElems)*(HeaderSize+sparseChunkOverhead) + int64(k)*sparseNominalEntryBytes
 	case CodecQuant:
 		return chunksFor(n, ChunkElems)*(HeaderSize+quantChunkOverhead) + int64(n)*int64(p.bits)/8
 	case CodecPartial:

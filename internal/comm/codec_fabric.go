@@ -107,6 +107,17 @@ func (l *Loopback) Codec() Codec { return l.cs.codec }
 // CodecSnapshot implements CodecFabric.
 func (l *Loopback) CodecSnapshot() *CodecSnapshot { return l.cs.snapshot() }
 
+// CodecPackedWire returns the actual encoded bytes of every codec
+// collective so far, in ledger orientation (uplink → recv, downlink
+// fan-out → sent). For the bit-packed top-k stream this is the
+// data-dependent packed footprint; for every other codec it equals the
+// logical ledger. Loopback only — it encodes every message of every round
+// in-process, so the count is complete; on a mesh the per-socket truth
+// lives in NetStats.
+func (l *Loopback) CodecPackedWire() (recv, sent int64) {
+	return l.cs.packedRecv, l.cs.packedSent
+}
+
 // RestoreCodecSnapshot implements CodecFabric.
 func (l *Loopback) RestoreCodecSnapshot(s *CodecSnapshot) error { return l.cs.restore(s) }
 
@@ -159,10 +170,12 @@ func (l *Loopback) ReduceMeanCodecBuckets(dst, ref tensor.Vector, ids []int, vie
 			msgSrc := codecMsgSrc(view(id), ref, l.deltaBuf, lo, hi)
 			slot := l.decBuf(id, dim)[lo:hi]
 			l.cs.roundTrip(up, msgSrc, l.cs.residFor(id, dim)[lo:hi], slot, round, &l.cs.msg)
+			l.cs.packedRecv += encodedWireBytes(&l.cs.msg)
 			l.slots = append(l.slots, slot)
 		}
 		tensor.Average(l.meanBuf[lo:hi], l.slots)
 		l.cs.roundTrip(down, l.meanBuf[lo:hi], l.cs.downResid(dim)[lo:hi], l.downDec[lo:hi], round, &l.cs.msg)
+		l.cs.packedSent += int64(l.workers) * encodedWireBytes(&l.cs.msg)
 		applyCodecDown(dst, ref, l.downDec, lo, hi)
 	}
 	l.cs.round++

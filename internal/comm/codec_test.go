@@ -101,10 +101,12 @@ func (c *captureEP) Recv(from int) (*Frame, error) {
 func (c *captureEP) NetStats() EndpointStats { return EndpointStats{} }
 func (c *captureEP) Close() error            { return nil }
 
-// The ledger formula must equal the encoder's actual frame bytes, and a
-// receiver must reconstruct exactly the sender's local decode — for every
-// codec, at dims spanning chunk boundaries, across rounds (partial
-// sharing's window length varies by round).
+// The ledger formula must equal the encoder's actual frame bytes — except
+// top-k, whose packed (data-dependent) encoding must instead match the
+// PackedSparseWireBytes mirror exactly — and a receiver must reconstruct
+// exactly the sender's local decode: for every codec, at dims spanning
+// chunk boundaries, across rounds (partial sharing's window length varies
+// by round).
 func TestCodecWireBytesExactAndRoundTrip(t *testing.T) {
 	specs := []string{"topk:0.01", "topk:0.37", "q8", "q16", "partial:0.25", "partial:0.3,0.7"}
 	dims := []int{5, 1000, ChunkElems + 7, 2*ChunkElems + 11}
@@ -128,8 +130,19 @@ func TestCodecWireBytesExactAndRoundTrip(t *testing.T) {
 				if _, err := sendCompressedEP(ep, 1, 7, &cs.msg, nil); err != nil {
 					t.Fatalf("%s dim=%d round=%d: send: %v", spec, dim, round, err)
 				}
-				if want := p.wireBytes(dim, round); ep.bytes != want {
-					t.Fatalf("%s dim=%d round=%d: wire bytes %d, ledger formula %d", spec, dim, round, ep.bytes, want)
+				want := p.wireBytes(dim, round)
+				if p.kind == CodecTopK {
+					want = PackedSparseWireBytes(cs.msg.idx)
+					if want != encodedWireBytes(&cs.msg) {
+						t.Fatalf("%s dim=%d round=%d: encodedWireBytes %d disagrees with PackedSparseWireBytes %d",
+							spec, dim, round, encodedWireBytes(&cs.msg), want)
+					}
+				} else if want != encodedWireBytes(&cs.msg) {
+					t.Fatalf("%s dim=%d round=%d: encodedWireBytes %d disagrees with ledger formula %d",
+						spec, dim, round, encodedWireBytes(&cs.msg), want)
+				}
+				if ep.bytes != want {
+					t.Fatalf("%s dim=%d round=%d: wire bytes %d, expected %d", spec, dim, round, ep.bytes, want)
 				}
 				got := tensor.NewVector(dim)
 				got.Fill(999) // recv must zero it
@@ -199,37 +212,84 @@ func TestPartialWindowCoversVector(t *testing.T) {
 
 func TestDecodeSparseChunkRejectsCorrupt(t *testing.T) {
 	dst := tensor.NewVector(8)
-	mk := func(entries ...[2]interface{}) []byte {
-		var idx []uint32
-		var vals []float64
-		for _, e := range entries {
-			idx = append(idx, e[0].(uint32))
-			vals = append(vals, e[1].(float64))
-		}
-		return appendSparseChunk(nil, idx, vals)
+	mk := func(idx []uint32, vals []float64) []byte {
+		prev := -1
+		return appendSparseChunk(nil, idx, vals, &prev)
 	}
 	last := -1
-	if _, err := decodeSparseChunk(dst, []byte{1, 2, 3}, &last); err == nil {
-		t.Fatal("accepted payload with bad length")
+	if _, err := decodeSparseChunk(dst, []byte{1, 2}, &last); err == nil {
+		t.Fatal("accepted payload shorter than the count header")
 	}
 	last = -1
-	if _, err := decodeSparseChunk(dst, mk([2]interface{}{uint32(3), 1.0}, [2]interface{}{uint32(3), 2.0}), &last); err == nil {
+	// Duplicate and descending indices encode as negative gaps — huge
+	// uvarints — and must be rejected as out of range.
+	if _, err := decodeSparseChunk(dst, mk([]uint32{3, 3}, []float64{1, 2}), &last); err == nil {
 		t.Fatal("accepted duplicate index")
 	}
 	last = -1
-	if _, err := decodeSparseChunk(dst, mk([2]interface{}{uint32(5), 1.0}, [2]interface{}{uint32(2), 2.0}), &last); err == nil {
+	if _, err := decodeSparseChunk(dst, mk([]uint32{5, 2}, []float64{1, 2}), &last); err == nil {
 		t.Fatal("accepted descending indices")
 	}
 	last = -1
-	if _, err := decodeSparseChunk(dst, mk([2]interface{}{uint32(8), 1.0}), &last); err == nil {
+	if _, err := decodeSparseChunk(dst, mk([]uint32{8}, []float64{1}), &last); err == nil {
 		t.Fatal("accepted out-of-range index")
 	}
 	last = -1
-	if n, err := decodeSparseChunk(dst, mk([2]interface{}{uint32(1), 4.0}, [2]interface{}{uint32(7), 5.0}), &last); err != nil || n != 2 {
+	// A count larger than the payload can carry.
+	big := []byte{255, 0, 0, 0, 1, 2, 3}
+	if _, err := decodeSparseChunk(dst, big, &last); err == nil {
+		t.Fatal("accepted count exceeding payload capacity")
+	}
+	last = -1
+	// Truncated varint stream: count promises an entry whose gap bytes all
+	// have continuation bits.
+	trunc := []byte{1, 0, 0, 0, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80}
+	if _, err := decodeSparseChunk(dst, trunc, &last); err == nil {
+		t.Fatal("accepted truncated varint")
+	}
+	last = -1
+	// Value section size mismatch: one entry, gap 0, but seven value bytes.
+	short := []byte{1, 0, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7}
+	if _, err := decodeSparseChunk(dst, short, &last); err == nil {
+		t.Fatal("accepted short value section")
+	}
+	last = -1
+	if n, err := decodeSparseChunk(dst, mk([]uint32{1, 7}, []float64{4, 5}), &last); err != nil || n != 2 {
 		t.Fatalf("rejected valid chunk: n=%d err=%v", n, err)
 	}
 	if dst[1] != 4 || dst[7] != 5 {
 		t.Fatalf("valid chunk mis-scattered: %v", dst)
+	}
+	if last != 7 {
+		t.Fatalf("last position %d, want 7", last)
+	}
+	// Cross-chunk continuation: a second chunk's gaps continue from the
+	// first chunk's final position on both sides.
+	prev := 7
+	cont := appendSparseChunk(nil, []uint32{7}, []float64{9}, &prev) // duplicate across chunks
+	if _, err := decodeSparseChunk(dst, cont, &last); err == nil {
+		t.Fatal("accepted cross-chunk non-ascending index")
+	}
+}
+
+// The packed encoding must beat the canonical 12-byte entries on
+// realistic sparse streams (small gaps → 1–2 varint bytes per index).
+func TestPackedSparseSmallerThanNominal(t *testing.T) {
+	dim := 4 * ChunkElems
+	var idx []uint32
+	for i := 0; i < dim; i += 97 { // ~1% density, gap 96
+		idx = append(idx, uint32(i))
+	}
+	packed := PackedSparseWireBytes(idx)
+	p := profile{kind: CodecTopK, frac: float64(len(idx)) / float64(dim)}
+	nominal := p.wireBytes(dim, 0)
+	if packed >= nominal {
+		t.Fatalf("packed %d bytes not smaller than nominal %d for %d entries", packed, nominal, len(idx))
+	}
+	// Each entry should cost 9 bytes here (1 gap byte + 8 value bytes).
+	want := int64(len(idx)*9) + int64((len(idx)+ChunkElems-1)/ChunkElems)*(HeaderSize+sparseChunkOverhead)
+	if packed != want {
+		t.Fatalf("packed %d bytes, want %d", packed, want)
 	}
 }
 

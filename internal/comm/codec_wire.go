@@ -14,8 +14,16 @@ const (
 	quantChunkOverhead = 17
 	// rangeChunkOverhead: [start u32] before the dense values.
 	rangeChunkOverhead = 4
-	// sparseEntryBytes: one uint32 position + one float64 value.
-	sparseEntryBytes = 12
+	// sparseChunkOverhead: [count u32] before the packed gaps and values.
+	sparseChunkOverhead = 4
+	// sparseNominalEntryBytes is the canonical (unpacked) footprint of one
+	// sparse entry — one uint32 position + one float64 value — which the
+	// logical traffic ledger still charges: the packed encoding's varint
+	// gaps are data-dependent, and the ledger must stay a pure, rank- and
+	// backend-invariant function of codec, dimension and round. The actual
+	// packed bytes are tracked separately (PackedSparseWireBytes,
+	// Loopback.CodecPackedWire).
+	sparseNominalEntryBytes = 12
 )
 
 // compactMsg is the in-memory form of one compressed tensor message,
@@ -50,6 +58,12 @@ type codecState struct {
 	accBuf    tensor.Vector
 	selBuf    []float64
 	msg       compactMsg
+	// packedRecv / packedSent track the actual encoded bytes of the codec
+	// collectives in ledger orientation (uplink messages → Recv, downlink
+	// fan-out → Sent). Maintained by the loopback fabric, which encodes
+	// every message of every round; diagnostic only — the logical ledger
+	// stays the pure wireBytes formula.
+	packedRecv, packedSent int64
 	// restored holds a snapshot installed before the model dimension is
 	// known; it is applied lazily at the first collective.
 	restored *CodecSnapshot
@@ -224,10 +238,19 @@ func (p profile) msgType() MsgType {
 	return MsgTensorChunk
 }
 
-// appendSparseChunk encodes entries [lo:hi) of a sparse message.
-func appendSparseChunk(dst []byte, idx []uint32, vals []float64) []byte {
+// appendSparseChunk encodes one chunk of a sparse message, bit-packed:
+// [count u32], one uvarint gap per entry (gap = position − *prev − 1),
+// then the float64 values. *prev threads the previous position across the
+// chunks of a message (initially −1), so gaps stay small — a 1%-dense
+// stream averages gaps near 100, one varint byte instead of four index
+// bytes. Non-ascending input encodes a negative gap as a huge uint64,
+// which every decoder rejects as out of range.
+func appendSparseChunk(dst []byte, idx []uint32, vals []float64, prev *int) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(idx)))
 	for _, i := range idx {
-		dst = binary.LittleEndian.AppendUint32(dst, i)
+		gap := uint64(int64(i) - int64(*prev) - 1)
+		dst = binary.AppendUvarint(dst, gap)
+		*prev = int(i)
 	}
 	for _, v := range vals {
 		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
@@ -235,27 +258,108 @@ func appendSparseChunk(dst []byte, idx []uint32, vals []float64) []byte {
 	return dst
 }
 
-// decodeSparseChunk scatters one sparse chunk into dst, enforcing
+// decodeSparseChunk scatters one packed sparse chunk into dst, enforcing
 // strictly ascending positions (continuing from *last, initially -1) and
-// bounds. Returns the entry count. It never panics on corrupt payloads.
+// bounds. Returns the entry count. It never panics on corrupt payloads:
+// bad counts, truncated or overlong varints, and gap overflows all map to
+// errors, and nothing is written to dst until the whole chunk validates.
 func decodeSparseChunk(dst tensor.Vector, payload []byte, last *int) (int, error) {
-	if len(payload)%sparseEntryBytes != 0 {
-		return 0, fmt.Errorf("comm: sparse chunk payload %d bytes is not a multiple of %d", len(payload), sparseEntryBytes)
+	if len(payload) < sparseChunkOverhead {
+		return 0, fmt.Errorf("comm: sparse chunk payload %d bytes shorter than count header %d", len(payload), sparseChunkOverhead)
 	}
-	n := len(payload) / sparseEntryBytes
-	vals := payload[n*4:]
+	n := int(binary.LittleEndian.Uint32(payload))
+	rest := payload[sparseChunkOverhead:]
+	// Each entry costs at least one gap byte and exactly eight value bytes.
+	if n < 0 || n > len(rest)/9 {
+		return 0, fmt.Errorf("comm: sparse chunk count %d exceeds %d payload bytes", n, len(rest))
+	}
+	// First pass: validate every gap and the stream geometry before
+	// touching dst, so a corrupt chunk cannot leave a half-scattered
+	// message behind.
+	off, pos := 0, *last
 	for i := 0; i < n; i++ {
-		pos := int(binary.LittleEndian.Uint32(payload[i*4:]))
-		if pos <= *last {
-			return 0, fmt.Errorf("comm: sparse chunk position %d not ascending (prev %d)", pos, *last)
+		gap, w := binary.Uvarint(rest[off:])
+		if w <= 0 {
+			return 0, fmt.Errorf("comm: sparse chunk entry %d: truncated or overlong index varint", i)
 		}
-		if pos >= len(dst) {
-			return 0, fmt.Errorf("comm: sparse chunk position %d out of range for %d-element message", pos, len(dst))
+		off += w
+		// pos + 1 + gap must stay below len(dst); pos ≥ −1 and < len(dst),
+		// so len(dst)−pos−1 is a non-negative bound on the allowed gap.
+		if gap >= uint64(len(dst)-pos-1) {
+			return 0, fmt.Errorf("comm: sparse chunk entry %d: position gap %d out of range for %d-element message (prev %d)", i, gap, len(dst), pos)
 		}
-		dst[pos] = math.Float64frombits(binary.LittleEndian.Uint64(vals[i*8:]))
-		*last = pos
+		pos += 1 + int(gap)
 	}
+	if len(rest)-off != n*8 {
+		return 0, fmt.Errorf("comm: sparse chunk carries %d value bytes for %d entries", len(rest)-off, n)
+	}
+	// Second pass: scatter.
+	vals := rest[off:]
+	off, pos = 0, *last
+	for i := 0; i < n; i++ {
+		gap, w := binary.Uvarint(rest[off:])
+		off += w
+		pos += 1 + int(gap)
+		dst[pos] = math.Float64frombits(binary.LittleEndian.Uint64(vals[i*8:]))
+	}
+	*last = pos
 	return n, nil
+}
+
+// uvarintLen is the encoded size of x as a uvarint.
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// PackedSparseWireBytes is the exact wire footprint (headers + payload)
+// of one top-k message with the given ascending positions under the
+// packed MsgSparseChunk encoding — the mirror of sendCompressedEP's
+// chunking, asserted equal to the encoder's actual output by
+// TestCodecWireBytesExactAndRoundTrip. Data-dependent, hence not part of
+// the logical ledger (which charges the canonical 12-byte entries).
+func PackedSparseWireBytes(idx []uint32) int64 {
+	var total int64
+	prev := -1
+	for lo := 0; ; lo += ChunkElems {
+		hi := min(lo+ChunkElems, len(idx))
+		total += HeaderSize + sparseChunkOverhead
+		for _, i := range idx[lo:hi] {
+			total += int64(uvarintLen(uint64(int64(i)-int64(prev)-1))) + 8
+			prev = int(i)
+		}
+		if hi == len(idx) {
+			return total
+		}
+	}
+}
+
+// encodedWireBytes is the exact wire footprint of one compact message
+// under its codec's chunked encoding — what sendCompressedEP actually
+// emits. For every kind but top-k it coincides with the ledger formula;
+// for top-k it is the packed (data-dependent) size.
+func encodedWireBytes(m *compactMsg) int64 {
+	chunksFor := func(elems int) int64 {
+		if elems <= 0 {
+			return 1
+		}
+		return int64((elems + ChunkElems - 1) / ChunkElems)
+	}
+	switch m.kind {
+	case CodecNone:
+		return TensorWireBytes(m.dim)
+	case CodecTopK:
+		return PackedSparseWireBytes(m.idx)
+	case CodecQuant:
+		return chunksFor(m.dim)*(HeaderSize+quantChunkOverhead) + int64(m.dim)*int64(m.bits)/8
+	case CodecPartial:
+		return chunksFor(len(m.vals))*(HeaderSize+rangeChunkOverhead) + int64(len(m.vals))*8
+	}
+	panic("comm: encodedWireBytes: unknown codec kind")
 }
 
 // appendQuantChunk encodes one quantized window: header scalars plus the
@@ -340,9 +444,10 @@ func sendCompressedEP(ep Endpoint, to, worker int, m *compactMsg, scratch []byte
 	switch m.kind {
 	case CodecTopK:
 		seq := uint32(0)
+		prev := -1 // gap baseline threads across the message's chunks
 		for lo := 0; ; lo += ChunkElems {
 			hi := min(lo+ChunkElems, len(m.idx))
-			scratch = appendSparseChunk(scratch[:0], m.idx[lo:hi], m.vals[lo:hi])
+			scratch = appendSparseChunk(scratch[:0], m.idx[lo:hi], m.vals[lo:hi], &prev)
 			last := hi == len(m.idx)
 			if err := send(MsgSparseChunk, seq, last, scratch); err != nil {
 				return scratch, err

@@ -65,9 +65,12 @@ const (
 	// with the same Seq/FlagLast chunking as tensor streams.
 	MsgBlob MsgType = 8
 	// MsgSparseChunk carries one chunk of a top-k sparsified tensor
-	// message: n uint32 positions (strictly ascending within the whole
-	// message) followed by n float64 values, both little-endian. The
-	// positions are absolute indices into the message's vector.
+	// message, bit-packed: a little-endian uint32 entry count, then one
+	// uvarint index gap per entry (gap = position − previous position − 1,
+	// with the previous position threaded across the chunks of a message,
+	// initially −1), then one little-endian float64 value per entry. The
+	// decoded positions are absolute, strictly ascending indices into the
+	// message's vector.
 	MsgSparseChunk MsgType = 9
 	// MsgQuantChunk carries one chunk of a linearly quantized tensor
 	// message: [bits u8][lo f64][scale f64] then one level per element
@@ -79,9 +82,18 @@ const (
 	// shared tensor message: [start u32] then float64 values for positions
 	// start, start+1, … within the message's vector.
 	MsgRangeChunk MsgType = 11
+	// MsgServeReq carries one serve-protocol request (JSON-encoded; see
+	// internal/serve) from a client to the selsync-serve daemon.
+	MsgServeReq MsgType = 12
+	// MsgServeResp carries one serve-protocol response (JSON-encoded)
+	// from the daemon back to a client.
+	MsgServeResp MsgType = 13
+	// MsgServeEvent carries one job event (JSON-encoded) on a serve event
+	// subscription stream; FlagLast marks the job's final event.
+	MsgServeEvent MsgType = 14
 )
 
-func (t MsgType) valid() bool { return t >= MsgHello && t <= MsgRangeChunk }
+func (t MsgType) valid() bool { return t >= MsgHello && t <= MsgServeEvent }
 
 // FlagLast marks the final chunk of a tensor stream.
 const FlagLast uint16 = 1

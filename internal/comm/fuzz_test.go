@@ -5,6 +5,12 @@ import (
 	"testing"
 )
 
+// sparseChunk builds one packed sparse chunk for seeds, with the gap
+// baseline (the previous chunk's final position, −1 at message start).
+func sparseChunk(prev int, idx []uint32, vals []float64) []byte {
+	return appendSparseChunk(nil, idx, vals, &prev)
+}
+
 // FuzzDecodeFrame holds DecodeFrame to its contract: arbitrary bytes must
 // decode or error, never panic, and anything that decodes must re-encode
 // to the exact consumed prefix.
@@ -14,9 +20,12 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(AppendFrame(nil, &Frame{Type: MsgTensorChunk, Flags: FlagLast, Worker: 1, Seq: 9, Payload: putScalar(nil, 3.25)}))
 	f.Add(AppendFrame(nil, &Frame{Type: MsgFlags, Payload: []byte{0b1010}}))
 	f.Add(bytes.Repeat([]byte{0xFF}, HeaderSize+8))
-	f.Add(AppendFrame(nil, &Frame{Type: MsgSparseChunk, Flags: FlagLast, Worker: 2, Payload: appendSparseChunk(nil, []uint32{1, 5}, []float64{0.5, -2})}))
+	f.Add(AppendFrame(nil, &Frame{Type: MsgSparseChunk, Flags: FlagLast, Worker: 2, Payload: sparseChunk(-1, []uint32{1, 5}, []float64{0.5, -2})}))
 	f.Add(AppendFrame(nil, &Frame{Type: MsgQuantChunk, Flags: FlagLast, Worker: 2, Payload: appendQuantChunk(nil, 8, -1, 0.25, []byte{0, 128, 255})}))
 	f.Add(AppendFrame(nil, &Frame{Type: MsgRangeChunk, Flags: FlagLast, Worker: 2, Payload: appendRangeChunk(nil, 3, []float64{1, 2})}))
+	f.Add(AppendFrame(nil, &Frame{Type: MsgServeReq, Worker: -1, Payload: []byte(`{"op":"status"}`)}))
+	f.Add(AppendFrame(nil, &Frame{Type: MsgServeResp, Worker: -1, Payload: []byte(`{"ok":true,"job":"j-000001"}`)}))
+	f.Add(AppendFrame(nil, &Frame{Type: MsgServeEvent, Flags: FlagLast, Worker: -1, Payload: []byte(`{"job":"j-000001","seq":3,"type":"done","final":true}`)}))
 
 	f.Fuzz(func(t *testing.T, b []byte) {
 		frame, n, err := DecodeFrame(b)
@@ -39,8 +48,11 @@ func FuzzDecodeFrame(f *testing.F) {
 // out-of-range scales, truncated level streams — must decode or error,
 // never panic, and never write outside the destination vector.
 func FuzzDecodeCodecPayload(f *testing.F) {
-	f.Add(uint8(0), appendSparseChunk(nil, []uint32{0, 7, 31}, []float64{1, -2, 3}))
-	f.Add(uint8(0), appendSparseChunk(nil, []uint32{9, 2}, []float64{1, 1})) // descending: must error
+	f.Add(uint8(0), sparseChunk(-1, []uint32{0, 7, 31}, []float64{1, -2, 3}))
+	f.Add(uint8(0), sparseChunk(-1, []uint32{9, 2}, []float64{1, 1}))              // descending: must error
+	f.Add(uint8(0), sparseChunk(30, []uint32{31}, []float64{4}))                   // cross-chunk continuation
+	f.Add(uint8(0), []byte{255, 255, 255, 255, 1, 2, 3})                           // absurd count: must error
+	f.Add(uint8(0), append([]byte{1, 0, 0, 0}, bytes.Repeat([]byte{0x80}, 12)...)) // truncated varint
 	f.Add(uint8(1), appendQuantChunk(nil, 8, -0.5, 0.01, bytes.Repeat([]byte{7}, 32)))
 	f.Add(uint8(1), appendQuantChunk(nil, 16, 0, 1e308, bytes.Repeat([]byte{1, 2}, 16)))
 	f.Add(uint8(2), appendRangeChunk(nil, 4, []float64{1, 2, 3}))

@@ -489,23 +489,9 @@ func readHello(c net.Conn, timeout time.Duration) (int, error) {
 	return int(f.Worker), nil
 }
 
-// readFrame reads one wire frame.
+// readFrame reads one wire frame (the shared stream framing helper).
 func readFrame(r io.Reader) (*Frame, error) {
-	var hdr [HeaderSize]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
-	}
-	f, n, err := parseHeader(hdr[:])
-	if err != nil {
-		return nil, err
-	}
-	if n > 0 {
-		f.Payload = make([]byte, n)
-		if _, err := io.ReadFull(r, f.Payload); err != nil {
-			return nil, fmt.Errorf("comm: truncated payload: %w", err)
-		}
-	}
-	return &f, nil
+	return ReadFrame(r)
 }
 
 // readFrameStall is readFrame with the per-op read deadline: the header

@@ -1,0 +1,53 @@
+package comm
+
+import (
+	"fmt"
+	"io"
+)
+
+// Stream framing helpers: the SEL1 frame discipline over any io stream,
+// exported for protocol layers built outside the endpoint machinery (the
+// selsync-serve job protocol). The TCP endpoint keeps its own internal
+// variants with deadline handling; these share the exact header codec
+// (putHeader/parseHeader), so every byte-level validation rule — magic,
+// version, type range, MaxPayload — is identical on every path.
+
+// ReadFrame reads one wire frame from r: a HeaderSize header, validated
+// by the same rules as DecodeFrame, then the promised payload. It never
+// panics on malformed input — every violation maps to an error.
+func ReadFrame(r io.Reader) (*Frame, error) {
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	f, n, err := parseHeader(hdr[:])
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 {
+		f.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, f.Payload); err != nil {
+			return nil, fmt.Errorf("comm: truncated payload: %w", err)
+		}
+	}
+	return &f, nil
+}
+
+// WriteFrame writes f's wire encoding to w. Like AppendFrame it panics on
+// a payload over MaxPayload (a caller bug, not a wire condition).
+func WriteFrame(w io.Writer, f *Frame) error {
+	if len(f.Payload) > MaxPayload {
+		panic(fmt.Sprintf("comm: frame payload %d exceeds MaxPayload", len(f.Payload)))
+	}
+	var hdr [HeaderSize]byte
+	putHeader(hdr[:], f, len(f.Payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(f.Payload) > 0 {
+		if _, err := w.Write(f.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}

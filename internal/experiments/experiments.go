@@ -48,6 +48,9 @@ func Registry() map[string]Runner {
 		// Wire efficiency: payload codecs (top-k, quantization, partial
 		// sharing) and the comm/compute-overlapped collective vs dense BSP.
 		"compression": wrapT(Compression),
+		// Multi-tenant serving: the serve daemon under a seeded job flood
+		// (fair-share, preemption and zero-loss acceptance assertions).
+		"serve-load": wrapT(ServeLoad),
 		// Failure/straggler scenario suite (scenarios.go): pass/fail
 		// assertions over the fault-tolerant fabric's guarantees.
 		"scenario-crash":     ScenarioCrash,

@@ -13,6 +13,7 @@ func TestRegistryCoversEveryPaperArtifact(t *testing.T) {
 		"fig1a", "fig1b", "fig2a", "fig2b", "fig3", "fig4", "fig5",
 		"fig8a", "fig8b", "fig9", "fig10", "fig11", "fig12", "table1",
 		"ablation-topology", "ablation-straggler", "switch", "compression",
+		"serve-load",
 		"scenario-crash", "scenario-partition", "scenario-flaky",
 		"scenario-straggler", "scenario-churn",
 	}
@@ -315,6 +316,32 @@ func TestSubsample(t *testing.T) {
 	}
 }
 
+// TestServeLoadTiny floods the serve daemon with a small seeded job mix;
+// the acceptance assertions (zero lost/duplicated, all jobs complete,
+// fair-share error ≤ 10% when sampled) live inside ServeLoad and panic
+// on violation. The quick-scale ≥200-job acceptance run happens in CI
+// (serve-smoke) via selsync-bench.
+func TestServeLoadTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training experiment")
+	}
+	var buf bytes.Buffer
+	tab := ServeLoad(Tiny, &buf)
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	row := tab.Rows[0]
+	if row[0] != "64" || row[1] != "64" {
+		t.Fatalf("expected 64 submitted and done, got %v", row)
+	}
+	if row[3] != "0" || row[4] != "0" {
+		t.Fatalf("lost/dup must be zero, got %v", row)
+	}
+	if !strings.Contains(buf.String(), "Per-tenant fair shares") {
+		t.Fatal("per-tenant table must be printed")
+	}
+}
+
 func TestBoolCell(t *testing.T) {
 	if boolCell(true) != "yes" || boolCell(false) != "no" {
 		t.Fatal("boolCell wrong")
@@ -336,21 +363,38 @@ func TestCompressionShape(t *testing.T) {
 	}
 	reductions := make(map[string]float64)
 	for _, row := range tab.Rows {
-		label, red, drift, match := row[0], row[2], row[4], row[5]
+		label, red, packedMB, extra, drift, match := row[0], row[2], row[3], row[4], row[6], row[7]
 		f, err := strconv.ParseFloat(strings.TrimSuffix(red, "x"), 64)
 		if err != nil {
 			t.Fatalf("%s: reduction cell %q not a factor", label, red)
 		}
 		reductions[label] = f
 		switch label {
-		case "dense", "none", "none+overlap":
-			if match != "yes" {
-				t.Fatalf("%s must be bit-identical to dense, got %q", label, match)
+		case "dense":
+			// The dense fast path never enters the codec encoder, so it has
+			// no packed-bytes measurement.
+			if packedMB != "-" || extra != "-" {
+				t.Fatalf("dense row must have no packed cells, got %q/%q", packedMB, extra)
 			}
+		case "none", "none+overlap":
 		default:
 			d, err := strconv.ParseFloat(drift, 64)
 			if err != nil || d > 6 {
 				t.Fatalf("%s: drift %q out of bounds", label, drift)
+			}
+		}
+		switch label {
+		case "dense", "none", "none+overlap":
+			if match != "yes" {
+				t.Fatalf("%s must be bit-identical to dense, got %q", label, match)
+			}
+		}
+		// The bit-packed index stream must beat the ledger's canonical
+		// 12-byte entries on every top-k row.
+		if strings.HasPrefix(label, "topk:") {
+			e, err := strconv.ParseFloat(strings.TrimSuffix(extra, "x"), 64)
+			if err != nil || e <= 1 {
+				t.Fatalf("%s: packed extra reduction %q must exceed 1x", label, extra)
 			}
 		}
 	}

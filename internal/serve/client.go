@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+
+	"selsync/internal/comm"
+)
+
+// Client speaks the serve wire protocol over one connection. It is not
+// goroutine-safe: the protocol is strictly request/response (with the
+// events op switching to a stream), so use one Client per goroutine.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// Dial connects to a daemon's TCP address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (TCP, pipe, anything).
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and reads its response, turning daemon
+// refusals into errors.
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	if err := writeJSON(c.bw, comm.MsgServeReq, req, true); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if _, err := readJSON(c.br, comm.MsgServeResp, &resp); err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, fmt.Errorf("serve: daemon refused: %s", resp.Err)
+	}
+	return &resp, nil
+}
+
+// Submit submits a job and returns its id.
+func (c *Client) Submit(spec JobSpec) (string, error) {
+	resp, err := c.roundTrip(&Request{Op: OpSubmit, Spec: &spec})
+	if err != nil {
+		return "", err
+	}
+	return resp.Job, nil
+}
+
+// Status fetches the service snapshot.
+func (c *Client) Status() (*Status, error) {
+	resp, err := c.roundTrip(&Request{Op: OpStatus})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Status == nil {
+		return nil, fmt.Errorf("serve: daemon sent no status")
+	}
+	return resp.Status, nil
+}
+
+// Cancel cancels a job.
+func (c *Client) Cancel(id string) error {
+	_, err := c.roundTrip(&Request{Op: OpCancel, Job: id})
+	return err
+}
+
+// Drain asks the daemon to drain; it returns once the slots are empty
+// and the spill (if configured) is written.
+func (c *Client) Drain() error {
+	_, err := c.roundTrip(&Request{Op: OpDrain})
+	return err
+}
+
+// Events streams a job's events from sequence from, calling fn for each
+// until the final event (which it delivers, then returns nil), the
+// stream ends early (daemon shutdown → nil), or fn returns an error.
+// Afterwards the connection is back in request/response state.
+func (c *Client) Events(id string, from uint64, fn func(WireEvent) error) error {
+	if _, err := c.roundTrip(&Request{Op: OpEvents, Job: id, From: from}); err != nil {
+		return err
+	}
+	for {
+		var ev WireEvent
+		if _, err := readJSON(c.br, comm.MsgServeEvent, &ev); err != nil {
+			return err
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+		if ev.Final {
+			return nil
+		}
+	}
+}
+
+// Wait streams a job's events until its final event and returns it.
+func (c *Client) Wait(id string) (*WireEvent, error) {
+	var final *WireEvent
+	err := c.Events(id, 0, func(ev WireEvent) error {
+		if ev.Final {
+			cp := ev
+			final = &cp
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if final == nil {
+		return nil, fmt.Errorf("serve: event stream for %s ended without a final event", id)
+	}
+	return final, nil
+}

@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+
+	"selsync/internal/train"
+)
+
+// Job states. Transitions: queued → running → (parked → running)* →
+// done | failed | canceled. Queued and parked jobs can also go straight
+// to canceled.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateParked   = "parked"
+	StateDone     = "done"
+	StateFailed   = "failed"
+	StateCanceled = "canceled"
+)
+
+// Lifecycle event types emitted by the scheduler itself; everything else
+// in a job's stream is a train event passed through verbatim.
+const (
+	EvSubmitted = "submitted"
+	EvStart     = "start"
+	EvParked    = "parked"
+	EvDone      = "done"
+	EvFailed    = "failed"
+	EvCanceled  = "canceled"
+)
+
+// jobRec is the daemon's record of one job. Scheduler state (state, ck,
+// preempting, servedSteps) is guarded by the Server mutex; the event log
+// has its own lock so slow wire subscribers never touch the scheduler.
+type jobRec struct {
+	id   string
+	seq  uint64 // admission order, tie-breaker within a tenant
+	spec JobSpec
+
+	state           string
+	cancel          context.CancelFunc // cancels the running segment
+	preempting      bool               // cancel means "park", not "kill"
+	cancelRequested bool               // user cancel: never park
+	ck              *train.Checkpoint  // set while parked
+	startStep       int                // global step the current segment starts at
+	lastStep        int                // last step boundary the job reached
+	digest          string             // Result digest once done
+	errMsg          string             // failure reason once failed
+
+	// Event log: append-only, Seq dense from 0. cond wakes subscribers.
+	evMu   sync.Mutex
+	cond   *sync.Cond
+	events []WireEvent
+	final  bool
+}
+
+func newJobRec(id string, seq uint64, spec JobSpec) *jobRec {
+	j := &jobRec{id: id, seq: seq, spec: spec, state: StateQueued}
+	j.cond = sync.NewCond(&j.evMu)
+	return j
+}
+
+// append records one event, assigning it the next dense sequence number,
+// and wakes subscribers. Events after the final one are dropped — the
+// final event is a subscriber's end-of-stream marker and must stay last.
+func (j *jobRec) append(ev WireEvent) {
+	j.evMu.Lock()
+	defer j.evMu.Unlock()
+	if j.final {
+		return
+	}
+	ev.Job = j.id
+	ev.Seq = uint64(len(j.events))
+	j.events = append(j.events, ev)
+	if ev.Final {
+		j.final = true
+	}
+	j.cond.Broadcast()
+}
+
+// next blocks until events past seq exist (or the job is final, or stop
+// reports true) and returns a snapshot of them. A final job with no
+// events past seq returns an empty slice — end of stream.
+func (j *jobRec) next(seq uint64, stop func() bool) []WireEvent {
+	j.evMu.Lock()
+	defer j.evMu.Unlock()
+	for uint64(len(j.events)) <= seq && !j.final {
+		if stop() {
+			return nil
+		}
+		j.cond.Wait()
+	}
+	if seq >= uint64(len(j.events)) {
+		return nil
+	}
+	out := make([]WireEvent, len(j.events)-int(seq))
+	copy(out, j.events[seq:])
+	return out
+}
+
+// wake kicks all subscribers so they can observe an external stop
+// condition (daemon shutdown).
+func (j *jobRec) wake() {
+	j.evMu.Lock()
+	j.cond.Broadcast()
+	j.evMu.Unlock()
+}
+
+// trainEvent wraps a train event into a WireEvent: type and step pulled
+// out for filtering, the full event as JSON data.
+func trainEvent(e train.Event, state string) WireEvent {
+	ev := WireEvent{Type: e.EventType(), State: state, Step: eventStep(e)}
+	if data, err := json.Marshal(e); err == nil {
+		ev.Data = data
+	}
+	return ev
+}
+
+// eventStep extracts the step an event refers to, 0 when it has none.
+func eventStep(e train.Event) int {
+	switch v := e.(type) {
+	case train.StepEvent:
+		return v.Step
+	case train.SyncEvent:
+		return v.Step
+	case train.EvalEvent:
+		return v.Step
+	case train.PhaseSwitchEvent:
+		return v.Step
+	case train.CheckpointEvent:
+		return v.Step
+	case train.FaultEvent:
+		return v.Step
+	case train.ViewChangeEvent:
+		return v.Step
+	case train.RecoveryEvent:
+		return v.Step
+	}
+	return 0
+}

@@ -1,0 +1,353 @@
+// Package loadgen floods a serve.Server with a seeded stream of
+// mixed-policy, mixed-priority training jobs over the wire protocol and
+// audits the service-level invariants: every accepted job reaches
+// exactly one final state (nothing lost, nothing duplicated) and the
+// weighted fair shares track the tenant weights. It drives the daemon
+// exactly as external clients would — every submit, subscription and
+// status poll crosses the SEL1 framing layer over an in-process pipe.
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"selsync/internal/serve"
+)
+
+// Tenant names one fair-share account and its weight.
+type Tenant struct {
+	Name   string
+	Weight float64
+}
+
+// Config sizes a load run. The zero value is a 200-job, 8-slot run of
+// ultra-small mixed-policy jobs across three weighted tenants.
+type Config struct {
+	// Jobs is how many jobs to submit (default 200).
+	Jobs int
+	// Slots is the daemon's worker-slot pool width (default 8).
+	Slots int
+	// Tenants are the fair-share accounts; submissions round-robin over
+	// them (default three tenants weighted 3:2:1).
+	Tenants []Tenant
+	// Methods is the synchronization-policy mix, sampled per job from
+	// the seeded stream (default bsp, selsync, local, fedavg and a
+	// bsp→selsync hybrid schedule).
+	Methods []string
+	// Model and the sizing fields shape each job (defaults: resnet,
+	// 2 workers, 96/32 samples, 6 steps — small enough that hundreds of
+	// jobs drain in seconds).
+	Model    string
+	Workers  int
+	TrainN   int
+	TestN    int
+	MaxSteps int
+	// HighEvery makes every Nth submission priority 1, forcing
+	// preemptions once the pool is saturated (default 17, 0 = never).
+	HighEvery int
+	// Seed drives the policy mix and per-job seeds.
+	Seed uint64
+	// Poll is the status sampling interval (default 20ms).
+	Poll time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Jobs == 0 {
+		c.Jobs = 200
+	}
+	if c.Slots == 0 {
+		c.Slots = 8
+	}
+	if len(c.Tenants) == 0 {
+		c.Tenants = []Tenant{{"anna", 3}, {"bo", 2}, {"cyn", 1}}
+	}
+	if len(c.Methods) == 0 {
+		c.Methods = []string{"bsp", "selsync", "local", "fedavg", "bsp:3,selsync"}
+	}
+	if c.Model == "" {
+		c.Model = "resnet"
+	}
+	if c.Workers == 0 {
+		c.Workers = 2
+	}
+	if c.TrainN == 0 {
+		c.TrainN = 96
+	}
+	if c.TestN == 0 {
+		c.TestN = 32
+	}
+	if c.MaxSteps == 0 {
+		c.MaxSteps = 6
+	}
+	if c.HighEvery == 0 {
+		c.HighEvery = 17
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Poll == 0 {
+		c.Poll = 20 * time.Millisecond
+	}
+	return c
+}
+
+// Report is the audited outcome of a load run.
+type Report struct {
+	Submitted int
+	Done      int
+	Failed    int
+	Canceled  int
+	// Lost counts accepted jobs whose event stream never produced a
+	// final event; Duplicated counts ids handed out more than once.
+	// Both must be zero.
+	Lost       int
+	Duplicated int
+
+	// Preemptions counts parked events, Resumes counts recovery events
+	// (checkpoint restores) across all jobs.
+	Preemptions int
+	Resumes     int
+	// MaxQueued is the deepest queued+parked backlog any status poll saw.
+	MaxQueued int
+
+	Tenants []Tenant
+	// TenantSteps are the final cumulative served steps per tenant.
+	TenantSteps map[string]int64
+	// TenantShare are the served-step shares at the fair-share sample
+	// point (final shares when no sample was eligible — with equal job
+	// sizes those converge to the submitted shares, not the weights, so
+	// only the sampled values are meaningful for fairness).
+	TenantShare map[string]float64
+	// FairShareErr is the total-variation distance between the served-
+	// step shares and the weight shares, sampled at the last poll where
+	// every tenant still had backlog (fair share is only defined while
+	// there is contention). FairShareSampled reports whether such a
+	// sample existed.
+	FairShareErr     float64
+	FairShareSampled bool
+
+	Elapsed time.Duration
+}
+
+// Run executes one load run against a fresh Server built over b.
+func Run(b serve.Builder, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+
+	weights := make(map[string]float64, len(cfg.Tenants))
+	for _, t := range cfg.Tenants {
+		weights[t.Name] = t.Weight
+	}
+	srv := serve.NewServer(b, serve.Options{Slots: cfg.Slots, QueueLimit: cfg.Jobs + 16, Weights: weights})
+	defer srv.Close()
+	lis := serve.NewPipeListener()
+	go srv.Serve(lis)
+
+	dial := func() (*serve.Client, error) {
+		conn, err := lis.Dial()
+		if err != nil {
+			return nil, err
+		}
+		return serve.NewClient(conn), nil
+	}
+
+	// Submit the whole stream up front so the backlog holds cfg.Jobs
+	// jobs against cfg.Slots slots, then audit each job's event stream
+	// on its own wire connection.
+	rng := rand.New(rand.NewSource(int64(cfg.Seed)))
+	submitter, err := dial()
+	if err != nil {
+		return nil, err
+	}
+	defer submitter.Close()
+
+	rep := &Report{Tenants: cfg.Tenants, TenantSteps: make(map[string]int64), TenantShare: make(map[string]float64)}
+	seen := make(map[string]bool)
+	type outcome struct {
+		finalType string
+		finals    int
+		err       error
+	}
+	outcomes := make(map[string]*outcome)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+
+	for i := 0; i < cfg.Jobs; i++ {
+		tenant := cfg.Tenants[i%len(cfg.Tenants)]
+		spec := serve.JobSpec{
+			Name:     fmt.Sprintf("load-%04d", i),
+			Tenant:   tenant.Name,
+			Model:    cfg.Model,
+			Method:   cfg.Methods[rng.Intn(len(cfg.Methods))],
+			Workers:  cfg.Workers,
+			TrainN:   cfg.TrainN,
+			TestN:    cfg.TestN,
+			MaxSteps: cfg.MaxSteps,
+			Seed:     cfg.Seed + uint64(i),
+		}
+		if cfg.HighEvery > 0 && i%cfg.HighEvery == cfg.HighEvery-1 {
+			spec.Priority = 1
+		}
+		id, err := submitter.Submit(spec)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: submit %d: %w", i, err)
+		}
+		rep.Submitted++
+		if seen[id] {
+			rep.Duplicated++
+			continue
+		}
+		seen[id] = true
+		oc := &outcome{}
+		mu.Lock()
+		outcomes[id] = oc
+		mu.Unlock()
+
+		wg.Add(1)
+		go func(id string, oc *outcome) {
+			defer wg.Done()
+			cl, err := dial()
+			if err != nil {
+				oc.err = err
+				return
+			}
+			defer cl.Close()
+			oc.err = cl.Events(id, 0, func(ev serve.WireEvent) error {
+				switch ev.Type {
+				case serve.EvParked:
+					mu.Lock()
+					rep.Preemptions++
+					mu.Unlock()
+				case "recovery":
+					mu.Lock()
+					rep.Resumes++
+					mu.Unlock()
+				}
+				if ev.Final {
+					oc.finals++
+					oc.finalType = ev.Type
+				}
+				return nil
+			})
+		}(id, oc)
+	}
+
+	// Status poller: tracks backlog depth and keeps the latest fair-share
+	// sample taken while every tenant still had queued or parked work.
+	pollDone := make(chan struct{})
+	var pollWG sync.WaitGroup
+	pollWG.Add(1)
+	go func() {
+		defer pollWG.Done()
+		cl, err := dial()
+		if err != nil {
+			return
+		}
+		defer cl.Close()
+		tick := time.NewTicker(cfg.Poll)
+		defer tick.Stop()
+		for {
+			select {
+			case <-pollDone:
+				return
+			case <-tick.C:
+			}
+			st, err := cl.Status()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			if st.Queued+st.Parked > rep.MaxQueued {
+				rep.MaxQueued = st.Queued + st.Parked
+			}
+			backlogged := make(map[string]bool)
+			for _, j := range st.Jobs {
+				if j.State == serve.StateQueued || j.State == serve.StateParked {
+					backlogged[j.Tenant] = true
+				}
+			}
+			allBacklogged := true
+			var totalServed int64
+			for _, t := range cfg.Tenants {
+				if !backlogged[t.Name] {
+					allBacklogged = false
+				}
+			}
+			for _, ts := range st.Tenants {
+				totalServed += ts.ServedSteps
+			}
+			if allBacklogged && totalServed > 0 {
+				var totalW float64
+				for _, t := range cfg.Tenants {
+					totalW += t.Weight
+				}
+				var tv float64
+				shares := make(map[string]float64, len(st.Tenants))
+				for _, ts := range st.Tenants {
+					tv += abs(ts.Share - weights[ts.Tenant]/totalW)
+					shares[ts.Tenant] = ts.Share
+				}
+				rep.FairShareErr = tv / 2
+				rep.FairShareSampled = true
+				rep.TenantShare = shares
+			}
+			mu.Unlock()
+		}
+	}()
+
+	wg.Wait()
+	close(pollDone)
+	pollWG.Wait()
+
+	// Final audit: one status snapshot, one verdict per accepted id.
+	auditor, err := dial()
+	if err != nil {
+		return nil, err
+	}
+	defer auditor.Close()
+	st, err := auditor.Status()
+	if err != nil {
+		return nil, err
+	}
+	for _, ts := range st.Tenants {
+		rep.TenantSteps[ts.Tenant] = ts.ServedSteps
+		if !rep.FairShareSampled {
+			rep.TenantShare[ts.Tenant] = ts.Share
+		}
+	}
+	inStatus := make(map[string]int)
+	for _, j := range st.Jobs {
+		inStatus[j.Job]++
+	}
+	mu.Lock()
+	for id, oc := range outcomes {
+		switch {
+		case oc.err != nil || oc.finals == 0 || inStatus[id] == 0:
+			rep.Lost++
+		case oc.finals > 1 || inStatus[id] > 1:
+			rep.Duplicated++
+		default:
+			switch oc.finalType {
+			case serve.EvDone:
+				rep.Done++
+			case serve.EvFailed:
+				rep.Failed++
+			default:
+				rep.Canceled++
+			}
+		}
+	}
+	mu.Unlock()
+
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

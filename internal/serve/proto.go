@@ -1,0 +1,125 @@
+// Package serve is the multi-tenant training service: a long-lived
+// daemon (cmd/selsync-serve) that accepts job submissions over a
+// versioned wire protocol, admits them through per-tenant quotas,
+// schedules them onto a bounded pool of worker slots with priority +
+// weighted fair-share accounting, preempts lower-priority jobs through
+// the train package's checkpoint machinery (parked jobs resume
+// bit-identically — the preempted-then-resumed Result digest equals the
+// uninterrupted run's), and fans each job's typed event stream out to
+// wire subscribers.
+//
+// Wire protocol: SEL1 frames (internal/comm — length-prefixed, typed,
+// panic-free decode, fuzz corpus) over any byte stream, one JSON document
+// per frame:
+//
+//	MsgServeReq   client → daemon   Request  {"op": submit|status|events|cancel|drain, ...}
+//	MsgServeResp  daemon → client   Response {"ok": ..., "job": ..., "status": ...}
+//	MsgServeEvent daemon → client   WireEvent, one per job event; FlagLast + "final" on the last
+//
+// A connection carries any number of request/response exchanges; an
+// events request switches it to a one-way event stream until the job's
+// final event, after which the exchange loop continues. Protocol
+// versioning rides on the SEL1 header version byte: a daemon and client
+// disagreeing on the frame format fail loudly at the first frame.
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+
+	"selsync/internal/comm"
+)
+
+// Ops a Request can carry.
+const (
+	OpSubmit = "submit"
+	OpStatus = "status"
+	OpEvents = "events"
+	OpCancel = "cancel"
+	OpDrain  = "drain"
+)
+
+// Request is one client request frame.
+type Request struct {
+	// Op is the verb: submit | status | events | cancel | drain.
+	Op string `json:"op"`
+	// Spec is the job to submit (submit only).
+	Spec *JobSpec `json:"spec,omitempty"`
+	// Job targets an existing job (events, cancel).
+	Job string `json:"job,omitempty"`
+	// From is the first event sequence number to stream (events only);
+	// 0 replays the job's whole history.
+	From uint64 `json:"from,omitempty"`
+}
+
+// Response is one daemon response frame.
+type Response struct {
+	OK  bool   `json:"ok"`
+	Err string `json:"err,omitempty"`
+	// Job is the assigned job id (submit).
+	Job string `json:"job,omitempty"`
+	// Status is the service snapshot (status).
+	Status *Status `json:"status,omitempty"`
+}
+
+// WireEvent is one job event as streamed to subscribers: a per-job,
+// gap-free sequence (Seq starts at 0 and increments by one) of lifecycle
+// transitions and passed-through training events. Subscribers depend on
+// the ordering invariant: per job, Seq is dense and StepEvent step
+// numbers are contiguous across preemptions (TestServeEventOrdering).
+type WireEvent struct {
+	Job string `json:"job"`
+	Seq uint64 `json:"seq"`
+	// Type is the event type: a lifecycle transition (submitted, start,
+	// parked, done, failed, canceled) or a train event type (step, sync,
+	// eval, phase-switch, checkpoint, recovery, ...).
+	Type string `json:"type"`
+	// Step is the training step the event refers to, where meaningful.
+	Step int `json:"step,omitempty"`
+	// State is the job's state after the event.
+	State string `json:"state"`
+	// Digest is the Result's bit-exact SHA-256 fingerprint (done only).
+	Digest string `json:"digest,omitempty"`
+	Err    string `json:"err,omitempty"`
+	// Final marks the job's last event (done, failed or canceled).
+	Final bool `json:"final,omitempty"`
+	// Data is the JSON of the underlying train event, when there is one.
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// writeJSON sends v as one frame of type t and flushes.
+func writeJSON(bw *bufio.Writer, t comm.MsgType, v any, last bool) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("serve: encoding %T: %w", v, err)
+	}
+	if len(payload) > comm.MaxPayload {
+		return fmt.Errorf("serve: %T payload %d bytes exceeds the frame limit", v, len(payload))
+	}
+	f := comm.Frame{Type: t, Worker: -1, Payload: payload}
+	if last {
+		f.Flags |= comm.FlagLast
+	}
+	if err := comm.WriteFrame(bw, &f); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// readJSON reads one frame, requiring type want, and unmarshals it into
+// v. Returns the frame flags. Malformed frames and payloads map to
+// errors, never panics — the same discipline as the collective wire.
+func readJSON(br *bufio.Reader, want comm.MsgType, v any) (uint16, error) {
+	f, err := comm.ReadFrame(br)
+	if err != nil {
+		return 0, err
+	}
+	if f.Type != want {
+		return 0, fmt.Errorf("serve: expected frame type %d, got %d", want, f.Type)
+	}
+	if err := json.Unmarshal(f.Payload, v); err != nil {
+		return 0, fmt.Errorf("serve: decoding %T: %w", v, err)
+	}
+	return f.Flags, nil
+}

@@ -1,0 +1,634 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"selsync/internal/comm"
+	"selsync/internal/train"
+)
+
+// Options configures a Server. The zero value is usable: 2 slots, a
+// 1024-job queue, no tenant quota, unit weights, no spill directory.
+type Options struct {
+	// Slots bounds how many jobs run concurrently.
+	Slots int
+	// QueueLimit bounds live jobs (queued + running + parked); submits
+	// past it are refused with a typed error, never silently dropped.
+	QueueLimit int
+	// TenantQuota bounds live jobs per tenant (0 = unlimited).
+	TenantQuota int
+	// Weights are per-tenant fair-share weights; absent or non-positive
+	// entries count as 1.
+	Weights map[string]float64
+	// SpillDir receives parked checkpoints and pending specs on drain,
+	// so a future daemon can pick the queue back up ("" = discard).
+	SpillDir string
+	// Logf is the daemon log sink (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// Server is the multi-tenant training scheduler: an admission queue, a
+// bounded slot pool, weighted fair-share + strict-priority scheduling,
+// and checkpoint-based preemption. It serves the wire protocol on any
+// net.Listener and is equally usable in-process through Submit/Cancel/
+// StatusSnapshot (the load generator drives it both ways).
+type Server struct {
+	opts    Options
+	builder Builder
+
+	mu      sync.Mutex
+	cond    *sync.Cond // broadcast when a slot frees (drain waits on it)
+	jobs    map[string]*jobRec
+	order   []*jobRec // admission order
+	running map[string]*jobRec
+	served  map[string]int64 // tenant → cumulative served steps
+	net     comm.Stats       // cumulative fabric ledger across segments
+	nextSeq uint64
+	drained bool // draining or drained: no admissions, no starts
+	closed  bool
+
+	listeners []net.Listener
+	conns     map[net.Conn]struct{}
+	done      chan struct{} // closed by Close; wakes event subscribers
+	wg        sync.WaitGroup
+}
+
+// NewServer builds a Server scheduling jobs through builder.
+func NewServer(builder Builder, opts Options) *Server {
+	if opts.Slots <= 0 {
+		opts.Slots = 2
+	}
+	if opts.QueueLimit <= 0 {
+		opts.QueueLimit = 1024
+	}
+	s := &Server{
+		opts:    opts,
+		builder: builder,
+		jobs:    make(map[string]*jobRec),
+		running: make(map[string]*jobRec),
+		served:  make(map[string]int64),
+		conns:   make(map[net.Conn]struct{}),
+		done:    make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// weight returns tenant t's fair-share weight (≥ 1e-9, default 1).
+func (s *Server) weight(t string) float64 {
+	if w, ok := s.opts.Weights[t]; ok && w > 0 {
+		return w
+	}
+	return 1
+}
+
+// Submit validates, admits and queues one job, returning its id. It
+// refuses when draining, when the queue is full, or when the tenant is
+// at quota — admission control is explicit, jobs are never dropped
+// after an id has been handed out.
+func (s *Server) Submit(spec JobSpec) (string, error) {
+	if err := spec.Validate(); err != nil {
+		return "", err
+	}
+	spec = spec.withDefaults()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "", fmt.Errorf("serve: server closed")
+	}
+	if s.drained {
+		return "", fmt.Errorf("serve: draining, not accepting jobs")
+	}
+	live, tenantLive := 0, 0
+	for _, j := range s.order {
+		switch j.state {
+		case StateQueued, StateRunning, StateParked:
+			live++
+			if j.spec.Tenant == spec.Tenant {
+				tenantLive++
+			}
+		}
+	}
+	if live >= s.opts.QueueLimit {
+		return "", fmt.Errorf("serve: queue full (%d live jobs)", live)
+	}
+	if s.opts.TenantQuota > 0 && tenantLive >= s.opts.TenantQuota {
+		return "", fmt.Errorf("serve: tenant %q at quota (%d live jobs)", spec.Tenant, tenantLive)
+	}
+	s.nextSeq++
+	id := fmt.Sprintf("j-%06d", s.nextSeq)
+	j := newJobRec(id, s.nextSeq, spec)
+	s.jobs[id] = j
+	s.order = append(s.order, j)
+	j.append(WireEvent{Type: EvSubmitted, State: StateQueued})
+	s.scheduleLocked()
+	return id, nil
+}
+
+// Cancel stops a job: queued and parked jobs finalize immediately,
+// running jobs are cancelled at their next step boundary and finalize
+// without parking.
+func (s *Server) Cancel(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return fmt.Errorf("serve: no job %q", id)
+	}
+	switch j.state {
+	case StateQueued, StateParked:
+		j.state = StateCanceled
+		j.ck = nil
+		j.append(WireEvent{Type: EvCanceled, State: StateCanceled, Step: j.lastStep, Final: true})
+		s.scheduleLocked()
+		return nil
+	case StateRunning:
+		j.cancelRequested = true
+		j.cancel()
+		return nil
+	default:
+		return fmt.Errorf("serve: job %q already %s", id, j.state)
+	}
+}
+
+// scheduleLocked fills free slots with the best eligible job and, when
+// the pool is full, preempts a lower-priority running job if a
+// higher-priority one is waiting. Called with s.mu held after every
+// state change.
+func (s *Server) scheduleLocked() {
+	for !s.drained && !s.closed && len(s.running) < s.opts.Slots {
+		j := s.pickLocked()
+		if j == nil {
+			break
+		}
+		s.startLocked(j)
+	}
+	if s.drained || s.closed || len(s.running) < s.opts.Slots {
+		return
+	}
+	cand := s.pickLocked()
+	if cand == nil {
+		return
+	}
+	if v := s.victimLocked(cand.spec.Priority); v != nil {
+		s.logf("preempting %s (tenant %s, prio %d) for %s (tenant %s, prio %d)",
+			v.id, v.spec.Tenant, v.spec.Priority, cand.id, cand.spec.Tenant, cand.spec.Priority)
+		v.preempting = true
+		v.cancel()
+	}
+}
+
+// pickLocked selects the next job to start: strict priority first, then
+// minimal served-steps/weight for the job's tenant (greedy water-filling
+// toward the weighted fair shares), with deterministic tie-breaks on
+// tenant name and admission order.
+func (s *Server) pickLocked() *jobRec {
+	var best *jobRec
+	var bestRatio float64
+	for _, j := range s.order {
+		if j.state != StateQueued && j.state != StateParked {
+			continue
+		}
+		ratio := float64(s.served[j.spec.Tenant]) / s.weight(j.spec.Tenant)
+		if best == nil || better(j, ratio, best, bestRatio) {
+			best, bestRatio = j, ratio
+		}
+	}
+	return best
+}
+
+// better reports whether candidate a (with tenant served/weight ratio
+// ra) should be scheduled before b.
+func better(a *jobRec, ra float64, b *jobRec, rb float64) bool {
+	if a.spec.Priority != b.spec.Priority {
+		return a.spec.Priority > b.spec.Priority
+	}
+	if ra != rb {
+		return ra < rb
+	}
+	if a.spec.Tenant != b.spec.Tenant {
+		return a.spec.Tenant < b.spec.Tenant
+	}
+	return a.seq < b.seq
+}
+
+// victimLocked picks the running job to preempt for an arrival of
+// priority prio: the lowest-priority preemptible job strictly below
+// prio, youngest first (least sunk work since its last checkpoint).
+func (s *Server) victimLocked(prio int) *jobRec {
+	var victim *jobRec
+	for _, j := range s.running {
+		if j.preempting || j.cancelRequested || !j.spec.Preemptible() {
+			continue
+		}
+		if j.spec.Priority >= prio {
+			continue
+		}
+		if victim == nil ||
+			j.spec.Priority < victim.spec.Priority ||
+			(j.spec.Priority == victim.spec.Priority && j.seq > victim.seq) {
+			victim = j
+		}
+	}
+	return victim
+}
+
+// startLocked moves j into a slot and launches its segment goroutine.
+func (s *Server) startLocked(j *jobRec) {
+	ctx, cancel := context.WithCancel(context.Background())
+	resume := j.ck
+	j.ck = nil
+	j.state = StateRunning
+	j.cancel = cancel
+	j.preempting = false
+	j.startStep = 0
+	if resume != nil {
+		j.startStep = resume.Step
+	}
+	s.running[j.id] = j
+	j.append(WireEvent{Type: EvStart, State: StateRunning, Step: j.startStep})
+	s.wg.Add(1)
+	go s.runSegment(j, ctx, resume)
+}
+
+// runSegment executes one scheduling segment of j: build the job (with
+// the resume checkpoint, if any), run it until completion or
+// cancellation, then finalize or park. A builder or engine panic marks
+// the job failed instead of taking the daemon down.
+func (s *Server) runSegment(j *jobRec, ctx context.Context, resume *train.Checkpoint) {
+	defer s.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			s.finish(j, StateFailed, "", fmt.Sprintf("panic: %v", r), j.startStep)
+		}
+	}()
+
+	obs := train.ObserverFunc(func(e train.Event) {
+		j.append(trainEvent(e, StateRunning))
+	})
+	opts := []train.Option{train.WithObserver(obs)}
+	if resume != nil {
+		opts = append(opts, train.WithResume(resume))
+	}
+	built, err := s.builder(j.spec, opts...)
+	if err != nil {
+		s.finish(j, StateFailed, "", err.Error(), j.startStep)
+		return
+	}
+	if built.Close != nil {
+		defer built.Close()
+	}
+
+	res, rerr := built.Job.Run(ctx)
+	if built.Stats != nil {
+		st := built.Stats()
+		s.mu.Lock()
+		s.net.Pushes += st.Pushes
+		s.net.Pulls += st.Pulls
+		s.net.Bytes.Recv += st.Bytes.Recv
+		s.net.Bytes.Sent += st.Bytes.Sent
+		s.net.FlagRounds += st.FlagRounds
+		s.net.FlagBytes += st.FlagBytes
+		s.mu.Unlock()
+	}
+
+	switch {
+	case rerr == nil:
+		s.finish(j, StateDone, res.Digest(), "", res.Steps)
+	case errors.Is(rerr, context.Canceled):
+		s.mu.Lock()
+		park := j.preempting && !j.cancelRequested && j.spec.Preemptible()
+		s.mu.Unlock()
+		if !park {
+			s.finish(j, StateCanceled, "", "", j.startStep)
+			return
+		}
+		ck, cerr := built.Job.Checkpoint(context.Background())
+		if cerr != nil {
+			s.finish(j, StateFailed, "", fmt.Sprintf("parking checkpoint: %v", cerr), j.startStep)
+			return
+		}
+		s.park(j, ck)
+	default:
+		s.finish(j, StateFailed, "", rerr.Error(), j.startStep)
+	}
+}
+
+// park returns a preempted job to the pool with its resume checkpoint.
+func (s *Server) park(j *jobRec, ck *train.Checkpoint) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.running, j.id)
+	j.state = StateParked
+	j.ck = ck
+	j.preempting = false
+	s.creditLocked(j, ck.Step)
+	j.append(WireEvent{Type: EvParked, State: StateParked, Step: ck.Step})
+	s.cond.Broadcast()
+	s.scheduleLocked()
+}
+
+// finish finalizes a job and frees its slot.
+func (s *Server) finish(j *jobRec, state, digest, errMsg string, endStep int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.running, j.id)
+	j.state = state
+	j.digest = digest
+	j.errMsg = errMsg
+	s.creditLocked(j, endStep)
+	ev := WireEvent{State: state, Step: j.lastStep, Final: true}
+	switch state {
+	case StateDone:
+		ev.Type, ev.Digest = EvDone, digest
+	case StateFailed:
+		ev.Type, ev.Err = EvFailed, errMsg
+	default:
+		ev.Type = EvCanceled
+	}
+	j.append(ev)
+	s.cond.Broadcast()
+	s.scheduleLocked()
+}
+
+// creditLocked books the segment's served steps to the job's tenant.
+func (s *Server) creditLocked(j *jobRec, endStep int) {
+	if endStep > j.startStep {
+		s.served[j.spec.Tenant] += int64(endStep - j.startStep)
+	}
+	if endStep > j.lastStep {
+		j.lastStep = endStep
+	}
+}
+
+// Drain stops admissions, parks every running preemptible job through a
+// checkpoint (non-preemptible jobs are cancelled — an event-loop policy
+// cannot checkpoint), waits for the slots to empty, spills parked
+// checkpoints and pending specs to Options.SpillDir, and closes the
+// listeners so Serve returns. Queued and parked jobs keep their state
+// in the status view; they are not lost, just no longer scheduled.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.drained {
+		s.drained = true
+		for _, j := range s.running {
+			if j.spec.Preemptible() {
+				j.preempting = true
+			} else {
+				j.cancelRequested = true
+			}
+			j.cancel()
+		}
+	}
+	stopWait := context.AfterFunc(ctx, func() { s.cond.Broadcast() })
+	defer stopWait()
+	for len(s.running) > 0 && ctx.Err() == nil {
+		s.cond.Wait()
+	}
+	parked := make([]*jobRec, 0)
+	for _, j := range s.order {
+		if j.state == StateParked || j.state == StateQueued {
+			parked = append(parked, j)
+		}
+	}
+	s.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if s.opts.SpillDir != "" {
+		if err := s.spill(parked); err != nil {
+			return err
+		}
+	}
+	s.closeListeners()
+	return nil
+}
+
+// spill writes pending jobs' specs (and parked jobs' checkpoints) into
+// the spill directory — the durable remainder of a drained queue.
+func (s *Server) spill(jobs []*jobRec) error {
+	if err := os.MkdirAll(s.opts.SpillDir, 0o755); err != nil {
+		return err
+	}
+	for _, j := range jobs {
+		spec, err := json.MarshalIndent(j.spec, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(s.opts.SpillDir, j.id+".spec.json"), spec, 0o644); err != nil {
+			return err
+		}
+		if j.ck != nil {
+			if err := train.SaveCheckpoint(filepath.Join(s.opts.SpillDir, j.id+".ckpt"), j.ck); err != nil {
+				return err
+			}
+		}
+		s.logf("spilled %s (%s) to %s", j.id, j.state, s.opts.SpillDir)
+	}
+	return nil
+}
+
+// closeListeners closes the accept loops (taking s.mu only to snapshot
+// the slice; net.Listener.Close is idempotent).
+func (s *Server) closeListeners() {
+	s.mu.Lock()
+	ls := append([]net.Listener(nil), s.listeners...)
+	s.mu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+}
+
+// Close shuts the server down now: cancels running jobs without
+// parking, closes listeners and connections, wakes subscribers and
+// joins every goroutine. Drain first for a graceful exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.done)
+	for _, j := range s.running {
+		j.cancelRequested = true
+		j.cancel()
+	}
+	ls := append([]net.Listener(nil), s.listeners...)
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	jobs := append([]*jobRec(nil), s.order...)
+	s.mu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, j := range jobs {
+		j.wake()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// stopped reports whether Close has run — the subscriber wake-up
+// condition, deliberately lock-free (subscribers hold only the job's
+// event lock; taking s.mu there would invert the lock order).
+func (s *Server) stopped() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Serve accepts wire connections on lis until the listener closes
+// (Drain and Close both close it; that path returns nil).
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("serve: server closed")
+	}
+	s.listeners = append(s.listeners, lis)
+	drained := s.drained
+	s.mu.Unlock()
+	if drained {
+		// Drain already ran its listener sweep; a listener registered
+		// after that would otherwise accept forever.
+		lis.Close()
+	}
+	for {
+		c, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			stopping := s.closed || s.drained
+			s.mu.Unlock()
+			if stopping || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(c)
+	}
+}
+
+// handleConn runs one connection's request/response loop. Read or
+// decode failures drop the connection — the framing layer already
+// guarantees they never panic.
+func (s *Server) handleConn(c net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReader(c)
+	bw := bufio.NewWriter(c)
+	respond := func(r *Response) error { return writeJSON(bw, comm.MsgServeResp, r, true) }
+	fail := func(err error) error { return respond(&Response{Err: err.Error()}) }
+	for {
+		var req Request
+		if _, err := readJSON(br, comm.MsgServeReq, &req); err != nil {
+			return
+		}
+		var err error
+		switch req.Op {
+		case OpSubmit:
+			if req.Spec == nil {
+				err = fail(fmt.Errorf("serve: submit needs a spec"))
+				break
+			}
+			id, serr := s.Submit(*req.Spec)
+			if serr != nil {
+				err = fail(serr)
+			} else {
+				err = respond(&Response{OK: true, Job: id})
+			}
+		case OpStatus:
+			err = respond(&Response{OK: true, Status: s.StatusSnapshot()})
+		case OpCancel:
+			if cerr := s.Cancel(req.Job); cerr != nil {
+				err = fail(cerr)
+			} else {
+				err = respond(&Response{OK: true})
+			}
+		case OpDrain:
+			// Acknowledge before draining: Drain closes the listeners, the
+			// accept loop returns, and the daemon tears connections down —
+			// a response written after that would race the teardown.
+			if err = respond(&Response{OK: true}); err != nil {
+				break
+			}
+			if derr := s.Drain(context.Background()); derr != nil {
+				s.logf("drain: %v", derr)
+			}
+		case OpEvents:
+			s.mu.Lock()
+			j := s.jobs[req.Job]
+			s.mu.Unlock()
+			if j == nil {
+				err = fail(fmt.Errorf("serve: no job %q", req.Job))
+				break
+			}
+			if err = respond(&Response{OK: true, Job: j.id}); err != nil {
+				break
+			}
+			err = s.streamEvents(bw, j, req.From)
+		default:
+			err = fail(fmt.Errorf("serve: unknown op %q", req.Op))
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// streamEvents writes job events from seq on, blocking for new ones,
+// until the final event (FlagLast on its frame) or server shutdown.
+func (s *Server) streamEvents(bw *bufio.Writer, j *jobRec, seq uint64) error {
+	for {
+		evs := j.next(seq, s.stopped)
+		if len(evs) == 0 {
+			return nil // final and caught up, or shutting down
+		}
+		for i := range evs {
+			ev := evs[i]
+			if err := writeJSON(bw, comm.MsgServeEvent, &ev, ev.Final); err != nil {
+				return err
+			}
+			seq = ev.Seq + 1
+			if ev.Final {
+				return nil
+			}
+		}
+	}
+}

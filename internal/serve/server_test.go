@@ -1,0 +1,280 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"selsync/internal/train"
+)
+
+// blockingBuilder parks every build call until release is closed, then
+// fails the job. It lets tests hold jobs in the running state without
+// spinning up a training engine.
+func blockingBuilder(release <-chan struct{}) Builder {
+	return func(spec JobSpec, opts ...train.Option) (BuiltJob, error) {
+		<-release
+		return BuiltJob{}, errors.New("blocking builder: released")
+	}
+}
+
+func TestBetterOrdering(t *testing.T) {
+	mk := func(seq uint64, tenant string, prio int) *jobRec {
+		return newJobRec("j", seq, JobSpec{Tenant: tenant, Priority: prio})
+	}
+	cases := []struct {
+		name   string
+		a, b   *jobRec
+		ra, rb float64
+		want   bool
+	}{
+		{"higher priority wins", mk(2, "z", 1), mk(1, "a", 0), 9, 0, true},
+		{"lower priority loses", mk(1, "a", 0), mk(2, "z", 1), 0, 9, false},
+		{"lower served ratio wins", mk(2, "z", 0), mk(1, "a", 0), 1, 2, true},
+		{"tenant name breaks ratio tie", mk(2, "a", 0), mk(1, "b", 0), 1, 1, true},
+		{"admission order breaks tenant tie", mk(1, "a", 0), mk(2, "a", 0), 1, 1, true},
+	}
+	for _, c := range cases {
+		if got := better(c.a, c.ra, c.b, c.rb); got != c.want {
+			t.Errorf("%s: better = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestVictimSelection(t *testing.T) {
+	s := NewServer(nil, Options{})
+	add := func(id string, seq uint64, prio int, method string) *jobRec {
+		j := newJobRec(id, seq, JobSpec{Tenant: "t", Priority: prio, Method: method})
+		j.state = StateRunning
+		j.cancel = func() {}
+		s.running[id] = j
+		return j
+	}
+	add("a", 1, 0, "bsp")
+	young := add("b", 2, 0, "selsync")
+	add("c", 3, 1, "bsp")  // same tier as the arrival: never a victim
+	add("d", 4, -1, "ssp") // lowest priority but not preemptible
+	already := add("e", 5, 0, "bsp")
+	already.preempting = true // mid-preemption: not picked twice
+
+	v := s.victimLocked(1)
+	if v != young {
+		t.Fatalf("victim = %v, want the youngest lowest-priority preemptible job %q", v, young.id)
+	}
+	if s.victimLocked(0) != nil {
+		t.Fatalf("equal-priority arrival must not preempt")
+	}
+}
+
+func TestSubmitValidationAndAdmission(t *testing.T) {
+	release := make(chan struct{})
+	s := NewServer(blockingBuilder(release), Options{Slots: 1, QueueLimit: 3, TenantQuota: 2})
+	defer func() { close(release); s.Close() }()
+
+	good := JobSpec{Tenant: "anna", Model: "resnet", Method: "bsp", Workers: 1, TrainN: 8, TestN: 4, MaxSteps: 1}
+
+	bad := good
+	bad.Tenant = ""
+	if _, err := s.Submit(bad); err == nil {
+		t.Fatalf("submit without tenant must be refused")
+	}
+	bad = good
+	bad.MaxSteps = 0
+	if _, err := s.Submit(bad); err == nil {
+		t.Fatalf("submit without steps must be refused")
+	}
+
+	if _, err := s.Submit(good); err != nil { // running
+		t.Fatalf("submit 1: %v", err)
+	}
+	if _, err := s.Submit(good); err != nil { // queued
+		t.Fatalf("submit 2: %v", err)
+	}
+	if _, err := s.Submit(good); err == nil || !strings.Contains(err.Error(), "quota") {
+		t.Fatalf("third job for one tenant must hit the quota, got %v", err)
+	}
+	other := good
+	other.Tenant = "bo"
+	if _, err := s.Submit(other); err != nil { // third live job overall
+		t.Fatalf("submit other tenant: %v", err)
+	}
+	if _, err := s.Submit(other); err == nil || !strings.Contains(err.Error(), "queue full") {
+		t.Fatalf("fourth live job must hit the queue limit, got %v", err)
+	}
+}
+
+func TestCancelQueuedJobFinalizesImmediately(t *testing.T) {
+	release := make(chan struct{})
+	s := NewServer(blockingBuilder(release), Options{Slots: 1})
+	defer func() { close(release); s.Close() }()
+
+	spec := JobSpec{Tenant: "anna", Model: "resnet", Method: "bsp", Workers: 1, TrainN: 8, TestN: 4, MaxSteps: 1}
+	if _, err := s.Submit(spec); err != nil {
+		t.Fatalf("submit blocker: %v", err)
+	}
+	id, err := s.Submit(spec)
+	if err != nil {
+		t.Fatalf("submit queued: %v", err)
+	}
+	if err := s.Cancel(id); err != nil {
+		t.Fatalf("cancel queued: %v", err)
+	}
+	if err := s.Cancel(id); err == nil {
+		t.Fatalf("cancelling a final job must error")
+	}
+	j := s.jobs[id]
+	evs := j.next(0, func() bool { return false })
+	last := evs[len(evs)-1]
+	if !last.Final || last.Type != EvCanceled {
+		t.Fatalf("queued cancel must finalize with a canceled event, got %+v", last)
+	}
+}
+
+func TestEventLogDenseAndFinalSticky(t *testing.T) {
+	j := newJobRec("j-000001", 1, JobSpec{})
+	j.append(WireEvent{Type: EvSubmitted})
+	j.append(WireEvent{Type: EvStart})
+	j.append(WireEvent{Type: EvDone, Final: true})
+	j.append(WireEvent{Type: "step"}) // after final: dropped
+
+	evs := j.next(0, func() bool { return false })
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3 (post-final appends dropped)", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i) {
+			t.Fatalf("event %d has seq %d: sequence must be dense from 0", i, ev.Seq)
+		}
+		if ev.Job != "j-000001" {
+			t.Fatalf("event %d missing job id", i)
+		}
+	}
+	if !evs[2].Final {
+		t.Fatalf("last event must be final")
+	}
+	if got := j.next(3, func() bool { return false }); len(got) != 0 {
+		t.Fatalf("reading past a final log must return nothing, got %v", got)
+	}
+}
+
+func TestEventLogNextBlocksUntilAppend(t *testing.T) {
+	j := newJobRec("j", 1, JobSpec{})
+	got := make(chan []WireEvent, 1)
+	go func() { got <- j.next(0, func() bool { return false }) }()
+	time.Sleep(10 * time.Millisecond)
+	j.append(WireEvent{Type: EvSubmitted})
+	select {
+	case evs := <-got:
+		if len(evs) != 1 || evs[0].Type != EvSubmitted {
+			t.Fatalf("woke with %v", evs)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("next never woke after append")
+	}
+}
+
+func TestPreemptibleSpec(t *testing.T) {
+	cases := map[string]bool{
+		"bsp":             true,
+		"selsync":         true,
+		"bsp:3,selsync":   true,
+		"ssp":             false,
+		"bsp:10,ssp":      false,
+		" ssp : 5 ,local": false,
+	}
+	for method, want := range cases {
+		spec := JobSpec{Method: method}
+		if got := spec.Preemptible(); got != want {
+			t.Errorf("Preemptible(%q) = %v, want %v", method, got, want)
+		}
+	}
+}
+
+func TestWireRoundTripOverPipe(t *testing.T) {
+	s := NewServer(func(spec JobSpec, opts ...train.Option) (BuiltJob, error) {
+		return BuiltJob{}, errors.New("no engine in this test")
+	}, Options{Slots: 1})
+	defer s.Close()
+	lis := NewPipeListener()
+	go s.Serve(lis)
+
+	conn, err := lis.Dial()
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	cl := NewClient(conn)
+	defer cl.Close()
+
+	id, err := cl.Submit(JobSpec{Tenant: "anna", Model: "resnet", Method: "bsp", Workers: 1, TrainN: 8, TestN: 4, MaxSteps: 1})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	final, err := cl.Wait(id)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if final.Type != EvFailed || !strings.Contains(final.Err, "no engine") {
+		t.Fatalf("final = %+v, want the builder failure surfaced", final)
+	}
+
+	st, err := cl.Status()
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if st.Failed != 1 || len(st.Jobs) != 1 || st.Jobs[0].State != StateFailed {
+		t.Fatalf("status = %+v, want one failed job", st)
+	}
+	if err := cl.Cancel("j-999999"); err == nil {
+		t.Fatalf("cancelling an unknown job must surface the daemon's refusal")
+	}
+	if _, err := cl.Submit(JobSpec{}); err == nil {
+		t.Fatalf("invalid spec must surface the daemon's refusal")
+	}
+}
+
+func TestDrainIdleServerClosesListener(t *testing.T) {
+	s := NewServer(nil, Options{})
+	lis := NewPipeListener()
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(lis) }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve returned %v after drain, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("Serve did not return after drain closed the listener")
+	}
+	if _, err := s.Submit(JobSpec{Tenant: "t", Model: "m", Method: "bsp", Workers: 1, TrainN: 1, TestN: 1, MaxSteps: 1}); err == nil {
+		t.Fatalf("drained server must refuse submits")
+	}
+	s.Close()
+}
+
+func TestServedStepsCredit(t *testing.T) {
+	s := NewServer(nil, Options{Weights: map[string]float64{"anna": 2}})
+	j := newJobRec("j", 1, JobSpec{Tenant: "anna"})
+	j.startStep = 10
+	j.lastStep = 10
+	s.creditLocked(j, 25)
+	if s.served["anna"] != 15 {
+		t.Fatalf("served = %d, want the segment's 15 steps", s.served["anna"])
+	}
+	if j.lastStep != 25 {
+		t.Fatalf("lastStep = %d, want 25", j.lastStep)
+	}
+	// A segment that made no progress credits nothing and never rolls back.
+	j.startStep = 25
+	s.creditLocked(j, 25)
+	if s.served["anna"] != 15 || j.lastStep != 25 {
+		t.Fatalf("zero-progress segment must not change accounting")
+	}
+}

@@ -1,0 +1,99 @@
+package serve
+
+import "selsync/internal/comm"
+
+// Status is the daemon's self-description: queue depth, slot occupancy,
+// per-tenant fair-share accounting, the cumulative fabric ledger, and
+// one line per job. It travels as JSON in a status Response.
+type Status struct {
+	Slots    int  `json:"slots"`
+	Occupied int  `json:"occupied"`
+	Queued   int  `json:"queued"`
+	Parked   int  `json:"parked"`
+	Done     int  `json:"done"`
+	Failed   int  `json:"failed"`
+	Canceled int  `json:"canceled"`
+	Draining bool `json:"draining,omitempty"`
+
+	Tenants []TenantStatus `json:"tenants,omitempty"`
+	Jobs    []JobStatus    `json:"jobs,omitempty"`
+
+	// Net is the cumulative collective-traffic ledger across every
+	// completed job segment (comm.Stats semantics).
+	Net comm.Stats `json:"net"`
+}
+
+// TenantStatus is one tenant's fair-share account.
+type TenantStatus struct {
+	Tenant string `json:"tenant"`
+	// Weight is the configured fair-share weight.
+	Weight float64 `json:"weight"`
+	// ServedSteps is the tenant's cumulative scheduled training steps.
+	ServedSteps int64 `json:"served_steps"`
+	// Share is ServedSteps normalized over all tenants (0 when nothing
+	// has been served yet).
+	Share float64 `json:"share"`
+	// Live counts the tenant's queued + running + parked jobs.
+	Live int `json:"live"`
+}
+
+// JobStatus is one job's line in the status view.
+type JobStatus struct {
+	Job      string `json:"job"`
+	Name     string `json:"name,omitempty"`
+	Tenant   string `json:"tenant"`
+	Priority int    `json:"priority,omitempty"`
+	State    string `json:"state"`
+	Step     int    `json:"step"`
+	Digest   string `json:"digest,omitempty"`
+	Err      string `json:"err,omitempty"`
+}
+
+// StatusSnapshot captures the service state under the scheduler lock.
+func (s *Server) StatusSnapshot() *Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := &Status{Slots: s.opts.Slots, Occupied: len(s.running), Draining: s.drained, Net: s.net}
+	live := make(map[string]int)
+	var totalServed int64
+	for _, n := range s.served {
+		totalServed += n
+	}
+	for _, j := range s.order {
+		switch j.state {
+		case StateQueued:
+			st.Queued++
+			live[j.spec.Tenant]++
+		case StateParked:
+			st.Parked++
+			live[j.spec.Tenant]++
+		case StateRunning:
+			live[j.spec.Tenant]++
+		case StateDone:
+			st.Done++
+		case StateFailed:
+			st.Failed++
+		case StateCanceled:
+			st.Canceled++
+		}
+		st.Jobs = append(st.Jobs, JobStatus{
+			Job: j.id, Name: j.spec.Name, Tenant: j.spec.Tenant,
+			Priority: j.spec.Priority, State: j.state, Step: j.lastStep,
+			Digest: j.digest, Err: j.errMsg,
+		})
+	}
+	seen := make(map[string]bool)
+	for _, j := range s.order {
+		t := j.spec.Tenant
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		ts := TenantStatus{Tenant: t, Weight: s.weight(t), ServedSteps: s.served[t], Live: live[t]}
+		if totalServed > 0 {
+			ts.Share = float64(s.served[t]) / float64(totalServed)
+		}
+		st.Tenants = append(st.Tenants, ts)
+	}
+	return st
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"selsync/internal/comm"
 	"selsync/internal/gradstat"
@@ -461,17 +462,41 @@ func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 	return ck, nil
 }
 
-// SaveCheckpoint writes the checkpoint to a file.
+// SaveCheckpoint writes the checkpoint to a file atomically: the bytes go
+// to a temp file in the same directory, synced to stable storage, and the
+// temp file is renamed over path only once it is complete. A crash at any
+// point leaves either the previous file or the new one — never a
+// truncated checkpoint that a later resume (or a -supervise restart
+// scanning auto-checkpoints) would trip over. Every checkpoint sink in
+// the tree — the auto-checkpoint supervisor files, emergency captures,
+// final saves — funnels through here.
 func SaveCheckpoint(path string, c *Checkpoint) error {
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
-	if err := c.Encode(f); err != nil {
+	tmp := f.Name()
+	cleanup := func(err error) error {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := c.Encode(f); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // LoadCheckpoint reads a checkpoint file written by SaveCheckpoint.

@@ -84,6 +84,7 @@ import (
 	"selsync/internal/data"
 	"selsync/internal/experiments"
 	"selsync/internal/nn"
+	"selsync/internal/serve"
 	"selsync/internal/train"
 )
 
@@ -298,6 +299,46 @@ func NewLoopbackFabric(workers int) Fabric { return comm.NewLoopback(workers) }
 func DialTCPFabric(rank int, peers []string, workers int) (Fabric, error) {
 	return comm.DialTCPMesh(rank, peers, workers)
 }
+
+// The serving subsystem (cmd/selsync-serve, cmd/selsync-ctl): a
+// long-lived multi-tenant daemon accepting job submissions over the
+// SEL1 wire protocol, scheduling them onto a bounded slot pool with
+// strict priorities and weighted fair shares, and preempting through
+// the checkpoint machinery — a preempted-then-resumed job's Result
+// digest equals the uninterrupted run's.
+type (
+	// ServeServer is the scheduling daemon core.
+	ServeServer = serve.Server
+	// ServeOptions configures slots, queue limits, quotas and weights.
+	ServeOptions = serve.Options
+	// ServeClient speaks the wire protocol over one connection.
+	ServeClient = serve.Client
+	// ServeJobSpec describes one submitted job (tenant, priority, run
+	// parameters).
+	ServeJobSpec = serve.JobSpec
+	// ServeStatus is the daemon's status snapshot.
+	ServeStatus = serve.Status
+	// ServeWireEvent is one streamed job event.
+	ServeWireEvent = serve.WireEvent
+	// ServeJobBuilder turns an admitted spec into a runnable Job.
+	ServeJobBuilder = serve.Builder
+)
+
+var (
+	// NewServeServer builds a scheduling daemon over a job builder.
+	NewServeServer = serve.NewServer
+	// NewStandardJobBuilder is the builder the daemon normally runs with:
+	// specs build exactly as cmd/selsync-train would build them, each on
+	// a fresh in-process loopback fabric.
+	NewStandardJobBuilder = experiments.ServeBuilder
+	// DialServe connects a client to a daemon's TCP address.
+	DialServe = serve.Dial
+	// NewServeClient wraps an established connection.
+	NewServeClient = serve.NewClient
+	// NewServePipeListener is an in-process listener for wire-level use
+	// without sockets.
+	NewServePipeListener = serve.NewPipeListener
+)
 
 // ExperimentScale selects experiment sizing for RunExperiment.
 type ExperimentScale = experiments.Scale

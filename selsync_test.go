@@ -43,8 +43,8 @@ func TestFacadeExperimentDispatch(t *testing.T) {
 	if err := selsync.RunExperiment("nope", selsync.ScaleTiny, &buf); err == nil {
 		t.Fatal("unknown experiment must error")
 	}
-	if len(selsync.ExperimentIDs()) != 23 {
-		t.Fatalf("expected 23 experiments, got %d", len(selsync.ExperimentIDs()))
+	if len(selsync.ExperimentIDs()) != 24 {
+		t.Fatalf("expected 24 experiments, got %d", len(selsync.ExperimentIDs()))
 	}
 }
 
